@@ -1,0 +1,67 @@
+//! Microbenchmarks of the DE-9IM refinement oracle across pair
+//! complexities — the cost the intermediate filters avoid. The paper's
+//! Sec 4.3 builds on this cost growing superlinearly with the summed
+//! vertex count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stj_datagen::pair_with_relation;
+use stj_de9im::{relate, TopoRelation};
+
+fn bench_relate_by_complexity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("de9im_relate");
+    g.sample_size(20);
+    for &complexity in &[32usize, 128, 512, 2048] {
+        // One overlapping and one containment pair per complexity: the
+        // two dominant refinement workloads.
+        let (a1, b1) = pair_with_relation(TopoRelation::Intersects, complexity, 11);
+        g.bench_with_input(
+            BenchmarkId::new("intersects", complexity),
+            &complexity,
+            |bench, _| bench.iter(|| black_box(relate(black_box(&a1), black_box(&b1)))),
+        );
+        let (a2, b2) = pair_with_relation(TopoRelation::Inside, complexity, 12);
+        g.bench_with_input(
+            BenchmarkId::new("inside", complexity),
+            &complexity,
+            |bench, _| bench.iter(|| black_box(relate(black_box(&a2), black_box(&b2)))),
+        );
+        let (a3, b3) = pair_with_relation(TopoRelation::Meets, complexity, 13);
+        g.bench_with_input(
+            BenchmarkId::new("meets", complexity),
+            &complexity,
+            |bench, _| bench.iter(|| black_box(relate(black_box(&a3), black_box(&b3)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_prepared_reuse(c: &mut Criterion) {
+    use stj_de9im::{relate_prepared, Prepared};
+    let (a, b) = pair_with_relation(TopoRelation::Intersects, 1024, 21);
+    let pa = Prepared::new(&a);
+    let pb = Prepared::new(&b);
+    let mut g = c.benchmark_group("de9im_prepared");
+    g.bench_function("relate_prepared_1024", |bench| {
+        bench.iter(|| black_box(relate_prepared(black_box(&pa), black_box(&pb))))
+    });
+    g.bench_function("prepare_1024", |bench| {
+        bench.iter(|| black_box(Prepared::new(black_box(&a))))
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    // Bounded run time: the suite has ~55 benchmark points and must stay
+    // usable on a single-core box.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_relate_by_complexity, bench_prepared_reuse
+}
+criterion_main!(benches);

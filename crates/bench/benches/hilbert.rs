@@ -1,0 +1,58 @@
+//! Microbenchmarks of Hilbert curve encoding/decoding — the cell-id
+//! backbone of every raster approximation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stj_raster::hilbert::{block_range, d_to_xy, xy_to_d};
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hilbert");
+    for &order in &[8u32, 16] {
+        let side = 1u32 << order;
+        let coords: Vec<(u32, u32)> = (0..1024u32)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                (h % side, (h >> 16) % side)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("xy_to_d_1k", order), &order, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in &coords {
+                    acc = acc.wrapping_add(xy_to_d(black_box(order), x, y));
+                }
+                black_box(acc)
+            })
+        });
+        let ids: Vec<u64> = coords.iter().map(|&(x, y)| xy_to_d(order, x, y)).collect();
+        g.bench_with_input(BenchmarkId::new("d_to_xy_1k", order), &order, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &d in &ids {
+                    let (x, y) = d_to_xy(black_box(order), d);
+                    acc = acc.wrapping_add(x ^ y);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.bench_function("block_range", |b| {
+        b.iter(|| black_box(block_range(black_box(16), 1024, 2048, 8)))
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    // Bounded run time: the suite has ~55 benchmark points and must stay
+    // usable on a single-core box.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_hilbert
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the four interval-list relations (Sec 3.2): each
+//! must stay a linear merge-join across list sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stj_raster::IntervalList;
+
+/// A synthetic list of `n` intervals with the given run/gap cadence.
+fn list(n: usize, start: u64, run: u64, gap: u64) -> IntervalList {
+    let mut ranges = Vec::with_capacity(n);
+    let mut pos = start;
+    for _ in 0..n {
+        ranges.push((pos, pos + run));
+        pos += run + gap;
+    }
+    IntervalList::from_ranges(ranges)
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_relations");
+    for &n in &[16usize, 256, 4096] {
+        // Interleaved lists: overlap scans deep before finding a hit.
+        let a = list(n, 0, 4, 4);
+        let b = list(n, 2, 4, 4); // overlaps a
+        let disjoint = list(n, 1_000_000, 4, 4);
+        let inner = list(n / 2, 0, 2, 6); // inside a's runs
+        g.bench_with_input(BenchmarkId::new("overlap_hit", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.overlaps(black_box(&b))))
+        });
+        g.bench_with_input(BenchmarkId::new("overlap_miss", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.overlaps(black_box(&disjoint))))
+        });
+        g.bench_with_input(BenchmarkId::new("inside_true", n), &n, |bench, _| {
+            bench.iter(|| black_box(inner.inside(black_box(&a))))
+        });
+        g.bench_with_input(BenchmarkId::new("inside_false", n), &n, |bench, _| {
+            bench.iter(|| black_box(b.inside(black_box(&a))))
+        });
+        g.bench_with_input(BenchmarkId::new("match_eq", n), &n, |bench, _| {
+            let a2 = a.clone();
+            bench.iter(|| black_box(a.matches(black_box(&a2))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_construction");
+    for &n in &[256usize, 4096] {
+        let ranges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 7 % 10_000, i * 7 % 10_000 + 3)).collect();
+        g.bench_with_input(BenchmarkId::new("from_ranges", n), &n, |bench, _| {
+            bench.iter(|| black_box(IntervalList::from_ranges(black_box(ranges.clone()))))
+        });
+    }
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    // Bounded run time: the suite has ~55 benchmark points and must stay
+    // usable on a single-core box.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_relations, bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7. See `stj-bench` crate docs.
+
+fn main() {
+    stj_bench::experiments::fig7(stj_bench::harness::default_scale());
+}

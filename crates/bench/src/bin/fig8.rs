@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8. See `stj-bench` crate docs.
+
+fn main() {
+    stj_bench::experiments::fig8(stj_bench::harness::default_scale());
+}

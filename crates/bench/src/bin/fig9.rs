@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 9 case study. See `stj-bench` docs.
+
+fn main() {
+    stj_bench::experiments::fig9();
+}

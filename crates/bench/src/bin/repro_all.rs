@@ -1,0 +1,5 @@
+//! Runs the complete reproduction: every table and figure in sequence.
+
+fn main() {
+    stj_bench::experiments::repro_all();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2. See `stj-bench` crate docs.
+
+fn main() {
+    stj_bench::experiments::table2(stj_bench::harness::default_scale());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3. See `stj-bench` crate docs.
+
+fn main() {
+    stj_bench::experiments::table3(stj_bench::harness::default_scale());
+}

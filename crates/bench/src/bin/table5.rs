@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5. See `stj-bench` crate docs.
+
+fn main() {
+    stj_bench::experiments::table5(stj_bench::harness::default_scale());
+}

@@ -1,0 +1,27 @@
+//! `stj-bench`: the benchmark harness regenerating every table and
+//! figure of the paper's evaluation (Sec 4).
+//!
+//! Binaries (each prints one table/figure; `repro_all` runs the lot):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table2` | Table 2 — dataset stats and storage footprints |
+//! | `table3` | Table 3 — candidate pairs per combination |
+//! | `fig7` | Figure 7(a)/(b) — throughput and % undetermined per method |
+//! | `fig8` | Table 4 + Figure 8(a)/(b) — complexity-level scalability |
+//! | `table5` | Table 5 — find relation vs relate_p throughput |
+//! | `fig9` | Figure 9 — the case-study pair |
+//! | `repro_all` | everything above, in sequence |
+//!
+//! Criterion microbenches live under `benches/`: interval-list
+//! relations, Hilbert encoding, DE-9IM relate by complexity, and the
+//! per-MBR-class pipeline.
+//!
+//! Set `STJ_SCALE` to grow/shrink the synthetic datasets (default 0.25;
+//! see DESIGN.md §7 for the scaling rationale).
+
+pub mod experiments;
+pub mod harness;
+
+#[cfg(test)]
+mod smoke_tests;

@@ -1,0 +1,34 @@
+//! Smoke tests: every experiment function runs end-to-end at a tiny
+//! scale. Keeps the table/figure binaries from bitrotting without paying
+//! bench-scale runtimes in `cargo test`.
+
+#[cfg(test)]
+mod tests {
+    use crate::experiments;
+    use crate::harness::ComboSetup;
+    use stj_datagen::ComboId;
+
+    const TINY: f64 = 0.004;
+
+    #[test]
+    fn table2_runs() {
+        experiments::table2(TINY);
+    }
+
+    #[test]
+    fn table3_runs() {
+        experiments::table3(TINY);
+    }
+
+    #[test]
+    fn fig8_and_table5_run_on_shared_setup() {
+        let setup = ComboSetup::build(ComboId::OleOpe, 0.01);
+        experiments::fig8_with(&setup);
+        experiments::table5_with(&setup);
+    }
+
+    #[test]
+    fn fig9_runs() {
+        experiments::fig9();
+    }
+}

@@ -1,0 +1,204 @@
+//! The comparison methods of the paper's evaluation (Sec 4): ST2, OP2
+//! and APRIL, alongside the P+C pipeline in
+//! [`crate::pipeline::find_relation`].
+//!
+//! All four methods consume the same candidate stream (pairs whose MBRs
+//! intersect) and produce the same relations; they differ in how much
+//! work decides each pair:
+//!
+//! | method | MBR usage | intermediate filter | refinement |
+//! |---|---|---|---|
+//! | ST2 | intersect test only | — | every pair |
+//! | OP2 | Figure 4 classification (narrows masks; decides cross pairs) | — | almost every pair |
+//! | APRIL | intersect test only | intersection-only \[14\] (detects disjoint) | every non-disjoint pair |
+//! | P+C | Figure 4 classification | full Figure 5 flows | undetermined pairs only |
+
+use crate::object::SpatialObject;
+use crate::pipeline::{Determination, FindOutcome};
+use stj_de9im::{relate, TopoRelation};
+use stj_index::MbrRelation;
+
+/// ST2 — standard 2-phase: MBR intersect test, then a full DE-9IM
+/// computation matched against all masks.
+pub fn find_relation_st2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+    if !r.mbr.intersects(&s.mbr) {
+        return FindOutcome {
+            relation: TopoRelation::Disjoint,
+            determination: Determination::MbrFilter,
+        };
+    }
+    let m = relate(&r.polygon, &s.polygon);
+    FindOutcome {
+        relation: TopoRelation::most_specific(&m),
+        determination: Determination::Refinement,
+    }
+}
+
+/// OP2 — optimized 2-phase: the Figure 4 MBR classification narrows the
+/// candidate masks (and decides crossing-MBR pairs outright), but every
+/// other pair still pays for the DE-9IM matrix.
+pub fn find_relation_op2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+    match mbr_rel {
+        MbrRelation::Disjoint => FindOutcome {
+            relation: TopoRelation::Disjoint,
+            determination: Determination::MbrFilter,
+        },
+        MbrRelation::Cross => FindOutcome {
+            relation: TopoRelation::Intersects,
+            determination: Determination::MbrFilter,
+        },
+        _ => {
+            let m = relate(&r.polygon, &s.polygon);
+            // Walk only the candidate masks, specific→general; the
+            // narrowed sets are provably complete for each MBR class.
+            let relation = mbr_rel
+                .candidates()
+                .iter()
+                .copied()
+                .find(|rel| rel.holds(&m))
+                .unwrap_or_else(|| TopoRelation::most_specific(&m));
+            FindOutcome {
+                relation,
+                determination: Determination::Refinement,
+            }
+        }
+    }
+}
+
+/// APRIL — the intermediate filter of \[14\]: detects raster-level
+/// disjointness and definite intersection, but as it cannot specialize
+/// beyond `intersects`, every non-disjoint pair still requires the DE-9IM
+/// matrix to find the *most specific* relation.
+pub fn find_relation_april(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+    if !r.mbr.intersects(&s.mbr) {
+        return FindOutcome {
+            relation: TopoRelation::Disjoint,
+            determination: Determination::MbrFilter,
+        };
+    }
+    if !r.april.c.overlaps(&s.april.c) {
+        return FindOutcome {
+            relation: TopoRelation::Disjoint,
+            determination: Determination::IntermediateFilter,
+        };
+    }
+    // The APRIL filter can also prove intersection (C∩P contact), but for
+    // find-relation that knowledge cannot skip refinement: a more
+    // specific relation may hold. Only disjointness short-circuits.
+    let m = relate(&r.polygon, &s.polygon);
+    FindOutcome {
+        relation: TopoRelation::most_specific(&m),
+        determination: Determination::Refinement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::find_relation;
+    use stj_geom::{Polygon, Rect};
+    use stj_raster::Grid;
+
+    fn grid() -> Grid {
+        Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 8)
+    }
+
+    fn obj(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialObject {
+        SpatialObject::build(Polygon::rect(Rect::from_coords(x0, y0, x1, y1)), &grid())
+    }
+
+    fn catalog() -> Vec<SpatialObject> {
+        vec![
+            obj(0.0, 0.0, 50.0, 50.0),
+            obj(10.0, 10.0, 30.0, 30.0),
+            obj(0.0, 0.0, 50.0, 50.0),
+            obj(50.0, 0.0, 90.0, 50.0),
+            obj(60.0, 60.0, 90.0, 90.0),
+            obj(25.0, 25.0, 75.0, 75.0),
+            obj(0.0, 0.0, 25.0, 25.0),
+            SpatialObject::build(
+                Polygon::from_coords(vec![(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)], vec![]).unwrap(),
+                &grid(),
+            ),
+            SpatialObject::build(
+                Polygon::from_coords(vec![(0.0, 40.0), (100.0, 40.0), (100.0, 60.0), (0.0, 60.0)], vec![])
+                    .unwrap(),
+                &grid(),
+            ),
+            SpatialObject::build(
+                Polygon::from_coords(vec![(40.0, 0.0), (60.0, 0.0), (60.0, 100.0), (40.0, 100.0)], vec![])
+                    .unwrap(),
+                &grid(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_methods_agree_on_relations() {
+        let objs = catalog();
+        for r in &objs {
+            for s in &objs {
+                let expect = find_relation_st2(r, s).relation;
+                assert_eq!(find_relation_op2(r, s).relation, expect);
+                assert_eq!(find_relation_april(r, s).relation, expect);
+                assert_eq!(find_relation(r, s).relation, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn st2_refines_everything_non_disjoint_mbr() {
+        let a = obj(0.0, 0.0, 50.0, 50.0);
+        let b = obj(10.0, 10.0, 30.0, 30.0);
+        assert_eq!(
+            find_relation_st2(&a, &b).determination,
+            Determination::Refinement
+        );
+        let far = obj(90.0, 90.0, 95.0, 95.0);
+        assert_eq!(
+            find_relation_st2(&a, &far).determination,
+            Determination::MbrFilter
+        );
+    }
+
+    #[test]
+    fn op2_decides_cross_without_refinement() {
+        let wide = obj(0.0, 40.0, 100.0, 60.0);
+        let tall = obj(40.0, 0.0, 60.0, 100.0);
+        let out = find_relation_op2(&wide, &tall);
+        assert_eq!(out.determination, Determination::MbrFilter);
+        assert_eq!(out.relation, TopoRelation::Intersects);
+    }
+
+    #[test]
+    fn april_detects_raster_disjoint_without_refinement() {
+        let t1 = SpatialObject::build(
+            Polygon::from_coords(vec![(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let t2 = SpatialObject::build(
+            Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let out = find_relation_april(&t1, &t2);
+        assert_eq!(out.relation, TopoRelation::Disjoint);
+        assert_eq!(out.determination, Determination::IntermediateFilter);
+    }
+
+    #[test]
+    fn april_still_refines_deep_containment() {
+        // The containment P+C decides cheaply still costs APRIL a full
+        // refinement — the crux of the paper's contribution.
+        let outer = obj(0.0, 0.0, 90.0, 90.0);
+        let inner = obj(40.0, 40.0, 50.0, 50.0);
+        assert_eq!(
+            find_relation_april(&inner, &outer).determination,
+            Determination::Refinement
+        );
+        assert_eq!(
+            find_relation(&inner, &outer).determination,
+            Determination::IntermediateFilter
+        );
+    }
+}

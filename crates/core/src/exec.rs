@@ -1,0 +1,282 @@
+//! Batch topology-join execution.
+//!
+//! [`TopologyJoin`] is the high-level entry point a downstream system
+//! would use: configure the method (P+C or a baseline), optionally a
+//! single predicate (`relate_p` mode), and the thread count; run it over
+//! two preprocessed [`Dataset`]s and get every non-disjoint pair's
+//! relation plus aggregate statistics.
+//!
+//! Parallelism is per candidate-pair chunk over crossbeam scoped
+//! threads; per-thread stats are merged at the end, so the aggregate
+//! matches a sequential run exactly.
+
+use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
+use crate::object::{Dataset, SpatialObject};
+use crate::pipeline::{find_relation, FindOutcome, PipelineStats};
+use crate::relate_pred::{relate_p, RelateDetermination};
+use stj_de9im::TopoRelation;
+use stj_index::mbr_join_parallel;
+
+/// Which find-relation method a [`TopologyJoin`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinMethod {
+    /// The paper's P+C pipeline (default).
+    #[default]
+    PC,
+    /// Standard two-phase (MBR + full DE-9IM).
+    St2,
+    /// Typed-MBR two-phase.
+    Op2,
+    /// APRIL intersection-only intermediate filter.
+    April,
+}
+
+impl JoinMethod {
+    /// The per-pair entry point for this method.
+    pub fn runner(self) -> fn(&SpatialObject, &SpatialObject) -> FindOutcome {
+        match self {
+            JoinMethod::PC => find_relation,
+            JoinMethod::St2 => find_relation_st2,
+            JoinMethod::Op2 => find_relation_op2,
+            JoinMethod::April => find_relation_april,
+        }
+    }
+}
+
+/// One discovered link: indexes into the joined datasets plus the
+/// detected relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Index into the left dataset.
+    pub r: u32,
+    /// Index into the right dataset.
+    pub s: u32,
+    /// The most specific relation (find-relation mode) or the requested
+    /// predicate (predicate mode).
+    pub relation: TopoRelation,
+}
+
+/// Result of a [`TopologyJoin`] run.
+#[derive(Clone, Debug)]
+pub struct JoinResult {
+    /// Non-disjoint pairs with their relations (find-relation mode), or
+    /// pairs satisfying the predicate (predicate mode).
+    pub links: Vec<Link>,
+    /// Number of MBR-join candidate pairs examined.
+    pub candidates: u64,
+    /// Aggregate pipeline statistics (find-relation mode; in predicate
+    /// mode `refined` counts refinement-determined predicate answers).
+    pub stats: PipelineStats,
+}
+
+/// Configurable batch topology join between two datasets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopologyJoin {
+    method: JoinMethod,
+    predicate: Option<TopoRelation>,
+    threads: usize,
+}
+
+impl TopologyJoin {
+    /// A join with default configuration (P+C, find-relation mode,
+    /// single-threaded).
+    pub fn new() -> TopologyJoin {
+        TopologyJoin::default()
+    }
+
+    /// Selects the find-relation method.
+    pub fn method(mut self, method: JoinMethod) -> TopologyJoin {
+        self.method = method;
+        self
+    }
+
+    /// Switches to predicate mode: report exactly the pairs satisfying
+    /// `predicate`, via the `relate_p` fast path (always P+C-based).
+    pub fn predicate(mut self, predicate: TopoRelation) -> TopologyJoin {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Sets the worker thread count (0 or 1 = sequential).
+    pub fn threads(mut self, threads: usize) -> TopologyJoin {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the join.
+    pub fn run(&self, left: &Dataset, right: &Dataset) -> JoinResult {
+        let threads = self.threads.max(1);
+        let pairs = mbr_join_parallel(&left.mbrs(), &right.mbrs(), threads);
+        let candidates = pairs.len() as u64;
+
+        let chunk = pairs.len().div_ceil(threads.max(1)).max(1);
+        let mut parts: Vec<(Vec<Link>, PipelineStats)> = Vec::new();
+        if threads == 1 || pairs.len() < 2 * chunk {
+            parts.push(self.run_chunk(left, right, &pairs));
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for slice in pairs.chunks(chunk) {
+                    handles.push(scope.spawn(move |_| self.run_chunk(left, right, slice)));
+                }
+                parts = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            })
+            .expect("join worker panicked");
+        }
+
+        let mut links = Vec::new();
+        let mut stats = PipelineStats::default();
+        for (mut l, st) in parts {
+            links.append(&mut l);
+            stats.merge(&st);
+        }
+        JoinResult {
+            links,
+            candidates,
+            stats,
+        }
+    }
+
+    fn run_chunk(
+        &self,
+        left: &Dataset,
+        right: &Dataset,
+        pairs: &[(u32, u32)],
+    ) -> (Vec<Link>, PipelineStats) {
+        let mut links = Vec::new();
+        let mut stats = PipelineStats::default();
+        match self.predicate {
+            None => {
+                let run = self.method.runner();
+                for &(i, j) in pairs {
+                    let out = run(&left.objects[i as usize], &right.objects[j as usize]);
+                    stats.record(&out);
+                    if out.relation != TopoRelation::Disjoint {
+                        links.push(Link {
+                            r: i,
+                            s: j,
+                            relation: out.relation,
+                        });
+                    }
+                }
+            }
+            Some(p) => {
+                for &(i, j) in pairs {
+                    let out = relate_p(&left.objects[i as usize], &right.objects[j as usize], p);
+                    stats.pairs += 1;
+                    match out.determination {
+                        RelateDetermination::MbrFilter => stats.by_mbr += 1,
+                        RelateDetermination::IntermediateFilter => stats.by_intermediate += 1,
+                        RelateDetermination::Refinement => stats.refined += 1,
+                    }
+                    if out.holds {
+                        links.push(Link {
+                            r: i,
+                            s: j,
+                            relation: p,
+                        });
+                    }
+                }
+            }
+        }
+        (links, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::{Polygon, Rect};
+    use stj_raster::Grid;
+
+    fn datasets() -> (Dataset, Dataset) {
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 200.0, 200.0), 9);
+        let lefts: Vec<Polygon> = (0..20)
+            .map(|i| {
+                let x = f64::from(i % 5) * 40.0;
+                let y = f64::from(i / 5) * 40.0;
+                Polygon::rect(Rect::from_coords(x + 2.0, y + 2.0, x + 30.0, y + 30.0))
+            })
+            .collect();
+        let rights: Vec<Polygon> = (0..20)
+            .map(|i| {
+                let x = f64::from(i % 5) * 40.0;
+                let y = f64::from(i / 5) * 40.0;
+                Polygon::rect(Rect::from_coords(x + 10.0, y + 10.0, x + 20.0, y + 20.0))
+            })
+            .collect();
+        (
+            Dataset::build("L", lefts, &grid),
+            Dataset::build("R", rights, &grid),
+        )
+    }
+
+    #[test]
+    fn find_relation_mode_discovers_containments() {
+        let (l, r) = datasets();
+        let out = TopologyJoin::new().run(&l, &r);
+        // Each right square is strictly inside its left square.
+        assert_eq!(out.links.len(), 20);
+        for link in &out.links {
+            assert_eq!(link.relation, TopoRelation::Contains);
+            assert_eq!(link.r, link.s);
+        }
+        assert_eq!(out.stats.pairs, out.candidates);
+    }
+
+    #[test]
+    fn all_methods_produce_identical_links() {
+        let (l, r) = datasets();
+        let base = TopologyJoin::new().method(JoinMethod::St2).run(&l, &r);
+        for m in [JoinMethod::PC, JoinMethod::Op2, JoinMethod::April] {
+            let out = TopologyJoin::new().method(m).run(&l, &r);
+            let mut a = base.links.clone();
+            let mut b = out.links.clone();
+            a.sort_by_key(|l| (l.r, l.s));
+            b.sort_by_key(|l| (l.r, l.s));
+            assert_eq!(a, b, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (l, r) = datasets();
+        let seq = TopologyJoin::new().run(&l, &r);
+        for threads in [2, 4, 8] {
+            let par = TopologyJoin::new().threads(threads).run(&l, &r);
+            let mut a = seq.links.clone();
+            let mut b = par.links.clone();
+            a.sort_by_key(|l| (l.r, l.s));
+            b.sort_by_key(|l| (l.r, l.s));
+            assert_eq!(a, b);
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn predicate_mode_matches_find_relation_mode() {
+        let (l, r) = datasets();
+        let general = TopologyJoin::new().run(&l, &r);
+        let contains = TopologyJoin::new()
+            .predicate(TopoRelation::Contains)
+            .run(&l, &r);
+        let expected: Vec<_> = general
+            .links
+            .iter()
+            .filter(|lk| lk.relation == TopoRelation::Contains)
+            .map(|lk| (lk.r, lk.s))
+            .collect();
+        let got: Vec<_> = contains.links.iter().map(|lk| (lk.r, lk.s)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_datasets_yield_empty_result() {
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4);
+        let empty = Dataset::build("E", vec![], &grid);
+        let (l, _) = datasets();
+        let out = TopologyJoin::new().run(&l, &empty);
+        assert!(out.links.is_empty());
+        assert_eq!(out.candidates, 0);
+    }
+}

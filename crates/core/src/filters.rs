@@ -1,0 +1,323 @@
+//! The intermediate filters of Figure 5.
+//!
+//! One filter per MBR-intersection case. Each performs a short, tailored
+//! sequence of linear merge-joins on the pair's `P`/`C` interval lists
+//! and either *decides* the most specific relation or forwards the pair
+//! to refinement with a narrowed candidate set.
+//!
+//! Soundness notes for every `Definite` outcome (`r`,`s` are valid
+//! connected polygons, `P` cells are wholly interior, `C` covers every
+//! touched cell):
+//!
+//! - `Disjoint` when the `C` lists don't overlap: no shared cell ⟹ no
+//!   shared point.
+//! - `Inside` when `C(r) ⊆ P(s)`: every point of `r` lies in a cell
+//!   wholly interior to `s`, so `r ⊂ int(s)` with no boundary contact.
+//!   (`Contains` is the mirror image.)
+//! - `Intersects` when `C(r) ∩ P(s) ≠ ∅` (or mirrored): the shared cell
+//!   is wholly interior to `s` and touched by `r`, so interiors meet —
+//!   and the surrounding MBR case has already excluded every more
+//!   specific relation.
+//! - `CoveredBy`/`Covers` in `IFEquals`: with equal MBRs strict
+//!   containment is impossible (a geometry touching the shared MBR's
+//!   border cannot sit in the other's open interior), so proven
+//!   containment is boundary-touching containment.
+
+use crate::object::SpatialObject;
+use stj_de9im::TopoRelation;
+use stj_raster::AprilApprox;
+
+/// Outcome of an intermediate filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IfOutcome {
+    /// The most specific relation is decided; no refinement needed.
+    Definite(TopoRelation),
+    /// Refinement must disambiguate among the listed candidates
+    /// (most-specific-first).
+    Refine(&'static [TopoRelation]),
+}
+
+use IfOutcome::{Definite, Refine};
+use TopoRelation::*;
+
+/// IFEquals (Figure 5, first flow): MBRs are identical.
+///
+/// Detects `covered by`/`covers` exactly; forwards everything else with
+/// narrowed candidates.
+pub fn if_equals(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
+    if !r.c.overlaps(&s.c) {
+        // Defensive guard: identical MBRs with disjoint conservative
+        // rasters (possible for interlocking shapes).
+        return Definite(Disjoint);
+    }
+    if r.c.matches(&s.c) {
+        // Same conservative footprint: could be equal, or one covering
+        // the other, or merely overlapping within the same cells.
+        return Refine(&[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint]);
+    }
+    if r.c.inside(&s.c) {
+        if r.c.inside(&s.p) {
+            // r confined to s's interior cells; with equal MBRs the
+            // containment must touch the boundary — covered by.
+            return Definite(CoveredBy);
+        }
+        return Refine(&[CoveredBy, Meets, Intersects, Disjoint]);
+    }
+    if r.c.contains(&s.c) {
+        if r.p.contains(&s.c) {
+            return Definite(Covers);
+        }
+        return Refine(&[Covers, Meets, Intersects, Disjoint]);
+    }
+    Refine(&[Meets, Intersects, Disjoint])
+}
+
+/// IFInside (Figure 5, second flow): `MBR(r)` properly inside `MBR(s)`.
+pub fn if_inside(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
+    if !r.c.overlaps(&s.c) {
+        return Definite(Disjoint);
+    }
+    if r.c.inside(&s.c) {
+        if !s.p.is_empty() {
+            if r.c.inside(&s.p) {
+                return Definite(Inside);
+            }
+            if r.c.overlaps(&s.p) {
+                // Interiors provably meet; specialization still open.
+                return Refine(&[Inside, CoveredBy, Intersects]);
+            }
+        }
+        return Refine(&[Disjoint, Inside, CoveredBy, Meets, Intersects]);
+    }
+    // r has cells outside s's footprint: the containment family is
+    // impossible for this pair.
+    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+        return Definite(Intersects);
+    }
+    Refine(&[Disjoint, Meets, Intersects])
+}
+
+/// IFContains (Figure 5, third flow): `MBR(r)` properly contains
+/// `MBR(s)` — the mirror image of [`if_inside`].
+pub fn if_contains(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
+    if !r.c.overlaps(&s.c) {
+        return Definite(Disjoint);
+    }
+    if r.c.contains(&s.c) {
+        if !r.p.is_empty() {
+            if r.p.contains(&s.c) {
+                return Definite(Contains);
+            }
+            if r.p.overlaps(&s.c) {
+                return Refine(&[Contains, Covers, Intersects]);
+            }
+        }
+        return Refine(&[Disjoint, Contains, Covers, Meets, Intersects]);
+    }
+    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+        return Definite(Intersects);
+    }
+    Refine(&[Disjoint, Meets, Intersects])
+}
+
+/// IFIntersects (Figure 5, fourth flow): any other MBR overlap
+/// (Figure 4(e)) — only `disjoint`, `meets`, `intersects` are possible.
+pub fn if_intersects(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
+    if !r.c.overlaps(&s.c) {
+        return Definite(Disjoint);
+    }
+    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+        return Definite(Intersects);
+    }
+    Refine(&[Disjoint, Meets, Intersects])
+}
+
+/// Routes a pair to its intermediate filter given the MBR classification,
+/// handling the two MBR-only decisions (`Disjoint`, `Cross`) inline.
+pub fn intermediate_filter(
+    mbr_rel: stj_index::MbrRelation,
+    r: &SpatialObject,
+    s: &SpatialObject,
+) -> IfOutcome {
+    use stj_index::MbrRelation as M;
+    match mbr_rel {
+        M::Disjoint => Definite(Disjoint),
+        M::Cross => Definite(Intersects),
+        M::Equal => if_equals(&r.april, &s.april),
+        M::Inside => if_inside(&r.april, &s.april),
+        M::Contains => if_contains(&r.april, &s.april),
+        M::Overlap => if_intersects(&r.april, &s.april),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_raster::IntervalList;
+
+    fn april(p: &[(u64, u64)], c: &[(u64, u64)]) -> AprilApprox {
+        AprilApprox {
+            p: IntervalList::from_ranges(p.to_vec()),
+            c: IntervalList::from_ranges(c.to_vec()),
+        }
+    }
+
+    #[test]
+    fn if_inside_flow() {
+        let s = april(&[(10, 50)], &[(5, 60)]);
+        // r fully within s's full cells -> definite inside.
+        assert_eq!(
+            if_inside(&april(&[(20, 25)], &[(18, 30)]), &s),
+            Definite(Inside)
+        );
+        // r within s's C but straddling P -> interiors provably meet.
+        assert_eq!(
+            if_inside(&april(&[], &[(8, 12)]), &s),
+            Refine(&[Inside, CoveredBy, Intersects])
+        );
+        // r within s's C but outside P entirely -> wide open.
+        assert_eq!(
+            if_inside(&april(&[], &[(5, 9)]), &s),
+            Refine(&[Disjoint, Inside, CoveredBy, Meets, Intersects])
+        );
+        // r partially outside s's C, overlapping P -> definite intersects.
+        assert_eq!(
+            if_inside(&april(&[], &[(40, 70)]), &s),
+            Definite(Intersects)
+        );
+        // r's P overlapping s's C (r reaches outside but its interior
+        // meets s's footprint)... r.p ∩ s.c nonempty.
+        assert_eq!(
+            if_inside(&april(&[(55, 58)], &[(0, 70)]), &s),
+            Definite(Intersects)
+        );
+        // No C overlap -> disjoint.
+        assert_eq!(
+            if_inside(&april(&[], &[(100, 110)]), &s),
+            Definite(Disjoint)
+        );
+        // C overlap only, no containment, no P contact -> small refine set.
+        assert_eq!(
+            if_inside(&april(&[], &[(0, 7)]), &april(&[], &[(5, 60)])),
+            Refine(&[Disjoint, Meets, Intersects])
+        );
+        // s has no full cells at all -> cannot conclude.
+        assert_eq!(
+            if_inside(&april(&[], &[(20, 25)]), &april(&[], &[(5, 60)])),
+            Refine(&[Disjoint, Inside, CoveredBy, Meets, Intersects])
+        );
+    }
+
+    #[test]
+    fn if_contains_mirrors_if_inside() {
+        let r = april(&[(10, 50)], &[(5, 60)]);
+        assert_eq!(
+            if_contains(&r, &april(&[(20, 25)], &[(18, 30)])),
+            Definite(Contains)
+        );
+        assert_eq!(
+            if_contains(&r, &april(&[], &[(8, 12)])),
+            Refine(&[Contains, Covers, Intersects])
+        );
+        assert_eq!(
+            if_contains(&r, &april(&[], &[(100, 110)])),
+            Definite(Disjoint)
+        );
+        assert_eq!(
+            if_contains(&r, &april(&[], &[(40, 70)])),
+            Definite(Intersects)
+        );
+        // r without full cells.
+        assert_eq!(
+            if_contains(&april(&[], &[(5, 60)]), &april(&[], &[(20, 25)])),
+            Refine(&[Disjoint, Contains, Covers, Meets, Intersects])
+        );
+    }
+
+    #[test]
+    fn if_equals_flow() {
+        let a = april(&[(10, 20)], &[(5, 25)]);
+        // Identical C lists.
+        assert_eq!(
+            if_equals(&a, &april(&[(12, 18)], &[(5, 25)])),
+            Refine(&[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint])
+        );
+        // r's C inside s's C and inside s's P -> covered by, definite.
+        assert_eq!(
+            if_equals(&april(&[], &[(12, 18)]), &a),
+            Definite(CoveredBy)
+        );
+        // r's C inside s's C but not inside P.
+        assert_eq!(
+            if_equals(&april(&[], &[(7, 18)]), &a),
+            Refine(&[CoveredBy, Meets, Intersects, Disjoint])
+        );
+        // r's C contains s's C and r's P contains it -> covers.
+        assert_eq!(
+            if_equals(&a, &april(&[], &[(12, 18)])),
+            Definite(Covers)
+        );
+        assert_eq!(
+            if_equals(&a, &april(&[], &[(7, 18)])),
+            Refine(&[Covers, Meets, Intersects, Disjoint])
+        );
+        // Overlapping but no containment either way.
+        assert_eq!(
+            if_equals(&april(&[], &[(0, 10)]), &april(&[], &[(5, 15)])),
+            Refine(&[Meets, Intersects, Disjoint])
+        );
+        // Defensive: disjoint C lists.
+        assert_eq!(
+            if_equals(&april(&[], &[(0, 5)]), &april(&[], &[(10, 15)])),
+            Definite(Disjoint)
+        );
+    }
+
+    #[test]
+    fn if_intersects_flow() {
+        let s = april(&[(10, 50)], &[(5, 60)]);
+        assert_eq!(
+            if_intersects(&april(&[], &[(100, 101)]), &s),
+            Definite(Disjoint)
+        );
+        assert_eq!(
+            if_intersects(&april(&[], &[(49, 70)]), &s),
+            Definite(Intersects)
+        );
+        assert_eq!(
+            if_intersects(&april(&[(0, 6)], &[(0, 7)]), &s),
+            Definite(Intersects)
+        );
+        assert_eq!(
+            if_intersects(&april(&[], &[(0, 7)]), &april(&[], &[(5, 60)])),
+            Refine(&[Disjoint, Meets, Intersects])
+        );
+    }
+
+    #[test]
+    fn all_refine_sets_are_specific_to_general() {
+        // Harvest every Refine outcome reachable above and check ordering
+        // against the implication hierarchy.
+        let sets: &[&[TopoRelation]] = &[
+            &[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint],
+            &[CoveredBy, Meets, Intersects, Disjoint],
+            &[Covers, Meets, Intersects, Disjoint],
+            &[Meets, Intersects, Disjoint],
+            &[Inside, CoveredBy, Intersects],
+            &[Disjoint, Inside, CoveredBy, Meets, Intersects],
+            &[Contains, Covers, Intersects],
+            &[Disjoint, Contains, Covers, Meets, Intersects],
+            &[Disjoint, Meets, Intersects],
+        ];
+        for set in sets {
+            for (i, a) in set.iter().enumerate() {
+                for b in &set[i + 1..] {
+                    assert!(
+                        !b.implies(*a) || a == b,
+                        "{set:?}: {b:?} after {a:?} breaks specific-to-general order"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! `stj-core`: scalable spatial topology joins — the paper's primary
+//! contribution.
+//!
+//! Implements the three-stage *find relation* pipeline of Georgiadis &
+//! Mamoulis (EDBT 2026):
+//!
+//! 1. an enhanced MBR filter that classifies *how* two MBRs intersect
+//!    (via `stj-index`), constraining candidate relations (Sec 3.1);
+//! 2. intermediate filters over precomputed APRIL `P`/`C` interval lists
+//!    (via `stj-raster`) that decide most pairs without touching the
+//!    geometries (Sec 3.2, Figure 5);
+//! 3. selective DE-9IM refinement (via `stj-de9im`) for the undetermined
+//!    remainder.
+//!
+//! Entry points:
+//!
+//! - [`find_relation`] — the P+C pipeline (Algorithm 1);
+//! - [`relate_p`] — predicate-specific tests (Sec 3.3, Figure 6);
+//! - [`baselines`] — the paper's comparison methods ST2 / OP2 / APRIL;
+//! - [`SpatialObject`] / [`Dataset`] — preprocessed join inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use stj_core::{find_relation, SpatialObject};
+//! use stj_geom::{Polygon, Rect};
+//! use stj_raster::Grid;
+//! use stj_de9im::TopoRelation;
+//!
+//! let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 10);
+//! let park = SpatialObject::build(
+//!     Polygon::rect(Rect::from_coords(10.0, 10.0, 80.0, 80.0)),
+//!     &grid,
+//! );
+//! let lake = SpatialObject::build(
+//!     Polygon::rect(Rect::from_coords(30.0, 30.0, 50.0, 50.0)),
+//!     &grid,
+//! );
+//! let out = find_relation(&lake, &park);
+//! assert_eq!(out.relation, TopoRelation::Inside);
+//! ```
+
+pub mod baselines;
+pub mod exec;
+pub mod filters;
+pub mod linking;
+pub mod object;
+pub mod pipeline;
+pub mod relate_pred;
+
+pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
+pub use exec::{JoinMethod, JoinResult, Link, TopologyJoin};
+pub use filters::{intermediate_filter, IfOutcome};
+pub use object::{Dataset, SpatialObject};
+pub use pipeline::{find_relation, refine, Determination, FindOutcome, PipelineStats};
+pub use relate_pred::{relate_p, RelateDetermination, RelateOutcome};

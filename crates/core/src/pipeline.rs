@@ -1,0 +1,256 @@
+//! Algorithm 1: the *find relation* pipeline (P+C method).
+//!
+//! For a pair whose MBRs intersect: classify the MBR intersection
+//! (Sec 3.1), run the matching intermediate filter on the `P`/`C`
+//! interval lists (Sec 3.2), and only when the filter cannot decide,
+//! compute the DE-9IM matrix and match candidate masks specific→general
+//! (selective refinement).
+
+use crate::filters::{intermediate_filter, IfOutcome};
+use crate::object::SpatialObject;
+use stj_de9im::{relate, TopoRelation};
+use stj_index::MbrRelation;
+
+/// How a pair's relation was determined — the pipeline stage that
+/// produced the answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Determination {
+    /// Decided by the MBR filter alone (disjoint MBRs, or the crossing
+    /// case of Figure 4(d)).
+    MbrFilter,
+    /// Decided by an intermediate raster filter without touching the
+    /// geometries.
+    IntermediateFilter,
+    /// Required the DE-9IM matrix (the pair was *undetermined* in the
+    /// paper's terminology).
+    Refinement,
+}
+
+/// Result of [`find_relation`]: the most specific relation plus which
+/// stage decided it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FindOutcome {
+    /// The most specific topological relation of the pair.
+    pub relation: TopoRelation,
+    /// The deciding pipeline stage.
+    pub determination: Determination,
+}
+
+/// Selective refinement: computes the DE-9IM matrix and resolves the most
+/// specific relation.
+///
+/// `candidates` is the narrowed, specific→general candidate list produced
+/// by the MBR/intermediate filters; in debug builds we assert that the
+/// true relation is among them (validating the filter soundness
+/// arguments). The returned relation is always the true most specific
+/// one, independent of the candidate list.
+pub fn refine(r: &SpatialObject, s: &SpatialObject, candidates: &[TopoRelation]) -> TopoRelation {
+    let m = relate(&r.polygon, &s.polygon);
+    let best = TopoRelation::most_specific(&m);
+    debug_assert!(
+        candidates.contains(&best),
+        "refinement found {best:?} outside candidate set {candidates:?} (matrix {m:?})"
+    );
+    let _ = candidates;
+    best
+}
+
+/// Solves *find relation* for one candidate pair with the paper's P+C
+/// pipeline (Algorithm 1).
+pub fn find_relation(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+    match mbr_rel {
+        MbrRelation::Disjoint => FindOutcome {
+            relation: TopoRelation::Disjoint,
+            determination: Determination::MbrFilter,
+        },
+        MbrRelation::Cross => FindOutcome {
+            relation: TopoRelation::Intersects,
+            determination: Determination::MbrFilter,
+        },
+        _ => match intermediate_filter(mbr_rel, r, s) {
+            IfOutcome::Definite(relation) => FindOutcome {
+                relation,
+                determination: Determination::IntermediateFilter,
+            },
+            IfOutcome::Refine(cands) => FindOutcome {
+                relation: refine(r, s, cands),
+                determination: Determination::Refinement,
+            },
+        },
+    }
+}
+
+/// Aggregate statistics of a pipeline run over a pair stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Pairs processed.
+    pub pairs: u64,
+    /// Pairs decided by the MBR filter alone.
+    pub by_mbr: u64,
+    /// Pairs decided by the intermediate filters.
+    pub by_intermediate: u64,
+    /// Pairs requiring DE-9IM refinement (*undetermined* pairs).
+    pub refined: u64,
+}
+
+impl PipelineStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: &FindOutcome) {
+        self.pairs += 1;
+        match outcome.determination {
+            Determination::MbrFilter => self.by_mbr += 1,
+            Determination::IntermediateFilter => self.by_intermediate += 1,
+            Determination::Refinement => self.refined += 1,
+        }
+    }
+
+    /// Percentage of pairs that needed refinement — the paper's
+    /// "% of undetermined pairs" metric (Figure 7(b), Figure 8(a)).
+    pub fn undetermined_pct(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.refined as f64 / self.pairs as f64 * 100.0
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.pairs += other.pairs;
+        self.by_mbr += other.by_mbr;
+        self.by_intermediate += other.by_intermediate;
+        self.refined += other.refined;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::{Polygon, Rect};
+    use stj_raster::Grid;
+
+    fn grid() -> Grid {
+        Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 8)
+    }
+
+    fn obj(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialObject {
+        SpatialObject::build(Polygon::rect(Rect::from_coords(x0, y0, x1, y1)), &grid())
+    }
+
+    #[test]
+    fn disjoint_mbrs_decided_by_mbr_filter() {
+        let a = obj(0.0, 0.0, 10.0, 10.0);
+        let b = obj(50.0, 50.0, 60.0, 60.0);
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::Disjoint);
+        assert_eq!(out.determination, Determination::MbrFilter);
+    }
+
+    #[test]
+    fn crossing_mbrs_decided_by_mbr_filter() {
+        let wide = obj(0.0, 40.0, 100.0, 60.0);
+        let tall = obj(40.0, 0.0, 60.0, 100.0);
+        let out = find_relation(&wide, &tall);
+        assert_eq!(out.relation, TopoRelation::Intersects);
+        assert_eq!(out.determination, Determination::MbrFilter);
+    }
+
+    #[test]
+    fn deep_containment_decided_by_intermediate_filter() {
+        let outer = obj(0.0, 0.0, 90.0, 90.0);
+        let inner = obj(40.0, 40.0, 50.0, 50.0);
+        let out = find_relation(&inner, &outer);
+        assert_eq!(out.relation, TopoRelation::Inside);
+        assert_eq!(out.determination, Determination::IntermediateFilter);
+        let out2 = find_relation(&outer, &inner);
+        assert_eq!(out2.relation, TopoRelation::Contains);
+        assert_eq!(out2.determination, Determination::IntermediateFilter);
+    }
+
+    #[test]
+    fn overlapping_bodies_decided_by_intermediate_filter() {
+        // Big overlap: C of one overlaps P of the other.
+        let a = obj(0.0, 0.0, 60.0, 60.0);
+        let b = obj(30.0, 30.0, 90.0, 90.0);
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::Intersects);
+        assert_eq!(out.determination, Determination::IntermediateFilter);
+    }
+
+    #[test]
+    fn raster_disjoint_decided_by_intermediate_filter() {
+        // MBRs overlap, bodies (and rasters) far apart within them.
+        let a = SpatialObject::build(
+            Polygon::from_coords(vec![(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let b = SpatialObject::build(
+            Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::Disjoint);
+        assert_eq!(out.determination, Determination::IntermediateFilter);
+    }
+
+    #[test]
+    fn touching_pair_requires_refinement() {
+        // Shared edge: rasters cannot distinguish meets from a hairline
+        // gap; refinement must resolve it.
+        let a = obj(0.0, 0.0, 50.0, 50.0);
+        let b = obj(50.0, 0.0, 90.0, 50.0);
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::Meets);
+        assert_eq!(out.determination, Determination::Refinement);
+    }
+
+    #[test]
+    fn equal_pair_requires_refinement_but_is_correct() {
+        let a = obj(10.0, 10.0, 60.0, 60.0);
+        let b = obj(10.0, 10.0, 60.0, 60.0);
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::Equals);
+        assert_eq!(out.determination, Determination::Refinement);
+    }
+
+    #[test]
+    fn covered_by_with_equal_mbrs() {
+        // b fills a's full extent; a is a diagonal-ish slice covered by b.
+        let b = obj(0.0, 0.0, 60.0, 60.0);
+        let a = SpatialObject::build(
+            Polygon::from_coords(vec![(0.0, 0.0), (60.0, 0.0), (60.0, 60.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let out = find_relation(&a, &b);
+        assert_eq!(out.relation, TopoRelation::CoveredBy);
+        let out2 = find_relation(&b, &a);
+        assert_eq!(out2.relation, TopoRelation::Covers);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut st = PipelineStats::default();
+        let a = obj(0.0, 0.0, 10.0, 10.0);
+        let b = obj(50.0, 50.0, 60.0, 60.0);
+        let c = obj(2.0, 2.0, 8.0, 8.0);
+        st.record(&find_relation(&a, &b)); // mbr
+        st.record(&find_relation(&c, &a)); // intermediate (deep inside)
+        st.record(&find_relation(&a, &a)); // refinement (equals)
+        assert_eq!(st.pairs, 3);
+        assert_eq!(st.by_mbr, 1);
+        assert_eq!(st.by_intermediate, 1);
+        assert_eq!(st.refined, 1);
+        assert!((st.undetermined_pct() - 33.333).abs() < 0.01);
+        let mut st2 = PipelineStats::default();
+        st2.merge(&st);
+        st2.merge(&st);
+        assert_eq!(st2.pairs, 6);
+        assert_eq!(st2.refined, 2);
+    }
+
+    #[test]
+    fn empty_stats_pct_is_zero() {
+        assert_eq!(PipelineStats::default().undetermined_pct(), 0.0);
+    }
+}

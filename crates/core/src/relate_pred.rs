@@ -1,0 +1,282 @@
+//! `relate_p` — predicate-specific topology tests (Sec 3.3, Figure 6).
+//!
+//! Instead of finding the most specific relation, `relate_p` answers
+//! "does relation `p` hold for this pair?" with a filter sequence
+//! tailored to `p`. Three short-circuit layers:
+//!
+//! 1. **Impossible relation** — the MBR classification already rules `p`
+//!    out (e.g. `equals` with different MBRs, `meets` with crossing
+//!    MBRs).
+//! 2. **Raster verdicts** — merge-joins on the `P`/`C` lists that either
+//!    confirm (`rC ⊆ sP` proves containment) or refute (`rC ⊄ sC`
+//!    refutes containment; interior cell contact refutes `meets`).
+//! 3. **Refinement** — DE-9IM as the fallback.
+
+use crate::object::SpatialObject;
+use stj_de9im::{relate, TopoRelation};
+use stj_index::MbrRelation;
+
+/// How a [`relate_p`] query was answered (for filter-effectiveness
+/// accounting, mirroring [`crate::pipeline::Determination`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelateDetermination {
+    /// Decided by the MBR classification (including "impossible
+    /// relation" short-circuits).
+    MbrFilter,
+    /// Decided by `P`/`C` list merge-joins.
+    IntermediateFilter,
+    /// Required the DE-9IM matrix.
+    Refinement,
+}
+
+/// Result of a [`relate_p`] query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelateOutcome {
+    /// Whether relation `p` holds for the pair.
+    pub holds: bool,
+    /// The deciding stage.
+    pub determination: RelateDetermination,
+}
+
+impl RelateOutcome {
+    fn mbr(holds: bool) -> RelateOutcome {
+        RelateOutcome {
+            holds,
+            determination: RelateDetermination::MbrFilter,
+        }
+    }
+
+    fn raster(holds: bool) -> RelateOutcome {
+        RelateOutcome {
+            holds,
+            determination: RelateDetermination::IntermediateFilter,
+        }
+    }
+}
+
+/// Tests whether topological relation `p` holds between `r` and `s`.
+pub fn relate_p(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> RelateOutcome {
+    use TopoRelation::*;
+    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+
+    // Layer 1: impossible-relation short-circuits, plus the two MBR cases
+    // that *confirm* on their own.
+    match mbr_rel {
+        MbrRelation::Disjoint => return RelateOutcome::mbr(p == Disjoint),
+        MbrRelation::Cross => {
+            // Definite `intersects`: p holds iff intersects implies p...
+            // the only relations consistent with a crossing-MBR pair are
+            // plain intersects.
+            return RelateOutcome::mbr(p == Intersects);
+        }
+        _ => {
+            if !mbr_rel.admits(p) {
+                return RelateOutcome::mbr(false);
+            }
+        }
+    }
+
+    let (ra, sa) = (&r.april, &s.april);
+    // Layer 2: predicate-specific raster filters (Figure 6).
+    match p {
+        Equals => {
+            if !ra.c.matches(&sa.c) || !ra.p.matches(&sa.p) {
+                return RelateOutcome::raster(false);
+            }
+        }
+        Inside | CoveredBy => {
+            if !ra.c.inside(&sa.c) {
+                return RelateOutcome::raster(false);
+            }
+            if ra.c.inside(&sa.p) {
+                // Proves r ⊂ int(s): strict containment, which satisfies
+                // both `inside` and `covered by`.
+                return RelateOutcome::raster(true);
+            }
+        }
+        Contains | Covers => {
+            if !ra.c.contains(&sa.c) {
+                return RelateOutcome::raster(false);
+            }
+            if ra.p.contains(&sa.c) {
+                return RelateOutcome::raster(true);
+            }
+        }
+        Meets => {
+            if !ra.c.overlaps(&sa.c) {
+                // Disjoint: no boundary contact.
+                return RelateOutcome::raster(false);
+            }
+            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+                // Interiors provably meet: not `meets`.
+                return RelateOutcome::raster(false);
+            }
+        }
+        Intersects => {
+            if !ra.c.overlaps(&sa.c) {
+                return RelateOutcome::raster(false);
+            }
+            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+                return RelateOutcome::raster(true);
+            }
+        }
+        Disjoint => {
+            if !ra.c.overlaps(&sa.c) {
+                return RelateOutcome::raster(true);
+            }
+            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+                return RelateOutcome::raster(false);
+            }
+        }
+    }
+
+    // Layer 3: refinement.
+    let m = relate(&r.polygon, &s.polygon);
+    RelateOutcome {
+        holds: p.holds(&m),
+        determination: RelateDetermination::Refinement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::{Polygon, Rect};
+    use stj_raster::Grid;
+    use TopoRelation::*;
+
+    fn grid() -> Grid {
+        Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 8)
+    }
+
+    fn obj(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialObject {
+        SpatialObject::build(Polygon::rect(Rect::from_coords(x0, y0, x1, y1)), &grid())
+    }
+
+    /// Oracle: full relate + relation semantics.
+    fn oracle(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> bool {
+        p.holds(&relate(&r.polygon, &s.polygon))
+    }
+
+    const ALL: [TopoRelation; 8] = [
+        Disjoint, Intersects, Meets, Equals, Inside, Contains, CoveredBy, Covers,
+    ];
+
+    #[test]
+    fn agrees_with_oracle_on_catalog() {
+        let objects = [
+            obj(0.0, 0.0, 50.0, 50.0),   // base
+            obj(10.0, 10.0, 30.0, 30.0), // deep inside base
+            obj(0.0, 0.0, 50.0, 50.0),   // equal to base
+            obj(50.0, 0.0, 90.0, 50.0),  // meets base on an edge
+            obj(60.0, 60.0, 90.0, 90.0), // disjoint from base
+            obj(25.0, 25.0, 75.0, 75.0), // overlaps base
+            obj(0.0, 0.0, 25.0, 25.0),   // covered by base (corner)
+        ];
+        for (i, r) in objects.iter().enumerate() {
+            for (j, s) in objects.iter().enumerate() {
+                for p in ALL {
+                    let got = relate_p(r, s, p);
+                    assert_eq!(
+                        got.holds,
+                        oracle(r, s, p),
+                        "pair ({i},{j}) predicate {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_relations_short_circuit() {
+        let small = obj(10.0, 10.0, 20.0, 20.0);
+        let big = obj(0.0, 0.0, 50.0, 50.0);
+        // small's MBR is inside big's: contains/covers/equals impossible.
+        for p in [Contains, Covers, Equals] {
+            let out = relate_p(&small, &big, p);
+            assert!(!out.holds);
+            assert_eq!(out.determination, RelateDetermination::MbrFilter, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn cross_mbrs_answer_from_mbr_alone() {
+        let wide = obj(0.0, 40.0, 100.0, 60.0);
+        let tall = obj(40.0, 0.0, 60.0, 100.0);
+        let out = relate_p(&wide, &tall, Intersects);
+        assert!(out.holds);
+        assert_eq!(out.determination, RelateDetermination::MbrFilter);
+        let out = relate_p(&wide, &tall, Meets);
+        assert!(!out.holds);
+        assert_eq!(out.determination, RelateDetermination::MbrFilter);
+    }
+
+    #[test]
+    fn meets_refuted_cheaply_for_clear_overlaps() {
+        let a = obj(0.0, 0.0, 60.0, 60.0);
+        let b = obj(30.0, 30.0, 90.0, 90.0);
+        let out = relate_p(&a, &b, Meets);
+        assert!(!out.holds);
+        assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
+    }
+
+    #[test]
+    fn deep_containment_confirmed_by_raster() {
+        let outer = obj(0.0, 0.0, 90.0, 90.0);
+        let inner = obj(40.0, 40.0, 50.0, 50.0);
+        for p in [Inside, CoveredBy] {
+            let out = relate_p(&inner, &outer, p);
+            assert!(out.holds, "{p:?}");
+            assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
+        }
+        for p in [Contains, Covers] {
+            let out = relate_p(&outer, &inner, p);
+            assert!(out.holds, "{p:?}");
+            assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
+        }
+    }
+
+    #[test]
+    fn equals_refuted_by_differing_lists() {
+        // Same MBR, different footprints.
+        let square = obj(0.0, 0.0, 60.0, 60.0);
+        let tri = SpatialObject::build(
+            Polygon::from_coords(vec![(0.0, 0.0), (60.0, 0.0), (60.0, 60.0), (0.0, 60.0), (0.0, 30.0), (30.0, 30.0), (30.0, 15.0), (0.0, 15.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let out = relate_p(&square, &tri, Equals);
+        assert!(!out.holds);
+        assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
+    }
+
+    #[test]
+    fn equals_needs_refinement_when_lists_match() {
+        let a = obj(0.0, 0.0, 60.0, 60.0);
+        let b = obj(0.0, 0.0, 60.0, 60.0);
+        let out = relate_p(&a, &b, Equals);
+        assert!(out.holds);
+        assert_eq!(out.determination, RelateDetermination::Refinement);
+    }
+
+    #[test]
+    fn disjoint_predicate_paths() {
+        let a = obj(0.0, 0.0, 10.0, 10.0);
+        let far = obj(50.0, 50.0, 60.0, 60.0);
+        let out = relate_p(&a, &far, Disjoint);
+        assert!(out.holds);
+        assert_eq!(out.determination, RelateDetermination::MbrFilter);
+
+        // Bodies near but separate with overlapping MBRs.
+        let t1 = SpatialObject::build(
+            Polygon::from_coords(vec![(0.0, 0.0), (40.0, 0.0), (0.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let t2 = SpatialObject::build(
+            Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
+            &grid(),
+        );
+        let out = relate_p(&t1, &t2, Disjoint);
+        assert!(out.holds);
+        assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
+    }
+}

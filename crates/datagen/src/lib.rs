@@ -1,0 +1,28 @@
+//! `stj-datagen`: seeded synthetic spatial datasets.
+//!
+//! The paper evaluates on TIGER 2015 and OSM polygon collections, which
+//! cannot ship with this reproduction. This crate generates deterministic
+//! synthetic stand-ins that preserve the statistical properties the
+//! topology-join experiments depend on (see DESIGN.md §3):
+//!
+//! - [`star`]: random star polygons with controllable vertex count,
+//!   irregularity, spikiness and optional holes;
+//! - [`mod@tessellation`]: jittered space-filling coverages (counties) with
+//!   exact shared boundaries, plus nested subdivision (zip codes);
+//! - [`scenarios`]: the Table 2 dataset catalog and Table 3 combination
+//!   list, with correlated placement (lakes in parks, buildings in
+//!   parks) recreating the paper's relation mixes;
+//! - [`pairs`]: single pairs with a known target relation, including the
+//!   Figure 9 case-study pair.
+
+pub mod pairs;
+pub mod scenarios;
+pub mod star;
+pub mod tessellation;
+
+pub use pairs::{fig9_lake_in_park, pair_with_relation};
+pub use scenarios::{
+    data_space, generate, generate_combo, scaled_count, ComboId, DatasetId, ALL_COMBOS,
+};
+pub use star::{star_polygon, star_polygon_with_holes, StarParams};
+pub use tessellation::{subdivide, tessellation, Cell, Coverage};

@@ -1,0 +1,206 @@
+//! Single-pair generators with a known target relation.
+//!
+//! Used by tests (known-answer checks for the pipeline) and by the
+//! Figure 9 case study (a high-complexity `inside` pair). Each generator
+//! is deterministic in its seed and returns `(r, s)` such that
+//! `find_relation(r, s)` should equal the requested relation — callers
+//! verify against the DE-9IM oracle.
+
+use crate::star::{star_polygon, StarParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stj_de9im::TopoRelation;
+use stj_geom::{Point, Polygon, Ring};
+
+/// Generates a polygon pair whose most specific relation is `rel`.
+///
+/// `complexity` steers the per-polygon vertex count (the paper's
+/// complexity measure is the pair's summed vertex count).
+pub fn pair_with_relation(rel: TopoRelation, complexity: usize, seed: u64) -> (Polygon, Polygon) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = complexity.max(8) / 2;
+    let center = Point::new(500.0, 500.0);
+    match rel {
+        TopoRelation::Disjoint => {
+            let a = smooth_star(&mut rng, Point::new(300.0, 300.0), 50.0, n);
+            let b = smooth_star(&mut rng, Point::new(700.0, 700.0), 50.0, n);
+            (a, b)
+        }
+        TopoRelation::Intersects => {
+            let a = smooth_star(&mut rng, Point::new(470.0, 500.0), 60.0, n);
+            let b = smooth_star(&mut rng, Point::new(530.0, 500.0), 60.0, n);
+            (a, b)
+        }
+        TopoRelation::Meets => {
+            // An annular sector glued to the outside of a star along a
+            // shared boundary arc: boundaries meet, interiors don't.
+            let a = smooth_star(&mut rng, center, 80.0, n);
+            let b = shared_arc_outside(&a, center, 1.6);
+            (a, b)
+        }
+        TopoRelation::Equals => {
+            let a = smooth_star(&mut rng, center, 70.0, n);
+            (a.clone(), a)
+        }
+        TopoRelation::Inside => {
+            // Outer generously larger; inner scaled well into it.
+            let outer = smooth_star(&mut rng, center, 100.0, n);
+            let inner = scaled_copy(&outer, center, 0.4);
+            (inner, outer)
+        }
+        TopoRelation::Contains => {
+            let (inner, outer) = pair_with_relation(TopoRelation::Inside, complexity, seed ^ 1);
+            (outer, inner)
+        }
+        TopoRelation::CoveredBy => {
+            // Inner shares a contiguous boundary arc with the outer and
+            // retreats toward the center for the remainder.
+            let outer = smooth_star(&mut rng, center, 90.0, n);
+            let inner = shared_arc_inside(&outer, center, 0.4);
+            (inner, outer)
+        }
+        TopoRelation::Covers => {
+            let (inner, outer) = pair_with_relation(TopoRelation::CoveredBy, complexity, seed ^ 1);
+            (outer, inner)
+        }
+    }
+}
+
+/// The Figure 9 case study: a high-complexity lake strictly inside a
+/// high-complexity park, both with large MBRs and rich `P` lists.
+pub fn fig9_lake_in_park(seed: u64) -> (Polygon, Polygon) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = Point::new(500.0, 500.0);
+    // Radii chosen so that, on the paper's 2^16-cell grid over the
+    // [0,1000]^2 data space, both objects carry interval lists in the
+    // hundreds-to-thousands (the paper's pair has ~500/~1800 intervals):
+    // large enough for the P-list proofs to fire, small enough that the
+    // merge-joins stay orders of magnitude cheaper than refinement.
+    let park = smooth_star(&mut rng, center, 9.0, 2616);
+    let lake = {
+        let shifted = Point::new(center.x - 1.2, center.y + 0.6);
+        smooth_star(&mut rng, shifted, 3.1, 2240)
+    };
+    (lake, park)
+}
+
+/// A low-spikiness star polygon: close to convex, so scaled copies nest.
+fn smooth_star<R: Rng>(rng: &mut R, center: Point, radius: f64, n: usize) -> Polygon {
+    star_polygon(
+        rng,
+        &StarParams {
+            center,
+            avg_radius: radius,
+            irregularity: 0.4,
+            spikiness: 0.12,
+            num_vertices: n.max(4),
+        },
+    )
+}
+
+/// A copy of `poly` scaled by `factor < (1-spikiness)/(1+spikiness)`
+/// toward `center`, guaranteeing strict containment for star polygons
+/// around the same center.
+fn scaled_copy(poly: &Polygon, center: Point, factor: f64) -> Polygon {
+    let pts: Vec<Point> = poly
+        .outer()
+        .vertices()
+        .iter()
+        .map(|v| Point::new(center.x + (v.x - center.x) * factor, center.y + (v.y - center.y) * factor))
+        .collect();
+    Polygon::new(Ring::new(pts).expect("scaled ring valid"), Vec::new())
+}
+
+/// A polygon covered by `outer`, sharing the boundary arc over the first
+/// half of `outer`'s vertices exactly and retreating to a scaled copy
+/// (factor toward `center`) for the rest.
+///
+/// Valid for star polygons around `center`: angles stay strictly
+/// increasing, and the transition edges stay inside the corresponding
+/// center–vertex–vertex triangles, which lie inside `outer`.
+fn shared_arc_inside(outer: &Polygon, center: Point, factor: f64) -> Polygon {
+    let v = outer.outer().vertices();
+    let n = v.len();
+    let m = (n / 2).max(1);
+    let mut pts: Vec<Point> = v[..=m].to_vec();
+    for p in &v[m + 1..] {
+        pts.push(scale_toward(*p, center, factor));
+    }
+    Polygon::new(Ring::new(pts).expect("shared-arc inner ring valid"), Vec::new())
+}
+
+/// An annular sector glued to the *outside* of star polygon `a` along
+/// the boundary arc over the first half of its vertices: the shared arc
+/// plus a radially scaled-out return arc. Its interior is strictly
+/// outside `a`, so the pair's most specific relation is `meets`.
+fn shared_arc_outside(a: &Polygon, center: Point, factor: f64) -> Polygon {
+    debug_assert!(factor > 1.0);
+    let v = a.outer().vertices();
+    let m = (v.len() / 2).max(1);
+    let mut pts: Vec<Point> = v[..=m].to_vec();
+    for p in v[..=m].iter().rev() {
+        pts.push(scale_toward(*p, center, factor));
+    }
+    Polygon::new(Ring::new(pts).expect("shared-arc outer ring valid"), Vec::new())
+}
+
+#[inline]
+fn scale_toward(p: Point, center: Point, factor: f64) -> Point {
+    Point::new(
+        center.x + (p.x - center.x) * factor,
+        center.y + (p.y - center.y) * factor,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_de9im::relate;
+
+    const ALL: [TopoRelation; 8] = [
+        TopoRelation::Disjoint,
+        TopoRelation::Intersects,
+        TopoRelation::Meets,
+        TopoRelation::Equals,
+        TopoRelation::Inside,
+        TopoRelation::Contains,
+        TopoRelation::CoveredBy,
+        TopoRelation::Covers,
+    ];
+
+    #[test]
+    fn generated_pairs_have_requested_relation() {
+        for rel in ALL {
+            for seed in 0..5u64 {
+                for complexity in [16usize, 64, 256] {
+                    let (r, s) = pair_with_relation(rel, complexity, seed);
+                    let got = TopoRelation::most_specific(&relate(&r, &s));
+                    assert_eq!(got, rel, "rel {rel:?} seed {seed} complexity {complexity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_controls_vertex_count() {
+        let (r, s) = pair_with_relation(TopoRelation::Intersects, 1000, 7);
+        let total = r.num_vertices() + s.num_vertices();
+        assert!((900..=1100).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn fig9_pair_is_inside_and_complex() {
+        let (lake, park) = fig9_lake_in_park(42);
+        assert_eq!(lake.num_vertices(), 2240);
+        assert_eq!(park.num_vertices(), 2616);
+        let rel = TopoRelation::most_specific(&relate(&lake, &park));
+        assert_eq!(rel, TopoRelation::Inside);
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        let a = pair_with_relation(TopoRelation::Meets, 100, 3);
+        let b = pair_with_relation(TopoRelation::Meets, 100, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,526 @@
+//! The synthetic dataset catalog mirroring the paper's Table 2 / Table 3
+//! scenarios.
+//!
+//! We cannot redistribute TIGER/OSM, so each dataset is replaced by a
+//! seeded generator reproducing its *statistical shape* (see DESIGN.md
+//! §3): object counts (scaled down, documented per dataset), vertex-count
+//! distributions, relative object sizes, and — crucially for topology
+//! joins — the relation mix of each combination. Correlated placement
+//! (lakes seeded inside parks, buildings clustered in parks, zip codes
+//! nested in counties) recreates the containment/meet/overlap ratios the
+//! paper's filters feed on.
+//!
+//! All generators are deterministic in (dataset, scale).
+
+use crate::star::{star_polygon, star_polygon_with_holes, StarParams};
+use crate::tessellation::{subdivide_levels, tessellation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stj_geom::{Point, Polygon, Rect};
+
+/// The shared data space of every scenario.
+pub fn data_space() -> Rect {
+    Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+}
+
+/// Identifiers of the ten datasets of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// US landmarks (TIGER): mixed-size, mixed-complexity areas.
+    TL,
+    /// US water areas (TIGER): many small-to-medium areas.
+    TW,
+    /// US counties (TIGER): large space-filling coverage.
+    TC,
+    /// US zip codes (TIGER): finer coverage nested in counties.
+    TZ,
+    /// EU buildings (OSM): huge count of tiny simple polygons.
+    OBE,
+    /// EU lakes (OSM): medium areas, wide complexity range.
+    OLE,
+    /// EU parks (OSM): large areas, wide complexity range.
+    OPE,
+    /// NA buildings (OSM).
+    OBN,
+    /// NA lakes (OSM).
+    OLN,
+    /// NA parks (OSM).
+    OPN,
+}
+
+impl DatasetId {
+    /// Dataset name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::TL => "TL",
+            DatasetId::TW => "TW",
+            DatasetId::TC => "TC",
+            DatasetId::TZ => "TZ",
+            DatasetId::OBE => "OBE",
+            DatasetId::OLE => "OLE",
+            DatasetId::OPE => "OPE",
+            DatasetId::OBN => "OBN",
+            DatasetId::OLN => "OLN",
+            DatasetId::OPN => "OPN",
+        }
+    }
+
+    /// Recommended APRIL interval budget per list (see
+    /// `stj_core::object::DEFAULT_MAX_INTERVALS`). Coverage datasets
+    /// (counties, zip codes) take a tight budget: their pairs are cheap
+    /// to refine, so cheap merge-joins matter more than filter power.
+    /// Complex-object datasets keep full-resolution lists: their pairs
+    /// are exactly the ones whose refinement the filters must avoid.
+    pub fn interval_budget(self) -> usize {
+        match self {
+            DatasetId::TC | DatasetId::TZ => 2048,
+            _ => 16384,
+        }
+    }
+
+    /// Paper's object count for the real dataset (for the scaling note in
+    /// Table 2 output).
+    pub fn paper_count(self) -> u64 {
+        match self {
+            DatasetId::TL => 123_000,
+            DatasetId::TW => 2_250_000,
+            DatasetId::TC => 3_040,
+            DatasetId::TZ => 26_100,
+            DatasetId::OBE => 90_400_000,
+            DatasetId::OLE => 1_960_000,
+            DatasetId::OPE => 7_170_000,
+            DatasetId::OBN => 9_380_000,
+            DatasetId::OLN => 4_020_000,
+            DatasetId::OPN => 999_000,
+        }
+    }
+}
+
+/// The seven dataset combinations of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComboId {
+    /// Landmarks × water areas.
+    TlTw,
+    /// Landmarks × counties.
+    TlTc,
+    /// Counties × zip codes.
+    TcTz,
+    /// EU lakes × EU parks.
+    OleOpe,
+    /// NA lakes × NA parks.
+    OlnOpn,
+    /// EU buildings × EU parks.
+    ObeOpe,
+    /// NA buildings × NA parks.
+    ObnOpn,
+}
+
+/// All seven combinations, in the paper's Table 3 order.
+pub const ALL_COMBOS: [ComboId; 7] = [
+    ComboId::TlTw,
+    ComboId::TlTc,
+    ComboId::TcTz,
+    ComboId::OleOpe,
+    ComboId::OlnOpn,
+    ComboId::ObeOpe,
+    ComboId::ObnOpn,
+];
+
+impl ComboId {
+    /// The combination name as printed in the paper (`"TL-TW"` style).
+    pub fn name(self) -> &'static str {
+        match self {
+            ComboId::TlTw => "TL-TW",
+            ComboId::TlTc => "TL-TC",
+            ComboId::TcTz => "TC-TZ",
+            ComboId::OleOpe => "OLE-OPE",
+            ComboId::OlnOpn => "OLN-OPN",
+            ComboId::ObeOpe => "OBE-OPE",
+            ComboId::ObnOpn => "OBN-OPN",
+        }
+    }
+
+    /// The two datasets joined by this combination.
+    pub fn datasets(self) -> (DatasetId, DatasetId) {
+        match self {
+            ComboId::TlTw => (DatasetId::TL, DatasetId::TW),
+            ComboId::TlTc => (DatasetId::TL, DatasetId::TC),
+            ComboId::TcTz => (DatasetId::TC, DatasetId::TZ),
+            ComboId::OleOpe => (DatasetId::OLE, DatasetId::OPE),
+            ComboId::OlnOpn => (DatasetId::OLN, DatasetId::OPN),
+            ComboId::ObeOpe => (DatasetId::OBE, DatasetId::OPE),
+            ComboId::ObnOpn => (DatasetId::OBN, DatasetId::OPN),
+        }
+    }
+}
+
+/// Scaled object count of a dataset at generation scale `scale`
+/// (`scale = 1.0` is the default bench size, roughly 100–2000× smaller
+/// than the paper's datasets).
+pub fn scaled_count(id: DatasetId, scale: f64) -> usize {
+    let base: f64 = match id {
+        DatasetId::TL => 1500.0,
+        DatasetId::TW => 6000.0,
+        DatasetId::TC => 0.0,  // tessellation-driven: k*k cells
+        DatasetId::TZ => 0.0,  // 4 children per county
+        DatasetId::OBE => 30000.0,
+        DatasetId::OLE => 6000.0,
+        DatasetId::OPE => 8000.0,
+        DatasetId::OBN => 15000.0,
+        DatasetId::OLN => 5000.0,
+        DatasetId::OPN => 3000.0,
+    };
+    ((base * scale) as usize).max(if base == 0.0 { 0 } else { 16 })
+}
+
+/// County tessellation resolution at `scale`.
+fn county_k(scale: f64) -> usize {
+    ((24.0 * scale.sqrt()) as usize).clamp(4, 96)
+}
+
+/// Generates one dataset at `scale`. Deterministic per (id, scale).
+///
+/// Parks are generated before their dependent datasets internally, so a
+/// standalone dataset call is self-consistent with the combos:
+/// `generate(OLE)` places lakes relative to the same parks `generate(OPE)`
+/// returns.
+pub fn generate(id: DatasetId, scale: f64) -> Vec<Polygon> {
+    let space = data_space();
+    match id {
+        DatasetId::TL => landmarks(scale),
+        DatasetId::TW => water(scale),
+        DatasetId::TC => counties(scale),
+        DatasetId::TZ => zipcodes(scale),
+        DatasetId::OPE => parks(space, scaled_count(DatasetId::OPE, scale), 0xE0),
+        DatasetId::OPN => parks(space, scaled_count(DatasetId::OPN, scale), 0xA0),
+        DatasetId::OLE => lakes(
+            &parks(space, scaled_count(DatasetId::OPE, scale), 0xE0),
+            scaled_count(DatasetId::OLE, scale),
+            0xE1,
+        ),
+        DatasetId::OLN => lakes(
+            &parks(space, scaled_count(DatasetId::OPN, scale), 0xA0),
+            scaled_count(DatasetId::OLN, scale),
+            0xA1,
+        ),
+        DatasetId::OBE => buildings(
+            &parks(space, scaled_count(DatasetId::OPE, scale), 0xE0),
+            scaled_count(DatasetId::OBE, scale),
+            0xE2,
+        ),
+        DatasetId::OBN => buildings(
+            &parks(space, scaled_count(DatasetId::OPN, scale), 0xA0),
+            scaled_count(DatasetId::OBN, scale),
+            0xA2,
+        ),
+    }
+}
+
+/// Generates the two datasets of a combination (correlated placement).
+pub fn generate_combo(combo: ComboId, scale: f64) -> (Vec<Polygon>, Vec<Polygon>) {
+    let (r, s) = combo.datasets();
+    (generate(r, scale), generate(s, scale))
+}
+
+fn rng_for(tag: u64) -> StdRng {
+    StdRng::seed_from_u64(0x5354_4A00 ^ tag)
+}
+
+/// Log-uniform sample in `[lo, hi]`.
+fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+fn uniform_point<R: Rng>(rng: &mut R, space: &Rect, margin: f64) -> Point {
+    Point::new(
+        rng.gen_range(space.min.x + margin..space.max.x - margin),
+        rng.gen_range(space.min.y + margin..space.max.y - margin),
+    )
+}
+
+
+/// Vertex count correlated with object radius, as in real OSM/TIGER
+/// polygons (bigger areas carry more boundary detail). The correlation
+/// is what drives the paper's Figure 8(a): small objects rasterize to
+/// few or no full cells *and* are cheap to refine, while complex objects
+/// are both filter-friendly and expensive to refine.
+fn vertices_for_radius<R: Rng>(rng: &mut R, radius: f64, per_unit: f64, max: usize) -> usize {
+    let noise = log_uniform(rng, 0.5, 2.0);
+    ((per_unit * radius.powf(1.4) * noise) as usize).clamp(4, max)
+}
+
+/// OSM-style parks: large star polygons with a wide, log-uniform
+/// complexity range; ~8% carry holes (clearings).
+fn parks(space: Rect, count: usize, seed: u64) -> Vec<Polygon> {
+    let mut rng = rng_for(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let radius = log_uniform(&mut rng, 0.012, 18.0);
+        let n = vertices_for_radius(&mut rng, radius, 16.0, 1400);
+        let params = StarParams {
+            center: uniform_point(&mut rng, &space, 20.0),
+            avg_radius: radius,
+            irregularity: rng.gen_range(0.3..0.8),
+            spikiness: rng.gen_range(0.1..0.45),
+            num_vertices: n.max(4),
+        };
+        let poly = if rng.gen_bool(0.08) {
+            let holes = rng.gen_range(1..=2);
+            star_polygon_with_holes(&mut rng, &params, holes, 8)
+        } else {
+            star_polygon(&mut rng, &params)
+        };
+        out.push(poly);
+    }
+    out
+}
+
+/// OSM-style lakes, placed relative to `parks`: 45% seeded inside a park
+/// (containment), 15% straddling a park boundary (overlap/meets), the
+/// rest uniform.
+fn lakes(parks: &[Polygon], count: usize, seed: u64) -> Vec<Polygon> {
+    let space = data_space();
+    let mut rng = rng_for(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (center, radius) = if !parks.is_empty() && rng.gen_bool(0.6) {
+            let park = &parks[rng.gen_range(0..parks.len())];
+            let pm = park.mbr();
+            let pr = pm.width().min(pm.height()) * 0.5;
+            let inside = rng.gen_bool(0.75);
+            let c = pm.center();
+            if inside {
+                // Small lake near the park center: likely inside.
+                let off = pr * rng.gen_range(0.0..0.3);
+                let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+                (
+                    Point::new(c.x + off * ang.cos(), c.y + off * ang.sin()),
+                    pr * rng.gen_range(0.1..0.5),
+                )
+            } else {
+                // Lake straddling the park's rim.
+                let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+                (
+                    Point::new(c.x + pr * ang.cos(), c.y + pr * ang.sin()),
+                    pr * rng.gen_range(0.2..0.6),
+                )
+            }
+        } else {
+            (
+                uniform_point(&mut rng, &space, 15.0),
+                log_uniform(&mut rng, 0.008, 10.0),
+            )
+        };
+        let n = vertices_for_radius(&mut rng, radius.max(0.2), 28.0, 1200);
+        let params = StarParams {
+            center,
+            avg_radius: radius.max(0.2),
+            irregularity: rng.gen_range(0.2..0.7),
+            spikiness: rng.gen_range(0.05..0.35),
+            num_vertices: n,
+        };
+        out.push(star_polygon(&mut rng, &params));
+    }
+    out
+}
+
+/// OSM-style buildings: tiny, simple (4–14 vertex) polygons; 55%
+/// clustered inside parks (the paper's human-intervention scenario).
+fn buildings(parks: &[Polygon], count: usize, seed: u64) -> Vec<Polygon> {
+    let space = data_space();
+    let mut rng = rng_for(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let center = if !parks.is_empty() && rng.gen_bool(0.55) {
+            let park = &parks[rng.gen_range(0..parks.len())];
+            let pm = park.mbr();
+            Point::new(
+                rng.gen_range(pm.min.x..=pm.max.x),
+                rng.gen_range(pm.min.y..=pm.max.y),
+            )
+        } else {
+            uniform_point(&mut rng, &space, 2.0)
+        };
+        let params = StarParams {
+            center,
+            avg_radius: rng.gen_range(0.02..0.12),
+            irregularity: rng.gen_range(0.1..0.5),
+            spikiness: rng.gen_range(0.05..0.3),
+            num_vertices: rng.gen_range(4..=14),
+        };
+        out.push(star_polygon(&mut rng, &params));
+    }
+    out
+}
+
+/// TIGER-style landmarks: wildly mixed sizes and complexities, some
+/// co-located with water bodies (including exact duplicates, which
+/// exercise the `equals` path).
+fn landmarks(scale: f64) -> Vec<Polygon> {
+    let space = data_space();
+    let count = scaled_count(DatasetId::TL, scale);
+    let mut rng = rng_for(0x71);
+    let water = water(scale);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        if i % 50 == 0 && i / 50 < water.len() {
+            // An exact duplicate of a water area (a lake that is also a
+            // landmark): the `equals` relation exists in the wild.
+            out.push(water[i / 50].clone());
+            continue;
+        }
+        if !water.is_empty() && rng.gen_bool(0.4) {
+            // Landmarks co-located with water bodies (lakeside parks,
+            // dams, beaches): the source of most TL-TW candidate pairs.
+            let w = &water[rng.gen_range(0..water.len())];
+            let wm = w.mbr();
+            let wr = wm.width().max(wm.height()) * 0.5;
+            let c = wm.center();
+            let ang = rng.gen_range(0.0..std::f64::consts::TAU);
+            let off = wr * rng.gen_range(0.0..1.2);
+            let params = StarParams {
+                center: Point::new(c.x + off * ang.cos(), c.y + off * ang.sin()),
+                avg_radius: (wr * rng.gen_range(0.3..1.5)).max(0.05),
+                irregularity: rng.gen_range(0.2..0.7),
+                spikiness: rng.gen_range(0.05..0.4),
+                num_vertices: vertices_for_radius(&mut rng, (wr * 0.9).max(0.05), 18.0, 400),
+            };
+            out.push(star_polygon(&mut rng, &params));
+            continue;
+        }
+        let radius = log_uniform(&mut rng, 0.02, 25.0);
+        let params = StarParams {
+            center: uniform_point(&mut rng, &space, 26.0),
+            avg_radius: radius,
+            irregularity: rng.gen_range(0.2..0.8),
+            spikiness: rng.gen_range(0.05..0.5),
+            num_vertices: vertices_for_radius(&mut rng, radius, 18.0, 500),
+        };
+        out.push(star_polygon(&mut rng, &params));
+    }
+    out
+}
+
+/// TIGER-style water areas.
+fn water(scale: f64) -> Vec<Polygon> {
+    let space = data_space();
+    let count = scaled_count(DatasetId::TW, scale);
+    let mut rng = rng_for(0x72);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let radius = log_uniform(&mut rng, 0.01, 8.0);
+        let params = StarParams {
+            center: uniform_point(&mut rng, &space, 10.0),
+            avg_radius: radius,
+            irregularity: rng.gen_range(0.2..0.7),
+            spikiness: rng.gen_range(0.05..0.4),
+            num_vertices: vertices_for_radius(&mut rng, radius, 22.0, 300),
+        };
+        out.push(star_polygon(&mut rng, &params));
+    }
+    out
+}
+
+/// TIGER-style counties: a jittered space-filling coverage.
+fn counties(scale: f64) -> Vec<Polygon> {
+    let k = county_k(scale);
+    let mut rng = rng_for(0x73);
+    tessellation(&mut rng, data_space(), k, 64, 0.3).polygons()
+}
+
+/// TIGER-style zip codes: each county split recursively into sixteen
+/// children sharing the county's boundary polylines exactly. Interior
+/// grandchildren are strictly `inside` their county; rim grandchildren
+/// are `covered by` it — the relation mix of real nested coverages.
+fn zipcodes(scale: f64) -> Vec<Polygon> {
+    let k = county_k(scale);
+    let mut rng = rng_for(0x73); // same coverage as counties
+    let cov = tessellation(&mut rng, data_space(), k, 64, 0.3);
+    let mut rng2 = rng_for(0x74);
+    subdivide_levels(&mut rng2, &cov, 0.5, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = generate(DatasetId::OLE, 0.02);
+        let b = generate(DatasetId::OLE, 0.02);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+        assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+    }
+
+    #[test]
+    fn counts_scale() {
+        let small = generate(DatasetId::TW, 0.01);
+        let large = generate(DatasetId::TW, 0.05);
+        assert!(large.len() > small.len());
+        assert_eq!(small.len(), scaled_count(DatasetId::TW, 0.01));
+    }
+
+    #[test]
+    fn all_datasets_generate_valid_polygons() {
+        for id in [
+            DatasetId::TL,
+            DatasetId::TW,
+            DatasetId::TC,
+            DatasetId::TZ,
+            DatasetId::OBE,
+            DatasetId::OLE,
+            DatasetId::OPE,
+            DatasetId::OBN,
+            DatasetId::OLN,
+            DatasetId::OPN,
+        ] {
+            let polys = generate(id, 0.005);
+            assert!(!polys.is_empty(), "{id:?}");
+            for p in &polys {
+                assert!(p.num_vertices() >= 3, "{id:?}");
+                assert!(p.area() > 0.0, "{id:?}");
+                assert!(!p.mbr().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn counties_tile_and_zipcodes_nest() {
+        let tc = generate(DatasetId::TC, 0.02);
+        let tz = generate(DatasetId::TZ, 0.02);
+        assert_eq!(tz.len(), tc.len() * 16);
+        let county_area: f64 = tc.iter().map(Polygon::area).sum();
+        let zip_area: f64 = tz.iter().map(Polygon::area).sum();
+        assert!((county_area - zip_area).abs() < 1e-6 * county_area);
+        let space = data_space();
+        assert!((county_area - space.area()).abs() < 1e-6 * space.area());
+    }
+
+    #[test]
+    fn landmark_duplicates_exist_in_water() {
+        let tl = generate(DatasetId::TL, 0.05);
+        let tw = generate(DatasetId::TW, 0.05);
+        let dup = &tl[0];
+        assert!(tw.iter().any(|w| w == dup), "expected equals pairs");
+    }
+
+    #[test]
+    fn combo_names_and_datasets() {
+        for c in ALL_COMBOS {
+            let (r, s) = c.datasets();
+            assert!(c.name().contains(r.name()));
+            assert!(c.name().contains(s.name()));
+            assert!(r.paper_count() > 0 && s.paper_count() > 0);
+        }
+    }
+
+    #[test]
+    fn buildings_are_tiny() {
+        let obe = generate(DatasetId::OBE, 0.003);
+        for b in &obe {
+            assert!(b.num_vertices() <= 14);
+            assert!(b.mbr().width() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Jittered tessellations — administrative-boundary-like coverages.
+//!
+//! The TIGER county (TC) and zip-code (TZ) datasets are space-filling
+//! coverages: neighbouring areas share exact boundary polylines, so their
+//! dominant relations are `meets` (siblings) and `inside`/`covered by`
+//! (nesting levels). This module reproduces that structure:
+//!
+//! - [`tessellation`] builds a `k × k` coverage of quads over a region,
+//!   with jittered shared lattice corners and subdivided, jittered shared
+//!   edges — adjacent cells share their boundary polylines *exactly*;
+//! - [`subdivide`] splits every cell of a coverage into four children
+//!   that reuse the parent's boundary polylines exactly, so each child is
+//!   `covered by` its parent and `meets` its siblings.
+
+use rand::Rng;
+use stj_geom::{Point, Polygon, Rect, Ring};
+
+/// A tessellation cell: its polygon plus its grid position.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Column in the coverage lattice.
+    pub col: usize,
+    /// Row in the coverage lattice.
+    pub row: usize,
+    /// The cell polygon. Boundary polylines are shared exactly with
+    /// lattice neighbours.
+    pub polygon: Polygon,
+}
+
+/// A complete coverage produced by [`tessellation`], retaining the
+/// structure needed by [`subdivide`].
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    k: usize,
+    subdiv: usize,
+    /// Jittered lattice corners, `(k+1) × (k+1)`, row-major.
+    corners: Vec<Point>,
+    /// Horizontal edge interior points: edge `(i,j)→(i+1,j)` has `subdiv-1`
+    /// interior points; indexed `[j * k + i]`.
+    h_edges: Vec<Vec<Point>>,
+    /// Vertical edge interior points: edge `(i,j)→(i,j+1)`; indexed
+    /// `[j * (k+1) + i]`.
+    v_edges: Vec<Vec<Point>>,
+    /// The produced cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Coverage {
+    #[inline]
+    fn corner(&self, i: usize, j: usize) -> Point {
+        self.corners[j * (self.k + 1) + i]
+    }
+
+    #[inline]
+    fn h_edge(&self, i: usize, j: usize) -> &[Point] {
+        &self.h_edges[j * self.k + i]
+    }
+
+    #[inline]
+    fn v_edge(&self, i: usize, j: usize) -> &[Point] {
+        &self.v_edges[j * (self.k + 1) + i]
+    }
+
+    /// Edge subdivision used when the coverage was built.
+    pub fn subdiv(&self) -> usize {
+        self.subdiv
+    }
+
+    /// The cell polygons in row-major order.
+    pub fn polygons(&self) -> Vec<Polygon> {
+        self.cells.iter().map(|c| c.polygon.clone()).collect()
+    }
+}
+
+/// Builds a jittered `k × k` coverage of `region`.
+///
+/// - Interior lattice corners are jittered by up to `jitter` (fraction of
+///   a cell, `< 0.5` to preserve validity); border corners stay put so
+///   the coverage exactly tiles `region`'s border.
+/// - Every lattice edge is subdivided into `subdiv` segments whose
+///   interior points receive perpendicular jitter, shared exactly between
+///   the two adjacent cells.
+pub fn tessellation<R: Rng>(
+    rng: &mut R,
+    region: Rect,
+    k: usize,
+    subdiv: usize,
+    jitter: f64,
+) -> Coverage {
+    assert!(k >= 1 && subdiv >= 1);
+    let jitter = jitter.clamp(0.0, 0.45);
+    let (w, h) = (region.width() / k as f64, region.height() / k as f64);
+
+    // Jittered lattice corners (border corners pinned).
+    let mut corners = Vec::with_capacity((k + 1) * (k + 1));
+    for j in 0..=k {
+        for i in 0..=k {
+            let x = region.min.x + i as f64 * w;
+            let y = region.min.y + j as f64 * h;
+            let (dx, dy) = if i == 0 || i == k || j == 0 || j == k {
+                (0.0, 0.0)
+            } else {
+                (
+                    rng.gen_range(-jitter..jitter) * w,
+                    rng.gen_range(-jitter..jitter) * h,
+                )
+            };
+            corners.push(Point::new(x + dx, y + dy));
+        }
+    }
+    let corner = |i: usize, j: usize| corners[j * (k + 1) + i];
+
+    // Subdivided edges with small perpendicular jitter. Keep the jitter a
+    // fraction of the corner jitter so edges of adjacent cells cannot
+    // cross. Border edges stay straight so the coverage tiles `region`
+    // exactly.
+    let edge_jitter = jitter * 0.3;
+    let subdivide_edge = |a: Point, b: Point, border: bool, rng: &mut R| -> Vec<Point> {
+        let mut pts = Vec::with_capacity(subdiv.saturating_sub(1));
+        let d = b - a;
+        let len = (d.x * d.x + d.y * d.y).sqrt().max(f64::MIN_POSITIVE);
+        let (nx, ny) = (-d.y / len, d.x / len);
+        for t in 1..subdiv {
+            let f = t as f64 / subdiv as f64;
+            let off = if border {
+                0.0
+            } else {
+                rng.gen_range(-edge_jitter..=edge_jitter) * len / subdiv as f64
+            };
+            pts.push(Point::new(
+                a.x + d.x * f + nx * off,
+                a.y + d.y * f + ny * off,
+            ));
+        }
+        pts
+    };
+
+    let mut h_edges = Vec::with_capacity(k * (k + 1));
+    for j in 0..=k {
+        for i in 0..k {
+            let border = j == 0 || j == k;
+            h_edges.push(subdivide_edge(corner(i, j), corner(i + 1, j), border, rng));
+        }
+    }
+    let mut v_edges = Vec::with_capacity((k + 1) * k);
+    for j in 0..k {
+        for i in 0..=k {
+            let border = i == 0 || i == k;
+            v_edges.push(subdivide_edge(corner(i, j), corner(i, j + 1), border, rng));
+        }
+    }
+
+    let mut cov = Coverage {
+        k,
+        subdiv,
+        corners,
+        h_edges,
+        v_edges,
+        cells: Vec::with_capacity(k * k),
+    };
+
+    for j in 0..k {
+        for i in 0..k {
+            let mut pts: Vec<Point> = Vec::with_capacity(4 * subdiv);
+            // Bottom edge, left→right.
+            pts.push(cov.corner(i, j));
+            pts.extend_from_slice(cov.h_edge(i, j));
+            // Right edge, bottom→top.
+            pts.push(cov.corner(i + 1, j));
+            pts.extend_from_slice(cov.v_edge(i + 1, j));
+            // Top edge, right→left.
+            pts.push(cov.corner(i + 1, j + 1));
+            let mut top: Vec<Point> = cov.h_edge(i, j + 1).to_vec();
+            top.reverse();
+            pts.extend(top);
+            // Left edge, top→bottom.
+            pts.push(cov.corner(i, j + 1));
+            let mut left: Vec<Point> = cov.v_edge(i, j).to_vec();
+            left.reverse();
+            pts.extend(left);
+            let ring = Ring::new(pts).expect("tessellation cell ring valid");
+            cov.cells.push(Cell {
+                col: i,
+                row: j,
+                polygon: Polygon::new(ring, Vec::new()),
+            });
+        }
+    }
+    cov
+}
+
+/// A quadrilateral cell represented by its four boundary polylines, in
+/// counter-clockwise order; `sides[i]` runs from corner `i` to corner
+/// `i+1` (mod 4), endpoints inclusive.
+///
+/// The polyline representation is what makes *recursive* subdivision
+/// exact: children reuse halves of the parent's side polylines verbatim,
+/// and sibling children share their spoke polylines verbatim, so nested
+/// coverages relate by `covered by` / `meets` exactly — like real
+/// administrative hierarchies (zip codes in counties).
+#[derive(Clone, Debug)]
+pub struct QuadCell {
+    /// The four boundary polylines, CCW, endpoints inclusive.
+    pub sides: [Vec<Point>; 4],
+}
+
+impl QuadCell {
+    /// The cell as a polygon.
+    pub fn polygon(&self) -> Polygon {
+        let mut pts: Vec<Point> = Vec::with_capacity(
+            self.sides.iter().map(Vec::len).sum::<usize>(),
+        );
+        for side in &self.sides {
+            // Skip each side's last point: it is the next side's first.
+            pts.extend_from_slice(&side[..side.len() - 1]);
+        }
+        let ring = Ring::new(pts).expect("quad cell ring valid");
+        Polygon::new(ring, Vec::new())
+    }
+
+    /// Whether every side has a middle vertex (odd point count ≥ 3),
+    /// i.e. the cell can be subdivided once more.
+    pub fn subdividable(&self) -> bool {
+        self.sides
+            .iter()
+            .all(|s| s.len() >= 3 && s.len() % 2 == 1)
+    }
+
+    /// Splits the cell into four children meeting at a jittered center.
+    ///
+    /// Children reuse the parent's side-polyline halves exactly and
+    /// share three-point spokes (midpoint–center polylines with a middle
+    /// vertex, so children remain subdividable).
+    ///
+    /// # Panics
+    /// Panics if `!self.subdividable()`.
+    pub fn subdivide<R: Rng>(&self, rng: &mut R, center_jitter: f64) -> [QuadCell; 4] {
+        assert!(self.subdividable(), "sides need odd point counts >= 3");
+        let halves: [usize; 4] = std::array::from_fn(|i| self.sides[i].len() / 2);
+        let mids: [Point; 4] = std::array::from_fn(|i| self.sides[i][halves[i]]);
+
+        let centroid = Point::new(
+            mids.iter().map(|p| p.x).sum::<f64>() / 4.0,
+            mids.iter().map(|p| p.y).sum::<f64>() / 4.0,
+        );
+        let span = mids[0].dist(mids[2]).min(mids[1].dist(mids[3]));
+        let jitter = center_jitter.clamp(0.0, 1.0) * span * 0.1;
+        let c = Point::new(
+            centroid.x + rng.gen_range(-1.0..=1.0) * jitter,
+            centroid.y + rng.gen_range(-1.0..=1.0) * jitter,
+        );
+
+        // Spoke i runs from mids[i] to the center, with an exact middle
+        // vertex so the children stay subdividable.
+        let spokes: [Vec<Point>; 4] =
+            std::array::from_fn(|i| vec![mids[i], mids[i].midpoint(c), c]);
+
+        // Child i sits at corner i:
+        //   corner_i → m_i (first half of side i)
+        //   m_i → c (spoke i)
+        //   c → m_{i-1} (spoke i-1 reversed)
+        //   m_{i-1} → corner_i (second half of side i-1)
+        std::array::from_fn(|i| {
+            let prev = (i + 3) % 4;
+            let s0 = self.sides[i][..=halves[i]].to_vec();
+            let s1 = spokes[i].clone();
+            let mut s2 = spokes[prev].clone();
+            s2.reverse();
+            let s3 = self.sides[prev][halves[prev]..].to_vec();
+            QuadCell {
+                sides: [s0, s1, s2, s3],
+            }
+        })
+    }
+}
+
+impl Coverage {
+    /// The coverage's cells as [`QuadCell`]s (inputs to recursive
+    /// subdivision).
+    pub fn quad_cells(&self) -> Vec<QuadCell> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        let full = |corner_a: Point, mids: &[Point], corner_b: Point| -> Vec<Point> {
+            let mut v = Vec::with_capacity(mids.len() + 2);
+            v.push(corner_a);
+            v.extend_from_slice(mids);
+            v.push(corner_b);
+            v
+        };
+        for cell in &self.cells {
+            let (i, j) = (cell.col, cell.row);
+            let bottom = full(self.corner(i, j), self.h_edge(i, j), self.corner(i + 1, j));
+            let right = full(
+                self.corner(i + 1, j),
+                self.v_edge(i + 1, j),
+                self.corner(i + 1, j + 1),
+            );
+            let mut top = full(
+                self.corner(i, j + 1),
+                self.h_edge(i, j + 1),
+                self.corner(i + 1, j + 1),
+            );
+            top.reverse(); // CCW: right-to-left along the top
+            let mut left = full(self.corner(i, j), self.v_edge(i, j), self.corner(i, j + 1));
+            left.reverse(); // CCW: top-to-bottom along the left
+            out.push(QuadCell {
+                sides: [bottom, right, top, left],
+            });
+        }
+        out
+    }
+}
+
+/// Splits every cell of `cov` into `4^levels` children that reuse the
+/// parent's boundary polylines exactly (recursively).
+///
+/// With `levels >= 2`, interior grandchildren do not touch the original
+/// cell's boundary at all — they are strictly `inside` it, like interior
+/// zip codes of a county — while rim children are `covered by` it.
+/// Requires `cov`'s edge subdivision to be divisible by `2^levels`.
+pub fn subdivide_levels<R: Rng>(
+    rng: &mut R,
+    cov: &Coverage,
+    center_jitter: f64,
+    levels: u32,
+) -> Vec<Polygon> {
+    let mut cells = cov.quad_cells();
+    for _ in 0..levels {
+        let mut next = Vec::with_capacity(cells.len() * 4);
+        for cell in &cells {
+            next.extend(cell.subdivide(rng, center_jitter));
+        }
+        cells = next;
+    }
+    cells.iter().map(QuadCell::polygon).collect()
+}
+
+/// Splits every cell of `cov` into four children that reuse the parent's
+/// boundary polylines exactly (one level of [`subdivide_levels`]).
+pub fn subdivide<R: Rng>(rng: &mut R, cov: &Coverage, center_jitter: f64) -> Vec<Polygon> {
+    subdivide_levels(rng, cov, center_jitter, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stj_de9im::{relate, TopoRelation};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn region() -> Rect {
+        Rect::from_coords(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn covers_region_area() {
+        let cov = tessellation(&mut rng(1), region(), 5, 4, 0.3);
+        assert_eq!(cov.cells.len(), 25);
+        let total: f64 = cov.cells.iter().map(|c| c.polygon.area()).sum();
+        assert!((total - 10_000.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn neighbours_meet() {
+        let cov = tessellation(&mut rng(2), region(), 4, 4, 0.3);
+        let cell = |i: usize, j: usize| &cov.cells[j * 4 + i].polygon;
+        for j in 0..4 {
+            for i in 0..3 {
+                let m = relate(cell(i, j), cell(i + 1, j));
+                assert_eq!(
+                    TopoRelation::most_specific(&m),
+                    TopoRelation::Meets,
+                    "cells ({i},{j}) and ({},{j})",
+                    i + 1
+                );
+            }
+        }
+        for j in 0..3 {
+            let m = relate(cell(1, j), cell(1, j + 1));
+            assert_eq!(TopoRelation::most_specific(&m), TopoRelation::Meets);
+        }
+    }
+
+    #[test]
+    fn non_neighbours_disjoint() {
+        let cov = tessellation(&mut rng(3), region(), 4, 2, 0.2);
+        let m = relate(&cov.cells[0].polygon, &cov.cells[10].polygon);
+        assert_eq!(TopoRelation::most_specific(&m), TopoRelation::Disjoint);
+    }
+
+    #[test]
+    fn vertex_counts_scale_with_subdiv() {
+        let cov = tessellation(&mut rng(4), region(), 3, 8, 0.2);
+        for c in &cov.cells {
+            assert_eq!(c.polygon.num_vertices(), 4 * 8);
+        }
+    }
+
+    #[test]
+    fn subdivision_children_covered_by_parent() {
+        let cov = tessellation(&mut rng(5), region(), 3, 4, 0.25);
+        let children = subdivide(&mut rng(6), &cov, 0.5);
+        assert_eq!(children.len(), cov.cells.len() * 4);
+        for (ci, child) in children.iter().enumerate() {
+            let parent = &cov.cells[ci / 4].polygon;
+            let rel = TopoRelation::most_specific(&relate(child, parent));
+            assert_eq!(
+                rel,
+                TopoRelation::CoveredBy,
+                "child {ci} of parent {}",
+                ci / 4
+            );
+        }
+    }
+
+    #[test]
+    fn subdivision_siblings_meet_and_tile() {
+        let cov = tessellation(&mut rng(7), region(), 2, 4, 0.2);
+        let children = subdivide(&mut rng(8), &cov, 0.5);
+        // Children of one parent tile its area.
+        for (pi, cell) in cov.cells.iter().enumerate() {
+            let sum: f64 = children[pi * 4..pi * 4 + 4].iter().map(Polygon::area).sum();
+            assert!(
+                (sum - cell.polygon.area()).abs() < 1e-6,
+                "parent {pi}: {sum} vs {}",
+                cell.polygon.area()
+            );
+        }
+        // Siblings meet.
+        let rel = TopoRelation::most_specific(&relate(&children[0], &children[1]));
+        assert_eq!(rel, TopoRelation::Meets);
+    }
+
+    #[test]
+    fn two_level_subdivision_yields_interior_children() {
+        let cov = tessellation(&mut rng(21), region(), 2, 8, 0.25);
+        let grandchildren = subdivide_levels(&mut rng(22), &cov, 0.5, 2);
+        assert_eq!(grandchildren.len(), cov.cells.len() * 16);
+        let mut inside = 0;
+        let mut covered = 0;
+        for (gi, g) in grandchildren.iter().enumerate() {
+            let parent = &cov.cells[gi / 16].polygon;
+            match TopoRelation::most_specific(&relate(g, parent)) {
+                TopoRelation::Inside => inside += 1,
+                TopoRelation::CoveredBy => covered += 1,
+                other => panic!("grandchild {gi}: unexpected relation {other:?}"),
+            }
+        }
+        // The four center grandchildren of each parent touch only
+        // interior spokes — strictly inside.
+        assert_eq!(inside, cov.cells.len() * 4, "interior grandchildren");
+        assert_eq!(covered, cov.cells.len() * 12, "rim grandchildren");
+        // Areas still tile each parent.
+        for (pi, cell) in cov.cells.iter().enumerate() {
+            let sum: f64 = grandchildren[pi * 16..pi * 16 + 16]
+                .iter()
+                .map(Polygon::area)
+                .sum();
+            assert!((sum - cell.polygon.area()).abs() < 1e-6 * cell.polygon.area());
+        }
+    }
+
+    #[test]
+    fn quad_cell_roundtrip_matches_cell_polygon() {
+        let cov = tessellation(&mut rng(23), region(), 3, 4, 0.3);
+        for (qc, cell) in cov.quad_cells().iter().zip(&cov.cells) {
+            assert_eq!(qc.polygon(), cell.polygon);
+            assert!(qc.subdividable());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tessellation(&mut rng(9), region(), 4, 4, 0.3);
+        let b = tessellation(&mut rng(9), region(), 4, 4, 0.3);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.polygon, y.polygon);
+        }
+    }
+}

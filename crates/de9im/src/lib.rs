@@ -1,0 +1,27 @@
+//! `stj-de9im`: the Dimensionally Extended 9-Intersection Model engine.
+//!
+//! This crate plays the role boost::geometry's `relation()` plays in the
+//! paper: the *refinement oracle* that, given two areal geometries whose
+//! MBRs intersect, computes the full DE-9IM intersection matrix and from
+//! it the most specific topological relation.
+//!
+//! Contents:
+//!
+//! - [`De9Im`]: the boolean 3×3 intersection matrix with its 9-character
+//!   string code (`"FFTFFTTTT"`-style, Sec 2.1 of the paper);
+//! - [`Mask`]: the `T`/`F`/`*` mask language and [`mask::table1`], the
+//!   paper's Table 1 relation masks;
+//! - [`TopoRelation`]: the eight topological relations of Figure 1(a)
+//!   with their generalization hierarchy (Figure 2);
+//! - [`relate`]: the matrix computation for polygons/multi-polygons via
+//!   boundary noding and exact sub-edge classification.
+
+pub mod mask;
+pub mod matrix;
+pub mod relate_impl;
+pub mod relation;
+
+pub use mask::Mask;
+pub use matrix::{De9Im, Part};
+pub use relate_impl::{relate, relate_prepared, Prepared};
+pub use relation::TopoRelation;

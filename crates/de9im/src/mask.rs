@@ -1,0 +1,243 @@
+//! DE-9IM masks (Table 1 of the paper).
+//!
+//! A mask is a 9-character pattern over `{T, F, *}`; a boolean DE-9IM
+//! matrix *matches* the mask when every `T` position is `T` and every `F`
+//! position is `F` (`*` matches either). A topological relation holds iff
+//! the matrix matches at least one of the relation's masks.
+
+use crate::matrix::De9Im;
+use crate::relation::TopoRelation;
+
+/// A single DE-9IM mask: for each of the nine cells, the bit in `require`
+/// is consulted only when the corresponding bit in `care` is set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mask {
+    care: u16,
+    require: u16,
+}
+
+impl Mask {
+    /// Parses a mask from its 9-character pattern.
+    ///
+    /// # Panics
+    /// Panics on length ≠ 9 or characters outside `{T, F, *}`.
+    pub const fn parse(pattern: &str) -> Mask {
+        let bytes = pattern.as_bytes();
+        assert!(bytes.len() == 9, "mask must have 9 characters");
+        let mut care = 0u16;
+        let mut require = 0u16;
+        let mut i = 0;
+        while i < 9 {
+            match bytes[i] {
+                b'T' | b't' => {
+                    care |= 1 << i;
+                    require |= 1 << i;
+                }
+                b'F' | b'f' => care |= 1 << i,
+                b'*' => {}
+                _ => panic!("invalid mask character"),
+            }
+            i += 1;
+        }
+        Mask { care, require }
+    }
+
+    /// Whether `m` matches this mask.
+    #[inline]
+    pub fn matches(&self, m: &De9Im) -> bool {
+        m.bits() & self.care == self.require
+    }
+
+    /// Renders the pattern back to its 9-character form.
+    pub fn pattern(&self) -> String {
+        (0..9)
+            .map(|i| {
+                if self.care & (1 << i) == 0 {
+                    '*'
+                } else if self.require & (1 << i) != 0 {
+                    'T'
+                } else {
+                    'F'
+                }
+            })
+            .collect()
+    }
+}
+
+/// The paper's Table 1: masks per topological relation.
+///
+/// A pair `(r, s)` satisfies the relation iff its DE-9IM matrix matches at
+/// least one listed mask.
+pub mod table1 {
+    use super::Mask;
+
+    /// `disjoint`: `FF*FF****`.
+    pub const DISJOINT: &[Mask] = &[Mask::parse("FF*FF****")];
+
+    /// `intersects`: any of the four single-cell masks.
+    pub const INTERSECTS: &[Mask] = &[
+        Mask::parse("T********"),
+        Mask::parse("*T*******"),
+        Mask::parse("***T*****"),
+        Mask::parse("****T****"),
+    ];
+
+    /// `covers`: any part of `s` intersected, nothing of `s` outside `r`.
+    pub const COVERS: &[Mask] = &[
+        Mask::parse("T*****FF*"),
+        Mask::parse("*T****FF*"),
+        Mask::parse("***T**FF*"),
+        Mask::parse("****T*FF*"),
+    ];
+
+    /// `covered by`: the converse of `covers`.
+    pub const COVERED_BY: &[Mask] = &[
+        Mask::parse("T*F**F***"),
+        Mask::parse("*TF**F***"),
+        Mask::parse("**FT*F***"),
+        Mask::parse("**F*TF***"),
+    ];
+
+    /// `equals`: `T*F**FFF*`.
+    pub const EQUALS: &[Mask] = &[Mask::parse("T*F**FFF*")];
+
+    /// `contains`: `T*****FF*`.
+    pub const CONTAINS: &[Mask] = &[Mask::parse("T*****FF*")];
+
+    /// `inside` (within): `T*F**F***`.
+    pub const INSIDE: &[Mask] = &[Mask::parse("T*F**F***")];
+
+    /// `meets` (touches): boundary contact without interior overlap.
+    pub const MEETS: &[Mask] = &[
+        Mask::parse("FT*******"),
+        Mask::parse("F**T*****"),
+        Mask::parse("F***T****"),
+    ];
+}
+
+/// Returns Table 1's masks for `rel`.
+pub fn masks_for(rel: TopoRelation) -> &'static [Mask] {
+    match rel {
+        TopoRelation::Disjoint => table1::DISJOINT,
+        TopoRelation::Intersects => table1::INTERSECTS,
+        TopoRelation::Covers => table1::COVERS,
+        TopoRelation::CoveredBy => table1::COVERED_BY,
+        TopoRelation::Equals => table1::EQUALS,
+        TopoRelation::Contains => table1::CONTAINS,
+        TopoRelation::Inside => table1::INSIDE,
+        TopoRelation::Meets => table1::MEETS,
+    }
+}
+
+/// Whether the matrix satisfies `rel` per Table 1.
+#[inline]
+pub fn matrix_satisfies(m: &De9Im, rel: TopoRelation) -> bool {
+    masks_for(rel).iter().any(|mask| mask.matches(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render() {
+        for p in ["FF*FF****", "T*F**FFF*", "*********", "TTTTTTTTT"] {
+            assert_eq!(Mask::parse(p).pattern(), p);
+        }
+    }
+
+    #[test]
+    fn star_matches_anything() {
+        let any = Mask::parse("*********");
+        assert!(any.matches(&De9Im::ALL_TRUE));
+        assert!(any.matches(&De9Im::EMPTY));
+        assert!(any.matches(&De9Im::DISJOINT));
+    }
+
+    #[test]
+    fn disjoint_matrix_matches_only_disjoint() {
+        let m = De9Im::DISJOINT;
+        assert!(matrix_satisfies(&m, TopoRelation::Disjoint));
+        assert!(!matrix_satisfies(&m, TopoRelation::Intersects));
+        assert!(!matrix_satisfies(&m, TopoRelation::Meets));
+        assert!(!matrix_satisfies(&m, TopoRelation::Equals));
+        assert!(!matrix_satisfies(&m, TopoRelation::Inside));
+        assert!(!matrix_satisfies(&m, TopoRelation::Contains));
+        assert!(!matrix_satisfies(&m, TopoRelation::Covers));
+        assert!(!matrix_satisfies(&m, TopoRelation::CoveredBy));
+    }
+
+    #[test]
+    fn canonical_matrices() {
+        // r strictly inside s (no boundary contact).
+        let inside = De9Im::from_code("TFFTFFTTT");
+        assert!(matrix_satisfies(&inside, TopoRelation::Inside));
+        assert!(matrix_satisfies(&inside, TopoRelation::CoveredBy));
+        assert!(matrix_satisfies(&inside, TopoRelation::Intersects));
+        assert!(!matrix_satisfies(&inside, TopoRelation::Contains));
+        assert!(!matrix_satisfies(&inside, TopoRelation::Equals));
+        assert!(!matrix_satisfies(&inside, TopoRelation::Meets));
+
+        // The transpose is contains/covers.
+        let contains = inside.transposed();
+        assert!(matrix_satisfies(&contains, TopoRelation::Contains));
+        assert!(matrix_satisfies(&contains, TopoRelation::Covers));
+        assert!(!matrix_satisfies(&contains, TopoRelation::Inside));
+
+        // Equal polygons: interiors equal, boundaries equal.
+        let equals = De9Im::from_code("TFFFTFFFT");
+        assert!(matrix_satisfies(&equals, TopoRelation::Equals));
+        assert!(matrix_satisfies(&equals, TopoRelation::Covers));
+        assert!(matrix_satisfies(&equals, TopoRelation::CoveredBy));
+        assert!(matrix_satisfies(&equals, TopoRelation::Intersects));
+        assert!(!matrix_satisfies(&equals, TopoRelation::Meets));
+
+        // Touching at a boundary point/edge only.
+        let meets = De9Im::from_code("FFTFTFTTT");
+        assert!(matrix_satisfies(&meets, TopoRelation::Meets));
+        assert!(matrix_satisfies(&meets, TopoRelation::Intersects));
+        assert!(!matrix_satisfies(&meets, TopoRelation::Disjoint));
+
+        // Proper overlap: everything true.
+        let overlap = De9Im::ALL_TRUE;
+        assert!(matrix_satisfies(&overlap, TopoRelation::Intersects));
+        assert!(!matrix_satisfies(&overlap, TopoRelation::Meets));
+        assert!(!matrix_satisfies(&overlap, TopoRelation::Inside));
+        assert!(!matrix_satisfies(&overlap, TopoRelation::Contains));
+    }
+
+    #[test]
+    fn covers_vs_contains_masks() {
+        // s inside r but touching r's boundary from within: II=T, but
+        // boundary(s) intersects boundary(r); interior(r) has parts
+        // outside s; nothing of s in r's exterior.
+        // Matrix rows (r parts) x cols (s parts):
+        // II=T IB=T IE=T / BI=F BB=T BE=T / EI=F EB=F EE=T
+        let covers_touching = De9Im::from_code("TTTFTTFFT");
+        assert!(matrix_satisfies(&covers_touching, TopoRelation::Covers));
+        // The raw Table 1 `contains` mask also matches (it does not look
+        // at the BB cell); the strict/touching distinction is made at the
+        // relation level by `TopoRelation::holds`, which additionally
+        // requires BB=F for strict containment.
+        assert!(matrix_satisfies(&covers_touching, TopoRelation::Contains));
+        assert!(!TopoRelation::Contains.holds(&covers_touching));
+        assert!(TopoRelation::Covers.holds(&covers_touching));
+        assert_eq!(
+            TopoRelation::most_specific(&covers_touching),
+            TopoRelation::Covers
+        );
+    }
+
+    #[test]
+    fn every_mask_set_is_internally_consistent() {
+        use TopoRelation::*;
+        for rel in [
+            Disjoint, Intersects, Covers, CoveredBy, Equals, Contains, Inside, Meets,
+        ] {
+            for m in masks_for(rel) {
+                // Pattern parse/render roundtrip through the public API.
+                assert_eq!(Mask::parse(&m.pattern()), *m);
+            }
+        }
+    }
+}

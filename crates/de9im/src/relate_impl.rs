@@ -1,0 +1,482 @@
+//! DE-9IM matrix computation for areal geometries.
+//!
+//! This is the refinement oracle of the pipeline — the expensive step the
+//! intermediate raster filters exist to avoid. The algorithm (see
+//! DESIGN.md §2 for the full argument):
+//!
+//! 1. Find all boundary–boundary segment intersections with a plane sweep
+//!    over segment MBRs.
+//! 2. If any **proper crossing** exists, the matrix is all-`T`: at a
+//!    transversal crossing each boundary locally passes from the other
+//!    geometry's interior to its exterior, which populates every cell.
+//! 3. Otherwise **node** both boundaries at the touch points and
+//!    collinear-overlap endpoints. Every resulting sub-edge lies entirely
+//!    in one part (interior/boundary/exterior) of the other geometry, so
+//!    classifying its midpoint fills the boundary rows/columns exactly.
+//! 4. The three interior/exterior cells (`II`, `IE`, `EI`) follow from
+//!    the sub-edge classes plus representative interior points — one per
+//!    connected interior component — which close the remaining
+//!    shared-boundary cases (e.g. a polygon exactly filling another's
+//!    hole).
+//!
+//! Inputs are assumed OGC-valid (simple rings, holes inside shells,
+//! touching allowed, crossing not). Validity matches the datasets the
+//! paper evaluates on; invalid inputs degrade gracefully to *some*
+//! matrix but without the guarantees tested here.
+
+use crate::matrix::{De9Im, Part};
+use stj_geom::locator::EdgeSetLocator;
+use stj_geom::multipolygon::Areal;
+use stj_geom::polygon::Location;
+use stj_geom::seg_intersect::SegSegIntersection;
+use stj_geom::sweep::{boundary_pairs, EdgePairHit};
+use stj_geom::{Point, Rect, Segment};
+
+/// A geometry preprocessed for repeated `relate` calls: boundary edges,
+/// strip-indexed point locator and representative interior points.
+pub struct Prepared {
+    edges: Vec<Segment>,
+    locator: EdgeSetLocator,
+    interior_points: Vec<Point>,
+    mbr: Rect,
+    num_vertices: usize,
+}
+
+impl Prepared {
+    /// Preprocesses `g` (cost `O(n log n)` in the number of vertices).
+    pub fn new<G: Areal>(g: &G) -> Prepared {
+        let mut edges = Vec::new();
+        g.collect_edges(&mut edges);
+        let locator = EdgeSetLocator::new(edges.clone());
+        Prepared {
+            edges,
+            locator,
+            interior_points: g.interior_points(),
+            mbr: g.mbr(),
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// The geometry's MBR.
+    #[inline]
+    pub fn mbr(&self) -> &Rect {
+        &self.mbr
+    }
+
+    /// Total vertex count (the paper's complexity measure).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Exact point location against the prepared geometry.
+    #[inline]
+    pub fn locate(&self, p: Point) -> Location {
+        self.locator.locate(p)
+    }
+}
+
+/// Computes the boolean DE-9IM matrix of `(r, s)`.
+///
+/// Convenience wrapper that prepares both geometries; use
+/// [`relate_prepared`] when a geometry participates in many pairs.
+pub fn relate<A: Areal, B: Areal>(r: &A, s: &B) -> De9Im {
+    relate_prepared(&Prepared::new(r), &Prepared::new(s))
+}
+
+/// Computes the boolean DE-9IM matrix of `(r, s)` from prepared
+/// geometries. Rows index parts of `r`, columns parts of `s`.
+pub fn relate_prepared(r: &Prepared, s: &Prepared) -> De9Im {
+    if !r.mbr.intersects(&s.mbr) {
+        return De9Im::DISJOINT;
+    }
+
+    let hits = boundary_pairs(&r.edges, &s.edges, /*stop_on_proper=*/ true);
+    if matches!(
+        hits.last(),
+        Some(EdgePairHit {
+            kind: SegSegIntersection::Proper(_),
+            ..
+        })
+    ) {
+        // A transversal boundary crossing populates all nine cells.
+        return De9Im::ALL_TRUE;
+    }
+
+    // Classify r's boundary sub-edges against s and vice versa.
+    let r_flags = classify_boundary(&r.edges, &hits, HitSide::First, s);
+    let s_flags = classify_boundary(&s.edges, &hits, HitSide::Second, r);
+
+    let boundaries_touch = !hits.is_empty();
+    debug_assert!(
+        !(r_flags.on_boundary ^ s_flags.on_boundary),
+        "collinear overlap must be seen from both sides"
+    );
+
+    let mut m = De9Im::EMPTY;
+    m.set(Part::Boundary, Part::Interior, r_flags.in_interior);
+    m.set(Part::Boundary, Part::Exterior, r_flags.in_exterior);
+    m.set(Part::Interior, Part::Boundary, s_flags.in_interior);
+    m.set(Part::Exterior, Part::Boundary, s_flags.in_exterior);
+    m.set(Part::Boundary, Part::Boundary, boundaries_touch);
+    m.set(Part::Exterior, Part::Exterior, true);
+
+    // II: a boundary sub-edge of either geometry inside the other implies
+    // interior overlap (open neighborhoods); otherwise only whole-interior
+    // coincidences remain, closed by the representative points.
+    let rep_r_in_s: Vec<Location> = r.interior_points.iter().map(|&p| s.locate(p)).collect();
+    let rep_s_in_r: Vec<Location> = s.interior_points.iter().map(|&p| r.locate(p)).collect();
+    let ii = r_flags.in_interior
+        || s_flags.in_interior
+        || rep_r_in_s.contains(&Location::Inside)
+        || rep_s_in_r.contains(&Location::Inside);
+    m.set(Part::Interior, Part::Interior, ii);
+
+    // IE: r's interior reaches s's exterior.
+    let ie = r_flags.in_exterior
+        || s_flags.in_interior
+        || rep_r_in_s.contains(&Location::Outside);
+    m.set(Part::Interior, Part::Exterior, ie);
+
+    // EI: s's interior reaches r's exterior.
+    let ei = s_flags.in_exterior
+        || r_flags.in_interior
+        || rep_s_in_r.contains(&Location::Outside);
+    m.set(Part::Exterior, Part::Interior, ei);
+
+    m
+}
+
+/// Which side of an [`EdgePairHit`] an edge index refers to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HitSide {
+    First,
+    Second,
+}
+
+/// Aggregate classification of one geometry's boundary against the other
+/// geometry: does any sub-edge lie in its interior / exterior / on its
+/// boundary?
+#[derive(Clone, Copy, Debug, Default)]
+struct BoundaryFlags {
+    in_interior: bool,
+    in_exterior: bool,
+    on_boundary: bool,
+}
+
+/// Splits every edge at its recorded intersection points and classifies
+/// each sub-edge midpoint against `other`. Sub-edges falling inside a
+/// collinear-overlap range are classified as on-boundary directly (their
+/// midpoints are only floating-point-close to the other boundary).
+fn classify_boundary(
+    edges: &[Segment],
+    hits: &[EdgePairHit],
+    side: HitSide,
+    other: &Prepared,
+) -> BoundaryFlags {
+    // Group hits by edge index on our side.
+    let mut per_edge: Vec<Vec<&EdgePairHit>> = vec![Vec::new(); edges.len()];
+    for h in hits {
+        let idx = match side {
+            HitSide::First => h.ia,
+            HitSide::Second => h.ib,
+        };
+        per_edge[idx].push(h);
+    }
+
+    let mut flags = BoundaryFlags::default();
+    let mut ts: Vec<f64> = Vec::new();
+    let mut on_ranges: Vec<(f64, f64)> = Vec::new();
+
+    for (edge, edge_hits) in edges.iter().zip(&per_edge) {
+        if flags.in_interior && flags.in_exterior && flags.on_boundary {
+            break; // all information gathered
+        }
+        ts.clear();
+        on_ranges.clear();
+        ts.push(0.0);
+        ts.push(1.0);
+        for h in edge_hits {
+            match h.kind {
+                SegSegIntersection::Proper(p) | SegSegIntersection::Touch(p) => {
+                    ts.push(param_on(edge, p));
+                }
+                SegSegIntersection::CollinearOverlap(p, q) => {
+                    let (tp, tq) = (param_on(edge, p), param_on(edge, q));
+                    let (lo, hi) = if tp <= tq { (tp, tq) } else { (tq, tp) };
+                    ts.push(lo);
+                    ts.push(hi);
+                    on_ranges.push((lo, hi));
+                }
+                SegSegIntersection::None => unreachable!("sweep only reports intersections"),
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
+        ts.dedup();
+
+        for w in ts.windows(2) {
+            let (t0, t1) = (w[0].max(0.0), w[1].min(1.0));
+            if t1 <= t0 {
+                continue;
+            }
+            let tm = (t0 + t1) * 0.5;
+            if on_ranges.iter().any(|&(lo, hi)| lo <= tm && tm <= hi) {
+                flags.on_boundary = true;
+                continue;
+            }
+            match other.locate(edge.at(tm)) {
+                Location::Inside => flags.in_interior = true,
+                Location::Outside => flags.in_exterior = true,
+                Location::Boundary => flags.on_boundary = true,
+            }
+        }
+    }
+    flags
+}
+
+/// Parameter of point `p` (known to lie on `edge`) along the edge,
+/// projected on the dominant axis for conditioning.
+#[inline]
+fn param_on(edge: &Segment, p: Point) -> f64 {
+    let dx = edge.b.x - edge.a.x;
+    let dy = edge.b.y - edge.a.y;
+    let t = if dx.abs() >= dy.abs() {
+        if dx == 0.0 {
+            0.0
+        } else {
+            (p.x - edge.a.x) / dx
+        }
+    } else {
+        (p.y - edge.a.y) / dy
+    };
+    t.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::TopoRelation;
+    use stj_geom::{MultiPolygon, Polygon};
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rect(Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    fn rel(a: &Polygon, b: &Polygon) -> TopoRelation {
+        TopoRelation::most_specific(&relate(a, b))
+    }
+
+    #[test]
+    fn disjoint_far_apart() {
+        let m = relate(&sq(0.0, 0.0, 1.0, 1.0), &sq(5.0, 5.0, 6.0, 6.0));
+        assert_eq!(m, De9Im::DISJOINT);
+        assert_eq!(m.code(), "FFTFFTTTT");
+    }
+
+    #[test]
+    fn disjoint_with_overlapping_mbrs() {
+        // Two thin triangles whose MBRs overlap but bodies do not.
+        let a = Polygon::from_coords(vec![(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], vec![]).unwrap();
+        let b =
+            Polygon::from_coords(vec![(10.0, 10.0), (10.0, 2.0), (2.0, 10.0)], vec![]).unwrap();
+        assert_eq!(rel(&a, &b), TopoRelation::Disjoint);
+    }
+
+    #[test]
+    fn proper_overlap_is_all_true() {
+        let m = relate(&sq(0.0, 0.0, 10.0, 10.0), &sq(5.0, 5.0, 15.0, 15.0));
+        assert_eq!(m, De9Im::ALL_TRUE);
+        assert_eq!(TopoRelation::most_specific(&m), TopoRelation::Intersects);
+    }
+
+    #[test]
+    fn strict_containment() {
+        let outer = sq(0.0, 0.0, 10.0, 10.0);
+        let inner = sq(2.0, 2.0, 4.0, 4.0);
+        assert_eq!(relate(&inner, &outer).code(), "TFFTFFTTT");
+        assert_eq!(rel(&inner, &outer), TopoRelation::Inside);
+        assert_eq!(rel(&outer, &inner), TopoRelation::Contains);
+    }
+
+    #[test]
+    fn covered_by_shared_edge() {
+        // Inner square sharing its bottom edge with the outer square.
+        let outer = sq(0.0, 0.0, 10.0, 10.0);
+        let inner = sq(2.0, 0.0, 4.0, 4.0);
+        assert_eq!(rel(&inner, &outer), TopoRelation::CoveredBy);
+        assert_eq!(rel(&outer, &inner), TopoRelation::Covers);
+    }
+
+    #[test]
+    fn covered_by_corner_touch() {
+        let outer = sq(0.0, 0.0, 10.0, 10.0);
+        let inner = sq(0.0, 0.0, 3.0, 3.0); // shares the corner and two edge parts
+        assert_eq!(rel(&inner, &outer), TopoRelation::CoveredBy);
+    }
+
+    #[test]
+    fn equal_polygons() {
+        let a = sq(1.0, 1.0, 7.0, 5.0);
+        let b = sq(1.0, 1.0, 7.0, 5.0);
+        assert_eq!(relate(&a, &b).code(), "TFFFTFFFT");
+        assert_eq!(rel(&a, &b), TopoRelation::Equals);
+    }
+
+    #[test]
+    fn equal_up_to_vertex_set() {
+        // Same region, but b has an extra collinear vertex on one edge.
+        let a = sq(0.0, 0.0, 4.0, 4.0);
+        let b = Polygon::from_coords(
+            vec![(0.0, 0.0), (2.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(rel(&a, &b), TopoRelation::Equals);
+    }
+
+    #[test]
+    fn meets_edge_contact() {
+        let a = sq(0.0, 0.0, 5.0, 5.0);
+        let b = sq(5.0, 0.0, 10.0, 5.0); // shares the x=5 edge
+        let m = relate(&a, &b);
+        assert_eq!(rel(&a, &b), TopoRelation::Meets);
+        assert!(m.get(Part::Boundary, Part::Boundary));
+        assert!(!m.get(Part::Interior, Part::Interior));
+    }
+
+    #[test]
+    fn meets_corner_contact() {
+        let a = sq(0.0, 0.0, 5.0, 5.0);
+        let b = sq(5.0, 5.0, 10.0, 10.0); // single corner point
+        assert_eq!(rel(&a, &b), TopoRelation::Meets);
+    }
+
+    #[test]
+    fn meets_vertex_on_edge() {
+        // Triangle tip touching square's edge interior.
+        let a = sq(0.0, 0.0, 5.0, 5.0);
+        let b = Polygon::from_coords(vec![(5.0, 2.0), (8.0, 0.0), (8.0, 4.0)], vec![]).unwrap();
+        assert_eq!(rel(&a, &b), TopoRelation::Meets);
+        assert_eq!(rel(&b, &a), TopoRelation::Meets);
+    }
+
+    #[test]
+    fn polygon_in_hole_meets() {
+        // b exactly fills a's hole: boundaries coincide, interiors are
+        // disjoint — the representative-point fallback case.
+        let a = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]],
+        )
+        .unwrap();
+        let b = sq(3.0, 3.0, 7.0, 7.0);
+        assert_eq!(rel(&a, &b), TopoRelation::Meets);
+        assert_eq!(rel(&b, &a), TopoRelation::Meets);
+    }
+
+    #[test]
+    fn polygon_strictly_in_hole_is_disjoint() {
+        let a = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]],
+        )
+        .unwrap();
+        let b = sq(4.0, 4.0, 6.0, 6.0);
+        assert_eq!(rel(&a, &b), TopoRelation::Disjoint);
+        assert_eq!(rel(&b, &a), TopoRelation::Disjoint);
+    }
+
+    #[test]
+    fn hole_filler_larger_than_hole_overlaps() {
+        let a = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]],
+        )
+        .unwrap();
+        let b = sq(2.0, 2.0, 8.0, 8.0); // covers hole plus some material
+        assert_eq!(rel(&a, &b), TopoRelation::Intersects);
+    }
+
+    #[test]
+    fn containment_with_hole_avoidance() {
+        // b inside a, positioned away from a's hole.
+        let a = Polygon::from_coords(
+            vec![(0.0, 0.0), (20.0, 0.0), (20.0, 20.0), (0.0, 20.0)],
+            vec![vec![(12.0, 12.0), (16.0, 12.0), (16.0, 16.0), (12.0, 16.0)]],
+        )
+        .unwrap();
+        let b = sq(2.0, 2.0, 6.0, 6.0);
+        assert_eq!(rel(&b, &a), TopoRelation::Inside);
+        assert_eq!(rel(&a, &b), TopoRelation::Contains);
+    }
+
+    #[test]
+    fn overlap_through_hole_boundary() {
+        // b overlaps a's hole partially and a's material partially.
+        let a = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]],
+        )
+        .unwrap();
+        let b = sq(5.0, 5.0, 9.0, 9.0);
+        assert_eq!(rel(&a, &b), TopoRelation::Intersects);
+    }
+
+    #[test]
+    fn transpose_consistency() {
+        let a = sq(0.0, 0.0, 10.0, 10.0);
+        let cases = [
+            sq(2.0, 2.0, 4.0, 4.0),
+            sq(5.0, 5.0, 15.0, 15.0),
+            sq(10.0, 0.0, 20.0, 10.0),
+            sq(20.0, 20.0, 30.0, 30.0),
+            sq(0.0, 0.0, 10.0, 10.0),
+        ];
+        for b in &cases {
+            assert_eq!(
+                relate(&a, b).transposed(),
+                relate(b, &a),
+                "transpose mismatch for {:?}",
+                b.mbr()
+            );
+        }
+    }
+
+    #[test]
+    fn multipolygon_component_detection() {
+        // One member of the multipolygon is inside `a`, the other far
+        // outside — interiors overlap AND each side reaches the other's
+        // exterior: all-T without any boundary crossing? Boundaries do not
+        // touch here, so BB must be F.
+        let a = sq(0.0, 0.0, 10.0, 10.0);
+        let mp = MultiPolygon::new(vec![sq(2.0, 2.0, 4.0, 4.0), sq(20.0, 20.0, 24.0, 24.0)]);
+        let m = relate(&mp, &a);
+        assert!(m.get(Part::Interior, Part::Interior));
+        assert!(m.get(Part::Interior, Part::Exterior));
+        assert!(m.get(Part::Exterior, Part::Interior));
+        assert!(!m.get(Part::Boundary, Part::Boundary));
+        assert_eq!(TopoRelation::most_specific(&m), TopoRelation::Intersects);
+    }
+
+    #[test]
+    fn prepared_reuse_matches_fresh() {
+        let a = sq(0.0, 0.0, 10.0, 10.0);
+        let pa = Prepared::new(&a);
+        for b in [sq(2.0, 2.0, 4.0, 4.0), sq(9.0, 9.0, 12.0, 12.0)] {
+            let pb = Prepared::new(&b);
+            assert_eq!(relate_prepared(&pa, &pb), relate(&a, &b));
+        }
+        assert_eq!(pa.num_vertices(), 4);
+        assert!(pa.mbr().contains_point(Point::new(5.0, 5.0)));
+        assert_eq!(pa.locate(Point::new(5.0, 5.0)), Location::Inside);
+    }
+
+    #[test]
+    fn sliver_overlap_same_mbr() {
+        // Two triangles splitting a square along the diagonal: boundaries
+        // share the diagonal, interiors disjoint -> meets, with equal MBRs.
+        let a = Polygon::from_coords(vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)], vec![]).unwrap();
+        let b = Polygon::from_coords(vec![(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)], vec![]).unwrap();
+        assert_eq!(rel(&a, &b), TopoRelation::Meets);
+    }
+}

@@ -1,0 +1,242 @@
+//! The eight topological relations and their generalization hierarchy.
+
+use crate::mask;
+use crate::matrix::{De9Im, Part};
+use std::fmt;
+
+/// The eight topological relations of Figure 1(a).
+///
+/// All relations are between a first geometry `r` and a second geometry
+/// `s`; the asymmetric ones come in converse pairs
+/// (`Inside`/`Contains`, `CoveredBy`/`Covers`).
+///
+/// Following the paper's Figure 1(a)/Figure 2 semantics:
+///
+/// - `Inside`/`Contains` denote containment **without** boundary contact;
+/// - `CoveredBy`/`Covers` denote containment **with** boundary contact
+///   (their Table 1 masks are generalizations of the inside/contains
+///   masks, which is why *most specific* resolution checks inside first
+///   and additionally requires an empty boundary–boundary intersection);
+/// - `Intersects` is the generic "interiors overlap both ways" relation —
+///   the most general non-disjoint answer;
+/// - `Meets` is boundary-only contact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TopoRelation {
+    /// The geometries share no point.
+    Disjoint,
+    /// The geometries share at least one point (the most general
+    /// non-disjoint relation).
+    Intersects,
+    /// Boundaries touch but interiors are disjoint.
+    Meets,
+    /// The geometries are point-set equal.
+    Equals,
+    /// `r` lies strictly in the interior of `s` (no boundary contact).
+    Inside,
+    /// `s` lies strictly in the interior of `r` (converse of `Inside`).
+    Contains,
+    /// `r` lies within `s`, with boundary contact.
+    CoveredBy,
+    /// `s` lies within `r`, with boundary contact (converse of
+    /// `CoveredBy`).
+    Covers,
+}
+
+impl TopoRelation {
+    /// All eight relations, in *most-specific-first* verification order.
+    ///
+    /// Refinement (Sec 3.2) compares a computed DE-9IM matrix against
+    /// relation masks "in a specific-to-general order"; this is that
+    /// order. `Equals` precedes the containment family (its mask implies
+    /// both `CoveredBy` and `Covers`), strict containment precedes the
+    /// covers family, `Meets` precedes generic `Intersects`, and
+    /// `Disjoint` closes the list.
+    pub const SPECIFIC_TO_GENERAL: [TopoRelation; 8] = [
+        TopoRelation::Equals,
+        TopoRelation::Inside,
+        TopoRelation::Contains,
+        TopoRelation::CoveredBy,
+        TopoRelation::Covers,
+        TopoRelation::Meets,
+        TopoRelation::Intersects,
+        TopoRelation::Disjoint,
+    ];
+
+    /// The converse relation: `rel(r, s)` ⇔ `rel.converse()(s, r)`.
+    pub fn converse(self) -> TopoRelation {
+        match self {
+            TopoRelation::Inside => TopoRelation::Contains,
+            TopoRelation::Contains => TopoRelation::Inside,
+            TopoRelation::CoveredBy => TopoRelation::Covers,
+            TopoRelation::Covers => TopoRelation::CoveredBy,
+            other => other,
+        }
+    }
+
+    /// Whether a pair in relation `self` necessarily also satisfies
+    /// `general` — the Venn containments of Figure 2.
+    ///
+    /// Every relation implies itself; `Equals` implies both covered
+    /// variants; strict containment implies the corresponding covers
+    /// variant; everything except `Disjoint` implies `Intersects`.
+    pub fn implies(self, general: TopoRelation) -> bool {
+        use TopoRelation::*;
+        if self == general {
+            return true;
+        }
+        matches!(
+            (self, general),
+            (Equals, CoveredBy | Covers | Intersects)
+                | (Inside, CoveredBy | Intersects)
+                | (Contains, Covers | Intersects)
+                | (CoveredBy | Covers | Meets, Intersects)
+        )
+    }
+
+    /// Whether the relation holds for a computed DE-9IM matrix, per the
+    /// Figure 1(a) semantics (Table 1 masks, with the strict/touching
+    /// containment split decided by the boundary–boundary cell).
+    pub fn holds(self, m: &De9Im) -> bool {
+        use TopoRelation::*;
+        let bb = m.get(Part::Boundary, Part::Boundary);
+        match self {
+            Inside => mask::matrix_satisfies(m, Inside) && !bb,
+            Contains => mask::matrix_satisfies(m, Contains) && !bb,
+            // `Equals` would also pass the CoveredBy/Covers masks; keep
+            // the covered variants as strict supersets of equals but
+            // distinct from strict containment.
+            CoveredBy => mask::matrix_satisfies(m, CoveredBy),
+            Covers => mask::matrix_satisfies(m, Covers),
+            other => mask::matrix_satisfies(m, other),
+        }
+    }
+
+    /// The most specific relation satisfied by matrix `m`.
+    ///
+    /// Walks [`TopoRelation::SPECIFIC_TO_GENERAL`] and returns the first
+    /// hit. Every matrix matches at least `Intersects` or `Disjoint`.
+    pub fn most_specific(m: &De9Im) -> TopoRelation {
+        for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+            if rel.holds(m) {
+                return rel;
+            }
+        }
+        unreachable!("a DE-9IM matrix is always intersects or disjoint")
+    }
+}
+
+impl fmt::Display for TopoRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TopoRelation::Disjoint => "disjoint",
+            TopoRelation::Intersects => "intersects",
+            TopoRelation::Meets => "meets",
+            TopoRelation::Equals => "equals",
+            TopoRelation::Inside => "inside",
+            TopoRelation::Contains => "contains",
+            TopoRelation::CoveredBy => "covered by",
+            TopoRelation::Covers => "covers",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TopoRelation::*;
+
+    #[test]
+    fn converse_is_involutive() {
+        for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+            assert_eq!(rel.converse().converse(), rel);
+        }
+        assert_eq!(Inside.converse(), Contains);
+        assert_eq!(Covers.converse(), CoveredBy);
+        assert_eq!(Meets.converse(), Meets);
+        assert_eq!(Equals.converse(), Equals);
+    }
+
+    #[test]
+    fn implication_hierarchy() {
+        assert!(Equals.implies(CoveredBy));
+        assert!(Equals.implies(Covers));
+        assert!(Equals.implies(Intersects));
+        assert!(Inside.implies(CoveredBy));
+        assert!(!Inside.implies(Covers));
+        assert!(Contains.implies(Covers));
+        assert!(Meets.implies(Intersects));
+        assert!(!Disjoint.implies(Intersects));
+        assert!(!Intersects.implies(Meets));
+        for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+            assert!(rel.implies(rel));
+        }
+    }
+
+    #[test]
+    fn most_specific_on_canonical_matrices() {
+        assert_eq!(TopoRelation::most_specific(&De9Im::DISJOINT), Disjoint);
+        assert_eq!(TopoRelation::most_specific(&De9Im::ALL_TRUE), Intersects);
+        // Strict containment (no boundary contact).
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("TFFTFFTTT")),
+            Inside
+        );
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("TTTFFTFFT")),
+            Contains
+        );
+        // Containment with boundary contact.
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("TFFTTFTTT")),
+            CoveredBy
+        );
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("TTTFTTFFT")),
+            Covers
+        );
+        // Equal geometries.
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("TFFFTFFFT")),
+            Equals
+        );
+        // Boundary-only contact.
+        assert_eq!(
+            TopoRelation::most_specific(&De9Im::from_code("FFTFTTTTT")),
+            Meets
+        );
+    }
+
+    #[test]
+    fn most_specific_implies_all_satisfied_generalizations() {
+        // For each canonical matrix, the most specific relation must imply
+        // every other relation that holds for the matrix.
+        for code in [
+            "FFTFFTTTT",
+            "TTTTTTTTT",
+            "TFFTFFTTT",
+            "TTTFFTFFT",
+            "TFFTTFTTT",
+            "TTTFTTFFT",
+            "TFFFTFFFT",
+            "FFTFTTTTT",
+        ] {
+            let m = De9Im::from_code(code);
+            let best = TopoRelation::most_specific(&m);
+            for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+                if rel.holds(&m) {
+                    assert!(
+                        best.implies(rel) || best == rel,
+                        "{code}: most specific {best:?} does not imply satisfied {rel:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CoveredBy.to_string(), "covered by");
+        assert_eq!(Intersects.to_string(), "intersects");
+    }
+}

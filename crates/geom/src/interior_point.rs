@@ -1,0 +1,173 @@
+//! Representative interior point of a polygon.
+//!
+//! The DE-9IM engine needs, for each polygon, one point guaranteed to lie
+//! strictly in its interior (see `stj-de9im`'s completeness argument: for
+//! a valid polygon-with-holes the interior is connected, so a single
+//! representative point closes the shared-boundary cases). The classic
+//! construction: pick a horizontal scanline that passes through no vertex,
+//! intersect it with all boundary edges, and take the midpoint of the
+//! widest interior interval.
+
+use crate::point::Point;
+use crate::polygon::{Location, Polygon};
+
+/// Computes a point strictly inside `poly`.
+///
+/// Chooses a scanline `y` strictly between two consecutive distinct vertex
+/// ordinates (so no vertex lies on it), collects the exact crossing
+/// abscissae of all edges with the line, and returns the midpoint of the
+/// widest inside interval between consecutive crossings.
+///
+/// # Panics
+/// Panics if no interior point can be found, which cannot happen for a
+/// valid polygon with non-empty interior.
+pub fn interior_point(poly: &Polygon) -> Point {
+    // Candidate scanlines: midpoints of gaps between consecutive distinct
+    // vertex ordinates, tried from the largest gap down. A valid polygon
+    // has interior at some gap; trying several guards against degenerate
+    // slivers where one gap's interior intervals are empty.
+    let mut ys: Vec<f64> = poly
+        .outer()
+        .vertices()
+        .iter()
+        .chain(poly.holes().iter().flat_map(|h| h.vertices().iter()))
+        .map(|p| p.y)
+        .collect();
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ys.dedup();
+
+    let mut gaps: Vec<(f64, f64)> = ys
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| (w[1] - w[0], (w[0] + w[1]) * 0.5))
+        .collect();
+    // Widest gaps first: most likely to contain fat interior intervals.
+    gaps.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+
+    for &(_, y) in &gaps {
+        if let Some(p) = interior_point_on_scanline(poly, y) {
+            return p;
+        }
+    }
+    // Fallback: sample midpoints between scanline crossings for every gap
+    // midpoint failed — should be unreachable for valid polygons.
+    panic!("interior_point: polygon has no detectable interior");
+}
+
+/// Finds the widest interior interval of `poly` on the horizontal line at
+/// `y` (assumed to avoid all vertices) and returns its midpoint.
+fn interior_point_on_scanline(poly: &Polygon, y: f64) -> Option<Point> {
+    let mut xs: Vec<f64> = Vec::new();
+    for e in poly.edges() {
+        let (a, b) = (e.a, e.b);
+        // The scanline avoids vertices, so spanning is strict.
+        if (a.y < y && b.y > y) || (b.y < y && a.y > y) {
+            let t = (y - a.y) / (b.y - a.y);
+            xs.push(a.x + t * (b.x - a.x));
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // Crossing parity: interval (xs[0], xs[1]) is inside, (xs[1], xs[2])
+    // outside, and so on. Pick the widest inside interval whose midpoint
+    // verifies as interior (verification guards against rounding in the
+    // crossing abscissae).
+    let mut best: Option<(f64, Point)> = None;
+    for k in (0..xs.len().saturating_sub(1)).step_by(2) {
+        let w = xs[k + 1] - xs[k];
+        if w <= 0.0 {
+            continue;
+        }
+        let cand = Point::new((xs[k] + xs[k + 1]) * 0.5, y);
+        if poly.locate(cand) == Location::Inside
+            && best.as_ref().is_none_or(|(bw, _)| w > *bw)
+        {
+            best = Some((w, cand));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn assert_interior(poly: &Polygon) {
+        let p = interior_point(poly);
+        assert_eq!(poly.locate(p), Location::Inside, "point {p:?} not inside");
+    }
+
+    #[test]
+    fn convex() {
+        let p = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![],
+        )
+        .unwrap();
+        assert_interior(&p);
+    }
+
+    #[test]
+    fn with_hole() {
+        // Hole occupies the center; interior point must land in the ring
+        // of material around it.
+        let p = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(1.0, 1.0), (9.0, 1.0), (9.0, 9.0), (1.0, 9.0)]],
+        )
+        .unwrap();
+        assert_interior(&p);
+    }
+
+    #[test]
+    fn concave_c_shape() {
+        let p = Polygon::from_coords(
+            vec![
+                (0.0, 0.0),
+                (10.0, 0.0),
+                (10.0, 3.0),
+                (3.0, 3.0),
+                (3.0, 7.0),
+                (10.0, 7.0),
+                (10.0, 10.0),
+                (0.0, 10.0),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert_interior(&p);
+    }
+
+    #[test]
+    fn thin_triangle() {
+        let p = Polygon::from_coords(vec![(0.0, 0.0), (100.0, 0.001), (100.0, 0.002)], vec![])
+            .unwrap();
+        assert_interior(&p);
+    }
+
+    #[test]
+    fn many_random_star_polygons() {
+        // Deterministic pseudo-random star polygons of varying complexity.
+        let mut seed = 42u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [3usize, 5, 8, 17, 64, 257] {
+            let mut pts = Vec::with_capacity(n);
+            for i in 0..n {
+                let ang = (i as f64 / n as f64) * std::f64::consts::TAU;
+                let r = 1.0 + 4.0 * rnd();
+                pts.push((100.0 + r * ang.cos(), 200.0 + r * ang.sin()));
+            }
+            let p = Polygon::from_coords(pts, vec![]).unwrap();
+            assert_interior(&p);
+        }
+    }
+}

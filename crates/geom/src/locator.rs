@@ -1,0 +1,175 @@
+//! Accelerated point location over a boundary edge set.
+//!
+//! DE-9IM refinement classifies O(n) sub-edge midpoints against each
+//! polygon; a naive O(n) point-in-polygon per query makes refinement
+//! O(n²). [`EdgeSetLocator`] buckets edges into horizontal strips so each
+//! even–odd parity query only visits edges whose y-span overlaps the query
+//! strip — expected O(1)–O(√n) edges per query for real-world boundaries.
+//!
+//! The even–odd rule over the *complete* boundary edge set gives correct
+//! interior/exterior classification for valid polygons with holes and
+//! multi-polygons alike, because every ring contributes its crossings.
+
+use crate::point::Point;
+use crate::polygon::Location;
+use crate::predicates::{orient2d, point_on_segment, Orientation};
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// Strip-indexed even–odd point locator over a set of boundary edges.
+pub struct EdgeSetLocator {
+    edges: Vec<Segment>,
+    /// Edge indices per horizontal strip.
+    strips: Vec<Vec<u32>>,
+    y0: f64,
+    inv_dy: f64,
+    mbr: Rect,
+}
+
+impl EdgeSetLocator {
+    /// Builds a locator over `edges` (the complete boundary of one areal
+    /// geometry). The strip count scales with the edge count.
+    pub fn new(edges: Vec<Segment>) -> Self {
+        assert!(!edges.is_empty(), "locator requires at least one edge");
+        let mut mbr = Rect::empty();
+        for e in &edges {
+            mbr.grow_rect(&e.mbr());
+        }
+        let n_strips = (edges.len() / 4).clamp(1, 4096);
+        let height = (mbr.max.y - mbr.min.y).max(f64::MIN_POSITIVE);
+        let dy = height / n_strips as f64;
+        let inv_dy = 1.0 / dy;
+        let y0 = mbr.min.y;
+        let strip_of = |y: f64| -> usize {
+            (((y - y0) * inv_dy) as isize).clamp(0, n_strips as isize - 1) as usize
+        };
+        let mut strips = vec![Vec::new(); n_strips];
+        for (i, e) in edges.iter().enumerate() {
+            let lo = strip_of(e.a.y.min(e.b.y));
+            let hi = strip_of(e.a.y.max(e.b.y));
+            for s in &mut strips[lo..=hi] {
+                s.push(i as u32);
+            }
+        }
+        EdgeSetLocator {
+            edges,
+            strips,
+            y0,
+            inv_dy,
+            mbr,
+        }
+    }
+
+    /// The edge set's MBR.
+    #[inline]
+    pub fn mbr(&self) -> &Rect {
+        &self.mbr
+    }
+
+    /// The underlying edges, in construction order.
+    #[inline]
+    pub fn edges(&self) -> &[Segment] {
+        &self.edges
+    }
+
+    /// Exact even–odd location of `p` relative to the region bounded by
+    /// the edge set.
+    pub fn locate(&self, p: Point) -> Location {
+        if !self.mbr.contains_point(p) {
+            return Location::Outside;
+        }
+        let si = (((p.y - self.y0) * self.inv_dy) as isize)
+            .clamp(0, self.strips.len() as isize - 1) as usize;
+        let mut inside = false;
+        for &ei in &self.strips[si] {
+            let e = self.edges[ei as usize];
+            if point_on_segment(p, e.a, e.b) {
+                return Location::Boundary;
+            }
+            if (e.a.y > p.y) != (e.b.y > p.y) {
+                let (lo, hi) = if e.a.y < e.b.y { (e.a, e.b) } else { (e.b, e.a) };
+                if orient2d(lo, hi, p) == Orientation::CounterClockwise {
+                    inside = !inside;
+                }
+            }
+        }
+        if inside {
+            Location::Inside
+        } else {
+            Location::Outside
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::Polygon;
+
+    fn locator_of(p: &Polygon) -> EdgeSetLocator {
+        EdgeSetLocator::new(p.edges().collect())
+    }
+
+    #[test]
+    fn agrees_with_polygon_locate_on_grid() {
+        let poly = Polygon::from_coords(
+            vec![
+                (0.0, 0.0),
+                (10.0, 0.0),
+                (10.0, 3.0),
+                (3.0, 3.0),
+                (3.0, 7.0),
+                (10.0, 7.0),
+                (10.0, 10.0),
+                (0.0, 10.0),
+            ],
+            vec![vec![(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)]],
+        )
+        .unwrap();
+        let loc = locator_of(&poly);
+        for i in -2..=22 {
+            for j in -2..=22 {
+                let p = Point::new(i as f64 * 0.5, j as f64 * 0.5);
+                assert_eq!(loc.locate(p), poly.locate(p), "at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let poly = Polygon::from_coords(
+            vec![(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
+            vec![],
+        )
+        .unwrap();
+        let loc = locator_of(&poly);
+        assert_eq!(loc.locate(Point::new(2.0, 0.0)), Location::Boundary);
+        assert_eq!(loc.locate(Point::new(4.0, 4.0)), Location::Boundary);
+        assert_eq!(loc.locate(Point::new(2.0, 2.0)), Location::Inside);
+        assert_eq!(loc.locate(Point::new(5.0, 2.0)), Location::Outside);
+    }
+
+    #[test]
+    fn agrees_on_random_star_polygon() {
+        let mut seed = 7u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 200;
+        let mut pts = Vec::with_capacity(n);
+        for i in 0..n {
+            let ang = (i as f64 / n as f64) * std::f64::consts::TAU;
+            let r = 5.0 + 10.0 * rnd();
+            pts.push((r * ang.cos(), r * ang.sin()));
+        }
+        let poly = Polygon::from_coords(pts, vec![]).unwrap();
+        let loc = locator_of(&poly);
+        for _ in 0..2000 {
+            let p = Point::new(rnd() * 40.0 - 20.0, rnd() * 40.0 - 20.0);
+            assert_eq!(loc.locate(p), poly.locate(p), "at {p:?}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Multi-polygons and the [`Areal`] abstraction shared by the DE-9IM
+//! engine.
+
+use crate::interior_point::interior_point;
+use crate::point::Point;
+use crate::polygon::{Location, Polygon};
+use crate::rect::Rect;
+use crate::segment::Segment;
+
+/// Behaviour required of an areal geometry by the topology algorithms:
+/// boundary edge enumeration, exact point location, and one representative
+/// interior point per connected interior component.
+///
+/// Implemented by [`Polygon`] (one component) and [`MultiPolygon`] (one
+/// per member). The DE-9IM completeness argument (see `stj-de9im`) needs
+/// exactly these three capabilities.
+pub trait Areal {
+    /// The geometry's MBR.
+    fn mbr(&self) -> Rect;
+    /// All boundary edges (every ring of every component).
+    fn collect_edges(&self, out: &mut Vec<Segment>);
+    /// Exact location of `p` (interior / boundary / exterior).
+    fn locate(&self, p: Point) -> Location;
+    /// One strictly-interior point per connected interior component.
+    fn interior_points(&self) -> Vec<Point>;
+    /// Total vertex count (the paper's complexity measure).
+    fn num_vertices(&self) -> usize;
+}
+
+impl Areal for Polygon {
+    fn mbr(&self) -> Rect {
+        *Polygon::mbr(self)
+    }
+
+    fn collect_edges(&self, out: &mut Vec<Segment>) {
+        out.extend(self.edges());
+    }
+
+    fn locate(&self, p: Point) -> Location {
+        Polygon::locate(self, p)
+    }
+
+    fn interior_points(&self) -> Vec<Point> {
+        vec![interior_point(self)]
+    }
+
+    fn num_vertices(&self) -> usize {
+        Polygon::num_vertices(self)
+    }
+}
+
+/// A collection of disjoint polygons treated as one areal geometry.
+///
+/// Validity assumption (OGC): members' interiors are pairwise disjoint;
+/// boundaries may touch at finitely many points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiPolygon {
+    members: Vec<Polygon>,
+    mbr: Rect,
+}
+
+impl MultiPolygon {
+    /// Builds a multi-polygon from its members.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty (an empty geometry has no MBR and no
+    /// meaningful topology).
+    pub fn new(members: Vec<Polygon>) -> Self {
+        assert!(!members.is_empty(), "MultiPolygon requires >= 1 member");
+        let mut mbr = Rect::empty();
+        for m in &members {
+            mbr.grow_rect(m.mbr());
+        }
+        MultiPolygon { members, mbr }
+    }
+
+    /// The member polygons.
+    #[inline]
+    pub fn members(&self) -> &[Polygon] {
+        &self.members
+    }
+
+    /// The multi-polygon's MBR.
+    #[inline]
+    pub fn mbr(&self) -> &Rect {
+        &self.mbr
+    }
+
+    /// Total enclosed area.
+    pub fn area(&self) -> f64 {
+        self.members.iter().map(Polygon::area).sum()
+    }
+}
+
+impl Areal for MultiPolygon {
+    fn mbr(&self) -> Rect {
+        self.mbr
+    }
+
+    fn collect_edges(&self, out: &mut Vec<Segment>) {
+        for m in &self.members {
+            out.extend(m.edges());
+        }
+    }
+
+    fn locate(&self, p: Point) -> Location {
+        // Members have disjoint interiors: the first non-outside answer
+        // wins, except that a boundary hit must not be overridden.
+        let mut loc = Location::Outside;
+        for m in &self.members {
+            match m.locate(p) {
+                Location::Inside => return Location::Inside,
+                Location::Boundary => loc = Location::Boundary,
+                Location::Outside => {}
+            }
+        }
+        loc
+    }
+
+    fn interior_points(&self) -> Vec<Point> {
+        self.members.iter().map(interior_point).collect()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.members.iter().map(Polygon::num_vertices).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rect(Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    #[test]
+    fn mbr_and_area() {
+        let mp = MultiPolygon::new(vec![sq(0.0, 0.0, 1.0, 1.0), sq(5.0, 5.0, 7.0, 7.0)]);
+        assert_eq!(*mp.mbr(), Rect::from_coords(0.0, 0.0, 7.0, 7.0));
+        assert_eq!(mp.area(), 1.0 + 4.0);
+        assert_eq!(Areal::num_vertices(&mp), 8);
+    }
+
+    #[test]
+    fn locate_across_members() {
+        let mp = MultiPolygon::new(vec![sq(0.0, 0.0, 1.0, 1.0), sq(5.0, 5.0, 7.0, 7.0)]);
+        assert_eq!(Areal::locate(&mp, Point::new(0.5, 0.5)), Location::Inside);
+        assert_eq!(Areal::locate(&mp, Point::new(6.0, 6.0)), Location::Inside);
+        assert_eq!(Areal::locate(&mp, Point::new(3.0, 3.0)), Location::Outside);
+        assert_eq!(Areal::locate(&mp, Point::new(1.0, 0.5)), Location::Boundary);
+    }
+
+    #[test]
+    fn interior_points_one_per_member() {
+        let mp = MultiPolygon::new(vec![sq(0.0, 0.0, 1.0, 1.0), sq(5.0, 5.0, 7.0, 7.0)]);
+        let pts = Areal::interior_points(&mp);
+        assert_eq!(pts.len(), 2);
+        for p in pts {
+            assert_eq!(Areal::locate(&mp, p), Location::Inside);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        let _ = MultiPolygon::new(vec![]);
+    }
+
+    #[test]
+    fn polygon_implements_areal() {
+        let p = sq(0.0, 0.0, 4.0, 4.0);
+        let mut edges = Vec::new();
+        Areal::collect_edges(&p, &mut edges);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(Areal::interior_points(&p).len(), 1);
+        assert_eq!(Areal::mbr(&p), Rect::from_coords(0.0, 0.0, 4.0, 4.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! 2-D points with `f64` coordinates.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the Euclidean plane.
+///
+/// Coordinates are finite `f64` values. All higher-level types in this
+/// crate (segments, rings, polygons) are built from `Point`s, and the
+/// robust predicates in [`crate::predicates`] give exact answers for any
+/// finite coordinates, so no particular coordinate scale is required.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] when only comparisons are needed,
+    /// as it avoids the square root.
+    #[inline]
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Lexicographic comparison (x first, then y).
+    ///
+    /// Total order for finite coordinates; used by sweep algorithms to
+    /// order event points deterministically.
+    #[inline]
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .expect("non-finite coordinate")
+            .then(self.y.partial_cmp(&other.y).expect("non-finite coordinate"))
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(-2.0, 4.0);
+        let b = Point::new(6.0, -8.0);
+        assert_eq!(a.midpoint(b), Point::new(2.0, -2.0));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(1.0, 6.0);
+        assert_eq!(a.lex_cmp(&b), Ordering::Less);
+        assert_eq!(b.lex_cmp(&a), Ordering::Greater);
+        assert_eq!(a.lex_cmp(&c), Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a + b, Point::new(11.0, 22.0));
+        assert_eq!(b - a, Point::new(9.0, 18.0));
+        assert_eq!(a * 3.0, Point::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,241 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, used throughout the pipeline as a minimum
+/// bounding rectangle (MBR).
+///
+/// A `Rect` is *closed*: its boundary belongs to it. Degenerate rectangles
+/// (zero width and/or height) are permitted — a point MBR is a valid MBR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner points, normalizing the order.
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from `(xmin, ymin, xmax, ymax)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `xmin > xmax` or `ymin > ymax`.
+    #[inline]
+    pub fn from_coords(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
+        debug_assert!(xmin <= xmax && ymin <= ymax, "inverted rect");
+        Rect {
+            min: Point::new(xmin, ymin),
+            max: Point::new(xmax, ymax),
+        }
+    }
+
+    /// The empty-accumulator rectangle: growing it with any point yields
+    /// that point's MBR.
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Whether this rectangle is the empty accumulator (contains nothing).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest rectangle covering a non-empty point set.
+    pub fn of_points<I: IntoIterator<Item = Point>>(pts: I) -> Self {
+        let mut r = Rect::empty();
+        for p in pts {
+            r.grow_point(p);
+        }
+        r
+    }
+
+    /// Expands the rectangle to cover `p`.
+    #[inline]
+    pub fn grow_point(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Expands the rectangle to cover `other`.
+    #[inline]
+    pub fn grow_rect(&mut self, other: &Rect) {
+        self.min.x = self.min.x.min(other.min.x);
+        self.min.y = self.min.y.min(other.min.y);
+        self.max.x = self.max.x.max(other.max.x);
+        self.max.y = self.max.y.max(other.max.y);
+    }
+
+    /// Width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area. Zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Closed intersection test: shared boundary points count as
+    /// intersecting (two MBRs that merely touch *do* intersect).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Whether `self` contains `other` entirely (closed containment:
+    /// equality counts).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Whether `self` contains point `p` (closed: boundary counts).
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// Whether `p` is in the interior of `self` (boundary excluded).
+    #[inline]
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        self.min.x < p.x && p.x < self.max.x && self.min.y < p.y && p.y < self.max.y
+    }
+
+    /// Intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::from_coords(
+            self.min.x.max(other.min.x),
+            self.min.y.max(other.min.y),
+            self.max.x.min(other.max.x),
+            self.max.y.min(other.max.y),
+        ))
+    }
+
+    /// Serialized size in bytes of an MBR record (4 × f64), used by the
+    /// Table 2 storage accounting.
+    pub const SERIALIZED_BYTES: usize = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let a = Rect::new(Point::new(5.0, 1.0), Point::new(2.0, 7.0));
+        assert_eq!(a, r(2.0, 1.0, 5.0, 7.0));
+    }
+
+    #[test]
+    fn empty_and_grow() {
+        let mut e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        e.grow_point(Point::new(1.0, 2.0));
+        assert!(!e.is_empty());
+        assert_eq!(e, r(1.0, 2.0, 1.0, 2.0));
+        e.grow_point(Point::new(-1.0, 5.0));
+        assert_eq!(e, r(-1.0, 2.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn of_points_covers_all() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, -2.0),
+            Point::new(1.0, 9.0),
+        ];
+        let b = Rect::of_points(pts);
+        assert_eq!(b, r(0.0, -2.0, 3.0, 9.0));
+        for p in pts {
+            assert!(b.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert!(a.intersects(&r(5.0, 5.0, 15.0, 15.0)));
+        assert!(a.intersects(&r(10.0, 0.0, 20.0, 10.0))); // touching edge
+        assert!(a.intersects(&r(10.0, 10.0, 20.0, 20.0))); // touching corner
+        assert!(!a.intersects(&r(10.1, 0.0, 20.0, 10.0)));
+        assert!(!a.intersects(&r(0.0, -5.0, 10.0, -0.1)));
+    }
+
+    #[test]
+    fn containment() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        assert!(a.contains_rect(&r(1.0, 1.0, 9.0, 9.0)));
+        assert!(a.contains_rect(&a)); // closed: equality counts
+        assert!(!a.contains_rect(&r(1.0, 1.0, 11.0, 9.0)));
+        assert!(a.contains_point(Point::new(0.0, 5.0)));
+        assert!(!a.contains_point_strict(Point::new(0.0, 5.0)));
+        assert!(a.contains_point_strict(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn intersection_rect() {
+        let a = r(0.0, 0.0, 10.0, 10.0);
+        let b = r(5.0, -5.0, 15.0, 5.0);
+        assert_eq!(a.intersection(&b), Some(r(5.0, 0.0, 10.0, 5.0)));
+        assert_eq!(a.intersection(&r(20.0, 20.0, 30.0, 30.0)), None);
+        // Touching rectangles intersect in a degenerate rect.
+        let t = a.intersection(&r(10.0, 0.0, 20.0, 10.0)).unwrap();
+        assert_eq!(t.area(), 0.0);
+        assert_eq!(t.width(), 0.0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let a = r(1.0, 2.0, 5.0, 10.0);
+        assert_eq!(a.width(), 4.0);
+        assert_eq!(a.height(), 8.0);
+        assert_eq!(a.area(), 32.0);
+        assert_eq!(a.center(), Point::new(3.0, 6.0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Exact segment–segment intersection classification.
+//!
+//! The DE-9IM engine does not merely need to know *whether* two boundary
+//! segments intersect — it needs to know *how*:
+//!
+//! - a **proper crossing** (interiors cross transversally) immediately
+//!   decides the whole DE-9IM matrix (see `stj-de9im`);
+//! - a **touch** (a single shared point involving an endpoint) becomes a
+//!   noding point where boundaries are split;
+//! - a **collinear overlap** contributes sub-edges lying *on* the other
+//!   boundary.
+//!
+//! Classification is exact because it is driven entirely by
+//! [`orient2d`]; only the *coordinates* of a
+//! proper crossing point are computed in floating point (their topology —
+//! strictly inside both segments — is already certified).
+
+use crate::point::Point;
+use crate::predicates::{orient2d, point_on_segment, Orientation};
+use crate::segment::Segment;
+
+/// How two segments intersect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SegSegIntersection {
+    /// The segments share no point.
+    None,
+    /// The segment interiors cross transversally at a single point that is
+    /// strictly inside both segments.
+    Proper(Point),
+    /// The segments share exactly one point and at least one endpoint is
+    /// involved (endpoint-endpoint or endpoint-on-interior).
+    Touch(Point),
+    /// The segments are collinear and share a non-degenerate sub-segment;
+    /// the payload is that sub-segment's endpoints (in lexicographic
+    /// order).
+    CollinearOverlap(Point, Point),
+}
+
+impl SegSegIntersection {
+    /// `true` unless the segments are disjoint.
+    #[inline]
+    pub fn is_some(&self) -> bool {
+        !matches!(self, SegSegIntersection::None)
+    }
+}
+
+/// Classifies the intersection of two closed segments.
+pub fn intersect_segments(s1: Segment, s2: Segment) -> SegSegIntersection {
+    // Degenerate segments reduce to point-on-segment tests.
+    match (s1.is_degenerate(), s2.is_degenerate()) {
+        (true, true) => {
+            return if s1.a == s2.a {
+                SegSegIntersection::Touch(s1.a)
+            } else {
+                SegSegIntersection::None
+            };
+        }
+        (true, false) => {
+            return if point_on_segment(s1.a, s2.a, s2.b) {
+                SegSegIntersection::Touch(s1.a)
+            } else {
+                SegSegIntersection::None
+            };
+        }
+        (false, true) => {
+            return if point_on_segment(s2.a, s1.a, s1.b) {
+                SegSegIntersection::Touch(s2.a)
+            } else {
+                SegSegIntersection::None
+            };
+        }
+        (false, false) => {}
+    }
+
+    if !s1.mbr().intersects(&s2.mbr()) {
+        return SegSegIntersection::None;
+    }
+
+    let o1 = orient2d(s1.a, s1.b, s2.a);
+    let o2 = orient2d(s1.a, s1.b, s2.b);
+    let o3 = orient2d(s2.a, s2.b, s1.a);
+    let o4 = orient2d(s2.a, s2.b, s1.b);
+
+    use Orientation::Collinear as C;
+
+    // All collinear: overlap along the common supporting line.
+    if o1 == C && o2 == C && o3 == C && o4 == C {
+        return collinear_overlap(s1, s2);
+    }
+
+    // Proper crossing: strict side changes on both segments.
+    if o1 != C && o2 != C && o3 != C && o4 != C && o1 != o2 && o3 != o4 {
+        return SegSegIntersection::Proper(crossing_point(s1, s2));
+    }
+
+    // Remaining possibility: a touch at an endpoint, if any.
+    // (An endpoint of one segment lies on the other.)
+    for p in [s2.a, s2.b] {
+        if point_on_segment(p, s1.a, s1.b) {
+            return SegSegIntersection::Touch(p);
+        }
+    }
+    for p in [s1.a, s1.b] {
+        if point_on_segment(p, s2.a, s2.b) {
+            return SegSegIntersection::Touch(p);
+        }
+    }
+    SegSegIntersection::None
+}
+
+/// Overlap of two collinear segments: none, a single shared point, or a
+/// shared sub-segment.
+fn collinear_overlap(s1: Segment, s2: Segment) -> SegSegIntersection {
+    // Order each segment's endpoints lexicographically and intersect the
+    // 1-D ranges along the dominant axis (lexicographic order is a valid
+    // linear order along any fixed line).
+    let (a1, b1) = lex_sorted(s1);
+    let (a2, b2) = lex_sorted(s2);
+    let lo = if a1.lex_cmp(&a2).is_lt() { a2 } else { a1 };
+    let hi = if b1.lex_cmp(&b2).is_lt() { b1 } else { b2 };
+    match lo.lex_cmp(&hi) {
+        std::cmp::Ordering::Greater => SegSegIntersection::None,
+        std::cmp::Ordering::Equal => SegSegIntersection::Touch(lo),
+        std::cmp::Ordering::Less => SegSegIntersection::CollinearOverlap(lo, hi),
+    }
+}
+
+#[inline]
+fn lex_sorted(s: Segment) -> (Point, Point) {
+    if s.a.lex_cmp(&s.b).is_le() {
+        (s.a, s.b)
+    } else {
+        (s.b, s.a)
+    }
+}
+
+/// Coordinates of the proper crossing point of two segments already known
+/// to cross transversally. Computed with the standard parametric formula;
+/// the result is clamped into both segments' MBR intersection so that
+/// rounding cannot move it outside either bounding box.
+fn crossing_point(s1: Segment, s2: Segment) -> Point {
+    let d1 = s1.b - s1.a;
+    let d2 = s2.b - s2.a;
+    let denom = d1.x * d2.y - d1.y * d2.x;
+    debug_assert!(denom != 0.0, "proper crossing implies non-parallel");
+    let t = ((s2.a.x - s1.a.x) * d2.y - (s2.a.y - s1.a.y) * d2.x) / denom;
+    let p = s1.at(t.clamp(0.0, 1.0));
+    // Clamp into the overlap box for numerical hygiene.
+    if let Some(ib) = s1.mbr().intersection(&s2.mbr()) {
+        Point::new(p.x.clamp(ib.min.x, ib.max.x), p.y.clamp(ib.min.y, ib.max.y))
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let r = intersect_segments(seg(0.0, 0.0, 10.0, 10.0), seg(0.0, 10.0, 10.0, 0.0));
+        assert_eq!(r, SegSegIntersection::Proper(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn disjoint() {
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 1.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)),
+            SegSegIntersection::None
+        );
+        // MBRs overlap but segments don't touch.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 4.0, 4.0), seg(3.0, 0.0, 4.0, 0.5)),
+            SegSegIntersection::None
+        );
+    }
+
+    #[test]
+    fn endpoint_touches() {
+        // Shared endpoint.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 1.0, 1.0), seg(1.0, 1.0, 2.0, 0.0)),
+            SegSegIntersection::Touch(Point::new(1.0, 1.0))
+        );
+        // Endpoint on interior (T junction).
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 10.0, 0.0), seg(5.0, 0.0, 5.0, 5.0)),
+            SegSegIntersection::Touch(Point::new(5.0, 0.0))
+        );
+        // Symmetric T junction.
+        assert_eq!(
+            intersect_segments(seg(5.0, 0.0, 5.0, 5.0), seg(0.0, 0.0, 10.0, 0.0)),
+            SegSegIntersection::Touch(Point::new(5.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn collinear_cases() {
+        // Overlapping sub-segment.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 10.0, 0.0), seg(5.0, 0.0, 15.0, 0.0)),
+            SegSegIntersection::CollinearOverlap(Point::new(5.0, 0.0), Point::new(10.0, 0.0))
+        );
+        // Containment.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 10.0, 0.0), seg(2.0, 0.0, 4.0, 0.0)),
+            SegSegIntersection::CollinearOverlap(Point::new(2.0, 0.0), Point::new(4.0, 0.0))
+        );
+        // Collinear, touching end-to-end: single point.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 5.0, 0.0), seg(5.0, 0.0, 9.0, 0.0)),
+            SegSegIntersection::Touch(Point::new(5.0, 0.0))
+        );
+        // Collinear but disjoint.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 5.0, 0.0), seg(6.0, 0.0, 9.0, 0.0)),
+            SegSegIntersection::None
+        );
+        // Identical segments.
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 5.0, 5.0), seg(0.0, 0.0, 5.0, 5.0)),
+            SegSegIntersection::CollinearOverlap(Point::new(0.0, 0.0), Point::new(5.0, 5.0))
+        );
+        // Vertical collinear overlap (exercises lexicographic ordering on y).
+        assert_eq!(
+            intersect_segments(seg(1.0, 0.0, 1.0, 10.0), seg(1.0, 8.0, 1.0, 20.0)),
+            SegSegIntersection::CollinearOverlap(Point::new(1.0, 8.0), Point::new(1.0, 10.0))
+        );
+    }
+
+    #[test]
+    fn degenerate_segments() {
+        let p = seg(3.0, 3.0, 3.0, 3.0);
+        assert_eq!(
+            intersect_segments(p, seg(0.0, 0.0, 6.0, 6.0)),
+            SegSegIntersection::Touch(Point::new(3.0, 3.0))
+        );
+        assert_eq!(
+            intersect_segments(seg(0.0, 0.0, 6.0, 6.0), p),
+            SegSegIntersection::Touch(Point::new(3.0, 3.0))
+        );
+        assert_eq!(intersect_segments(p, p), SegSegIntersection::Touch(Point::new(3.0, 3.0)));
+        assert_eq!(
+            intersect_segments(p, seg(4.0, 4.0, 4.0, 4.0)),
+            SegSegIntersection::None
+        );
+        assert_eq!(
+            intersect_segments(p, seg(0.0, 1.0, 6.0, 7.0)),
+            SegSegIntersection::None
+        );
+    }
+
+    #[test]
+    fn proper_crossing_point_stays_in_boxes() {
+        let s1 = seg(0.1, 0.1, 9.7, 3.3);
+        let s2 = seg(2.0, 5.0, 4.0, -5.0);
+        match intersect_segments(s1, s2) {
+            SegSegIntersection::Proper(p) => {
+                assert!(s1.mbr().contains_point(p));
+                assert!(s2.mbr().contains_point(p));
+            }
+            other => panic!("expected proper crossing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        // Classification must not depend on argument order (payloads may
+        // differ only in representation, which these cases avoid).
+        let cases = [
+            (seg(0.0, 0.0, 10.0, 10.0), seg(0.0, 10.0, 10.0, 0.0)),
+            (seg(0.0, 0.0, 10.0, 0.0), seg(5.0, 0.0, 5.0, 5.0)),
+            (seg(0.0, 0.0, 10.0, 0.0), seg(5.0, 0.0, 15.0, 0.0)),
+            (seg(0.0, 0.0, 1.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(intersect_segments(a, b), intersect_segments(b, a));
+        }
+    }
+}

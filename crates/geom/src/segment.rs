@@ -1,0 +1,94 @@
+//! Line segments.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A closed line segment between two endpoints.
+///
+/// Degenerate segments (`a == b`) are representable but polygon rings never
+/// produce them (construction collapses repeated vertices).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between `a` and `b`.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// The segment's minimum bounding rectangle.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect::new(self.a, self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn len2(&self) -> f64 {
+        self.a.dist2(self.b)
+    }
+
+    /// Whether the segment is degenerate (both endpoints equal).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// The segment with endpoints swapped.
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// The point at parameter `t ∈ [0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        Point::new(
+            self.a.x + (self.b.x - self.a.x) * t,
+            self.a.y + (self.b.y - self.a.y) * t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_covers_endpoints() {
+        let s = Segment::new(Point::new(3.0, -1.0), Point::new(0.0, 4.0));
+        let m = s.mbr();
+        assert!(m.contains_point(s.a));
+        assert!(m.contains_point(s.b));
+        assert_eq!(m, Rect::from_coords(0.0, -1.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn parametric_evaluation() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 20.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+        assert_eq!(s.at(0.5), Point::new(5.0, 10.0));
+        assert_eq!(s.midpoint(), s.at(0.5));
+    }
+
+    #[test]
+    fn degeneracy_and_reverse() {
+        let p = Point::new(1.0, 1.0);
+        assert!(Segment::new(p, p).is_degenerate());
+        let s = Segment::new(Point::new(0.0, 0.0), p);
+        assert!(!s.is_degenerate());
+        assert_eq!(s.reversed().a, p);
+        assert_eq!(s.len2(), 2.0);
+    }
+}

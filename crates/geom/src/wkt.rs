@@ -1,0 +1,271 @@
+//! Minimal WKT (Well-Known Text) reader/writer for polygons.
+//!
+//! Supports exactly the subset the workspace needs for interchange and
+//! examples: `POLYGON` and `MULTIPOLYGON`. The format mirrors what PostGIS
+//! / GEOS / boost emit for these types.
+
+use crate::multipolygon::MultiPolygon;
+use crate::point::Point;
+use crate::polygon::{GeomError, Polygon, Ring};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing WKT.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WktError {
+    /// Unexpected token or malformed structure; payload describes what was
+    /// expected and the byte offset.
+    Syntax(String),
+    /// Ring/polygon constraints violated (e.g. too few vertices).
+    Geometry(GeomError),
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktError::Syntax(s) => write!(f, "WKT syntax error: {s}"),
+            WktError::Geometry(e) => write!(f, "WKT geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+impl From<GeomError> for WktError {
+    fn from(e: GeomError) -> Self {
+        WktError::Geometry(e)
+    }
+}
+
+/// Formats a polygon as WKT.
+pub fn polygon_to_wkt(p: &Polygon) -> String {
+    let mut s = String::from("POLYGON ");
+    write_polygon_body(&mut s, p);
+    s
+}
+
+/// Formats a multi-polygon as WKT.
+pub fn multipolygon_to_wkt(mp: &MultiPolygon) -> String {
+    let mut s = String::from("MULTIPOLYGON (");
+    for (i, m) in mp.members().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write_polygon_body(&mut s, m);
+    }
+    s.push(')');
+    s
+}
+
+fn write_polygon_body(s: &mut String, p: &Polygon) {
+    s.push('(');
+    write_ring(s, p.outer());
+    for h in p.holes() {
+        s.push_str(", ");
+        write_ring(s, h);
+    }
+    s.push(')');
+}
+
+fn write_ring(s: &mut String, r: &Ring) {
+    s.push('(');
+    for (i, v) in r.vertices().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} {}", v.x, v.y);
+    }
+    // WKT rings are closed: repeat the first vertex.
+    let first = r.vertices()[0];
+    let _ = write!(s, ", {} {}", first.x, first.y);
+    s.push(')');
+}
+
+/// Parses a `POLYGON (...)` WKT string.
+pub fn polygon_from_wkt(input: &str) -> Result<Polygon, WktError> {
+    let mut p = Parser::new(input);
+    p.expect_keyword("POLYGON")?;
+    let poly = p.parse_polygon_body()?;
+    p.expect_end()?;
+    Ok(poly)
+}
+
+/// Parses a `MULTIPOLYGON (...)` WKT string.
+pub fn multipolygon_from_wkt(input: &str) -> Result<MultiPolygon, WktError> {
+    let mut p = Parser::new(input);
+    p.expect_keyword("MULTIPOLYGON")?;
+    p.expect_char('(')?;
+    let mut members = Vec::new();
+    loop {
+        members.push(p.parse_polygon_body()?);
+        if !p.try_char(',') {
+            break;
+        }
+    }
+    p.expect_char(')')?;
+    p.expect_end()?;
+    if members.is_empty() {
+        return Err(WktError::Syntax("empty MULTIPOLYGON".into()));
+    }
+    Ok(MultiPolygon::new(members))
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> WktError {
+        WktError::Syntax(format!("expected {what} at byte {}", self.pos))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), WktError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(kw))
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(&c.to_string()))
+        }
+    }
+
+    fn try_char(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.err("end of input"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .char_indices()
+            .take_while(|(_, c)| matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .ok_or_else(|| self.err("number"))?;
+        let tok = &rest[..end];
+        let v: f64 = tok.parse().map_err(|_| self.err("number"))?;
+        self.pos += end;
+        Ok(v)
+    }
+
+    fn parse_ring(&mut self) -> Result<Ring, WktError> {
+        self.expect_char('(')?;
+        let mut pts = Vec::new();
+        loop {
+            let x = self.parse_number()?;
+            let y = self.parse_number()?;
+            pts.push(Point::new(x, y));
+            if !self.try_char(',') {
+                break;
+            }
+        }
+        self.expect_char(')')?;
+        Ok(Ring::new(pts)?)
+    }
+
+    fn parse_polygon_body(&mut self) -> Result<Polygon, WktError> {
+        self.expect_char('(')?;
+        let outer = self.parse_ring()?;
+        let mut holes = Vec::new();
+        while self.try_char(',') {
+            holes.push(self.parse_ring()?);
+        }
+        self.expect_char(')')?;
+        Ok(Polygon::new(outer, holes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn roundtrip_simple_polygon() {
+        let p = Polygon::rect(Rect::from_coords(0.0, 0.0, 2.0, 3.0));
+        let wkt = polygon_to_wkt(&p);
+        let q = polygon_from_wkt(&wkt).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_with_hole() {
+        let p = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0)]],
+        )
+        .unwrap();
+        let q = polygon_from_wkt(&polygon_to_wkt(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parse_standard_forms() {
+        let p = polygon_from_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").unwrap();
+        assert_eq!(p.area(), 16.0);
+        // Case-insensitive keyword, arbitrary whitespace, scientific
+        // notation and negatives.
+        let p2 = polygon_from_wkt("polygon((0 0,1e1 0,10 -1.5e1,0 -15,0 0))").unwrap();
+        assert_eq!(p2.num_vertices(), 4);
+    }
+
+    #[test]
+    fn roundtrip_multipolygon() {
+        let mp = MultiPolygon::new(vec![
+            Polygon::rect(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+            Polygon::rect(Rect::from_coords(5.0, 5.0, 6.0, 7.0)),
+        ]);
+        let q = multipolygon_from_wkt(&multipolygon_to_wkt(&mp)).unwrap();
+        assert_eq!(mp, q);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(
+            polygon_from_wkt("POINT (0 0)"),
+            Err(WktError::Syntax(_))
+        ));
+        assert!(matches!(
+            polygon_from_wkt("POLYGON ((0 0, 1 1))"),
+            Err(WktError::Geometry(GeomError::TooFewVertices))
+        ));
+        assert!(polygon_from_wkt("POLYGON ((0 0, 1 0, 1 1, 0 0)) trailing").is_err());
+        assert!(polygon_from_wkt("POLYGON ((0 0, 1 x, 1 1, 0 0))").is_err());
+    }
+}

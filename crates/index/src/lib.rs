@@ -1,0 +1,16 @@
+//! `stj-index`: the pipeline's filter step.
+//!
+//! Two pieces:
+//!
+//! - [`mbr_class::MbrRelation`]: the O(1) classification of *how* two
+//!   MBRs intersect (Figure 4), which constrains candidate relations and
+//!   routes each pair to its intermediate filter;
+//! - [`mod@mbr_join`]: a partitioned forward-scan plane-sweep MBR
+//!   intersection join producing the candidate pair stream, in the style
+//!   of the in-memory spatial joins the paper builds on \[39\].
+
+pub mod mbr_class;
+pub mod mbr_join;
+
+pub use mbr_class::MbrRelation;
+pub use mbr_join::{mbr_join, mbr_join_parallel};

@@ -1,0 +1,192 @@
+//! Classification of how two MBRs intersect (Figure 4).
+//!
+//! The enhanced MBR filter of Sec 3.1: beyond intersect/disjoint, the
+//! *way* two MBRs intersect constrains which topological relations remain
+//! possible between the objects, and selects which intermediate filter
+//! handles the pair.
+
+use stj_de9im::TopoRelation;
+use stj_geom::Rect;
+
+/// How two MBRs relate — the five intersecting cases of Figure 4 plus
+/// disjointness. Determined in O(1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MbrRelation {
+    /// The MBRs do not intersect: the objects are disjoint, no further
+    /// work needed.
+    Disjoint,
+    /// The MBRs are identical (Figure 4(c)).
+    Equal,
+    /// `MBR(r)` lies inside `MBR(s)` without being equal (Figure 4(a)).
+    Inside,
+    /// `MBR(r)` contains `MBR(s)` without being equal (Figure 4(b)).
+    Contains,
+    /// The MBRs cross: one spans the other's full x-extent while the
+    /// other spans the full y-extent (Figure 4(d)). For connected areal
+    /// objects this *proves* the `intersects` relation outright.
+    Cross,
+    /// Any other overlap (Figure 4(e)).
+    Overlap,
+}
+
+impl MbrRelation {
+    /// Classifies the pair `(MBR(r), MBR(s))`.
+    ///
+    /// Precedence: disjoint → equal → inside → contains → cross →
+    /// overlap; the cases are mutually exclusive under this order.
+    pub fn classify(r: &Rect, s: &Rect) -> MbrRelation {
+        if !r.intersects(s) {
+            return MbrRelation::Disjoint;
+        }
+        if r == s {
+            return MbrRelation::Equal;
+        }
+        if s.contains_rect(r) {
+            return MbrRelation::Inside;
+        }
+        if r.contains_rect(s) {
+            return MbrRelation::Contains;
+        }
+        let r_spans_x = r.min.x <= s.min.x && r.max.x >= s.max.x;
+        let r_spans_y = r.min.y <= s.min.y && r.max.y >= s.max.y;
+        let s_spans_x = s.min.x <= r.min.x && s.max.x >= r.max.x;
+        let s_spans_y = s.min.y <= r.min.y && s.max.y >= r.max.y;
+        if (r_spans_x && s_spans_y) || (s_spans_x && r_spans_y) {
+            return MbrRelation::Cross;
+        }
+        MbrRelation::Overlap
+    }
+
+    /// The candidate topological relations for each MBR case (Figure 4),
+    /// in most-specific-first order. Relations outside this set are
+    /// impossible for the pair.
+    ///
+    /// For `Cross` the single candidate is definite. For `Equal`, a
+    /// defensive `disjoint` is included (two objects with identical MBRs
+    /// can in principle be disjoint; its mask is checked last, so the
+    /// addition costs nothing when the paper's tighter set suffices).
+    pub fn candidates(self) -> &'static [TopoRelation] {
+        use TopoRelation::*;
+        match self {
+            MbrRelation::Disjoint => &[Disjoint],
+            MbrRelation::Equal => &[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint],
+            MbrRelation::Inside => &[Inside, CoveredBy, Meets, Intersects, Disjoint],
+            MbrRelation::Contains => &[Contains, Covers, Meets, Intersects, Disjoint],
+            MbrRelation::Cross => &[Intersects],
+            MbrRelation::Overlap => &[Meets, Intersects, Disjoint],
+        }
+    }
+
+    /// Whether topological relation `rel` is at all possible for a pair
+    /// whose MBRs classify as `self` — the `relate_p` "impossible
+    /// relation" short-circuit (Sec 3.3).
+    pub fn admits(self, rel: TopoRelation) -> bool {
+        self.candidates().contains(&rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::Rect;
+    use TopoRelation::*;
+
+    fn r(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::from_coords(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn disjoint_and_equal() {
+        assert_eq!(
+            MbrRelation::classify(&r(0.0, 0.0, 1.0, 1.0), &r(2.0, 2.0, 3.0, 3.0)),
+            MbrRelation::Disjoint
+        );
+        assert_eq!(
+            MbrRelation::classify(&r(0.0, 0.0, 1.0, 1.0), &r(0.0, 0.0, 1.0, 1.0)),
+            MbrRelation::Equal
+        );
+    }
+
+    #[test]
+    fn containment_cases() {
+        let big = r(0.0, 0.0, 10.0, 10.0);
+        let small = r(2.0, 2.0, 5.0, 5.0);
+        assert_eq!(MbrRelation::classify(&small, &big), MbrRelation::Inside);
+        assert_eq!(MbrRelation::classify(&big, &small), MbrRelation::Contains);
+        // Touching from inside still counts as containment.
+        let touching = r(0.0, 2.0, 5.0, 5.0);
+        assert_eq!(MbrRelation::classify(&touching, &big), MbrRelation::Inside);
+    }
+
+    #[test]
+    fn cross_cases() {
+        // r wide and short, s tall and narrow.
+        let wide = r(0.0, 4.0, 10.0, 6.0);
+        let tall = r(4.0, 0.0, 6.0, 10.0);
+        assert_eq!(MbrRelation::classify(&wide, &tall), MbrRelation::Cross);
+        assert_eq!(MbrRelation::classify(&tall, &wide), MbrRelation::Cross);
+        // Equal extents in the spanned dimension still cross.
+        let wide2 = r(4.0, 4.0, 6.0, 6.0);
+        let tall2 = r(4.0, 0.0, 6.0, 10.0);
+        // wide2's x-range equals tall2's; wide2 doesn't span more than
+        // tall2 vertically -> this is containment (tall2 contains wide2).
+        assert_eq!(MbrRelation::classify(&wide2, &tall2), MbrRelation::Inside);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = r(0.0, 0.0, 5.0, 5.0);
+        let b = r(3.0, 3.0, 8.0, 8.0);
+        assert_eq!(MbrRelation::classify(&a, &b), MbrRelation::Overlap);
+        // Corner touch.
+        let c = r(5.0, 5.0, 8.0, 8.0);
+        assert_eq!(MbrRelation::classify(&a, &c), MbrRelation::Overlap);
+    }
+
+    #[test]
+    fn candidate_sets_follow_figure4() {
+        assert_eq!(MbrRelation::Cross.candidates(), &[Intersects]);
+        let inside = MbrRelation::Inside.candidates();
+        assert!(inside.contains(&Inside) && inside.contains(&CoveredBy));
+        assert!(!inside.contains(&Contains) && !inside.contains(&Equals));
+        let contains = MbrRelation::Contains.candidates();
+        assert!(contains.contains(&Contains) && contains.contains(&Covers));
+        assert!(!contains.contains(&Inside) && !contains.contains(&Equals));
+        let equal = MbrRelation::Equal.candidates();
+        assert!(equal.contains(&Equals));
+        assert!(!equal.contains(&Inside) && !equal.contains(&Contains));
+        let overlap = MbrRelation::Overlap.candidates();
+        assert_eq!(overlap, &[Meets, Intersects, Disjoint]);
+    }
+
+    #[test]
+    fn admits_matches_candidates() {
+        assert!(MbrRelation::Equal.admits(Equals));
+        assert!(!MbrRelation::Overlap.admits(Equals));
+        assert!(!MbrRelation::Inside.admits(Contains));
+        assert!(MbrRelation::Cross.admits(Intersects));
+        assert!(!MbrRelation::Cross.admits(Meets));
+    }
+
+    #[test]
+    fn candidates_are_specific_to_general() {
+        // Within each candidate list, no relation may come after one it
+        // implies (the refinement walks the list in order).
+        for case in [
+            MbrRelation::Equal,
+            MbrRelation::Inside,
+            MbrRelation::Contains,
+            MbrRelation::Overlap,
+        ] {
+            let list = case.candidates();
+            for (i, a) in list.iter().enumerate() {
+                for b in &list[i + 1..] {
+                    assert!(
+                        !b.implies(*a) || a == b,
+                        "{case:?}: {b:?} (later) implies {a:?} (earlier)"
+                    );
+                }
+            }
+        }
+    }
+}

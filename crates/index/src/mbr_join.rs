@@ -1,0 +1,304 @@
+//! MBR intersection join: the pipeline's *filter step*.
+//!
+//! Produces the stream of candidate pairs (objects whose MBRs intersect)
+//! that the topology pipeline consumes, in the style of the partitioned
+//! in-memory plane-sweep joins the paper builds on \[39\]: partition the
+//! space into a uniform tile grid, replicate each MBR into every tile it
+//! overlaps, forward-scan plane-sweep within each tile, and deduplicate
+//! replicated results with the reference-point technique (a pair is
+//! reported only by the tile containing the top-left corner of the two
+//! MBRs' intersection).
+//!
+//! The paper excludes this step's cost from its measurements; we provide
+//! it so the harness is end-to-end runnable, plus a crossbeam-parallel
+//! variant for faster dataset preparation.
+
+use stj_geom::Rect;
+
+/// Joins two MBR collections, returning every pair `(i, j)` with
+/// `r[i]` intersecting `s[j]` (closed semantics: touching counts).
+///
+/// Single-threaded. See [`mbr_join_parallel`] for the multi-threaded
+/// variant.
+pub fn mbr_join(r: &[Rect], s: &[Rect]) -> Vec<(u32, u32)> {
+    let tiles = Tiling::for_inputs(r, s);
+    let mut out = Vec::new();
+    for tile in 0..tiles.num_tiles() {
+        tiles.join_tile(tile, r, s, &mut out);
+    }
+    out
+}
+
+/// Parallel variant of [`mbr_join`]: tiles are processed by a crossbeam
+/// scoped thread pool and the per-tile results concatenated.
+///
+/// The output contains the same pair set as [`mbr_join`] (order may
+/// differ).
+pub fn mbr_join_parallel(r: &[Rect], s: &[Rect], threads: usize) -> Vec<(u32, u32)> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return mbr_join(r, s);
+    }
+    let tiles = Tiling::for_inputs(r, s);
+    let n_tiles = tiles.num_tiles();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Vec<(u32, u32)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let tiles = &tiles;
+            let next = &next;
+            handles.push(scope.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= n_tiles {
+                        break;
+                    }
+                    tiles.join_tile(t, r, s, &mut local);
+                }
+                local
+            }));
+        }
+        results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    })
+    .expect("join worker panicked");
+    let total = results.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut part in results {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// A uniform tile partitioning with per-tile object id lists.
+struct Tiling {
+    universe: Rect,
+    k: u32,
+    r_tiles: Vec<Vec<u32>>,
+    s_tiles: Vec<Vec<u32>>,
+}
+
+impl Tiling {
+    fn for_inputs(r: &[Rect], s: &[Rect]) -> Tiling {
+        let mut universe = Rect::empty();
+        for m in r.iter().chain(s) {
+            universe.grow_rect(m);
+        }
+        if universe.is_empty() {
+            universe = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        }
+        // Aim for a few dozen objects per tile on the denser side.
+        let n = r.len().max(s.len()) as f64;
+        let k = ((n / 32.0).sqrt().ceil() as u32).clamp(1, 512);
+        let mut t = Tiling {
+            universe,
+            k,
+            r_tiles: vec![Vec::new(); (k * k) as usize],
+            s_tiles: vec![Vec::new(); (k * k) as usize],
+        };
+        t.assign(r, true);
+        t.assign(s, false);
+        t
+    }
+
+    fn num_tiles(&self) -> usize {
+        (self.k * self.k) as usize
+    }
+
+    fn tile_span(&self, m: &Rect) -> (u32, u32, u32, u32) {
+        let w = self.universe.width().max(f64::MIN_POSITIVE);
+        let h = self.universe.height().max(f64::MIN_POSITIVE);
+        let clamp = |v: f64| -> u32 {
+            (v as i64).clamp(0, i64::from(self.k - 1)) as u32
+        };
+        let x0 = clamp((m.min.x - self.universe.min.x) / w * f64::from(self.k));
+        let x1 = clamp((m.max.x - self.universe.min.x) / w * f64::from(self.k));
+        let y0 = clamp((m.min.y - self.universe.min.y) / h * f64::from(self.k));
+        let y1 = clamp((m.max.y - self.universe.min.y) / h * f64::from(self.k));
+        (x0, x1, y0, y1)
+    }
+
+    fn assign(&mut self, mbrs: &[Rect], is_r: bool) {
+        for (i, m) in mbrs.iter().enumerate() {
+            let (x0, x1, y0, y1) = self.tile_span(m);
+            for ty in y0..=y1 {
+                for tx in x0..=x1 {
+                    let t = (ty * self.k + tx) as usize;
+                    if is_r {
+                        self.r_tiles[t].push(i as u32);
+                    } else {
+                        self.s_tiles[t].push(i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference-point dedup: report a pair only from the tile containing
+    /// the intersection rectangle's min corner.
+    fn owns_pair(&self, tile: usize, a: &Rect, b: &Rect) -> bool {
+        let ix = a.min.x.max(b.min.x);
+        let iy = a.min.y.max(b.min.y);
+        let (x0, x1, y0, y1) = self.tile_span(&Rect::from_coords(ix, iy, ix, iy));
+        debug_assert!(x0 == x1 && y0 == y1);
+        tile as u32 == y0 * self.k + x0
+    }
+
+    fn join_tile(&self, tile: usize, r: &[Rect], s: &[Rect], out: &mut Vec<(u32, u32)>) {
+        let ri = &self.r_tiles[tile];
+        let si = &self.s_tiles[tile];
+        if ri.is_empty() || si.is_empty() {
+            return;
+        }
+        // Forward-scan plane sweep on xmin.
+        let mut rs: Vec<u32> = ri.clone();
+        let mut ss: Vec<u32> = si.clone();
+        rs.sort_unstable_by(|&a, &b| {
+            r[a as usize]
+                .min
+                .x
+                .partial_cmp(&r[b as usize].min.x)
+                .expect("finite")
+        });
+        ss.sort_unstable_by(|&a, &b| {
+            s[a as usize]
+                .min
+                .x
+                .partial_cmp(&s[b as usize].min.x)
+                .expect("finite")
+        });
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < rs.len() && j < ss.len() {
+            let ra = &r[rs[i] as usize];
+            let sb = &s[ss[j] as usize];
+            if ra.min.x <= sb.min.x {
+                for &sj in ss[j..].iter() {
+                    let m = &s[sj as usize];
+                    if m.min.x > ra.max.x {
+                        break;
+                    }
+                    if ra.intersects(m) && self.owns_pair(tile, ra, m) {
+                        out.push((rs[i], sj));
+                    }
+                }
+                i += 1;
+            } else {
+                for &rj in rs[i..].iter() {
+                    let m = &r[rj as usize];
+                    if m.min.x > sb.max.x {
+                        break;
+                    }
+                    if m.intersects(sb) && self.owns_pair(tile, m, sb) {
+                        out.push((rj, ss[j]));
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(r: &[Rect], s: &[Rect]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, a) in r.iter().enumerate() {
+            for (j, b) in s.iter().enumerate() {
+                if a.intersects(b) {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    fn random_rects(n: usize, seed: u64, span: f64, size: f64) -> Vec<Rect> {
+        let mut state = seed;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let x = rnd() * span;
+                let y = rnd() * span;
+                Rect::from_coords(x, y, x + rnd() * size, y + rnd() * size)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_bruteforce_small() {
+        let r = random_rects(50, 1, 100.0, 10.0);
+        let s = random_rects(70, 2, 100.0, 10.0);
+        assert_eq!(sorted(mbr_join(&r, &s)), sorted(brute(&r, &s)));
+    }
+
+    #[test]
+    fn matches_bruteforce_large_and_dedups() {
+        let r = random_rects(800, 3, 1000.0, 30.0);
+        let s = random_rects(900, 4, 1000.0, 30.0);
+        let got = mbr_join(&r, &s);
+        let expect = brute(&r, &s);
+        assert_eq!(got.len(), expect.len(), "duplicate or missing pairs");
+        assert_eq!(sorted(got), sorted(expect));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let r = random_rects(500, 5, 500.0, 25.0);
+        let s = random_rects(500, 6, 500.0, 25.0);
+        let seq = sorted(mbr_join(&r, &s));
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(sorted(mbr_join_parallel(&r, &s, threads)), seq);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mbr_join(&[], &[]).is_empty());
+        let r = random_rects(5, 7, 10.0, 2.0);
+        assert!(mbr_join(&r, &[]).is_empty());
+        assert!(mbr_join(&[], &r).is_empty());
+    }
+
+    #[test]
+    fn touching_mbrs_are_candidates() {
+        let r = vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)];
+        let s = vec![Rect::from_coords(1.0, 0.0, 2.0, 1.0)];
+        assert_eq!(mbr_join(&r, &s), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn giant_object_spanning_many_tiles() {
+        // One huge rect against many small ones: replication must not
+        // produce duplicates.
+        let r = vec![Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)];
+        let s = random_rects(2000, 8, 1000.0, 5.0);
+        let got = mbr_join(&r, &s);
+        assert_eq!(got.len(), s.len());
+        let mut seen = vec![false; s.len()];
+        for (i, j) in got {
+            assert_eq!(i, 0);
+            assert!(!seen[j as usize], "duplicate pair for {j}");
+            seen[j as usize] = true;
+        }
+    }
+
+    #[test]
+    fn identical_point_like_mbrs() {
+        let r = vec![Rect::from_coords(5.0, 5.0, 5.0, 5.0); 3];
+        let s = vec![Rect::from_coords(5.0, 5.0, 5.0, 5.0); 2];
+        assert_eq!(mbr_join(&r, &s).len(), 6);
+    }
+}

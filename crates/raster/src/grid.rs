@@ -1,0 +1,190 @@
+//! The global raster grid shared by all objects of a join scenario.
+
+use stj_geom::{Point, Rect};
+
+use crate::hilbert::MAX_ORDER;
+
+/// A `2^order × 2^order` uniform grid over a rectangular data space.
+///
+/// All APRIL approximations taking part in one join must be built on the
+/// *same* grid — interval ids are only comparable within a grid. The paper
+/// uses independent `2^16 × 2^16` grids per data scenario (Sec 4.1);
+/// [`Grid::new`] with `order = 16` reproduces that.
+///
+/// Cells are half-open `[x_i, x_{i+1}) × [y_j, y_{j+1})`, except that the
+/// topmost/rightmost cells are closed so the grid exactly tiles the
+/// (closed) data space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    extent: Rect,
+    order: u32,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl Grid {
+    /// Creates a grid of `2^order × 2^order` cells over `extent`.
+    ///
+    /// # Panics
+    /// Panics if `order` is 0 or exceeds [`MAX_ORDER`], or if `extent` is
+    /// empty/degenerate.
+    pub fn new(extent: Rect, order: u32) -> Grid {
+        assert!((1..=MAX_ORDER).contains(&order), "order must be in 1..=16");
+        assert!(
+            !extent.is_empty() && extent.width() > 0.0 && extent.height() > 0.0,
+            "grid extent must have positive area"
+        );
+        let side = (1u64 << order) as f64;
+        Grid {
+            extent,
+            order,
+            cell_w: extent.width() / side,
+            cell_h: extent.height() / side,
+        }
+    }
+
+    /// The curve/grid order.
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Cells per side (`2^order`).
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1 << self.order
+    }
+
+    /// Total number of cells (`4^order`).
+    #[inline]
+    pub fn num_cells(&self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    /// The grid's data-space extent.
+    #[inline]
+    pub fn extent(&self) -> &Rect {
+        &self.extent
+    }
+
+    /// Cell width in data-space units.
+    #[inline]
+    pub fn cell_width(&self) -> f64 {
+        self.cell_w
+    }
+
+    /// Cell height in data-space units.
+    #[inline]
+    pub fn cell_height(&self) -> f64 {
+        self.cell_h
+    }
+
+    /// Column index of data-space `x` (clamped into range).
+    #[inline]
+    pub fn col_of(&self, x: f64) -> u32 {
+        let c = ((x - self.extent.min.x) / self.cell_w) as i64;
+        c.clamp(0, i64::from(self.side() - 1)) as u32
+    }
+
+    /// Row index of data-space `y` (clamped into range).
+    #[inline]
+    pub fn row_of(&self, y: f64) -> u32 {
+        let r = ((y - self.extent.min.y) / self.cell_h) as i64;
+        r.clamp(0, i64::from(self.side() - 1)) as u32
+    }
+
+    /// Cell `(col, row)` containing point `p` (clamped into the grid).
+    #[inline]
+    pub fn cell_of(&self, p: Point) -> (u32, u32) {
+        (self.col_of(p.x), self.row_of(p.y))
+    }
+
+    /// Data-space rectangle of cell `(col, row)`.
+    pub fn cell_rect(&self, col: u32, row: u32) -> Rect {
+        debug_assert!(col < self.side() && row < self.side());
+        let x0 = self.extent.min.x + f64::from(col) * self.cell_w;
+        let y0 = self.extent.min.y + f64::from(row) * self.cell_h;
+        Rect::from_coords(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
+    }
+
+    /// Data-space rectangle of the aligned block with lower-left cell
+    /// `(col, row)` and side `2^level` cells.
+    pub fn block_rect(&self, col: u32, row: u32, level: u32) -> Rect {
+        let side = f64::from(1u32 << level);
+        let x0 = self.extent.min.x + f64::from(col) * self.cell_w;
+        let y0 = self.extent.min.y + f64::from(row) * self.cell_h;
+        Rect::from_coords(x0, y0, x0 + side * self.cell_w, y0 + side * self.cell_h)
+    }
+
+    /// Center point of cell `(col, row)`.
+    #[inline]
+    pub fn cell_center(&self, col: u32, row: u32) -> Point {
+        Point::new(
+            self.extent.min.x + (f64::from(col) + 0.5) * self.cell_w,
+            self.extent.min.y + (f64::from(row) + 0.5) * self.cell_h,
+        )
+    }
+
+    /// Center-line ordinate of cell row `row`.
+    #[inline]
+    pub fn row_center_y(&self, row: u32) -> f64 {
+        self.extent.min.y + (f64::from(row) + 0.5) * self.cell_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> Grid {
+        Grid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 2) // 4x4 cells of 4x4 units
+    }
+
+    #[test]
+    fn indexing_and_rects() {
+        let g = grid4();
+        assert_eq!(g.side(), 4);
+        assert_eq!(g.num_cells(), 16);
+        assert_eq!(g.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(3.999, 3.999)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(4.0, 4.0)), (1, 1));
+        assert_eq!(g.cell_of(Point::new(15.999, 0.0)), (3, 0));
+        // Clamping: points outside land in border cells.
+        assert_eq!(g.cell_of(Point::new(-5.0, 99.0)), (0, 3));
+        assert_eq!(
+            g.cell_rect(1, 2),
+            Rect::from_coords(4.0, 8.0, 8.0, 12.0)
+        );
+        assert_eq!(g.cell_center(1, 2), Point::new(6.0, 10.0));
+        assert_eq!(g.row_center_y(2), 10.0);
+    }
+
+    #[test]
+    fn block_rect_spans_children() {
+        let g = grid4();
+        assert_eq!(g.block_rect(0, 0, 2), *g.extent());
+        assert_eq!(g.block_rect(2, 2, 1), Rect::from_coords(8.0, 8.0, 16.0, 16.0));
+        assert_eq!(g.block_rect(3, 1, 0), g.cell_rect(3, 1));
+    }
+
+    #[test]
+    fn non_square_extent() {
+        let g = Grid::new(Rect::from_coords(-10.0, 0.0, 10.0, 5.0), 3);
+        assert_eq!(g.cell_width(), 20.0 / 8.0);
+        assert_eq!(g.cell_height(), 5.0 / 8.0);
+        assert_eq!(g.cell_of(Point::new(-10.0, 0.0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(9.999, 4.999)), (7, 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_area_extent_rejected() {
+        let _ = Grid::new(Rect::from_coords(0.0, 0.0, 0.0, 10.0), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn order_bounds_enforced() {
+        let _ = Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 17);
+    }
+}

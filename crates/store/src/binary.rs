@@ -1,0 +1,305 @@
+//! Versioned binary format for preprocessed datasets.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   b"STJD"
+//! version u32 (currently 1)
+//! grid    extent: 4 × f64, order: u32
+//! name    u32 length + UTF-8 bytes
+//! count   u64 objects
+//! per object:
+//!   rings   u32 ring count (outer first)
+//!   per ring: u32 vertex count, then x,y f64 pairs
+//!   P list  u32 interval count, then (start, end) u64 pairs
+//!   C list  u32 interval count, then (start, end) u64 pairs
+//! ```
+//!
+//! MBRs are rederived from the polygons on load (cheaper than storing
+//! and guaranteed consistent).
+
+use std::io::{self, Read, Write};
+use stj_core::{Dataset, SpatialObject};
+use stj_geom::{Point, Polygon, Rect, Ring};
+use stj_raster::{AprilApprox, Grid, IntervalList};
+
+const MAGIC: &[u8; 4] = b"STJD";
+const VERSION: u32 = 1;
+
+/// Errors raised by dataset (de)serialization.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Not an stj dataset file, or an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Format(s) => write!(f, "format error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Writes a preprocessed dataset and its grid.
+pub fn write_dataset<W: Write>(w: &mut W, ds: &Dataset, grid: &Grid) -> Result<(), StoreError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    for v in [
+        grid.extent().min.x,
+        grid.extent().min.y,
+        grid.extent().max.x,
+        grid.extent().max.y,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.write_all(&grid.order().to_le_bytes())?;
+    let name = ds.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(ds.objects.len() as u64).to_le_bytes())?;
+    for obj in &ds.objects {
+        write_polygon(w, &obj.polygon)?;
+        write_intervals(w, &obj.april.p)?;
+        write_intervals(w, &obj.april.c)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`write_dataset`], returning it with its
+/// grid.
+pub fn read_dataset<R: Read>(r: &mut R) -> Result<(Dataset, Grid), StoreError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::Format("bad magic (not an STJD file)".into()));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(StoreError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let (minx, miny, maxx, maxy) = (read_f64(r)?, read_f64(r)?, read_f64(r)?, read_f64(r)?);
+    if !(minx < maxx && miny < maxy) {
+        return Err(StoreError::Format("degenerate grid extent".into()));
+    }
+    let order = read_u32(r)?;
+    if !(1..=16).contains(&order) {
+        return Err(StoreError::Format(format!("grid order {order} out of range")));
+    }
+    let grid = Grid::new(Rect::from_coords(minx, miny, maxx, maxy), order);
+
+    let name_len = read_u32(r)? as usize;
+    if name_len > 1 << 20 {
+        return Err(StoreError::Format("unreasonable name length".into()));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| StoreError::Format("dataset name is not UTF-8".into()))?;
+
+    let count = read_u64(r)? as usize;
+    let mut objects = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        let polygon = read_polygon(r)?;
+        let p = read_intervals(r)?;
+        let c = read_intervals(r)?;
+        objects.push(SpatialObject::from_parts(polygon, AprilApprox { p, c }));
+    }
+    Ok((Dataset { name, objects }, grid))
+}
+
+fn write_polygon<W: Write>(w: &mut W, poly: &Polygon) -> Result<(), StoreError> {
+    let rings = 1 + poly.holes().len();
+    w.write_all(&(rings as u32).to_le_bytes())?;
+    write_ring(w, poly.outer())?;
+    for h in poly.holes() {
+        write_ring(w, h)?;
+    }
+    Ok(())
+}
+
+fn write_ring<W: Write>(w: &mut W, ring: &Ring) -> Result<(), StoreError> {
+    w.write_all(&(ring.len() as u32).to_le_bytes())?;
+    for v in ring.vertices() {
+        w.write_all(&v.x.to_le_bytes())?;
+        w.write_all(&v.y.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_polygon<R: Read>(r: &mut R) -> Result<Polygon, StoreError> {
+    let rings = read_u32(r)? as usize;
+    if rings == 0 || rings > 1 << 20 {
+        return Err(StoreError::Format(format!("bad ring count {rings}")));
+    }
+    let outer = read_ring(r)?;
+    let mut holes = Vec::with_capacity(rings - 1);
+    for _ in 1..rings {
+        holes.push(read_ring(r)?);
+    }
+    Ok(Polygon::new(outer, holes))
+}
+
+fn read_ring<R: Read>(r: &mut R) -> Result<Ring, StoreError> {
+    let n = read_u32(r)? as usize;
+    if !(3..=1 << 26).contains(&n) {
+        return Err(StoreError::Format(format!("bad vertex count {n}")));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        pts.push(Point::new(read_f64(r)?, read_f64(r)?));
+    }
+    Ring::new(pts).map_err(|e| StoreError::Format(format!("invalid ring: {e}")))
+}
+
+fn write_intervals<W: Write>(w: &mut W, list: &IntervalList) -> Result<(), StoreError> {
+    w.write_all(&(list.len() as u32).to_le_bytes())?;
+    for &(s, e) in list.intervals() {
+        w.write_all(&s.to_le_bytes())?;
+        w.write_all(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_intervals<R: Read>(r: &mut R) -> Result<IntervalList, StoreError> {
+    let n = read_u32(r)? as usize;
+    if n > 1 << 28 {
+        return Err(StoreError::Format(format!("bad interval count {n}")));
+    }
+    let mut ranges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = read_u64(r)?;
+        let e = read_u64(r)?;
+        if e <= s {
+            return Err(StoreError::Format(format!("empty interval [{s},{e})")));
+        }
+        ranges.push((s, e));
+    }
+    Ok(IntervalList::from_ranges(ranges))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    let v = f64::from_le_bytes(b);
+    if !v.is_finite() {
+        return Err(StoreError::Format("non-finite coordinate".into()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_datagen::{generate, DatasetId};
+
+    fn sample_dataset() -> (Dataset, Grid) {
+        let polys = generate(DatasetId::OLE, 0.005);
+        let mut extent = Rect::empty();
+        for p in &polys {
+            extent.grow_rect(p.mbr());
+        }
+        let grid = Grid::new(extent, 10);
+        (Dataset::build("OLE", polys, &grid), grid)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (ds, grid) = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        let (ds2, grid2) = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(ds2.name, ds.name);
+        assert_eq!(grid2, grid);
+        assert_eq!(ds2.len(), ds.len());
+        for (a, b) in ds.objects.iter().zip(&ds2.objects) {
+            assert_eq!(a.polygon, b.polygon);
+            assert_eq!(a.mbr, b.mbr);
+            assert_eq!(a.april, b.april);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = b"NOPE".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            read_dataset(&mut buf.as_slice()),
+            Err(StoreError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let (ds, grid) = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        buf[4] = 99; // corrupt the version field
+        assert!(matches!(
+            read_dataset(&mut buf.as_slice()),
+            Err(StoreError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let (ds, grid) = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        // Truncate at a spread of byte positions: every prefix must fail
+        // cleanly, never panic.
+        for cut in [3usize, 7, 20, 40, 100, buf.len() / 2, buf.len() - 1] {
+            let err = read_dataset(&mut buf[..cut].as_ref());
+            assert!(err.is_err(), "cut at {cut} unexpectedly succeeded");
+        }
+    }
+
+    #[test]
+    fn loaded_dataset_joins_identically() {
+        use stj_core::TopologyJoin;
+        let (ds, grid) = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        let (ds2, _) = read_dataset(&mut buf.as_slice()).unwrap();
+        let a = TopologyJoin::new().run(&ds, &ds);
+        let b = TopologyJoin::new().run(&ds2, &ds2);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4);
+        let ds = Dataset::build("empty", vec![], &grid);
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        let (ds2, _) = read_dataset(&mut buf.as_slice()).unwrap();
+        assert!(ds2.is_empty());
+        assert_eq!(ds2.name, "empty");
+    }
+}

@@ -1,0 +1,18 @@
+//! `stj-store`: persistence for preprocessed join inputs.
+//!
+//! APRIL approximations are computed once per object (the paper's
+//! preprocessing step) and reused across joins; this crate provides the
+//! storage side of that workflow:
+//!
+//! - [`binary`]: a compact, versioned binary format for a full
+//!   [`Dataset`](stj_core::Dataset) — polygons, MBRs and `P`/`C`
+//!   interval lists — plus the grid it was built on, so a join can start
+//!   without re-rasterizing anything;
+//! - [`wktio`]: plain-text WKT files (one geometry per line) for
+//!   interchange with PostGIS/GEOS tooling.
+
+pub mod binary;
+pub mod wktio;
+
+pub use binary::{read_dataset, write_dataset, StoreError};
+pub use wktio::{read_wkt_polygons, write_wkt_polygons};

@@ -1,0 +1,95 @@
+//! WKT file IO: one polygon per line, the interchange format used by
+//! common GIS tooling exports (`ogr2ogr`, PostGIS `ST_AsText` dumps).
+
+use std::io::{BufRead, Write};
+use stj_geom::wkt::{polygon_from_wkt, polygon_to_wkt, WktError};
+use stj_geom::Polygon;
+
+/// Errors raised while reading WKT files.
+#[derive(Debug)]
+pub enum WktIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line failed to parse; payload carries the 1-based line number.
+    Parse(usize, WktError),
+}
+
+impl std::fmt::Display for WktIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktIoError::Io(e) => write!(f, "io error: {e}"),
+            WktIoError::Parse(line, e) => write!(f, "line {line}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WktIoError {}
+
+impl From<std::io::Error> for WktIoError {
+    fn from(e: std::io::Error) -> Self {
+        WktIoError::Io(e)
+    }
+}
+
+/// Reads polygons from a WKT-per-line reader. Blank lines and `#`
+/// comment lines are skipped.
+pub fn read_wkt_polygons<R: BufRead>(r: R) -> Result<Vec<Polygon>, WktIoError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let poly =
+            polygon_from_wkt(trimmed).map_err(|e| WktIoError::Parse(idx + 1, e))?;
+        out.push(poly);
+    }
+    Ok(out)
+}
+
+/// Writes polygons as WKT, one per line.
+pub fn write_wkt_polygons<W: Write>(w: &mut W, polys: &[Polygon]) -> std::io::Result<()> {
+    for p in polys {
+        writeln!(w, "{}", polygon_to_wkt(p))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::Rect;
+
+    #[test]
+    fn roundtrip() {
+        let polys = vec![
+            Polygon::rect(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+            Polygon::from_coords(
+                vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+                vec![vec![(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0)]],
+            )
+            .unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_wkt_polygons(&mut buf, &polys).unwrap();
+        let parsed = read_wkt_polygons(buf.as_slice()).unwrap();
+        assert_eq!(parsed, polys);
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let text = "\n# header comment\nPOLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\n\n";
+        let parsed = read_wkt_polygons(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\nGARBAGE\n";
+        match read_wkt_polygons(text.as_bytes()) {
+            Err(WktIoError::Parse(line, _)) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

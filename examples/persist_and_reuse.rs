@@ -1,0 +1,81 @@
+//! The preprocess-once, join-many workflow: build APRIL approximations,
+//! persist them with `stj-store`, and run joins straight from the loaded
+//! datasets — the deployment mode the paper's preprocessing step implies.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example persist_and_reuse --release
+//! ```
+
+use std::time::Instant;
+use stjoin::core::{JoinMethod, TopologyJoin};
+use stjoin::datagen::{generate_combo, ComboId};
+use stjoin::prelude::*;
+use stjoin::store::{read_dataset, write_dataset};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("stj-persist-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // 1. Generate and preprocess once.
+    let (lakes_polys, parks_polys) = generate_combo(ComboId::OleOpe, 0.02);
+    let mut extent = Rect::empty();
+    for p in lakes_polys.iter().chain(&parks_polys) {
+        extent.grow_rect(p.mbr());
+    }
+    let grid = Grid::new(extent, 14);
+    let t = Instant::now();
+    let lakes = Dataset::build("OLE", lakes_polys, &grid);
+    let parks = Dataset::build("OPE", parks_polys, &grid);
+    println!(
+        "preprocessed {} + {} objects in {:.2?}",
+        lakes.len(),
+        parks.len(),
+        t.elapsed()
+    );
+
+    // 2. Persist both datasets (grid travels with the file).
+    let lakes_path = dir.join("lakes.stjd");
+    let parks_path = dir.join("parks.stjd");
+    for (ds, path) in [(&lakes, &lakes_path), (&parks, &parks_path)] {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create"));
+        write_dataset(&mut f, ds, &grid).expect("serialize");
+    }
+    println!(
+        "saved {} + {} bytes",
+        std::fs::metadata(&lakes_path).unwrap().len(),
+        std::fs::metadata(&parks_path).unwrap().len()
+    );
+
+    // 3. A later session: load (no rasterization!) and join immediately.
+    let t = Instant::now();
+    let (lakes2, g1) = {
+        let mut f = std::io::BufReader::new(std::fs::File::open(&lakes_path).expect("open"));
+        read_dataset(&mut f).expect("deserialize")
+    };
+    let (parks2, g2) = {
+        let mut f = std::io::BufReader::new(std::fs::File::open(&parks_path).expect("open"));
+        read_dataset(&mut f).expect("deserialize")
+    };
+    assert_eq!(g1, g2, "datasets must share the grid");
+    println!("loaded both datasets in {:.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let result = TopologyJoin::new()
+        .method(JoinMethod::PC)
+        .run(&lakes2, &parks2);
+    println!(
+        "join: {} candidates -> {} links in {:.2?} ({:.1}% refined)",
+        result.candidates,
+        result.links.len(),
+        t.elapsed(),
+        result.stats.undetermined_pct()
+    );
+
+    // 4. Sanity: identical to joining the originals.
+    let fresh = TopologyJoin::new().run(&lakes, &parks);
+    assert_eq!(fresh.links, result.links);
+    println!("loaded-dataset join identical to in-memory join");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

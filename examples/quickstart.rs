@@ -1,0 +1,55 @@
+//! Quickstart: detect the topological relation of two polygons.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use stjoin::geom::wkt;
+use stjoin::prelude::*;
+
+fn main() {
+    // 1. A shared raster grid for the scenario's data space. All objects
+    //    joined together must use the same grid (the paper uses order 16
+    //    = 2^16 x 2^16 cells; smaller orders trade filter power for
+    //    preprocessing speed).
+    let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 12);
+
+    // 2. Parse geometries (WKT) and preprocess: MBR + APRIL P/C lists.
+    let park = wkt::polygon_from_wkt(
+        "POLYGON ((5 5, 95 5, 95 95, 5 95, 5 5), (60 60, 80 60, 80 80, 60 80, 60 60))",
+    )
+    .expect("valid WKT");
+    let lake = wkt::polygon_from_wkt("POLYGON ((20 20, 45 25, 40 50, 15 45, 20 20))")
+        .expect("valid WKT");
+    let pond_in_clearing = wkt::polygon_from_wkt("POLYGON ((65 65, 75 65, 75 75, 65 75, 65 65))")
+        .expect("valid WKT");
+
+    let park = SpatialObject::build(park, &grid);
+    let lake = SpatialObject::build(lake, &grid);
+    let pond = SpatialObject::build(pond_in_clearing, &grid);
+
+    // 3. Find the most specific topological relation per pair.
+    for (name, obj) in [("lake", &lake), ("pond", &pond)] {
+        let out = find_relation(obj, &park);
+        println!(
+            "{name} vs park: {} (decided by {:?})",
+            out.relation, out.determination
+        );
+    }
+
+    // The lake sits in the park's material: `inside`, decided from the
+    // interval lists alone. The pond sits in the park's hole (the
+    // clearing): `disjoint`.
+    assert_eq!(find_relation(&lake, &park).relation, TopoRelation::Inside);
+    assert_eq!(find_relation(&pond, &park).relation, TopoRelation::Disjoint);
+
+    // 4. Predicate queries: "is the lake inside the park?" — cheaper than
+    //    finding the most specific relation when you only need one test.
+    let q = relate_p(&lake, &park, TopoRelation::Inside);
+    println!("relate_inside(lake, park) = {} via {:?}", q.holds, q.determination);
+
+    // 5. The full DE-9IM matrix is available when you need it.
+    let m = relate(&lake.polygon, &park.polygon);
+    println!("DE-9IM(lake, park) = {m}");
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Embed the recorded repro_all output into EXPERIMENTS.md's appendix."""
+
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = root / "EXPERIMENTS.md"
+out = root / "repro_output.txt"
+
+text = exp.read_text()
+run = out.read_text()
+# Drop cargo build noise before the report header.
+marker = "# Scalable Spatial Topology Joins"
+if marker in run:
+    run = run[run.index(marker):]
+
+placeholder_start = text.index("```text\n(see repro_output.txt")
+placeholder_end = text.index("```", placeholder_start + 7) + 3
+text = text[:placeholder_start] + "```text\n" + run.rstrip() + "\n```" + text[placeholder_end:]
+exp.write_text(text)
+print(f"embedded {len(run)} bytes of run output into EXPERIMENTS.md")

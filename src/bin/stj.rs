@@ -1,0 +1,274 @@
+//! `stj` — command-line front end for spatial topology joins.
+//!
+//! ```text
+//! stj relate <WKT> <WKT>                    DE-9IM + most specific relation
+//! stj generate <DATASET> <SCALE> <OUT.wkt>  write a synthetic dataset as WKT
+//! stj preprocess <IN.wkt> <OUT.stjd> [opts] build MBRs + APRIL, save binary
+//!     --order N      grid order (default 16)
+//!     --extent x0 y0 x1 y1   grid extent (default: dataset MBR + 1%)
+//!     --name NAME    dataset name (default: file stem)
+//! stj join <LEFT.stjd> <RIGHT.stjd> [opts]  run the topology join
+//!     --method pc|st2|op2|april   (default pc)
+//!     --predicate REL             relate_p mode (inside, meets, ...)
+//!     --threads N                 worker threads (default: all cores)
+//!     --ntriples OUT.nt           write GeoSPARQL links as N-Triples
+//! ```
+//!
+//! Datasets for `generate`: TL TW TC TZ OBE OLE OPE OBN OLN OPN.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use stjoin::core::linking::links_to_ntriples;
+use stjoin::core::{JoinMethod, TopologyJoin};
+use stjoin::datagen::DatasetId;
+use stjoin::geom::wkt::polygon_from_wkt;
+use stjoin::prelude::*;
+use stjoin::store::{read_dataset, read_wkt_polygons, write_dataset, write_wkt_polygons};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("relate") => cmd_relate(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("preprocess") => cmd_preprocess(&args[1..]),
+        Some("join") => cmd_join(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+stj — scalable spatial topology joins
+
+USAGE:
+  stj relate <WKT> <WKT>
+  stj generate <DATASET> <SCALE> <OUT.wkt>
+  stj preprocess <IN.wkt> <OUT.stjd> [--order N] [--extent x0 y0 x1 y1] [--name NAME]
+  stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
+           [--predicate REL] [--threads N] [--ntriples OUT.nt]
+";
+
+fn cmd_relate(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("relate needs exactly two WKT arguments".into());
+    };
+    let pa = polygon_from_wkt(a).map_err(|e| format!("first geometry: {e}"))?;
+    let pb = polygon_from_wkt(b).map_err(|e| format!("second geometry: {e}"))?;
+    let m = relate(&pa, &pb);
+    println!("DE-9IM:   {m}");
+    println!("relation: {}", TopoRelation::most_specific(&m));
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [name, scale, out] = args else {
+        return Err("generate needs <DATASET> <SCALE> <OUT.wkt>".into());
+    };
+    let id = parse_dataset(name)?;
+    let scale: f64 = scale
+        .parse()
+        .map_err(|_| format!("bad scale {scale:?}"))?;
+    let polys = stjoin::datagen::generate(id, scale);
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    write_wkt_polygons(&mut w, &polys).map_err(|e| format!("write {out}: {e}"))?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!("wrote {} polygons to {out}", polys.len());
+    Ok(())
+}
+
+fn cmd_preprocess(args: &[String]) -> Result<(), String> {
+    let mut pos = Vec::new();
+    let mut order = 16u32;
+    let mut name: Option<String> = None;
+    let mut extent: Option<Rect> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--order" => {
+                order = next_arg(&mut it, "--order")?
+                    .parse()
+                    .map_err(|_| "bad --order value".to_string())?;
+            }
+            "--name" => name = Some(next_arg(&mut it, "--name")?),
+            "--extent" => {
+                let mut v = [0.0f64; 4];
+                for slot in &mut v {
+                    *slot = next_arg(&mut it, "--extent")?
+                        .parse()
+                        .map_err(|_| "bad --extent value".to_string())?;
+                }
+                extent = Some(Rect::from_coords(v[0], v[1], v[2], v[3]));
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+    let [input, output] = pos.as_slice() else {
+        return Err("preprocess needs <IN.wkt> <OUT.stjd>".into());
+    };
+
+    let f = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let polys = read_wkt_polygons(BufReader::new(f)).map_err(|e| e.to_string())?;
+    if polys.is_empty() {
+        return Err("input contains no polygons".into());
+    }
+    let extent = extent.unwrap_or_else(|| {
+        let mut r = Rect::empty();
+        for p in &polys {
+            r.grow_rect(p.mbr());
+        }
+        // Pad 1% so border objects don't sit exactly on the grid edge.
+        let (w, h) = (r.width() * 0.01, r.height() * 0.01);
+        Rect::from_coords(r.min.x - w, r.min.y - h, r.max.x + w, r.max.y + h)
+    });
+    let grid = Grid::new(extent, order);
+    let ds_name = name.unwrap_or_else(|| {
+        std::path::Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "dataset".into())
+    });
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let count = polys.len();
+    let ds = Dataset::build_parallel(ds_name, polys, &grid, threads);
+    let f = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    write_dataset(&mut w, &ds, &grid).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!("preprocessed {count} polygons (grid order {order}) -> {output}");
+    Ok(())
+}
+
+fn cmd_join(args: &[String]) -> Result<(), String> {
+    let mut pos = Vec::new();
+    let mut method = JoinMethod::PC;
+    let mut predicate: Option<TopoRelation> = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ntriples: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--method" => {
+                method = match next_arg(&mut it, "--method")?.as_str() {
+                    "pc" => JoinMethod::PC,
+                    "st2" => JoinMethod::St2,
+                    "op2" => JoinMethod::Op2,
+                    "april" => JoinMethod::April,
+                    other => return Err(format!("unknown method {other:?}")),
+                };
+            }
+            "--predicate" => predicate = Some(parse_relation(&next_arg(&mut it, "--predicate")?)?),
+            "--threads" => {
+                threads = next_arg(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--ntriples" => ntriples = Some(next_arg(&mut it, "--ntriples")?),
+            other => pos.push(other.to_string()),
+        }
+    }
+    let [left_path, right_path] = pos.as_slice() else {
+        return Err("join needs <LEFT.stjd> <RIGHT.stjd>".into());
+    };
+
+    let (left, lgrid) = load(left_path)?;
+    let (right, rgrid) = load(right_path)?;
+    if lgrid != rgrid {
+        return Err(format!(
+            "grid mismatch: {left_path} and {right_path} were preprocessed on \
+             different grids; re-run preprocess with a common --extent/--order"
+        ));
+    }
+
+    let mut join = TopologyJoin::new().method(method).threads(threads);
+    if let Some(p) = predicate {
+        join = join.predicate(p);
+    }
+    let t = std::time::Instant::now();
+    let out = join.run(&left, &right);
+    let dt = t.elapsed();
+
+    println!(
+        "{} x {} -> {} candidates, {} links in {:.2?} ({:.0} pairs/s, {:.1}% refined)",
+        left.name,
+        right.name,
+        out.candidates,
+        out.links.len(),
+        dt,
+        out.candidates as f64 / dt.as_secs_f64().max(1e-12),
+        out.stats.undetermined_pct()
+    );
+    let mut histogram = std::collections::BTreeMap::new();
+    for l in &out.links {
+        *histogram.entry(l.relation.to_string()).or_insert(0u64) += 1;
+    }
+    for (rel, n) in histogram {
+        println!("  {rel:<12} {n}");
+    }
+
+    if let Some(path) = ntriples {
+        let lname = left.name.clone();
+        let rname = right.name.clone();
+        let nt = links_to_ntriples(
+            &out.links,
+            |i| format!("urn:stj:{lname}:{i}"),
+            |j| format!("urn:stj:{rname}:{j}"),
+            false,
+        );
+        std::fs::write(&path, nt).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {} link triples to {path}", out.links.len());
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<(Dataset, Grid), String> {
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_dataset(&mut BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn next_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetId, String> {
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "TL" => DatasetId::TL,
+        "TW" => DatasetId::TW,
+        "TC" => DatasetId::TC,
+        "TZ" => DatasetId::TZ,
+        "OBE" => DatasetId::OBE,
+        "OLE" => DatasetId::OLE,
+        "OPE" => DatasetId::OPE,
+        "OBN" => DatasetId::OBN,
+        "OLN" => DatasetId::OLN,
+        "OPN" => DatasetId::OPN,
+        other => return Err(format!("unknown dataset {other:?}")),
+    })
+}
+
+fn parse_relation(name: &str) -> Result<TopoRelation, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "disjoint" => TopoRelation::Disjoint,
+        "intersects" => TopoRelation::Intersects,
+        "meets" | "touches" => TopoRelation::Meets,
+        "equals" => TopoRelation::Equals,
+        "inside" | "within" => TopoRelation::Inside,
+        "contains" => TopoRelation::Contains,
+        "coveredby" | "covered_by" | "covered-by" => TopoRelation::CoveredBy,
+        "covers" => TopoRelation::Covers,
+        other => return Err(format!("unknown relation {other:?}")),
+    })
+}

@@ -1,0 +1,128 @@
+//! End-to-end test of the `stj` command-line binary: generate →
+//! preprocess → join → N-Triples, plus the `relate` one-shot.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stj"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stj-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn relate_command() {
+    let out = stj()
+        .args([
+            "relate",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+            "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))",
+        ])
+        .output()
+        .expect("run stj");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("DE-9IM:   TTTFFTFFT"), "{text}");
+    assert!(text.contains("relation: contains"), "{text}");
+}
+
+#[test]
+fn relate_rejects_bad_wkt() {
+    let out = stj()
+        .args(["relate", "POLYGON ((0 0))", "POLYGON ((0 0, 1 0, 1 1, 0 0))"])
+        .output()
+        .expect("run stj");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn full_pipeline_via_cli() {
+    let dir = tempdir("pipeline");
+    let lakes_wkt = dir.join("lakes.wkt");
+    let parks_wkt = dir.join("parks.wkt");
+    let lakes_bin = dir.join("lakes.stjd");
+    let parks_bin = dir.join("parks.stjd");
+    let links = dir.join("links.nt");
+
+    for (ds, path) in [("OLE", &lakes_wkt), ("OPE", &parks_wkt)] {
+        let out = stj()
+            .args(["generate", ds, "0.003"])
+            .arg(path)
+            .output()
+            .expect("generate");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    for (wkt, bin) in [(&lakes_wkt, &lakes_bin), (&parks_wkt, &parks_bin)] {
+        let out = stj()
+            .arg("preprocess")
+            .arg(wkt)
+            .arg(bin)
+            .args(["--order", "12", "--extent", "0", "0", "1000", "1000"])
+            .output()
+            .expect("preprocess");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    let out = stj()
+        .arg("join")
+        .arg(&lakes_bin)
+        .arg(&parks_bin)
+        .arg("--ntriples")
+        .arg(&links)
+        .output()
+        .expect("join");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("candidates"), "{text}");
+
+    let nt = std::fs::read_to_string(&links).unwrap();
+    assert!(nt.lines().count() > 0);
+    for line in nt.lines() {
+        assert!(line.starts_with("<urn:stj:"), "{line}");
+        assert!(line.contains("geosparql#sf"), "{line}");
+        assert!(line.ends_with(" ."), "{line}");
+    }
+
+    // Predicate mode agrees with the general join's histogram.
+    let out = stj()
+        .arg("join")
+        .arg(&lakes_bin)
+        .arg(&parks_bin)
+        .args(["--predicate", "inside"])
+        .output()
+        .expect("predicate join");
+    assert!(out.status.success());
+
+    // Mismatched grids are refused.
+    let other_bin = dir.join("other.stjd");
+    let out = stj()
+        .arg("preprocess")
+        .arg(&lakes_wkt)
+        .arg(&other_bin)
+        .args(["--order", "10", "--extent", "0", "0", "1000", "1000"])
+        .output()
+        .expect("preprocess other");
+    assert!(out.status.success());
+    let out = stj()
+        .arg("join")
+        .arg(&other_bin)
+        .arg(&parks_bin)
+        .output()
+        .expect("mismatched join");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("grid mismatch"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = stj().arg("frobnicate").output().expect("run stj");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,127 @@
+//! Cross-crate properties of the DE-9IM engine: transpose symmetry,
+//! relation/converse duality, and agreement with point-sampling evidence.
+
+use proptest::prelude::*;
+use stjoin::datagen::{star_polygon, StarParams};
+use stjoin::geom::polygon::Location;
+use stjoin::prelude::*;
+
+fn star(seed: u64, n: usize, cx: f64, cy: f64, radius: f64) -> Polygon {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    star_polygon(
+        &mut rng,
+        &StarParams {
+            center: Point::new(cx, cy),
+            avg_radius: radius,
+            irregularity: 0.5,
+            spikiness: 0.35,
+            num_vertices: n,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// relate(s, r) is the transpose of relate(r, s), and the most
+    /// specific relation of the transpose is the converse.
+    #[test]
+    fn transpose_and_converse(
+        s1 in 0u64..100_000,
+        s2 in 0u64..100_000,
+        dx in -40.0..40.0f64,
+        dy in -40.0..40.0f64,
+        scale in 0.2..2.0f64,
+    ) {
+        let a = star(s1, 20, 50.0, 50.0, 20.0);
+        let b = star(s2, 28, 50.0 + dx, 50.0 + dy, 20.0 * scale);
+        let m_ab = relate(&a, &b);
+        let m_ba = relate(&b, &a);
+        prop_assert_eq!(m_ab.transposed(), m_ba, "transpose violated");
+        prop_assert_eq!(
+            TopoRelation::most_specific(&m_ab).converse(),
+            TopoRelation::most_specific(&m_ba)
+        );
+    }
+
+    /// Point-sampling evidence: any sampled point classification must be
+    /// consistent with the computed matrix (sampling can only *witness*
+    /// intersections, never refute the matrix's F cells for cells it
+    /// cannot witness — so we check the witness direction).
+    #[test]
+    fn sampled_witnesses_are_reflected(
+        s1 in 0u64..100_000,
+        s2 in 0u64..100_000,
+        dx in -30.0..30.0f64,
+        dy in -30.0..30.0f64,
+    ) {
+        use stjoin::de9im::Part;
+        let a = star(s1, 16, 50.0, 50.0, 18.0);
+        let b = star(s2, 16, 50.0 + dx, 50.0 + dy, 18.0);
+        let m = relate(&a, &b);
+
+        // Sample a grid of points; each witnesses one matrix cell.
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = Point::new(10.0 + i as f64 * 4.0, 10.0 + j as f64 * 4.0);
+                let part_a = match a.locate(p) {
+                    Location::Inside => Part::Interior,
+                    Location::Boundary => Part::Boundary,
+                    Location::Outside => Part::Exterior,
+                };
+                let part_b = match b.locate(p) {
+                    Location::Inside => Part::Interior,
+                    Location::Boundary => Part::Boundary,
+                    Location::Outside => Part::Exterior,
+                };
+                prop_assert!(
+                    m.get(part_a, part_b),
+                    "point {p:?} witnesses ({part_a:?},{part_b:?}) but matrix {m:?} says F"
+                );
+            }
+        }
+    }
+
+    /// Exactly one of the paper's "definite" relations holds as most
+    /// specific, and it implies every satisfied generalization.
+    #[test]
+    fn most_specific_is_consistent(
+        s1 in 0u64..100_000,
+        s2 in 0u64..100_000,
+        dx in -35.0..35.0f64,
+        scale in 0.3..1.5f64,
+    ) {
+        let a = star(s1, 24, 50.0, 50.0, 20.0);
+        let b = star(s2, 24, 50.0 + dx, 50.0, 20.0 * scale);
+        let m = relate(&a, &b);
+        let best = TopoRelation::most_specific(&m);
+        prop_assert!(best.holds(&m));
+        for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+            if rel.holds(&m) {
+                prop_assert!(
+                    best == rel || best.implies(rel),
+                    "most specific {best:?} does not imply satisfied {rel:?} ({m:?})"
+                );
+            }
+        }
+        // Disjoint and intersects are mutually exclusive and exhaustive.
+        prop_assert_ne!(
+            TopoRelation::Disjoint.holds(&m),
+            TopoRelation::Intersects.holds(&m)
+        );
+    }
+}
+
+#[test]
+fn prepared_objects_give_identical_matrices() {
+    use stjoin::de9im::{relate_prepared, Prepared};
+    let a = star(1, 30, 50.0, 50.0, 25.0);
+    let pa = Prepared::new(&a);
+    for seed in 0..20u64 {
+        let b = star(seed, 20, 45.0 + seed as f64, 50.0, 15.0);
+        let pb = Prepared::new(&b);
+        assert_eq!(relate_prepared(&pa, &pb), relate(&a, &b), "seed {seed}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 4 completeness: for arbitrary valid polygon pairs, the true
+//! most specific relation always belongs to the candidate set of the
+//! pair's MBR classification — the property the OP2 baseline and the
+//! intermediate-filter routing both rely on.
+
+use proptest::prelude::*;
+use stjoin::datagen::{pair_with_relation, star_polygon, StarParams};
+use stjoin::prelude::*;
+
+fn star(seed: u64, n: usize, cx: f64, cy: f64, radius: f64) -> Polygon {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    star_polygon(
+        &mut rng,
+        &StarParams {
+            center: Point::new(cx, cy),
+            avg_radius: radius,
+            irregularity: 0.5,
+            spikiness: 0.3,
+            num_vertices: n,
+        },
+    )
+}
+
+fn check(a: &Polygon, b: &Polygon, ctx: &str) {
+    let mbr_rel = MbrRelation::classify(a.mbr(), b.mbr());
+    let truth = TopoRelation::most_specific(&relate(a, b));
+    assert!(
+        mbr_rel.candidates().contains(&truth),
+        "{ctx}: true relation {truth:?} outside candidates {:?} of MBR class {mbr_rel:?}",
+        mbr_rel.candidates()
+    );
+    // The `relate_p` short-circuit must agree: the most specific relation
+    // is always admitted.
+    assert!(mbr_rel.admits(truth), "{ctx}: admits({truth:?}) is false");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_pairs_stay_within_figure4_candidates(
+        s1 in 0u64..1_000_000,
+        s2 in 0u64..1_000_000,
+        n1 in 4usize..40,
+        n2 in 4usize..40,
+        dx in -60.0..60.0f64,
+        dy in -60.0..60.0f64,
+        scale in 0.1..3.0f64,
+    ) {
+        let a = star(s1, n1, 300.0, 300.0, 30.0);
+        let b = star(s2, n2, 300.0 + dx, 300.0 + dy, 30.0 * scale);
+        check(&a, &b, "random");
+        check(&b, &a, "random swapped");
+    }
+}
+
+#[test]
+fn targeted_relations_stay_within_figure4_candidates() {
+    for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+        for seed in 0..10u64 {
+            let (a, b) = pair_with_relation(rel, 64, seed);
+            check(&a, &b, &format!("{rel:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn crossing_mbrs_really_mean_intersects() {
+    // Stress the Figure 4(d) claim with bodies that barely reach their
+    // MBR edges: a thin horizontal S-curve vs a thin vertical one.
+    let horizontal = Polygon::from_coords(
+        vec![
+            (0.0, 40.0),
+            (100.0, 40.0),
+            (100.0, 44.0),
+            (8.0, 44.0),
+            (8.0, 56.0),
+            (100.0, 56.0),
+            (100.0, 60.0),
+            (0.0, 60.0),
+            (0.0, 48.0),
+            (4.0, 48.0),
+            (4.0, 44.0),
+            (0.0, 44.0),
+        ],
+        vec![],
+    )
+    .unwrap();
+    let vertical = Polygon::from_coords(
+        vec![
+            (40.0, 0.0),
+            (44.0, 0.0),
+            (44.0, 92.0),
+            (56.0, 92.0),
+            (56.0, 0.0),
+            (60.0, 0.0),
+            (60.0, 100.0),
+            (40.0, 100.0),
+        ],
+        vec![],
+    )
+    .unwrap();
+    assert_eq!(
+        MbrRelation::classify(horizontal.mbr(), vertical.mbr()),
+        MbrRelation::Cross
+    );
+    let truth = TopoRelation::most_specific(&relate(&horizontal, &vertical));
+    assert_eq!(truth, TopoRelation::Intersects);
+}

@@ -1,0 +1,150 @@
+//! Property tests for the raster substrate: the soundness invariants the
+//! intermediate filters rely on, checked against exact geometry.
+
+use proptest::prelude::*;
+use stjoin::datagen::{star_polygon, StarParams};
+use stjoin::geom::polygon::Location;
+use stjoin::prelude::*;
+use stjoin::raster::hilbert;
+
+fn star(seed: u64, n: usize, cx: f64, cy: f64, radius: f64) -> Polygon {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    star_polygon(
+        &mut rng,
+        &StarParams {
+            center: Point::new(cx, cy),
+            avg_radius: radius,
+            irregularity: 0.6,
+            spikiness: 0.4,
+            num_vertices: n,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// P cells are wholly interior; every polygon vertex's cell is in C;
+    /// P ⊆ C.
+    #[test]
+    fn april_soundness(
+        seed in 0u64..1_000_000,
+        n in 4usize..80,
+        cx in 10.0..90.0f64,
+        cy in 10.0..90.0f64,
+        radius in 0.5..30.0f64,
+        order in 4u32..8,
+    ) {
+        let poly = star(seed, n, cx, cy, radius);
+        let grid = Grid::new(Rect::from_coords(-40.0, -40.0, 140.0, 140.0), order);
+        let a = AprilApprox::build(&poly, &grid);
+
+        prop_assert!(a.p.inside(&a.c), "P not within C");
+        prop_assert!(!a.c.is_empty(), "C empty for non-empty polygon");
+
+        // Every P cell's four corners and center lie inside-or-on the
+        // polygon, and strictly: the center must be interior.
+        for id in a.p.iter_cells().take(512) {
+            let (x, y) = hilbert::d_to_xy(order, id);
+            let rect = grid.cell_rect(x, y);
+            let center = grid.cell_center(x, y);
+            prop_assert_eq!(poly.locate(center), Location::Inside, "P cell center not interior");
+            for corner in [
+                rect.min,
+                Point::new(rect.max.x, rect.min.y),
+                rect.max,
+                Point::new(rect.min.x, rect.max.y),
+            ] {
+                prop_assert_ne!(poly.locate(corner), Location::Outside, "P cell corner outside");
+            }
+        }
+
+        // Every vertex of the polygon lies in some C cell.
+        for v in poly.outer().vertices() {
+            let (col, row) = grid.cell_of(*v);
+            let id = hilbert::xy_to_d(order, col, row);
+            prop_assert!(a.c.contains_cell(id), "vertex cell missing from C");
+        }
+    }
+
+    /// Hilbert bijection and locality across random coordinates/orders.
+    #[test]
+    fn hilbert_roundtrip(order in 1u32..=16, bits in any::<u64>()) {
+        let side = 1u64 << order;
+        let x = (bits & 0xFFFF_FFFF) as u32 % side as u32;
+        let y = (bits >> 32) as u32 % side as u32;
+        let d = hilbert::xy_to_d(order, x, y);
+        prop_assert!(d < side * side);
+        prop_assert_eq!(hilbert::d_to_xy(order, d), (x, y));
+    }
+
+    /// Interval-list relations vs naive set semantics.
+    #[test]
+    fn interval_relations_match_sets(
+        ra in proptest::collection::vec((0u64..60, 1u64..8), 0..10),
+        rb in proptest::collection::vec((0u64..60, 1u64..8), 0..10),
+    ) {
+        use std::collections::HashSet;
+        let ranges_a: Vec<(u64, u64)> = ra.iter().map(|&(s, l)| (s, s + l)).collect();
+        let ranges_b: Vec<(u64, u64)> = rb.iter().map(|&(s, l)| (s, s + l)).collect();
+        let a = IntervalList::from_ranges(ranges_a.clone());
+        let b = IntervalList::from_ranges(ranges_b.clone());
+        let sa: HashSet<u64> = ranges_a.iter().flat_map(|&(s, e)| s..e).collect();
+        let sb: HashSet<u64> = ranges_b.iter().flat_map(|&(s, e)| s..e).collect();
+
+        prop_assert_eq!(a.overlaps(&b), !sa.is_disjoint(&sb));
+        prop_assert_eq!(a.matches(&b), sa == sb);
+        prop_assert_eq!(a.inside(&b), sa.is_subset(&sb));
+        prop_assert_eq!(a.contains(&b), sb.is_subset(&sa));
+        prop_assert_eq!(a.num_cells(), sa.len() as u64);
+        // Normalization idempotence.
+        let renorm = IntervalList::from_ranges(a.intervals().to_vec());
+        prop_assert!(renorm.matches(&a));
+    }
+
+    /// The APRIL-based disjointness verdict is never wrong: if C lists
+    /// don't overlap, the exact relation is disjoint.
+    #[test]
+    fn conservative_disjointness(
+        seed1 in 0u64..100_000,
+        seed2 in 0u64..100_000,
+        cx in 20.0..80.0f64,
+        cy in 20.0..80.0f64,
+        dx in -30.0..30.0f64,
+        dy in -30.0..30.0f64,
+    ) {
+        let grid = Grid::new(Rect::from_coords(-60.0, -60.0, 160.0, 160.0), 8);
+        let a = star(seed1, 24, cx, cy, 12.0);
+        let b = star(seed2, 24, cx + dx, cy + dy, 12.0);
+        let aa = AprilApprox::build(&a, &grid);
+        let ab = AprilApprox::build(&b, &grid);
+        if !aa.c.overlaps(&ab.c) {
+            let rel = TopoRelation::most_specific(&relate(&a, &b));
+            prop_assert_eq!(rel, TopoRelation::Disjoint);
+        }
+        // And the progressive proof: C(a) within P(b) implies inside.
+        if aa.c.inside(&ab.p) {
+            let rel = TopoRelation::most_specific(&relate(&a, &b));
+            prop_assert_eq!(rel, TopoRelation::Inside);
+        }
+    }
+}
+
+#[test]
+fn finer_grids_tighten_the_approximation() {
+    let poly = star(7, 48, 50.0, 50.0, 25.0);
+    let area = poly.area();
+    let mut prev_gap = f64::INFINITY;
+    for order in [4u32, 5, 6, 7, 8] {
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), order);
+        let a = AprilApprox::build(&poly, &grid);
+        let cell_area = grid.cell_width() * grid.cell_height();
+        let gap = (a.c.num_cells() - a.p.num_cells()) as f64 * cell_area;
+        assert!(gap < prev_gap, "order {order}: gap {gap} >= {prev_gap}");
+        assert!(a.p.num_cells() as f64 * cell_area <= area + 1e-9);
+        assert!(a.c.num_cells() as f64 * cell_area >= area - 1e-9);
+        prev_gap = gap;
+    }
+}

@@ -1,0 +1,61 @@
+//! WKT round-trip property across generated polygons, including holes
+//! and multi-polygons.
+
+use proptest::prelude::*;
+use stjoin::datagen::{star_polygon_with_holes, StarParams};
+use stjoin::geom::wkt;
+use stjoin::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn polygon_roundtrip(seed in 0u64..1_000_000, n in 4usize..50, holes in 0usize..3) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = star_polygon_with_holes(
+            &mut rng,
+            &StarParams {
+                center: Point::new(100.0, -50.0),
+                avg_radius: 30.0,
+                irregularity: 0.5,
+                spikiness: 0.3,
+                num_vertices: n,
+            },
+            holes,
+            6,
+        );
+        let text = wkt::polygon_to_wkt(&poly);
+        let parsed = wkt::polygon_from_wkt(&text).expect("roundtrip parse");
+        prop_assert_eq!(&parsed, &poly);
+        // Idempotence of format → parse → format.
+        prop_assert_eq!(wkt::polygon_to_wkt(&parsed), text);
+    }
+
+    #[test]
+    fn multipolygon_roundtrip(seed in 0u64..1_000_000, members in 1usize..5) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use stjoin::datagen::star_polygon;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let polys: Vec<Polygon> = (0..members)
+            .map(|i| {
+                star_polygon(
+                    &mut rng,
+                    &StarParams {
+                        center: Point::new(i as f64 * 200.0, 0.0),
+                        avg_radius: 20.0,
+                        irregularity: 0.4,
+                        spikiness: 0.2,
+                        num_vertices: 12,
+                    },
+                )
+            })
+            .collect();
+        let mp = MultiPolygon::new(polys);
+        let text = wkt::multipolygon_to_wkt(&mp);
+        let parsed = wkt::multipolygon_from_wkt(&text).expect("roundtrip parse");
+        prop_assert_eq!(parsed, mp);
+    }
+}
