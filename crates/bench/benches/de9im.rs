@@ -59,7 +59,7 @@ fn fast_config() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_relate_by_complexity, bench_prepared_reuse

@@ -50,7 +50,7 @@ fn fast_config() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_hilbert

@@ -46,7 +46,9 @@ fn bench_relations(c: &mut Criterion) {
 fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("interval_construction");
     for &n in &[256usize, 4096] {
-        let ranges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 7 % 10_000, i * 7 % 10_000 + 3)).collect();
+        let ranges: Vec<(u64, u64)> = (0..n as u64)
+            .map(|i| (i * 7 % 10_000, i * 7 % 10_000 + 3))
+            .collect();
         g.bench_with_input(BenchmarkId::new("from_ranges", n), &n, |bench, _| {
             bench.iter(|| black_box(IntervalList::from_ranges(black_box(ranges.clone()))))
         });
@@ -63,7 +65,7 @@ fn fast_config() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_relations, bench_construction

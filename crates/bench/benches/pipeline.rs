@@ -2,7 +2,9 @@
 //! determination path — the per-pair costs behind Figure 7.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use stj_core::{find_relation, find_relation_april, find_relation_op2, find_relation_st2, SpatialObject};
+use stj_core::{
+    find_relation, find_relation_april, find_relation_op2, find_relation_st2, SpatialObject,
+};
 use stj_datagen::{pair_with_relation, star_polygon, StarParams};
 use stj_de9im::TopoRelation;
 use stj_geom::{Point, Rect};
@@ -29,7 +31,10 @@ fn bench_methods_per_relation(c: &mut Criterion) {
     ] {
         let (r, s) = obj_pair(rel, 512, 31);
         for (name, f) in [
-            ("PC", find_relation as fn(&SpatialObject, &SpatialObject) -> _),
+            (
+                "PC",
+                find_relation as fn(&SpatialObject, &SpatialObject) -> _,
+            ),
             ("ST2", find_relation_st2),
             ("OP2", find_relation_op2),
             ("APRIL", find_relation_april),
@@ -80,7 +85,7 @@ fn fast_config() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_methods_per_relation, bench_preprocessing

@@ -44,7 +44,10 @@ fn main() {
         let t = Instant::now();
         let mut stats = PipelineStats::default();
         for &(i, j) in &pairs {
-            stats.record(&find_relation(&r.objects[i as usize], &s.objects[j as usize]));
+            stats.record(&find_relation(
+                &r.objects[i as usize],
+                &s.objects[j as usize],
+            ));
         }
         let dt = t.elapsed();
 

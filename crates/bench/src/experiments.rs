@@ -1,16 +1,19 @@
 //! One function per paper table/figure, printing the regenerated rows.
 
 use crate::harness::{
-    complexity_levels, default_scale, human_count, mb, run_method, threads, ComboSetup,
+    complexity_levels, default_scale, human_count, mb, profile_pc, run_method, threads, ComboSetup,
     Method, MethodResult, GRID_ORDER, METHODS,
 };
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
-use stj_core::{find_relation, intermediate_filter, refine, relate_p, Dataset, IfOutcome};
+use stj_core::{
+    find_relation, intermediate_filter, mbr_class_labels, refine, relate_p, Dataset, IfOutcome,
+};
 use stj_datagen::{fig9_lake_in_park, generate, ComboId, DatasetId, ALL_COMBOS};
 use stj_de9im::TopoRelation;
 use stj_geom::Rect;
 use stj_index::{mbr_join_parallel, MbrRelation};
+use stj_obs::{JoinProfile, Json};
 use stj_raster::Grid;
 
 /// Table 2: dataset description — object counts and storage footprints
@@ -63,7 +66,10 @@ pub fn table2(scale: f64) {
 /// Table 3: candidate pairs (MBR-filter survivors) per combination.
 pub fn table3(scale: f64) {
     println!("== Table 3: candidate pairs per combination (scale {scale}) ==");
-    println!("{:<10} {:>10} {:>10} {:>16}", "Datasets", "|R|", "|S|", "Candidate pairs");
+    println!(
+        "{:<10} {:>10} {:>10} {:>16}",
+        "Datasets", "|R|", "|S|", "Candidate pairs"
+    );
     for combo in ALL_COMBOS {
         let (r_polys, s_polys) = stj_datagen::generate_combo(combo, scale);
         let r_mbrs: Vec<Rect> = r_polys.iter().map(|p| *p.mbr()).collect();
@@ -79,32 +85,108 @@ pub fn table3(scale: f64) {
     }
 }
 
-/// Figure 7: (a) find-relation throughput of ST2/OP2/APRIL/P+C per
-/// combination; (b) % of undetermined (refined) pairs per method.
-pub fn fig7(scale: f64) {
+/// One combination's full Figure-7 measurement: the per-method results
+/// (parallel to [`METHODS`]) plus, optionally, a profiled P+C pass run
+/// after the timed sweeps so throughput is never measured instrumented.
+pub struct ComboReport {
+    /// Which combination was measured.
+    pub combo: ComboId,
+    /// Candidate pairs in the stream.
+    pub pairs: usize,
+    /// One [`MethodResult`] per [`METHODS`] entry, same order.
+    pub results: Vec<MethodResult>,
+    /// Per-stage/per-class P+C profile (only when requested).
+    pub pc_profile: Option<JoinProfile>,
+}
+
+/// Measures every combination for Figure 7 and returns the raw results.
+/// With `profile` set, each combo also gets an instrumented P+C pass
+/// (used by [`repro_all`] to emit `BENCH_PR1.json`).
+pub fn fig7_collect(scale: f64, profile: bool) -> Vec<ComboReport> {
+    ALL_COMBOS
+        .into_iter()
+        .map(|combo| {
+            let setup = ComboSetup::build(combo, scale);
+            let results = METHODS.iter().map(|m| run_method(&setup, m)).collect();
+            let pc_profile = profile.then(|| profile_pc(&setup));
+            ComboReport {
+                combo,
+                pairs: setup.pairs.len(),
+                results,
+                pc_profile,
+            }
+        })
+        .collect()
+}
+
+/// Prints the Figure 7 table from collected reports.
+pub fn fig7_print(reports: &[ComboReport]) {
     println!("== Figure 7(a): find relation throughput (pairs/sec) + 7(b): % undetermined ==");
     println!(
         "{:<10} {:>8} | {:>9} {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6}",
         "Combo", "pairs", "ST2", "OP2", "APRIL", "P+C", "ST2%", "OP2%", "APR%", "P+C%"
     );
-    for combo in ALL_COMBOS {
-        let setup = ComboSetup::build(combo, scale);
-        let results: Vec<MethodResult> = METHODS.iter().map(|m| run_method(&setup, m)).collect();
+    for rep in reports {
+        let r = &rep.results;
         println!(
             "{:<10} {:>8} | {:>9.0} {:>9.0} {:>9.0} {:>9.0} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
-            combo.name(),
-            setup.pairs.len(),
-            results[0].throughput,
-            results[1].throughput,
-            results[2].throughput,
-            results[3].throughput,
-            results[0].undetermined_pct,
-            results[1].undetermined_pct,
-            results[2].undetermined_pct,
-            results[3].undetermined_pct,
+            rep.combo.name(),
+            rep.pairs,
+            r[0].throughput,
+            r[1].throughput,
+            r[2].throughput,
+            r[3].throughput,
+            r[0].undetermined_pct,
+            r[1].undetermined_pct,
+            r[2].undetermined_pct,
+            r[3].undetermined_pct,
         );
     }
     println!("(paper shape: P+C ~= 10x ST2/OP2 throughput, a few x APRIL; undetermined ~100% -> ~50% -> ~25%)");
+}
+
+/// Figure 7: (a) find-relation throughput of ST2/OP2/APRIL/P+C per
+/// combination; (b) % of undetermined (refined) pairs per method.
+pub fn fig7(scale: f64) {
+    fig7_print(&fig7_collect(scale, false));
+}
+
+/// Builds the machine-readable benchmark telemetry (`stj-bench/v1`):
+/// one entry per combination with per-method throughput and outcome
+/// stats, plus the profiled P+C pass (per-stage latency histograms and
+/// per-MBR-class breakdown) where one was collected.
+pub fn bench_report(reports: &[ComboReport], scale: f64) -> Json {
+    let labels = mbr_class_labels();
+    let mut combos = Vec::with_capacity(reports.len());
+    for rep in reports {
+        let methods = METHODS
+            .iter()
+            .zip(&rep.results)
+            .map(|(m, r)| r.to_json(m.name))
+            .collect();
+        let mut combo = Json::object([
+            ("combo", Json::str(rep.combo.name())),
+            ("pairs", Json::U64(rep.pairs as u64)),
+            ("methods", Json::Arr(methods)),
+        ]);
+        if let Some(profile) = &rep.pc_profile {
+            combo.push("pc_profile", profile.to_json(&labels));
+        }
+        combos.push(combo);
+    }
+    Json::object([
+        ("schema", Json::str("stj-bench/v1")),
+        ("scale", Json::F64(scale)),
+        ("grid_order", Json::U64(u64::from(GRID_ORDER))),
+        ("threads", Json::U64(threads() as u64)),
+        ("combos", Json::Arr(combos)),
+    ])
+}
+
+/// Where [`repro_all`] writes its telemetry: `$STJ_BENCH_JSON`, or
+/// `BENCH_PR1.json` in the working directory by default.
+pub fn bench_json_path() -> String {
+    std::env::var("STJ_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR1.json".to_string())
 }
 
 /// Table 4 + Figure 8: OLE-OPE pairs grouped into 10 equi-depth
@@ -121,7 +203,10 @@ pub fn fig8_with(setup: &ComboSetup) {
     let (ranges, groups) = complexity_levels(setup, levels);
 
     println!("== Table 4: OLE-OPE pairs by complexity level (sum of vertices) ==");
-    println!("{:<6} {:>18} {:>12}", "Level", "Sum of vertices", "Pair count");
+    println!(
+        "{:<6} {:>18} {:>12}",
+        "Level", "Sum of vertices", "Pair count"
+    );
     for (l, (range, group)) in ranges.iter().zip(&groups).enumerate() {
         println!(
             "{:<6} {:>18} {:>12}",
@@ -208,17 +293,24 @@ pub fn table5_with(setup: &ComboSetup) {
         "Method", "Equals", "Meets", "Inside"
     );
 
-    let fr = run_method(setup, &Method {
-        name: "P+C",
-        run: find_relation,
-    });
+    let fr = run_method(
+        setup,
+        &Method {
+            name: "P+C",
+            run: find_relation,
+        },
+    );
     println!(
         "{:<14} {:>12.1} {:>12.1} {:>12.1}",
         "find relation", fr.throughput, fr.throughput, fr.throughput
     );
 
     let mut row = vec![];
-    for p in [TopoRelation::Equals, TopoRelation::Meets, TopoRelation::Inside] {
+    for p in [
+        TopoRelation::Equals,
+        TopoRelation::Meets,
+        TopoRelation::Inside,
+    ] {
         let t = Instant::now();
         let mut holds = 0u64;
         for &(i, j) in &setup.pairs {
@@ -235,7 +327,9 @@ pub fn table5_with(setup: &ComboSetup) {
         "{:<14} {:>12.1} {:>12.1} {:>12.1}",
         "relate_p", row[0], row[1], row[2]
     );
-    println!("(paper shape: relate_p >= find relation for all predicates; meets is dramatically faster)");
+    println!(
+        "(paper shape: relate_p >= find relation for all predicates; meets is dramatically faster)"
+    );
 }
 
 /// Figure 9: the high-complexity lake-inside-park case study.
@@ -247,15 +341,30 @@ pub fn fig9() {
 
     println!("== Figure 9: level-10 complexity pair (lake inside park) ==");
     println!("{:<14} {:>10} {:>10}", "", "Lake", "Park");
-    println!("{:<14} {:>10} {:>10}", "Vertices", lake.num_vertices(), park.num_vertices());
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "Vertices",
+        lake.num_vertices(),
+        park.num_vertices()
+    );
     println!(
         "{:<14} {:>10.4} {:>10.4}",
         "MBR area",
         lake.mbr.area() / grid.extent().area(),
         park.mbr.area() / grid.extent().area()
     );
-    println!("{:<14} {:>10} {:>10}", "C-intervals", lake.april.c.len(), park.april.c.len());
-    println!("{:<14} {:>10} {:>10}", "P-intervals", lake.april.p.len(), park.april.p.len());
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "C-intervals",
+        lake.april.c.len(),
+        park.april.c.len()
+    );
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "P-intervals",
+        lake.april.p.len(),
+        park.april.p.len()
+    );
 
     let reps = 20u32;
     let mut times = Vec::new();
@@ -280,7 +389,8 @@ pub fn fig9() {
     );
 }
 
-/// Runs every experiment in sequence (the `repro_all` binary).
+/// Runs every experiment in sequence (the `repro_all` binary) and
+/// writes the `stj-bench/v1` telemetry to [`bench_json_path`].
 pub fn repro_all() {
     let scale = default_scale();
     println!("# Scalable Spatial Topology Joins — full reproduction run");
@@ -293,7 +403,8 @@ pub fn repro_all() {
     println!();
     table3(scale);
     println!();
-    fig7(scale);
+    let reports = fig7_collect(scale, true);
+    fig7_print(&reports);
     println!();
     // OLE-OPE is reused by the complexity and relate_p experiments.
     let ole_ope = ComboSetup::build(ComboId::OleOpe, scale);
@@ -302,7 +413,13 @@ pub fn repro_all() {
     table5_with(&ole_ope);
     println!();
     fig9();
-    println!("\ntotal reproduction time: {:.1?}", t.elapsed());
+
+    let path = bench_json_path();
+    match std::fs::write(&path, bench_report(&reports, scale).render()) {
+        Ok(()) => println!("\nwrote bench telemetry: {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+    println!("total reproduction time: {:.1?}", t.elapsed());
 }
 
 /// Compact duration formatting for table cells.

@@ -2,12 +2,13 @@
 
 use std::time::{Duration, Instant};
 use stj_core::{
-    find_relation, find_relation_april, find_relation_op2, find_relation_st2, Dataset,
-    FindOutcome, PipelineStats, SpatialObject,
+    find_relation, find_relation_april, find_relation_op2, find_relation_profiled,
+    find_relation_st2, Dataset, FindOutcome, PipelineStats, SpatialObject,
 };
 use stj_datagen::{generate_combo, ComboId};
 use stj_geom::Rect;
 use stj_index::mbr_join_parallel;
+use stj_obs::{JoinProfile, Json, Recorder};
 use stj_raster::Grid;
 
 /// Grid order used by all experiments (the paper's `2^16 × 2^16`).
@@ -145,6 +146,45 @@ pub fn run_method(setup: &ComboSetup, method: &Method) -> MethodResult {
     }
 }
 
+/// Runs a second, instrumented P+C pass over `setup`'s candidate stream
+/// and returns the per-stage/per-class profile.
+///
+/// Deliberately separate from [`run_method`]: throughput numbers are
+/// always measured with profiling statically disabled, and the profile
+/// comes from this extra pass whose wall time is never reported.
+pub fn profile_pc(setup: &ComboSetup) -> JoinProfile {
+    let mut rec = Recorder::new();
+    for &(i, j) in &setup.pairs {
+        let (r, s) = setup.pair(i, j);
+        let _ = find_relation_profiled(r, s, &mut rec);
+    }
+    rec.into_profile()
+}
+
+impl MethodResult {
+    /// One method's entry in a `stj-bench/v1` document.
+    pub fn to_json(&self, name: &str) -> Json {
+        Json::object([
+            ("name", Json::str(name)),
+            ("throughput_pairs_per_sec", Json::F64(self.throughput)),
+            ("undetermined_pct", Json::F64(self.undetermined_pct)),
+            (
+                "total_ns",
+                Json::U64(self.total_time.as_nanos().min(u128::from(u64::MAX)) as u64),
+            ),
+            (
+                "stats",
+                Json::object([
+                    ("pairs", Json::U64(self.stats.pairs)),
+                    ("by_mbr", Json::U64(self.stats.by_mbr)),
+                    ("by_intermediate", Json::U64(self.stats.by_intermediate)),
+                    ("refined", Json::U64(self.stats.refined)),
+                ]),
+            ),
+        ])
+    }
+}
+
 /// Complexity ranges and their grouped pair lists, as returned by
 /// [`complexity_levels`].
 pub type ComplexityGroups = (Vec<(usize, usize)>, Vec<Vec<(u32, u32)>>);
@@ -218,9 +258,7 @@ mod tests {
         for r in &results {
             assert_eq!(r.stats.pairs, setup.pairs.len() as u64);
         }
-        let by_name = |n: &str| {
-            results[METHODS.iter().position(|m| m.name == n).unwrap()]
-        };
+        let by_name = |n: &str| results[METHODS.iter().position(|m| m.name == n).unwrap()];
         assert!(by_name("P+C").stats.refined <= by_name("APRIL").stats.refined);
         assert!(by_name("APRIL").stats.refined <= by_name("ST2").stats.refined);
     }

@@ -19,6 +19,11 @@
 //!
 //! Set `STJ_SCALE` to grow/shrink the synthetic datasets (default 0.25;
 //! see DESIGN.md §7 for the scaling rationale).
+//!
+//! `repro_all` additionally writes machine-readable telemetry
+//! (`stj-bench/v1`): per combination, per-method throughput and outcome
+//! stats plus a profiled P+C pass with per-stage latency histograms.
+//! Default path `BENCH_PR1.json`; override with `STJ_BENCH_JSON`.
 
 pub mod experiments;
 pub mod harness;

@@ -4,8 +4,8 @@
 
 #[cfg(test)]
 mod tests {
-    use crate::experiments;
-    use crate::harness::ComboSetup;
+    use crate::experiments::{self, ComboReport};
+    use crate::harness::{profile_pc, run_method, ComboSetup, METHODS};
     use stj_datagen::ComboId;
 
     const TINY: f64 = 0.004;
@@ -30,5 +30,39 @@ mod tests {
     #[test]
     fn fig9_runs() {
         experiments::fig9();
+    }
+
+    #[test]
+    fn bench_report_has_the_stj_bench_v1_shape() {
+        let setup = ComboSetup::build(ComboId::OleOpe, 0.01);
+        let results: Vec<_> = METHODS.iter().map(|m| run_method(&setup, m)).collect();
+        let profile = profile_pc(&setup);
+        // The profiled pass must agree with the unprofiled P+C stats.
+        let pc = &results[METHODS.iter().position(|m| m.name == "P+C").unwrap()];
+        assert_eq!(profile.pairs_decided(), pc.stats.pairs);
+
+        let report = ComboReport {
+            combo: setup.combo,
+            pairs: setup.pairs.len(),
+            results,
+            pc_profile: Some(profile),
+        };
+        let doc = experiments::bench_report(&[report], 0.01).render();
+        for key in [
+            "\"schema\": \"stj-bench/v1\"",
+            "\"grid_order\"",
+            "\"threads\"",
+            "\"combos\"",
+            "\"methods\"",
+            "\"throughput_pairs_per_sec\"",
+            "\"total_ns\"",
+            "\"pc_profile\"",
+            "\"mbr_classify\"",
+            "\"intermediate_filter\"",
+            "\"refinement\"",
+            "\"p99_ns\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
     }
 }

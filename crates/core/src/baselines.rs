@@ -122,13 +122,19 @@ mod tests {
                 &grid(),
             ),
             SpatialObject::build(
-                Polygon::from_coords(vec![(0.0, 40.0), (100.0, 40.0), (100.0, 60.0), (0.0, 60.0)], vec![])
-                    .unwrap(),
+                Polygon::from_coords(
+                    vec![(0.0, 40.0), (100.0, 40.0), (100.0, 60.0), (0.0, 60.0)],
+                    vec![],
+                )
+                .unwrap(),
                 &grid(),
             ),
             SpatialObject::build(
-                Polygon::from_coords(vec![(40.0, 0.0), (60.0, 0.0), (60.0, 100.0), (40.0, 100.0)], vec![])
-                    .unwrap(),
+                Polygon::from_coords(
+                    vec![(40.0, 0.0), (60.0, 0.0), (60.0, 100.0), (40.0, 100.0)],
+                    vec![],
+                )
+                .unwrap(),
                 &grid(),
             ),
         ]

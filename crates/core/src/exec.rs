@@ -6,16 +6,33 @@
 //! two preprocessed [`Dataset`]s and get every non-disjoint pair's
 //! relation plus aggregate statistics.
 //!
-//! Parallelism is per candidate-pair chunk over crossbeam scoped
-//! threads; per-thread stats are merged at the end, so the aggregate
-//! matches a sequential run exactly.
+//! Parallelism is per candidate-pair chunk over scoped threads;
+//! per-thread stats are merged at the end, so the aggregate matches a
+//! sequential run exactly.
+//!
+//! # Observability
+//!
+//! Two opt-in observation channels (see `stj-obs`):
+//!
+//! - [`TopologyJoin::profiled`] collects a [`JoinProfile`] — per-stage
+//!   latency histograms, decision counts, and a per-MBR-class breakdown.
+//!   Each worker owns a private `Recorder` (no shared state on the pair
+//!   path); the recorders merge after the thread scope, so the profile
+//!   is exact regardless of thread count. Profiling is statically
+//!   dispatched: when off, the pair loop monomorphizes to the
+//!   uninstrumented code.
+//! - [`TopologyJoin::progress`] prints a pairs/sec heartbeat to stderr
+//!   from a monitor thread while workers count pairs in batches.
 
 use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
 use crate::object::{Dataset, SpatialObject};
-use crate::pipeline::{find_relation, FindOutcome, PipelineStats};
-use crate::relate_pred::{relate_p, RelateDetermination};
+use crate::pipeline::{find_relation, find_relation_profiled, FindOutcome, PipelineStats};
+use crate::relate_pred::{relate_p_profiled, RelateDetermination};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 use stj_de9im::TopoRelation;
-use stj_index::mbr_join_parallel;
+use stj_index::{mbr_join_parallel, MbrRelation};
+use stj_obs::{Disabled, JoinProfile, Profiler, Progress, ProgressBatch, Recorder};
 
 /// Which find-relation method a [`TopologyJoin`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -67,6 +84,19 @@ pub struct JoinResult {
     /// Aggregate pipeline statistics (find-relation mode; in predicate
     /// mode `refined` counts refinement-determined predicate answers).
     pub stats: PipelineStats,
+    /// Per-stage/per-class observation, when [`TopologyJoin::profiled`]
+    /// was requested.
+    pub profile: Option<JoinProfile>,
+}
+
+/// The MBR-class labels matching the class ids recorded in
+/// [`JoinProfile`] — pass to `JoinProfile::to_json`.
+pub fn mbr_class_labels() -> [&'static str; 6] {
+    let mut labels = [""; 6];
+    for (i, c) in MbrRelation::ALL.into_iter().enumerate() {
+        labels[i] = c.name();
+    }
+    labels
 }
 
 /// Configurable batch topology join between two datasets.
@@ -75,11 +105,13 @@ pub struct TopologyJoin {
     method: JoinMethod,
     predicate: Option<TopoRelation>,
     threads: usize,
+    profiled: bool,
+    progress: bool,
 }
 
 impl TopologyJoin {
     /// A join with default configuration (P+C, find-relation mode,
-    /// single-threaded).
+    /// single-threaded, unprofiled).
     pub fn new() -> TopologyJoin {
         TopologyJoin::default()
     }
@@ -103,66 +135,159 @@ impl TopologyJoin {
         self
     }
 
+    /// Enables per-stage profiling: the result's
+    /// [`profile`](JoinResult::profile) is populated. Adds per-pair
+    /// timing overhead; leave off for throughput measurements.
+    pub fn profiled(mut self, on: bool) -> TopologyJoin {
+        self.profiled = on;
+        self
+    }
+
+    /// Enables a pairs/sec heartbeat on stderr while the join runs.
+    pub fn progress(mut self, on: bool) -> TopologyJoin {
+        self.progress = on;
+        self
+    }
+
     /// Runs the join.
     pub fn run(&self, left: &Dataset, right: &Dataset) -> JoinResult {
         let threads = self.threads.max(1);
         let pairs = mbr_join_parallel(&left.mbrs(), &right.mbrs(), threads);
         let candidates = pairs.len() as u64;
 
-        let chunk = pairs.len().div_ceil(threads.max(1)).max(1);
-        let mut parts: Vec<(Vec<Link>, PipelineStats)> = Vec::new();
-        if threads == 1 || pairs.len() < 2 * chunk {
-            parts.push(self.run_chunk(left, right, &pairs));
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for slice in pairs.chunks(chunk) {
-                    handles.push(scope.spawn(move |_| self.run_chunk(left, right, slice)));
-                }
-                parts = handles.into_iter().map(|h| h.join().unwrap()).collect();
-            })
-            .expect("join worker panicked");
-        }
-
-        let mut links = Vec::new();
-        let mut stats = PipelineStats::default();
-        for (mut l, st) in parts {
-            links.append(&mut l);
-            stats.merge(&st);
-        }
+        let progress = self.progress.then(|| Progress::new(candidates));
+        let stop = AtomicBool::new(false);
+        let (links, stats, profile) = std::thread::scope(|scope| {
+            if let Some(p) = &progress {
+                scope.spawn(|| p.run_reporter(&stop, Duration::from_secs(1)));
+            }
+            let out = if self.profiled {
+                self.run_with::<Recorder>(left, right, &pairs, threads, progress.as_ref())
+            } else {
+                self.run_with::<Disabled>(left, right, &pairs, threads, progress.as_ref())
+            };
+            stop.store(true, Ordering::Release);
+            out
+        });
         JoinResult {
             links,
             candidates,
             stats,
+            profile,
         }
     }
 
-    fn run_chunk(
+    /// Statically-dispatched join body: each worker owns a fresh `P`,
+    /// finished profiles (if any) merge after the scope.
+    fn run_with<P: Profiler + Default + Send>(
         &self,
         left: &Dataset,
         right: &Dataset,
         pairs: &[(u32, u32)],
-    ) -> (Vec<Link>, PipelineStats) {
+        threads: usize,
+        progress: Option<&Progress>,
+    ) -> (Vec<Link>, PipelineStats, Option<JoinProfile>) {
+        let chunk = pairs.len().div_ceil(threads).max(1);
+        let mut parts: Vec<(Vec<Link>, PipelineStats, Option<JoinProfile>)> = Vec::new();
+        if threads == 1 || pairs.len() < 2 * chunk {
+            parts.push(self.run_chunk::<P>(left, right, pairs, progress));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for slice in pairs.chunks(chunk) {
+                    handles.push(
+                        scope.spawn(move || self.run_chunk::<P>(left, right, slice, progress)),
+                    );
+                }
+                parts = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join worker panicked"))
+                    .collect();
+            });
+        }
+
+        let mut links = Vec::new();
+        let mut stats = PipelineStats::default();
+        let mut profile: Option<JoinProfile> = None;
+        for (mut l, st, prof) in parts {
+            links.append(&mut l);
+            stats.merge(&st);
+            if let Some(p) = prof {
+                profile.get_or_insert_with(JoinProfile::new).merge(&p);
+            }
+        }
+        (links, stats, profile)
+    }
+
+    fn run_chunk<P: Profiler + Default>(
+        &self,
+        left: &Dataset,
+        right: &Dataset,
+        pairs: &[(u32, u32)],
+        progress: Option<&Progress>,
+    ) -> (Vec<Link>, PipelineStats, Option<JoinProfile>) {
+        let mut prof = P::default();
+        let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
         match self.predicate {
-            None => {
-                let run = self.method.runner();
-                for &(i, j) in pairs {
-                    let out = run(&left.objects[i as usize], &right.objects[j as usize]);
-                    stats.record(&out);
-                    if out.relation != TopoRelation::Disjoint {
-                        links.push(Link {
-                            r: i,
-                            s: j,
-                            relation: out.relation,
-                        });
+            None => match self.method {
+                JoinMethod::PC => {
+                    for &(i, j) in pairs {
+                        let out = find_relation_profiled(
+                            &left.objects[i as usize],
+                            &right.objects[j as usize],
+                            &mut prof,
+                        );
+                        stats.record(&out);
+                        if out.relation != TopoRelation::Disjoint {
+                            links.push(Link {
+                                r: i,
+                                s: j,
+                                relation: out.relation,
+                            });
+                        }
+                        if let Some(b) = batch.as_mut() {
+                            b.tick();
+                        }
                     }
                 }
-            }
+                method => {
+                    // Baselines are not instrumented internally; when
+                    // profiling, the whole per-pair call is timed and
+                    // attributed to the stage that decided the pair
+                    // (no per-MBR-class breakdown).
+                    let run = method.runner();
+                    for &(i, j) in pairs {
+                        let t = prof.start();
+                        let out = run(&left.objects[i as usize], &right.objects[j as usize]);
+                        if P::ENABLED {
+                            let stage = out.determination.stage();
+                            prof.stage(stage, t);
+                            prof.decided(stage);
+                        }
+                        stats.record(&out);
+                        if out.relation != TopoRelation::Disjoint {
+                            links.push(Link {
+                                r: i,
+                                s: j,
+                                relation: out.relation,
+                            });
+                        }
+                        if let Some(b) = batch.as_mut() {
+                            b.tick();
+                        }
+                    }
+                }
+            },
             Some(p) => {
                 for &(i, j) in pairs {
-                    let out = relate_p(&left.objects[i as usize], &right.objects[j as usize], p);
+                    let out = relate_p_profiled(
+                        &left.objects[i as usize],
+                        &right.objects[j as usize],
+                        p,
+                        &mut prof,
+                    );
                     stats.pairs += 1;
                     match out.determination {
                         RelateDetermination::MbrFilter => stats.by_mbr += 1,
@@ -176,10 +301,13 @@ impl TopologyJoin {
                             relation: p,
                         });
                     }
+                    if let Some(b) = batch.as_mut() {
+                        b.tick();
+                    }
                 }
             }
         }
-        (links, stats)
+        (links, stats, prof.finish())
     }
 }
 
@@ -222,6 +350,7 @@ mod tests {
             assert_eq!(link.r, link.s);
         }
         assert_eq!(out.stats.pairs, out.candidates);
+        assert!(out.profile.is_none(), "profiling is opt-in");
     }
 
     #[test]
@@ -278,5 +407,32 @@ mod tests {
         let out = TopologyJoin::new().run(&l, &empty);
         assert!(out.links.is_empty());
         assert_eq!(out.candidates, 0);
+    }
+
+    #[test]
+    fn profiled_run_reports_consistent_totals() {
+        let (l, r) = datasets();
+        let out = TopologyJoin::new().profiled(true).run(&l, &r);
+        let profile = out.profile.expect("profiled run returns a profile");
+        assert_eq!(profile.pairs_decided(), out.stats.pairs);
+        assert_eq!(
+            profile.stage(stj_obs::Stage::Refinement).decided,
+            out.stats.refined
+        );
+        // Every candidate pair passes MBR classification exactly once.
+        assert_eq!(
+            profile.stage(stj_obs::Stage::MbrClassify).latency.count(),
+            out.candidates
+        );
+        let class_pairs: u64 = profile.classes.iter().map(|c| c.pairs).sum();
+        assert_eq!(class_pairs, out.candidates);
+    }
+
+    #[test]
+    fn mbr_class_labels_match_discriminants() {
+        let labels = mbr_class_labels();
+        assert_eq!(labels[MbrRelation::Disjoint as usize], "disjoint");
+        assert_eq!(labels[MbrRelation::Overlap as usize], "overlap");
+        assert_eq!(labels.len(), MbrRelation::ALL.len());
     }
 }

@@ -243,20 +243,14 @@ mod tests {
             Refine(&[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint])
         );
         // r's C inside s's C and inside s's P -> covered by, definite.
-        assert_eq!(
-            if_equals(&april(&[], &[(12, 18)]), &a),
-            Definite(CoveredBy)
-        );
+        assert_eq!(if_equals(&april(&[], &[(12, 18)]), &a), Definite(CoveredBy));
         // r's C inside s's C but not inside P.
         assert_eq!(
             if_equals(&april(&[], &[(7, 18)]), &a),
             Refine(&[CoveredBy, Meets, Intersects, Disjoint])
         );
         // r's C contains s's C and r's P contains it -> covers.
-        assert_eq!(
-            if_equals(&a, &april(&[], &[(12, 18)])),
-            Definite(Covers)
-        );
+        assert_eq!(if_equals(&a, &april(&[], &[(12, 18)])), Definite(Covers));
         assert_eq!(
             if_equals(&a, &april(&[], &[(7, 18)])),
             Refine(&[Covers, Meets, Intersects, Disjoint])

@@ -49,8 +49,10 @@ pub mod pipeline;
 pub mod relate_pred;
 
 pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
-pub use exec::{JoinMethod, JoinResult, Link, TopologyJoin};
+pub use exec::{mbr_class_labels, JoinMethod, JoinResult, Link, TopologyJoin};
 pub use filters::{intermediate_filter, IfOutcome};
 pub use object::{Dataset, SpatialObject};
-pub use pipeline::{find_relation, refine, Determination, FindOutcome, PipelineStats};
-pub use relate_pred::{relate_p, RelateDetermination, RelateOutcome};
+pub use pipeline::{
+    find_relation, find_relation_profiled, refine, Determination, FindOutcome, PipelineStats,
+};
+pub use relate_pred::{relate_p, relate_p_profiled, RelateDetermination, RelateOutcome};

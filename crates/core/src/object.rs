@@ -34,11 +34,7 @@ impl SpatialObject {
 
     /// Preprocesses one polygon with an explicit interval budget
     /// (`usize::MAX` keeps the full-resolution approximation).
-    pub fn build_with_budget(
-        polygon: Polygon,
-        grid: &Grid,
-        max_intervals: usize,
-    ) -> SpatialObject {
+    pub fn build_with_budget(polygon: Polygon, grid: &Grid, max_intervals: usize) -> SpatialObject {
         let mbr = *polygon.mbr();
         let april = AprilApprox::build(&polygon, grid).with_max_intervals(max_intervals);
         SpatialObject {
@@ -102,7 +98,7 @@ impl Dataset {
         }
     }
 
-    /// Preprocesses `polygons` with a crossbeam thread pool — APRIL
+    /// Preprocesses `polygons` with a scoped thread pool — APRIL
     /// construction dominates dataset preparation and parallelizes
     /// perfectly across objects.
     pub fn build_parallel(
@@ -131,12 +127,12 @@ impl Dataset {
         let mut slots: Vec<Option<SpatialObject>> = vec![None; n];
         let slot_chunks = std::sync::Mutex::new(&mut slots);
         // Index-claiming workers writing into disjoint slots.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
                 let next = &next;
                 let polygons = &polygons;
                 let slot_chunks = &slot_chunks;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -148,8 +144,7 @@ impl Dataset {
                     slot_chunks.lock().unwrap()[i] = Some(obj);
                 });
             }
-        })
-        .expect("dataset build worker panicked");
+        });
         Dataset {
             name: name.into(),
             objects: slots.into_iter().map(|s| s.expect("slot filled")).collect(),
@@ -185,9 +180,17 @@ impl Dataset {
     /// Storage accounting for the paper's Table 2, in bytes:
     /// `(polygon bytes, MBR bytes, P+C bytes)`.
     pub fn storage_bytes(&self) -> (usize, usize, usize) {
-        let poly: usize = self.objects.iter().map(|o| o.polygon.serialized_bytes()).sum();
+        let poly: usize = self
+            .objects
+            .iter()
+            .map(|o| o.polygon.serialized_bytes())
+            .sum();
         let mbr = self.objects.len() * Rect::SERIALIZED_BYTES;
-        let april: usize = self.objects.iter().map(|o| o.april.serialized_bytes()).sum();
+        let april: usize = self
+            .objects
+            .iter()
+            .map(|o| o.april.serialized_bytes())
+            .sum();
         (poly, mbr, april)
     }
 

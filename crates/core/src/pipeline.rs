@@ -10,6 +10,7 @@ use crate::filters::{intermediate_filter, IfOutcome};
 use crate::object::SpatialObject;
 use stj_de9im::{relate, TopoRelation};
 use stj_index::MbrRelation;
+use stj_obs::{Disabled, Profiler, Stage};
 
 /// How a pair's relation was determined — the pipeline stage that
 /// produced the answer.
@@ -26,6 +27,17 @@ pub enum Determination {
     Refinement,
 }
 
+impl Determination {
+    /// The profiling [`Stage`] this determination corresponds to.
+    pub fn stage(self) -> Stage {
+        match self {
+            Determination::MbrFilter => Stage::MbrClassify,
+            Determination::IntermediateFilter => Stage::IntermediateFilter,
+            Determination::Refinement => Stage::Refinement,
+        }
+    }
+}
+
 /// Result of [`find_relation`]: the most specific relation plus which
 /// stage decided it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,11 +51,10 @@ pub struct FindOutcome {
 /// Selective refinement: computes the DE-9IM matrix and resolves the most
 /// specific relation.
 ///
-/// `candidates` is the narrowed, specific→general candidate list produced
-/// by the MBR/intermediate filters; in debug builds we assert that the
-/// true relation is among them (validating the filter soundness
-/// arguments). The returned relation is always the true most specific
-/// one, independent of the candidate list.
+/// `candidates` — the narrowed, specific→general list produced by the
+/// MBR/intermediate filters — is consulted only by a debug assertion
+/// validating the filters' soundness argument (the true relation must be
+/// in the set); the returned relation is derived from the matrix alone.
 pub fn refine(r: &SpatialObject, s: &SpatialObject, candidates: &[TopoRelation]) -> TopoRelation {
     let m = relate(&r.polygon, &s.polygon);
     let best = TopoRelation::most_specific(&m);
@@ -51,34 +62,73 @@ pub fn refine(r: &SpatialObject, s: &SpatialObject, candidates: &[TopoRelation])
         candidates.contains(&best),
         "refinement found {best:?} outside candidate set {candidates:?} (matrix {m:?})"
     );
-    let _ = candidates;
     best
 }
 
 /// Solves *find relation* for one candidate pair with the paper's P+C
 /// pipeline (Algorithm 1).
 pub fn find_relation(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+    find_relation_profiled(r, s, &mut Disabled)
+}
+
+/// [`find_relation`] with per-stage observation: each stage's latency and
+/// decisions, plus the pair's MBR class, are reported to `prof`.
+///
+/// Statically dispatched — instantiated with [`Disabled`] (as by
+/// [`find_relation`]) this compiles to the uninstrumented pipeline.
+pub fn find_relation_profiled<P: Profiler>(
+    r: &SpatialObject,
+    s: &SpatialObject,
+    prof: &mut P,
+) -> FindOutcome {
+    let t = prof.start();
     let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
-    match mbr_rel {
-        MbrRelation::Disjoint => FindOutcome {
-            relation: TopoRelation::Disjoint,
-            determination: Determination::MbrFilter,
-        },
-        MbrRelation::Cross => FindOutcome {
-            relation: TopoRelation::Intersects,
-            determination: Determination::MbrFilter,
-        },
-        _ => match intermediate_filter(mbr_rel, r, s) {
-            IfOutcome::Definite(relation) => FindOutcome {
-                relation,
-                determination: Determination::IntermediateFilter,
-            },
-            IfOutcome::Refine(cands) => FindOutcome {
-                relation: refine(r, s, cands),
-                determination: Determination::Refinement,
-            },
-        },
-    }
+    prof.stage(Stage::MbrClassify, t);
+    let out = match mbr_rel {
+        MbrRelation::Disjoint => {
+            prof.decided(Stage::MbrClassify);
+            FindOutcome {
+                relation: TopoRelation::Disjoint,
+                determination: Determination::MbrFilter,
+            }
+        }
+        MbrRelation::Cross => {
+            prof.decided(Stage::MbrClassify);
+            FindOutcome {
+                relation: TopoRelation::Intersects,
+                determination: Determination::MbrFilter,
+            }
+        }
+        _ => {
+            let t = prof.start();
+            let filtered = intermediate_filter(mbr_rel, r, s);
+            prof.stage(Stage::IntermediateFilter, t);
+            match filtered {
+                IfOutcome::Definite(relation) => {
+                    prof.decided(Stage::IntermediateFilter);
+                    FindOutcome {
+                        relation,
+                        determination: Determination::IntermediateFilter,
+                    }
+                }
+                IfOutcome::Refine(cands) => {
+                    let t = prof.start();
+                    let relation = refine(r, s, cands);
+                    prof.stage(Stage::Refinement, t);
+                    prof.decided(Stage::Refinement);
+                    FindOutcome {
+                        relation,
+                        determination: Determination::Refinement,
+                    }
+                }
+            }
+        }
+    };
+    prof.mbr_class(
+        mbr_rel as usize,
+        out.determination == Determination::Refinement,
+    );
+    out
 }
 
 /// Aggregate statistics of a pipeline run over a pair stream.

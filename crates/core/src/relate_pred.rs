@@ -15,6 +15,7 @@
 use crate::object::SpatialObject;
 use stj_de9im::{relate, TopoRelation};
 use stj_index::MbrRelation;
+use stj_obs::{Disabled, Profiler, Stage};
 
 /// How a [`relate_p`] query was answered (for filter-effectiveness
 /// accounting, mirroring [`crate::pipeline::Determination`]).
@@ -54,86 +55,126 @@ impl RelateOutcome {
     }
 }
 
-/// Tests whether topological relation `p` holds between `r` and `s`.
-pub fn relate_p(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> RelateOutcome {
+/// Layer 1 verdict from the MBR classification alone: `Some(holds)` for
+/// impossible-relation short-circuits and the two self-confirming MBR
+/// cases, `None` if the rasters must be consulted.
+fn mbr_verdict(mbr_rel: MbrRelation, p: TopoRelation) -> Option<bool> {
     use TopoRelation::*;
-    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
-
-    // Layer 1: impossible-relation short-circuits, plus the two MBR cases
-    // that *confirm* on their own.
     match mbr_rel {
-        MbrRelation::Disjoint => return RelateOutcome::mbr(p == Disjoint),
-        MbrRelation::Cross => {
-            // Definite `intersects`: p holds iff intersects implies p...
-            // the only relations consistent with a crossing-MBR pair are
-            // plain intersects.
-            return RelateOutcome::mbr(p == Intersects);
-        }
-        _ => {
-            if !mbr_rel.admits(p) {
-                return RelateOutcome::mbr(false);
-            }
-        }
+        MbrRelation::Disjoint => Some(p == Disjoint),
+        // Definite `intersects`: the only relation consistent with a
+        // crossing-MBR pair is plain intersects.
+        MbrRelation::Cross => Some(p == Intersects),
+        _ if !mbr_rel.admits(p) => Some(false),
+        _ => None,
     }
+}
 
+/// Layer 2 verdict from the predicate-specific raster filters
+/// (Figure 6): `Some(holds)` when the `P`/`C` merge-joins confirm or
+/// refute `p`, `None` when the pair must be refined.
+fn raster_verdict(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> Option<bool> {
+    use TopoRelation::*;
     let (ra, sa) = (&r.april, &s.april);
-    // Layer 2: predicate-specific raster filters (Figure 6).
     match p {
         Equals => {
             if !ra.c.matches(&sa.c) || !ra.p.matches(&sa.p) {
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
         }
         Inside | CoveredBy => {
             if !ra.c.inside(&sa.c) {
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
             if ra.c.inside(&sa.p) {
                 // Proves r ⊂ int(s): strict containment, which satisfies
                 // both `inside` and `covered by`.
-                return RelateOutcome::raster(true);
+                return Some(true);
             }
         }
         Contains | Covers => {
             if !ra.c.contains(&sa.c) {
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
             if ra.p.contains(&sa.c) {
-                return RelateOutcome::raster(true);
+                return Some(true);
             }
         }
         Meets => {
             if !ra.c.overlaps(&sa.c) {
                 // Disjoint: no boundary contact.
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
             if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
                 // Interiors provably meet: not `meets`.
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
         }
         Intersects => {
             if !ra.c.overlaps(&sa.c) {
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
             if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
-                return RelateOutcome::raster(true);
+                return Some(true);
             }
         }
         Disjoint => {
             if !ra.c.overlaps(&sa.c) {
-                return RelateOutcome::raster(true);
+                return Some(true);
             }
             if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
-                return RelateOutcome::raster(false);
+                return Some(false);
             }
         }
     }
+    None
+}
+
+/// Tests whether topological relation `p` holds between `r` and `s`.
+pub fn relate_p(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> RelateOutcome {
+    relate_p_profiled(r, s, p, &mut Disabled)
+}
+
+/// [`relate_p`] with per-stage observation, mirroring
+/// [`crate::pipeline::find_relation_profiled`]: each layer's latency and
+/// decisions, plus the pair's MBR class, go to `prof`. Instantiated with
+/// [`Disabled`] this compiles to the uninstrumented test.
+pub fn relate_p_profiled<P: Profiler>(
+    r: &SpatialObject,
+    s: &SpatialObject,
+    p: TopoRelation,
+    prof: &mut P,
+) -> RelateOutcome {
+    // Layer 1: MBR classification and its short-circuits.
+    let t = prof.start();
+    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+    let l1 = mbr_verdict(mbr_rel, p);
+    prof.stage(Stage::MbrClassify, t);
+    if let Some(holds) = l1 {
+        prof.decided(Stage::MbrClassify);
+        prof.mbr_class(mbr_rel as usize, false);
+        return RelateOutcome::mbr(holds);
+    }
+
+    // Layer 2: predicate-specific raster filters.
+    let t = prof.start();
+    let l2 = raster_verdict(r, s, p);
+    prof.stage(Stage::IntermediateFilter, t);
+    if let Some(holds) = l2 {
+        prof.decided(Stage::IntermediateFilter);
+        prof.mbr_class(mbr_rel as usize, false);
+        return RelateOutcome::raster(holds);
+    }
 
     // Layer 3: refinement.
+    let t = prof.start();
     let m = relate(&r.polygon, &s.polygon);
+    let holds = p.holds(&m);
+    prof.stage(Stage::Refinement, t);
+    prof.decided(Stage::Refinement);
+    prof.mbr_class(mbr_rel as usize, true);
     RelateOutcome {
-        holds: p.holds(&m),
+        holds,
         determination: RelateDetermination::Refinement,
     }
 }
@@ -177,11 +218,7 @@ mod tests {
             for (j, s) in objects.iter().enumerate() {
                 for p in ALL {
                     let got = relate_p(r, s, p);
-                    assert_eq!(
-                        got.holds,
-                        oracle(r, s, p),
-                        "pair ({i},{j}) predicate {p:?}"
-                    );
+                    assert_eq!(got.holds, oracle(r, s, p), "pair ({i},{j}) predicate {p:?}");
                 }
             }
         }
@@ -241,7 +278,20 @@ mod tests {
         // Same MBR, different footprints.
         let square = obj(0.0, 0.0, 60.0, 60.0);
         let tri = SpatialObject::build(
-            Polygon::from_coords(vec![(0.0, 0.0), (60.0, 0.0), (60.0, 60.0), (0.0, 60.0), (0.0, 30.0), (30.0, 30.0), (30.0, 15.0), (0.0, 15.0)], vec![]).unwrap(),
+            Polygon::from_coords(
+                vec![
+                    (0.0, 0.0),
+                    (60.0, 0.0),
+                    (60.0, 60.0),
+                    (0.0, 60.0),
+                    (0.0, 30.0),
+                    (30.0, 30.0),
+                    (30.0, 15.0),
+                    (0.0, 15.0),
+                ],
+                vec![],
+            )
+            .unwrap(),
             &grid(),
         );
         let out = relate_p(&square, &tri, Equals);

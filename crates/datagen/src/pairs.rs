@@ -106,7 +106,12 @@ fn scaled_copy(poly: &Polygon, center: Point, factor: f64) -> Polygon {
         .outer()
         .vertices()
         .iter()
-        .map(|v| Point::new(center.x + (v.x - center.x) * factor, center.y + (v.y - center.y) * factor))
+        .map(|v| {
+            Point::new(
+                center.x + (v.x - center.x) * factor,
+                center.y + (v.y - center.y) * factor,
+            )
+        })
         .collect();
     Polygon::new(Ring::new(pts).expect("scaled ring valid"), Vec::new())
 }
@@ -126,7 +131,10 @@ fn shared_arc_inside(outer: &Polygon, center: Point, factor: f64) -> Polygon {
     for p in &v[m + 1..] {
         pts.push(scale_toward(*p, center, factor));
     }
-    Polygon::new(Ring::new(pts).expect("shared-arc inner ring valid"), Vec::new())
+    Polygon::new(
+        Ring::new(pts).expect("shared-arc inner ring valid"),
+        Vec::new(),
+    )
 }
 
 /// An annular sector glued to the *outside* of star polygon `a` along
@@ -141,7 +149,10 @@ fn shared_arc_outside(a: &Polygon, center: Point, factor: f64) -> Polygon {
     for p in v[..=m].iter().rev() {
         pts.push(scale_toward(*p, center, factor));
     }
-    Polygon::new(Ring::new(pts).expect("shared-arc outer ring valid"), Vec::new())
+    Polygon::new(
+        Ring::new(pts).expect("shared-arc outer ring valid"),
+        Vec::new(),
+    )
 }
 
 #[inline]

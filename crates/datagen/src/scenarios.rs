@@ -161,8 +161,8 @@ pub fn scaled_count(id: DatasetId, scale: f64) -> usize {
     let base: f64 = match id {
         DatasetId::TL => 1500.0,
         DatasetId::TW => 6000.0,
-        DatasetId::TC => 0.0,  // tessellation-driven: k*k cells
-        DatasetId::TZ => 0.0,  // 4 children per county
+        DatasetId::TC => 0.0, // tessellation-driven: k*k cells
+        DatasetId::TZ => 0.0, // 4 children per county
         DatasetId::OBE => 30000.0,
         DatasetId::OLE => 6000.0,
         DatasetId::OPE => 8000.0,
@@ -237,7 +237,6 @@ fn uniform_point<R: Rng>(rng: &mut R, space: &Rect, margin: f64) -> Point {
         rng.gen_range(space.min.y + margin..space.max.y - margin),
     )
 }
-
 
 /// Vertex count correlated with object radius, as in real OSM/TIGER
 /// polygons (bigger areas carry more boundary detail). The correlation

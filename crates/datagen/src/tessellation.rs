@@ -207,9 +207,8 @@ pub struct QuadCell {
 impl QuadCell {
     /// The cell as a polygon.
     pub fn polygon(&self) -> Polygon {
-        let mut pts: Vec<Point> = Vec::with_capacity(
-            self.sides.iter().map(Vec::len).sum::<usize>(),
-        );
+        let mut pts: Vec<Point> =
+            Vec::with_capacity(self.sides.iter().map(Vec::len).sum::<usize>());
         for side in &self.sides {
             // Skip each side's last point: it is the next side's first.
             pts.extend_from_slice(&side[..side.len() - 1]);
@@ -221,9 +220,7 @@ impl QuadCell {
     /// Whether every side has a middle vertex (odd point count ≥ 3),
     /// i.e. the cell can be subdivided once more.
     pub fn subdividable(&self) -> bool {
-        self.sides
-            .iter()
-            .all(|s| s.len() >= 3 && s.len() % 2 == 1)
+        self.sides.iter().all(|s| s.len() >= 3 && s.len() % 2 == 1)
     }
 
     /// Splits the cell into four children meeting at a jittered center.

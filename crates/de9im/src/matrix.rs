@@ -36,7 +36,9 @@ impl De9Im {
     pub const ALL_TRUE: De9Im = De9Im { bits: 0x1FF };
     /// The matrix of two disjoint non-empty areal geometries:
     /// `"FFTFFTTTT"`.
-    pub const DISJOINT: De9Im = De9Im { bits: 0b111_100_100 };
+    pub const DISJOINT: De9Im = De9Im {
+        bits: 0b111_100_100,
+    };
 
     /// Builds a matrix from its flattened 9-character string code.
     ///

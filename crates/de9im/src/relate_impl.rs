@@ -133,15 +133,11 @@ pub fn relate_prepared(r: &Prepared, s: &Prepared) -> De9Im {
     m.set(Part::Interior, Part::Interior, ii);
 
     // IE: r's interior reaches s's exterior.
-    let ie = r_flags.in_exterior
-        || s_flags.in_interior
-        || rep_r_in_s.contains(&Location::Outside);
+    let ie = r_flags.in_exterior || s_flags.in_interior || rep_r_in_s.contains(&Location::Outside);
     m.set(Part::Interior, Part::Exterior, ie);
 
     // EI: s's interior reaches r's exterior.
-    let ei = s_flags.in_exterior
-        || r_flags.in_interior
-        || rep_s_in_r.contains(&Location::Outside);
+    let ei = s_flags.in_exterior || r_flags.in_interior || rep_s_in_r.contains(&Location::Outside);
     m.set(Part::Exterior, Part::Interior, ei);
 
     m
@@ -277,8 +273,7 @@ mod tests {
     fn disjoint_with_overlapping_mbrs() {
         // Two thin triangles whose MBRs overlap but bodies do not.
         let a = Polygon::from_coords(vec![(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], vec![]).unwrap();
-        let b =
-            Polygon::from_coords(vec![(10.0, 10.0), (10.0, 2.0), (2.0, 10.0)], vec![]).unwrap();
+        let b = Polygon::from_coords(vec![(10.0, 10.0), (10.0, 2.0), (2.0, 10.0)], vec![]).unwrap();
         assert_eq!(rel(&a, &b), TopoRelation::Disjoint);
     }
 

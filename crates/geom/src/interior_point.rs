@@ -82,9 +82,7 @@ fn interior_point_on_scanline(poly: &Polygon, y: f64) -> Option<Point> {
             continue;
         }
         let cand = Point::new((xs[k] + xs[k + 1]) * 0.5, y);
-        if poly.locate(cand) == Location::Inside
-            && best.as_ref().is_none_or(|(bw, _)| w > *bw)
-        {
+        if poly.locate(cand) == Location::Inside && best.as_ref().is_none_or(|(bw, _)| w > *bw) {
             best = Some((w, cand));
         }
     }
@@ -144,8 +142,8 @@ mod tests {
 
     #[test]
     fn thin_triangle() {
-        let p = Polygon::from_coords(vec![(0.0, 0.0), (100.0, 0.001), (100.0, 0.002)], vec![])
-            .unwrap();
+        let p =
+            Polygon::from_coords(vec![(0.0, 0.0), (100.0, 0.001), (100.0, 0.002)], vec![]).unwrap();
         assert_interior(&p);
     }
 

@@ -31,8 +31,8 @@ pub mod point;
 pub mod polygon;
 pub mod predicates;
 pub mod rect;
-pub mod segment;
 pub mod seg_intersect;
+pub mod segment;
 pub mod sweep;
 pub mod validate;
 pub mod wkt;
@@ -44,6 +44,6 @@ pub use point::Point;
 pub use polygon::{Location, Polygon, Ring};
 pub use predicates::{orient2d, Orientation};
 pub use rect::Rect;
-pub use segment::Segment;
 pub use seg_intersect::{intersect_segments, SegSegIntersection};
+pub use segment::Segment;
 pub use validate::{validate_polygon, validate_ring, ValidityError};

@@ -78,8 +78,8 @@ impl EdgeSetLocator {
         if !self.mbr.contains_point(p) {
             return Location::Outside;
         }
-        let si = (((p.y - self.y0) * self.inv_dy) as isize)
-            .clamp(0, self.strips.len() as isize - 1) as usize;
+        let si = (((p.y - self.y0) * self.inv_dy) as isize).clamp(0, self.strips.len() as isize - 1)
+            as usize;
         let mut inside = false;
         for &ei in &self.strips[si] {
             let e = self.edges[ei as usize];
@@ -87,7 +87,11 @@ impl EdgeSetLocator {
                 return Location::Boundary;
             }
             if (e.a.y > p.y) != (e.b.y > p.y) {
-                let (lo, hi) = if e.a.y < e.b.y { (e.a, e.b) } else { (e.b, e.a) };
+                let (lo, hi) = if e.a.y < e.b.y {
+                    (e.a, e.b)
+                } else {
+                    (e.b, e.a)
+                };
                 if orient2d(lo, hi, p) == Orientation::CounterClockwise {
                     inside = !inside;
                 }
@@ -137,11 +141,9 @@ mod tests {
 
     #[test]
     fn boundary_detection() {
-        let poly = Polygon::from_coords(
-            vec![(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)],
-            vec![],
-        )
-        .unwrap();
+        let poly =
+            Polygon::from_coords(vec![(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)], vec![])
+                .unwrap();
         let loc = locator_of(&poly);
         assert_eq!(loc.locate(Point::new(2.0, 0.0)), Location::Boundary);
         assert_eq!(loc.locate(Point::new(4.0, 4.0)), Location::Boundary);

@@ -447,11 +447,7 @@ mod tests {
 
     #[test]
     fn polygon_mbr_and_edges() {
-        let p = Polygon::from_coords(
-            vec![(1.0, 1.0), (9.0, 2.0), (8.0, 9.0)],
-            vec![],
-        )
-        .unwrap();
+        let p = Polygon::from_coords(vec![(1.0, 1.0), (9.0, 2.0), (8.0, 9.0)], vec![]).unwrap();
         assert_eq!(*p.mbr(), Rect::from_coords(1.0, 1.0, 9.0, 9.0));
         assert_eq!(p.edges().count(), 3);
         let pr = Polygon::rect(Rect::from_coords(0.0, 0.0, 2.0, 2.0));

@@ -257,10 +257,7 @@ mod tests {
         let b = Point::new(24.0, 24.0);
         for i in 0..64 {
             for j in 0..64 {
-                let c = Point::new(
-                    0.5 + i as f64 * f64::EPSILON,
-                    0.5 + j as f64 * f64::EPSILON,
-                );
+                let c = Point::new(0.5 + i as f64 * f64::EPSILON, 0.5 + j as f64 * f64::EPSILON);
                 let o1 = orient2d(a, b, c);
                 let o2 = orient2d(b, a, c);
                 assert_eq!(o1, o2.reverse(), "i={i} j={j}");

@@ -244,7 +244,10 @@ mod tests {
             intersect_segments(seg(0.0, 0.0, 6.0, 6.0), p),
             SegSegIntersection::Touch(Point::new(3.0, 3.0))
         );
-        assert_eq!(intersect_segments(p, p), SegSegIntersection::Touch(Point::new(3.0, 3.0)));
+        assert_eq!(
+            intersect_segments(p, p),
+            SegSegIntersection::Touch(Point::new(3.0, 3.0))
+        );
         assert_eq!(
             intersect_segments(p, seg(4.0, 4.0, 4.0, 4.0)),
             SegSegIntersection::None

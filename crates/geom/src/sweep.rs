@@ -130,7 +130,9 @@ mod tests {
     fn simple_crossing_grid() {
         // Horizontal lines vs vertical lines: every pair crosses.
         let a: Vec<_> = (0..4).map(|i| seg(0.0, i as f64, 10.0, i as f64)).collect();
-        let b: Vec<_> = (0..4).map(|i| seg(i as f64 + 0.5, -1.0, i as f64 + 0.5, 11.0)).collect();
+        let b: Vec<_> = (0..4)
+            .map(|i| seg(i as f64 + 0.5, -1.0, i as f64 + 0.5, 11.0))
+            .collect();
         let hits = sweep_pairs(&a, &b);
         assert_eq!(hits.len(), 16);
         assert_eq!(hits, brute(&a, &b));
@@ -170,10 +172,17 @@ mod tests {
 
     #[test]
     fn stop_on_proper_short_circuits() {
-        let a: Vec<_> = (0..100).map(|i| seg(0.0, i as f64, 10.0, i as f64)).collect();
-        let b: Vec<_> = (0..100).map(|i| seg(i as f64 * 0.1, -1.0, i as f64 * 0.1, 101.0)).collect();
+        let a: Vec<_> = (0..100)
+            .map(|i| seg(0.0, i as f64, 10.0, i as f64))
+            .collect();
+        let b: Vec<_> = (0..100)
+            .map(|i| seg(i as f64 * 0.1, -1.0, i as f64 * 0.1, 101.0))
+            .collect();
         let hits = boundary_pairs(&a, &b, true);
-        assert!(matches!(hits.last().unwrap().kind, SegSegIntersection::Proper(_)));
+        assert!(matches!(
+            hits.last().unwrap().kind,
+            SegSegIntersection::Proper(_)
+        ));
         // Far fewer than the full 10k pairs.
         assert!(hits.len() < 10_000);
     }
@@ -184,6 +193,9 @@ mod tests {
         let b = vec![seg(5.0, 0.0, 5.0, 5.0)];
         let hits = boundary_pairs(&a, &b, false);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].kind, SegSegIntersection::Touch(Point::new(5.0, 0.0)));
+        assert_eq!(
+            hits[0].kind,
+            SegSegIntersection::Touch(Point::new(5.0, 0.0))
+        );
     }
 }

@@ -30,6 +30,28 @@ pub enum MbrRelation {
 }
 
 impl MbrRelation {
+    /// Every class, in discriminant order — `ALL[c as usize] == c`.
+    pub const ALL: [MbrRelation; 6] = [
+        MbrRelation::Disjoint,
+        MbrRelation::Equal,
+        MbrRelation::Inside,
+        MbrRelation::Contains,
+        MbrRelation::Cross,
+        MbrRelation::Overlap,
+    ];
+
+    /// Stable snake_case name, used as a key in telemetry output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MbrRelation::Disjoint => "disjoint",
+            MbrRelation::Equal => "equal",
+            MbrRelation::Inside => "inside",
+            MbrRelation::Contains => "contains",
+            MbrRelation::Cross => "cross",
+            MbrRelation::Overlap => "overlap",
+        }
+    }
+
     /// Classifies the pair `(MBR(r), MBR(s))`.
     ///
     /// Precedence: disjoint → equal → inside → contains → cross →

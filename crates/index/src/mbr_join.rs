@@ -10,7 +10,7 @@
 //! MBRs' intersection).
 //!
 //! The paper excludes this step's cost from its measurements; we provide
-//! it so the harness is end-to-end runnable, plus a crossbeam-parallel
+//! it so the harness is end-to-end runnable, plus a thread-parallel
 //! variant for faster dataset preparation.
 
 use stj_geom::Rect;
@@ -29,8 +29,8 @@ pub fn mbr_join(r: &[Rect], s: &[Rect]) -> Vec<(u32, u32)> {
     out
 }
 
-/// Parallel variant of [`mbr_join`]: tiles are processed by a crossbeam
-/// scoped thread pool and the per-tile results concatenated.
+/// Parallel variant of [`mbr_join`]: tiles are processed by a scoped
+/// thread pool and the per-tile results concatenated.
 ///
 /// The output contains the same pair set as [`mbr_join`] (order may
 /// differ).
@@ -43,12 +43,12 @@ pub fn mbr_join_parallel(r: &[Rect], s: &[Rect], threads: usize) -> Vec<(u32, u3
     let n_tiles = tiles.num_tiles();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Vec<(u32, u32)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let tiles = &tiles;
             let next = &next;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
                     let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -60,9 +60,11 @@ pub fn mbr_join_parallel(r: &[Rect], s: &[Rect], threads: usize) -> Vec<(u32, u3
                 local
             }));
         }
-        results = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    })
-    .expect("join worker panicked");
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker panicked"))
+            .collect();
+    });
     let total = results.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     for mut part in results {
@@ -109,9 +111,7 @@ impl Tiling {
     fn tile_span(&self, m: &Rect) -> (u32, u32, u32, u32) {
         let w = self.universe.width().max(f64::MIN_POSITIVE);
         let h = self.universe.height().max(f64::MIN_POSITIVE);
-        let clamp = |v: f64| -> u32 {
-            (v as i64).clamp(0, i64::from(self.k - 1)) as u32
-        };
+        let clamp = |v: f64| -> u32 { (v as i64).clamp(0, i64::from(self.k - 1)) as u32 };
         let x0 = clamp((m.min.x - self.universe.min.x) / w * f64::from(self.k));
         let x1 = clamp((m.max.x - self.universe.min.x) / w * f64::from(self.k));
         let y0 = clamp((m.min.y - self.universe.min.y) / h * f64::from(self.k));

@@ -1,0 +1,311 @@
+//! Log2-bucketed latency histograms.
+//!
+//! A [`Histogram`] records `u64` samples (nanoseconds, by convention)
+//! into power-of-two buckets: bucket `i > 0` covers `[2^(i-1), 2^i)`
+//! and bucket `0` holds exact zeros. Recording is a handful of integer
+//! instructions — cheap enough to sit on a per-pair hot path when
+//! profiling is enabled — and histograms merge by bucket-wise addition,
+//! so per-thread instances combine into an exact aggregate (the same
+//! totals as a sequential run; see `PipelineStats::merge` in
+//! `stj-core`).
+//!
+//! Quantiles are resolved to the upper bound of the containing bucket
+//! (clamped to the observed maximum), i.e. they are exact to within the
+//! ~2x bucket resolution, which is the right fidelity for "is p99
+//! refinement latency microseconds or milliseconds" questions.
+
+use crate::json::Json;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A mergeable log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample: `0` for `0`, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive value range covered by bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            1 => (1, 1),
+            64.. => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`0` when empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), resolved to the upper bound
+    /// of the containing bucket and clamped to the observed min/max.
+    /// Returns `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-wise merge: `self` afterwards equals a histogram that
+    /// recorded both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(bucket_lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_bounds(i).0, n))
+            .collect()
+    }
+
+    /// JSON rendering used by join reports and the bench telemetry:
+    /// summary quantiles in nanoseconds plus the sparse bucket list.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("count", Json::U64(self.count)),
+            ("sum_ns", Json::U64(self.sum)),
+            ("mean_ns", Json::F64(self.mean())),
+            ("min_ns", Json::U64(self.min())),
+            ("p50_ns", Json::U64(self.p50())),
+            ("p95_ns", Json::U64(self.p95())),
+            ("p99_ns", Json::U64(self.p99())),
+            ("max_ns", Json::U64(self.max)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, n)| Json::Arr(vec![Json::U64(lo), Json::U64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        let mut expected_lo = 0u64;
+        for i in 0..64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i}");
+            assert!(lo <= hi);
+            expected_lo = hi + 1;
+        }
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_of(v));
+            assert!(lo <= v && v <= hi, "{v} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values_within_bucket_resolution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // True p50 is 500; the containing bucket is [512,1023] for 501+,
+        // [256,511] for 500 — log2 resolution means at most 2x off.
+        let p50 = h.p50();
+        assert!((250..=1000).contains(&p50), "{p50}");
+        let p99 = h.p99();
+        assert!((495..=1000).contains(&p99), "{p99}");
+        // Quantiles are monotone.
+        assert!(h.quantile(0.1) <= h.p50());
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+    }
+
+    #[test]
+    fn quantile_of_uniform_single_bucket_is_exactish() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 7);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.mean(), 7.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..500u64 {
+            all.record(v * 3);
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        assert_eq!(merged.count(), 500);
+        assert_eq!(merged.sum(), all.sum());
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(5);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (4, 1)]);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let rendered = h.to_json().render();
+        for key in ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns", "buckets"] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! A minimal JSON document model and emitter.
+//!
+//! Hand-rolled (the workspace builds with no external dependencies):
+//! just enough to assemble and pretty-print the join/bench telemetry
+//! documents — objects with insertion-ordered keys, arrays, strings
+//! with RFC 8259 escaping, and numbers. Non-finite floats render as
+//! `null` so the output is always strictly valid JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integer, rendered exactly (no f64 round-trip).
+    U64(u64),
+    /// Signed integer, rendered exactly.
+    I64(i64),
+    /// Float; NaN / infinities render as `null`.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key-value pairs in insertion order (no deduplication).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn object<const N: usize>(entries: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Appends a key to an object (panics on non-objects).
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(entries) => entries.push((key.to_string(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars stay on one line; nested structures
+                // get one element per line.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if scalar {
+                    out.push('[');
+                    for (n, item) in items.iter().enumerate() {
+                        if n > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, depth + 1);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (n, item) in items.iter().enumerate() {
+                        indent(out, depth + 1);
+                        item.write(out, depth + 1);
+                        if n + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    indent(out, depth);
+                    out.push(']');
+                }
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (n, (key, value)) in entries.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    if n + 1 < entries.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::F64(f)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(o: Option<T>) -> Json {
+        o.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A structural validator: enough of a parser to prove the emitter
+    /// produces well-formed JSON (values, nesting, commas, escapes).
+    fn validate(s: &str) -> Result<(), String> {
+        let b = s.trim().as_bytes();
+        let mut pos = 0usize;
+        parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("eof".into()),
+            Some(b'{') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, pos);
+                    parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(format!("expected : at {pos}"));
+                    }
+                    *pos += 1;
+                    parse_value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected , or }} at {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    parse_value(b, pos)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected , or ] at {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => parse_string(b, pos),
+            Some(_) => {
+                // Literal or number: consume the token and check it.
+                let start = *pos;
+                while *pos < b.len() && !b",]}\n\r\t ".contains(&b[*pos]) {
+                    *pos += 1;
+                }
+                let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                match tok {
+                    "null" | "true" | "false" => Ok(()),
+                    t if t.parse::<f64>().is_ok() => Ok(()),
+                    t => Err(format!("bad token {t:?}")),
+                }
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at {pos}"));
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'\\' => *pos += 2,
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn sample() -> Json {
+        Json::object([
+            ("name", Json::str("join \"quoted\" \\ path\n")),
+            ("count", Json::U64(u64::MAX)),
+            ("neg", Json::I64(-42)),
+            ("ratio", Json::F64(0.125)),
+            ("bad_float", Json::F64(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            (
+                "nested",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::U64(1), Json::U64(2)]),
+                    Json::object([("k", Json::str("v"))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn emitted_json_is_well_formed() {
+        let rendered = sample().render();
+        validate(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+    }
+
+    #[test]
+    fn exact_u64_rendering() {
+        assert_eq!(
+            Json::U64(18446744073709551615).render().trim(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::I64(-7).render().trim(), "-7");
+    }
+
+    #[test]
+    fn nan_and_infinity_render_null() {
+        assert_eq!(Json::F64(f64::NAN).render().trim(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render().trim(), "null");
+        assert_eq!(Json::F64(1.5).render().trim(), "1.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}").render();
+        assert_eq!(s.trim(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut o = Json::Obj(vec![]);
+        o.push("x", Json::U64(1));
+        assert_eq!(o.render().trim(), "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Json::from(None::<u64>), Json::Null);
+        assert_eq!(Json::from(Some(3u64)), Json::U64(3));
+    }
+}

@@ -1,0 +1,30 @@
+//! `stj-obs`: the observability layer for the spatial topology join.
+//!
+//! The paper's experimental story (EDBT 2026, Figures 7–9) is about
+//! *where* join time goes: which pipeline stage decides each pair, and
+//! at what latency. This crate provides the measurement machinery the
+//! rest of the workspace instruments itself with:
+//!
+//! - [`hist::Histogram`] — log2-bucketed, mergeable latency histograms
+//!   with p50/p95/p99/max summaries;
+//! - [`profile`] — the statically-dispatched [`profile::Profiler`]
+//!   trait ([`profile::Disabled`] is a true no-op; [`profile::Recorder`]
+//!   collects a [`profile::JoinProfile`] per worker thread, merged
+//!   exactly after the join);
+//! - [`json::Json`] — a dependency-free JSON document model backing
+//!   `stj join --stats-json`, and the bench harness's `BENCH_*.json`;
+//! - [`progress::Progress`] — a pairs/sec heartbeat on stderr.
+//!
+//! The crate has no dependencies (the build environment is offline) and
+//! no knowledge of geometry: callers pass stage/class identifiers in
+//! and label them at JSON-emission time.
+
+pub mod hist;
+pub mod json;
+pub mod profile;
+pub mod progress;
+
+pub use hist::Histogram;
+pub use json::Json;
+pub use profile::{ClassStats, Disabled, JoinProfile, Profiler, Recorder, Stage, StageStats};
+pub use progress::{Progress, ProgressBatch};

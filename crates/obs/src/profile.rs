@@ -1,0 +1,351 @@
+//! Per-stage join profiling.
+//!
+//! The *find relation* pipeline decides each candidate pair in one of
+//! three stages — MBR classification, intermediate raster filter,
+//! DE-9IM refinement — and the paper's whole argument is the cost
+//! breakdown across them (Figures 7–9, Tables 3/5). A [`Profiler`]
+//! observes a pipeline run at exactly that granularity: per-stage
+//! invocation latencies ([`Histogram`]s), per-stage decision counts,
+//! and a per-MBR-class breakdown of pair volume and refinement rate.
+//!
+//! Profiling is **statically dispatched**: pipeline entry points are
+//! generic over `P: Profiler`, and the [`Disabled`] implementation is a
+//! zero-sized type whose methods are empty `#[inline]` bodies with a
+//! `()` timer — the uninstrumented hot path monomorphizes to exactly
+//! the code it was before profiling existed. [`Recorder`] is the live
+//! implementation; each worker thread owns one (no locks, no atomics on
+//! the pair path) and the per-thread [`JoinProfile`]s are merged after
+//! the join, giving aggregates identical to a sequential run.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use std::time::Instant;
+
+/// The three cost stages of the find-relation pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// MBR classification (always runs; decides disjoint/cross pairs).
+    MbrClassify = 0,
+    /// Intermediate raster filter over the `P`/`C` interval lists.
+    IntermediateFilter = 1,
+    /// DE-9IM refinement of undetermined pairs.
+    Refinement = 2,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 3] = [
+        Stage::MbrClassify,
+        Stage::IntermediateFilter,
+        Stage::Refinement,
+    ];
+
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::MbrClassify => "mbr_classify",
+            Stage::IntermediateFilter => "intermediate_filter",
+            Stage::Refinement => "refinement",
+        }
+    }
+}
+
+/// Slots reserved for MBR-class counters. The pipeline currently uses
+/// six classes (Figure 4); extra slots keep the layout stable if more
+/// classifications appear.
+pub const MAX_MBR_CLASSES: usize = 8;
+
+/// Latency histogram plus decision count for one stage.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// Latencies of every invocation of this stage, in nanoseconds.
+    pub latency: Histogram,
+    /// Pairs whose relation this stage decided.
+    pub decided: u64,
+}
+
+impl StageStats {
+    fn merge(&mut self, other: &StageStats) {
+        self.latency.merge(&other.latency);
+        self.decided += other.decided;
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("decided", Json::U64(self.decided)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// Pair volume and refinement count for one MBR class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Candidate pairs classified into this MBR class.
+    pub pairs: u64,
+    /// Of those, pairs that fell through to DE-9IM refinement.
+    pub refined: u64,
+}
+
+/// The merged observation of one (or part of one) join run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JoinProfile {
+    /// Per-stage latency histograms and decision counts, indexed by
+    /// [`Stage`] discriminant.
+    pub stages: [StageStats; 3],
+    /// Per-MBR-class pair statistics, indexed by the class id the
+    /// pipeline supplies (`stj-index`'s `MbrRelation` discriminant).
+    pub classes: [ClassStats; MAX_MBR_CLASSES],
+}
+
+impl JoinProfile {
+    /// An empty profile.
+    pub fn new() -> JoinProfile {
+        JoinProfile::default()
+    }
+
+    /// Stats for one stage.
+    pub fn stage(&self, stage: Stage) -> &StageStats {
+        &self.stages[stage as usize]
+    }
+
+    /// Merges another profile (e.g. a worker thread's) into this one.
+    /// Merging is associative and commutative, so any merge tree over
+    /// the same per-pair observations yields identical totals.
+    pub fn merge(&mut self, other: &JoinProfile) {
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge(b);
+        }
+        for (a, b) in self.classes.iter_mut().zip(&other.classes) {
+            a.pairs += b.pairs;
+            a.refined += b.refined;
+        }
+    }
+
+    /// Total pairs decided across all stages.
+    pub fn pairs_decided(&self) -> u64 {
+        self.stages.iter().map(|s| s.decided).sum()
+    }
+
+    /// JSON rendering: `{"stages": {...}, "mbr_classes": {...}}`.
+    /// `class_labels[i]` names class id `i`; classes with no pairs are
+    /// omitted, as are label-less slots.
+    pub fn to_json(&self, class_labels: &[&str]) -> Json {
+        let stages = Json::Obj(
+            Stage::ALL
+                .iter()
+                .map(|&s| (s.name().to_string(), self.stage(s).to_json()))
+                .collect(),
+        );
+        let classes = Json::Obj(
+            self.classes
+                .iter()
+                .enumerate()
+                .filter(|&(i, c)| c.pairs > 0 && i < class_labels.len())
+                .map(|(i, c)| {
+                    (
+                        class_labels[i].to_string(),
+                        Json::object([
+                            ("pairs", Json::U64(c.pairs)),
+                            ("refined", Json::U64(c.refined)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::object([("stages", stages), ("mbr_classes", classes)])
+    }
+}
+
+/// Observation interface the pipeline entry points are generic over.
+///
+/// All methods are expected to be `#[inline]`-trivial when
+/// `ENABLED == false` so the disabled path compiles to nothing.
+pub trait Profiler {
+    /// Whether this implementation records anything. Lets call sites
+    /// skip non-trivial setup (e.g. label formatting) statically.
+    const ENABLED: bool;
+
+    /// Opaque start-of-stage token ( `()` when disabled, an [`Instant`]
+    /// when recording).
+    type Timer: Copy;
+
+    /// Marks the start of a stage invocation.
+    fn start(&mut self) -> Self::Timer;
+
+    /// Records the latency of a stage invocation begun at `timer`.
+    fn stage(&mut self, stage: Stage, timer: Self::Timer);
+
+    /// Records that `stage` decided the current pair.
+    fn decided(&mut self, stage: Stage);
+
+    /// Records the current pair's MBR class and whether it ultimately
+    /// needed refinement.
+    fn mbr_class(&mut self, class: usize, refined: bool);
+
+    /// Consumes the profiler, yielding its collected profile (`None`
+    /// for disabled implementations).
+    fn finish(self) -> Option<JoinProfile>
+    where
+        Self: Sized;
+}
+
+/// The zero-cost no-op profiler: statically disabled, so profiled entry
+/// points monomorphize to the uninstrumented code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Disabled;
+
+impl Profiler for Disabled {
+    const ENABLED: bool = false;
+    type Timer = ();
+
+    #[inline(always)]
+    fn start(&mut self) {}
+
+    #[inline(always)]
+    fn stage(&mut self, _stage: Stage, _timer: ()) {}
+
+    #[inline(always)]
+    fn decided(&mut self, _stage: Stage) {}
+
+    #[inline(always)]
+    fn mbr_class(&mut self, _class: usize, _refined: bool) {}
+
+    #[inline(always)]
+    fn finish(self) -> Option<JoinProfile> {
+        None
+    }
+}
+
+/// The recording profiler: one per worker thread, merged afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    /// The observations so far.
+    pub profile: JoinProfile,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Consumes the recorder, yielding its profile.
+    pub fn into_profile(self) -> JoinProfile {
+        self.profile
+    }
+}
+
+impl Profiler for Recorder {
+    const ENABLED: bool = true;
+    type Timer = Instant;
+
+    #[inline]
+    fn start(&mut self) -> Instant {
+        Instant::now()
+    }
+
+    #[inline]
+    fn stage(&mut self, stage: Stage, timer: Instant) {
+        let ns = timer.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.profile.stages[stage as usize].latency.record(ns);
+    }
+
+    #[inline]
+    fn decided(&mut self, stage: Stage) {
+        self.profile.stages[stage as usize].decided += 1;
+    }
+
+    #[inline]
+    fn mbr_class(&mut self, class: usize, refined: bool) {
+        let slot = &mut self.profile.classes[class.min(MAX_MBR_CLASSES - 1)];
+        slot.pairs += 1;
+        slot.refined += u64::from(refined);
+    }
+
+    #[inline]
+    fn finish(self) -> Option<JoinProfile> {
+        Some(self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder(decide_everything_at: Stage, pairs: u64) -> Recorder {
+        let mut r = Recorder::new();
+        for i in 0..pairs {
+            let t = r.start();
+            r.stage(Stage::MbrClassify, t);
+            r.decided(decide_everything_at);
+            r.mbr_class((i % 3) as usize, decide_everything_at == Stage::Refinement);
+        }
+        r
+    }
+
+    #[test]
+    fn recorder_counts_decisions_and_classes() {
+        let r = sample_recorder(Stage::IntermediateFilter, 9);
+        let p = &r.profile;
+        assert_eq!(p.stage(Stage::IntermediateFilter).decided, 9);
+        assert_eq!(p.stage(Stage::Refinement).decided, 0);
+        assert_eq!(p.stage(Stage::MbrClassify).latency.count(), 9);
+        assert_eq!(p.classes[0].pairs, 3);
+        assert_eq!(p.classes[1].pairs, 3);
+        assert_eq!(p.classes[2].pairs, 3);
+        assert_eq!(p.classes[0].refined, 0);
+        assert_eq!(p.pairs_decided(), 9);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let a = sample_recorder(Stage::MbrClassify, 5).into_profile();
+        let b = sample_recorder(Stage::Refinement, 7).into_profile();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Histograms record real (differing) latencies, but counts and
+        // totals must match in both merge orders.
+        assert_eq!(ab.pairs_decided(), 12);
+        assert_eq!(ba.pairs_decided(), 12);
+        for s in Stage::ALL {
+            assert_eq!(ab.stage(s).decided, ba.stage(s).decided);
+            assert_eq!(ab.stage(s).latency.count(), ba.stage(s).latency.count());
+        }
+        assert_eq!(ab.classes, ba.classes);
+    }
+
+    #[test]
+    // The unit binding is the point: exercise the API exactly as the
+    // generic pipeline does, where `Timer` happens to be `()`.
+    #[allow(clippy::let_unit_value)]
+    fn disabled_profiler_is_inert() {
+        let mut p = Disabled;
+        let t = p.start();
+        p.stage(Stage::Refinement, t);
+        p.decided(Stage::Refinement);
+        p.mbr_class(2, true);
+        const { assert!(!Disabled::ENABLED) };
+        assert_eq!(std::mem::size_of::<Disabled>(), 0);
+    }
+
+    #[test]
+    fn out_of_range_class_is_clamped() {
+        let mut r = Recorder::new();
+        r.mbr_class(99, true);
+        assert_eq!(r.profile.classes[MAX_MBR_CLASSES - 1].pairs, 1);
+    }
+
+    #[test]
+    fn json_includes_only_populated_labelled_classes() {
+        let r = sample_recorder(Stage::MbrClassify, 3);
+        let doc = r.profile.to_json(&["disjoint", "equal", "inside"]).render();
+        assert!(doc.contains("\"mbr_classify\""), "{doc}");
+        assert!(doc.contains("\"intermediate_filter\""), "{doc}");
+        assert!(doc.contains("\"refinement\""), "{doc}");
+        assert!(doc.contains("\"disjoint\""), "{doc}");
+        assert!(doc.contains("\"p99_ns\""), "{doc}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Join progress heartbeats.
+//!
+//! A [`Progress`] meter counts processed candidate pairs with a single
+//! shared atomic; worker threads add in batches (every few thousand
+//! pairs) so the counter never contends on the per-pair path. A monitor
+//! thread — see [`Progress::run_reporter`] — periodically prints a
+//! `pairs/sec` heartbeat line to stderr, keeping stdout clean for
+//! pipeable join output.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Worker batch size: add to the shared counter every this many pairs.
+pub const BATCH: u64 = 4096;
+
+/// A shared join-progress counter.
+#[derive(Debug)]
+pub struct Progress {
+    done: AtomicU64,
+    total: u64,
+    start: Instant,
+}
+
+impl Progress {
+    /// A meter expecting `total` pairs (use `0` when unknown).
+    pub fn new(total: u64) -> Progress {
+        Progress {
+            done: AtomicU64::new(0),
+            total,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records `n` more processed pairs.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Pairs recorded so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// The expected total supplied at construction.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// One heartbeat line, e.g.
+    /// `progress: 1234567/2000000 pairs (61.7%), 812345 pairs/sec`.
+    pub fn report_line(&self) -> String {
+        let done = self.done();
+        let secs = self.start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        if self.total > 0 {
+            let pct = 100.0 * done as f64 / self.total as f64;
+            format!(
+                "progress: {done}/{} pairs ({pct:.1}%), {rate:.0} pairs/sec",
+                self.total
+            )
+        } else {
+            format!("progress: {done} pairs, {rate:.0} pairs/sec")
+        }
+    }
+
+    /// Heartbeat loop for a monitor thread: prints [`report_line`] to
+    /// stderr every `interval` until `stop` is set, then prints a final
+    /// line. Returns the number of heartbeats printed (including the
+    /// final one).
+    ///
+    /// [`report_line`]: Progress::report_line
+    pub fn run_reporter(&self, stop: &AtomicBool, interval: Duration) -> u64 {
+        let mut beats = 0u64;
+        while !stop.load(Ordering::Acquire) {
+            // Sleep in short slices so a finished join never waits a
+            // full interval for the monitor to exit.
+            let slice = Duration::from_millis(25).min(interval);
+            let mut slept = Duration::ZERO;
+            while slept < interval && !stop.load(Ordering::Acquire) {
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            eprintln!("{}", self.report_line());
+            beats += 1;
+        }
+        eprintln!("{}", self.report_line());
+        let _ = std::io::stderr().flush();
+        beats + 1
+    }
+}
+
+/// A worker-local batcher that flushes to a shared [`Progress`] every
+/// [`BATCH`] pairs (and on drop), keeping atomic traffic off the
+/// per-pair path.
+pub struct ProgressBatch<'a> {
+    progress: &'a Progress,
+    pending: u64,
+}
+
+impl<'a> ProgressBatch<'a> {
+    /// A batcher feeding `progress`.
+    pub fn new(progress: &'a Progress) -> ProgressBatch<'a> {
+        ProgressBatch {
+            progress,
+            pending: 0,
+        }
+    }
+
+    /// Counts one pair, flushing when the batch fills.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.pending += 1;
+        if self.pending >= BATCH {
+            self.progress.add(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for ProgressBatch<'_> {
+    fn drop(&mut self) {
+        if self.pending > 0 {
+            self.progress.add(self.pending);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_up() {
+        let p = Progress::new(100);
+        p.add(40);
+        p.add(2);
+        assert_eq!(p.done(), 42);
+        assert_eq!(p.total(), 100);
+        let line = p.report_line();
+        assert!(line.contains("42/100"), "{line}");
+        assert!(line.contains("pairs/sec"), "{line}");
+    }
+
+    #[test]
+    fn unknown_total_line_has_no_percentage() {
+        let p = Progress::new(0);
+        p.add(7);
+        let line = p.report_line();
+        assert!(line.contains("7 pairs"), "{line}");
+        assert!(!line.contains('%'), "{line}");
+    }
+
+    #[test]
+    fn batcher_flushes_on_fill_and_drop() {
+        let p = Progress::new(0);
+        {
+            let mut b = ProgressBatch::new(&p);
+            for _ in 0..BATCH + 10 {
+                b.tick();
+            }
+            assert_eq!(p.done(), BATCH);
+        }
+        assert_eq!(p.done(), BATCH + 10);
+    }
+
+    #[test]
+    fn reporter_exits_on_stop() {
+        let p = Progress::new(10);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| p.run_reporter(&stop, Duration::from_millis(10)));
+            p.add(10);
+            std::thread::sleep(Duration::from_millis(60));
+            stop.store(true, Ordering::Release);
+            let beats = handle.join().expect("reporter panicked");
+            assert!(beats >= 1);
+        });
+    }
+}

@@ -132,8 +132,10 @@ mod tests {
     fn contained_object_lists_nest() {
         let g = grid();
         let outer = AprilApprox::build(&Polygon::rect(Rect::from_coords(8.0, 8.0, 56.0, 56.0)), &g);
-        let inner =
-            AprilApprox::build(&Polygon::rect(Rect::from_coords(24.0, 24.0, 40.0, 40.0)), &g);
+        let inner = AprilApprox::build(
+            &Polygon::rect(Rect::from_coords(24.0, 24.0, 40.0, 40.0)),
+            &g,
+        );
         // The inner object's conservative cells sit inside the outer
         // object's progressive cells (it is deep inside).
         assert!(inner.c.inside(&outer.p));

@@ -151,10 +151,7 @@ mod tests {
         assert_eq!(g.cell_of(Point::new(15.999, 0.0)), (3, 0));
         // Clamping: points outside land in border cells.
         assert_eq!(g.cell_of(Point::new(-5.0, 99.0)), (0, 3));
-        assert_eq!(
-            g.cell_rect(1, 2),
-            Rect::from_coords(4.0, 8.0, 8.0, 12.0)
-        );
+        assert_eq!(g.cell_rect(1, 2), Rect::from_coords(4.0, 8.0, 8.0, 12.0));
         assert_eq!(g.cell_center(1, 2), Point::new(6.0, 10.0));
         assert_eq!(g.row_center_y(2), 10.0);
     }
@@ -163,7 +160,10 @@ mod tests {
     fn block_rect_spans_children() {
         let g = grid4();
         assert_eq!(g.block_rect(0, 0, 2), *g.extent());
-        assert_eq!(g.block_rect(2, 2, 1), Rect::from_coords(8.0, 8.0, 16.0, 16.0));
+        assert_eq!(
+            g.block_rect(2, 2, 1),
+            Rect::from_coords(8.0, 8.0, 16.0, 16.0)
+        );
         assert_eq!(g.block_rect(3, 1, 0), g.cell_rect(3, 1));
     }
 

@@ -147,7 +147,9 @@ mod tests {
         let side = 1u64 << order;
         let mut seed = 12345u64;
         for _ in 0..1000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (seed >> 16) as u32 & (side as u32 - 1);
             let y = (seed >> 40) as u32 & (side as u32 - 1);
             let d = xy_to_d(order, x, y);

@@ -75,7 +75,11 @@ fn descend(ctx: &mut Ctx<'_>, col0: u32, row0: u32, level: u32, active: &[u32]) 
         // block's center cell classifies every cell.
         let half = (1u32 << level) / 2;
         let (qc, qr) = (col0 + half.saturating_sub(1), row0 + half.saturating_sub(1));
-        if !ctx.grid.block_rect(col0, row0, level).intersects(&ctx.poly_mbr) {
+        if !ctx
+            .grid
+            .block_rect(col0, row0, level)
+            .intersects(&ctx.poly_mbr)
+        {
             return; // cannot be interior
         }
         if ctx.crossings.is_inside(ctx.grid, qc, qr) {
@@ -449,7 +453,7 @@ mod tests {
         assert!(segment_intersects_rect(&seg(3.0, 3.0, 9.0, 9.0), &r));
         // Touching a corner.
         assert!(segment_intersects_rect(&seg(0.0, 4.0, 2.0, 2.0), &r)); // passes through? line x+y=4 touches corner (2,2)? 2+2=4 yes
-        // Missing entirely.
+                                                                        // Missing entirely.
         assert!(!segment_intersects_rect(&seg(0.0, 0.0, 1.0, 1.0), &r));
         // Bbox overlaps but segment passes outside the corner.
         assert!(!segment_intersects_rect(&seg(0.0, 3.9, 2.1, 6.0), &r));
@@ -461,9 +465,11 @@ mod tests {
     fn larger_grid_consistency() {
         // Same polygon at higher order: P grows toward the true area,
         // C shrinks toward it; both stay sound w.r.t. each other.
-        let poly =
-            Polygon::from_coords(vec![(1.0, 1.0), (14.0, 3.0), (12.0, 14.0), (3.0, 12.0)], vec![])
-                .unwrap();
+        let poly = Polygon::from_coords(
+            vec![(1.0, 1.0), (14.0, 3.0), (12.0, 14.0), (3.0, 12.0)],
+            vec![],
+        )
+        .unwrap();
         let mut last_p = 0.0;
         let mut last_c = f64::INFINITY;
         for order in [3u32, 4, 5, 6] {

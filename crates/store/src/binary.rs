@@ -97,7 +97,9 @@ pub fn read_dataset<R: Read>(r: &mut R) -> Result<(Dataset, Grid), StoreError> {
     }
     let order = read_u32(r)?;
     if !(1..=16).contains(&order) {
-        return Err(StoreError::Format(format!("grid order {order} out of range")));
+        return Err(StoreError::Format(format!(
+            "grid order {order} out of range"
+        )));
     }
     let grid = Grid::new(Rect::from_coords(minx, miny, maxx, maxy), order);
 

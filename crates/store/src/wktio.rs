@@ -41,8 +41,7 @@ pub fn read_wkt_polygons<R: BufRead>(r: R) -> Result<Vec<Polygon>, WktIoError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let poly =
-            polygon_from_wkt(trimmed).map_err(|e| WktIoError::Parse(idx + 1, e))?;
+        let poly = polygon_from_wkt(trimmed).map_err(|e| WktIoError::Parse(idx + 1, e))?;
         out.push(poly);
     }
     Ok(out)

@@ -59,10 +59,26 @@ fn main() {
     let (out_april, t_april) = time(|| find_relation_april(&lake, &park), iters);
 
     println!("\nmethod   relation     time/pair");
-    println!("P+C      {:<12} {:>10.2?}", out_pc.relation.to_string(), t_pc);
-    println!("ST2      {:<12} {:>10.2?}", out_st2.relation.to_string(), t_st2);
-    println!("OP2      {:<12} {:>10.2?}", out_op2.relation.to_string(), t_op2);
-    println!("APRIL    {:<12} {:>10.2?}", out_april.relation.to_string(), t_april);
+    println!(
+        "P+C      {:<12} {:>10.2?}",
+        out_pc.relation.to_string(),
+        t_pc
+    );
+    println!(
+        "ST2      {:<12} {:>10.2?}",
+        out_st2.relation.to_string(),
+        t_st2
+    );
+    println!(
+        "OP2      {:<12} {:>10.2?}",
+        out_op2.relation.to_string(),
+        t_op2
+    );
+    println!(
+        "APRIL    {:<12} {:>10.2?}",
+        out_april.relation.to_string(),
+        t_april
+    );
 
     assert_eq!(out_pc.relation, TopoRelation::Inside);
     assert_eq!(out_pc.determination, Determination::IntermediateFilter);

@@ -43,7 +43,11 @@ fn main() {
 
     let t = Instant::now();
     let pairs = mbr_join_parallel(&lakes.mbrs(), &parks.mbrs(), threads);
-    println!("MBR join: {} candidate pairs in {:.2?}", pairs.len(), t.elapsed());
+    println!(
+        "MBR join: {} candidate pairs in {:.2?}",
+        pairs.len(),
+        t.elapsed()
+    );
 
     // Interlink with the P+C pipeline.
     let t = Instant::now();
@@ -72,7 +76,10 @@ fn main() {
 
     // Same workload through the baselines, for comparison.
     for (name, f) in [
-        ("ST2", find_relation_st2 as fn(&SpatialObject, &SpatialObject) -> FindOutcome),
+        (
+            "ST2",
+            find_relation_st2 as fn(&SpatialObject, &SpatialObject) -> FindOutcome,
+        ),
         ("OP2", find_relation_op2),
         ("APRIL", find_relation_april),
     ] {

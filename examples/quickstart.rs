@@ -20,10 +20,10 @@ fn main() {
         "POLYGON ((5 5, 95 5, 95 95, 5 95, 5 5), (60 60, 80 60, 80 80, 60 80, 60 60))",
     )
     .expect("valid WKT");
-    let lake = wkt::polygon_from_wkt("POLYGON ((20 20, 45 25, 40 50, 15 45, 20 20))")
-        .expect("valid WKT");
-    let pond_in_clearing = wkt::polygon_from_wkt("POLYGON ((65 65, 75 65, 75 75, 65 75, 65 65))")
-        .expect("valid WKT");
+    let lake =
+        wkt::polygon_from_wkt("POLYGON ((20 20, 45 25, 40 50, 15 45, 20 20))").expect("valid WKT");
+    let pond_in_clearing =
+        wkt::polygon_from_wkt("POLYGON ((65 65, 75 65, 75 75, 65 75, 65 65))").expect("valid WKT");
 
     let park = SpatialObject::build(park, &grid);
     let lake = SpatialObject::build(lake, &grid);
@@ -47,7 +47,10 @@ fn main() {
     // 4. Predicate queries: "is the lake inside the park?" — cheaper than
     //    finding the most specific relation when you only need one test.
     let q = relate_p(&lake, &park, TopoRelation::Inside);
-    println!("relate_inside(lake, park) = {} via {:?}", q.holds, q.determination);
+    println!(
+        "relate_inside(lake, park) = {} via {:?}",
+        q.holds, q.determination
+    );
 
     // 5. The full DE-9IM matrix is available when you need it.
     let m = relate(&lake.polygon, &park.polygon);

@@ -12,8 +12,14 @@
 //!     --predicate REL             relate_p mode (inside, meets, ...)
 //!     --threads N                 worker threads (default: all cores)
 //!     --ntriples OUT.nt           write GeoSPARQL links as N-Triples
+//!     --stats-json OUT.json       write a machine-readable join report
+//!                                 (per-stage latency histograms included;
+//!                                 enables profiling)
+//!     --progress                  pairs/sec heartbeat on stderr
+//!     --quiet                     suppress the human-readable summary
 //! ```
 //!
+//! Join statistics go to **stderr**; stdout stays clean/pipeable.
 //! Datasets for `generate`: TL TW TC TZ OBE OLE OPE OBN OLN OPN.
 
 use std::fs::File;
@@ -23,6 +29,7 @@ use stjoin::core::linking::links_to_ntriples;
 use stjoin::core::{JoinMethod, TopologyJoin};
 use stjoin::datagen::DatasetId;
 use stjoin::geom::wkt::polygon_from_wkt;
+use stjoin::obs::Json;
 use stjoin::prelude::*;
 use stjoin::store::{read_dataset, read_wkt_polygons, write_dataset, write_wkt_polygons};
 
@@ -57,6 +64,7 @@ USAGE:
   stj preprocess <IN.wkt> <OUT.stjd> [--order N] [--extent x0 y0 x1 y1] [--name NAME]
   stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
            [--predicate REL] [--threads N] [--ntriples OUT.nt]
+           [--stats-json OUT.json] [--progress] [--quiet]
 ";
 
 fn cmd_relate(args: &[String]) -> Result<(), String> {
@@ -76,9 +84,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         return Err("generate needs <DATASET> <SCALE> <OUT.wkt>".into());
     };
     let id = parse_dataset(name)?;
-    let scale: f64 = scale
-        .parse()
-        .map_err(|_| format!("bad scale {scale:?}"))?;
+    let scale: f64 = scale.parse().map_err(|_| format!("bad scale {scale:?}"))?;
     let polys = stjoin::datagen::generate(id, scale);
     let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     let mut w = BufWriter::new(f);
@@ -153,18 +159,23 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
 fn cmd_join(args: &[String]) -> Result<(), String> {
     let mut pos = Vec::new();
     let mut method = JoinMethod::PC;
+    let mut method_name = "pc";
     let mut predicate: Option<TopoRelation> = None;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut ntriples: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut progress = false;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--method" => {
-                method = match next_arg(&mut it, "--method")?.as_str() {
-                    "pc" => JoinMethod::PC,
-                    "st2" => JoinMethod::St2,
-                    "op2" => JoinMethod::Op2,
-                    "april" => JoinMethod::April,
+                let name = next_arg(&mut it, "--method")?;
+                (method, method_name) = match name.as_str() {
+                    "pc" => (JoinMethod::PC, "pc"),
+                    "st2" => (JoinMethod::St2, "st2"),
+                    "op2" => (JoinMethod::Op2, "op2"),
+                    "april" => (JoinMethod::April, "april"),
                     other => return Err(format!("unknown method {other:?}")),
                 };
             }
@@ -175,6 +186,9 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads value".to_string())?;
             }
             "--ntriples" => ntriples = Some(next_arg(&mut it, "--ntriples")?),
+            "--stats-json" => stats_json = Some(next_arg(&mut it, "--stats-json")?),
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
             other => pos.push(other.to_string()),
         }
     }
@@ -191,7 +205,11 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let mut join = TopologyJoin::new().method(method).threads(threads);
+    let mut join = TopologyJoin::new()
+        .method(method)
+        .threads(threads)
+        .profiled(stats_json.is_some())
+        .progress(progress);
     if let Some(p) = predicate {
         join = join.predicate(p);
     }
@@ -199,22 +217,44 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let out = join.run(&left, &right);
     let dt = t.elapsed();
 
-    println!(
-        "{} x {} -> {} candidates, {} links in {:.2?} ({:.0} pairs/s, {:.1}% refined)",
-        left.name,
-        right.name,
-        out.candidates,
-        out.links.len(),
-        dt,
-        out.candidates as f64 / dt.as_secs_f64().max(1e-12),
-        out.stats.undetermined_pct()
-    );
     let mut histogram = std::collections::BTreeMap::new();
     for l in &out.links {
         *histogram.entry(l.relation.to_string()).or_insert(0u64) += 1;
     }
-    for (rel, n) in histogram {
-        println!("  {rel:<12} {n}");
+
+    // Human-readable statistics go to stderr: stdout is reserved for
+    // pipeable output.
+    if !quiet {
+        eprintln!(
+            "{} x {} -> {} candidates, {} links in {:.2?} ({:.0} pairs/s, {:.1}% refined)",
+            left.name,
+            right.name,
+            out.candidates,
+            out.links.len(),
+            dt,
+            out.candidates as f64 / dt.as_secs_f64().max(1e-12),
+            out.stats.undetermined_pct()
+        );
+        for (rel, n) in &histogram {
+            eprintln!("  {rel:<12} {n}");
+        }
+    }
+
+    if let Some(path) = stats_json {
+        let report = join_report(
+            &out,
+            &left.name,
+            &right.name,
+            method_name,
+            predicate,
+            threads,
+            dt,
+            &histogram,
+        );
+        std::fs::write(&path, report.render()).map_err(|e| format!("write {path}: {e}"))?;
+        if !quiet {
+            eprintln!("wrote join report to {path}");
+        }
     }
 
     if let Some(path) = ntriples {
@@ -227,9 +267,70 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             false,
         );
         std::fs::write(&path, nt).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote {} link triples to {path}", out.links.len());
+        if !quiet {
+            eprintln!("wrote {} link triples to {path}", out.links.len());
+        }
     }
     Ok(())
+}
+
+/// Assembles the `--stats-json` document (schema `stj-join-report/v1`).
+#[allow(clippy::too_many_arguments)]
+fn join_report(
+    out: &stjoin::core::JoinResult,
+    left: &str,
+    right: &str,
+    method: &str,
+    predicate: Option<TopoRelation>,
+    threads: usize,
+    wall: std::time::Duration,
+    histogram: &std::collections::BTreeMap<String, u64>,
+) -> Json {
+    let wall_ns = wall.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let mut report = Json::object([
+        ("schema", Json::str("stj-join-report/v1")),
+        ("left", Json::str(left)),
+        ("right", Json::str(right)),
+        ("method", Json::str(method)),
+        (
+            "predicate",
+            predicate.map_or(Json::Null, |p| Json::str(p.to_string())),
+        ),
+        ("threads", Json::from(threads)),
+        ("candidates", Json::U64(out.candidates)),
+        ("links", Json::from(out.links.len())),
+        ("wall_ns", Json::U64(wall_ns)),
+        (
+            "pairs_per_sec",
+            Json::F64(out.candidates as f64 / wall.as_secs_f64().max(1e-12)),
+        ),
+        (
+            "stats",
+            Json::object([
+                ("pairs", Json::U64(out.stats.pairs)),
+                ("by_mbr", Json::U64(out.stats.by_mbr)),
+                ("by_intermediate", Json::U64(out.stats.by_intermediate)),
+                ("refined", Json::U64(out.stats.refined)),
+                ("undetermined_pct", Json::F64(out.stats.undetermined_pct())),
+            ]),
+        ),
+        (
+            "relations",
+            Json::Obj(
+                histogram
+                    .iter()
+                    .map(|(rel, n)| (rel.clone(), Json::U64(*n)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(profile) = &out.profile {
+        report.push(
+            "profile",
+            profile.to_json(&stjoin::core::mbr_class_labels()),
+        );
+    }
+    report
 }
 
 fn load(path: &str) -> Result<(Dataset, Grid), String> {

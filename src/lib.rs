@@ -19,7 +19,9 @@
 //! - [`core`] — the P+C pipeline ([`find_relation`]), `relate_p`
 //!   ([`relate_p`]), and the ST2/OP2/APRIL baselines;
 //! - [`datagen`] — seeded synthetic datasets mirroring the paper's
-//!   evaluation scenarios.
+//!   evaluation scenarios;
+//! - [`obs`] — observability: per-stage latency histograms, join
+//!   profiles, JSON telemetry, progress heartbeats.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use stj_datagen as datagen;
 pub use stj_de9im as de9im;
 pub use stj_geom as geom;
 pub use stj_index as index;
+pub use stj_obs as obs;
 pub use stj_raster as raster;
 pub use stj_store as store;
 

@@ -34,7 +34,11 @@ fn relate_command() {
 #[test]
 fn relate_rejects_bad_wkt() {
     let out = stj()
-        .args(["relate", "POLYGON ((0 0))", "POLYGON ((0 0, 1 0, 1 1, 0 0))"])
+        .args([
+            "relate",
+            "POLYGON ((0 0))",
+            "POLYGON ((0 0, 1 0, 1 1, 0 0))",
+        ])
         .output()
         .expect("run stj");
     assert!(!out.status.success());
@@ -55,7 +59,11 @@ fn full_pipeline_via_cli() {
             .arg(path)
             .output()
             .expect("generate");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     for (wkt, bin) in [(&lakes_wkt, &lakes_bin), (&parks_wkt, &parks_bin)] {
         let out = stj()
@@ -65,20 +73,52 @@ fn full_pipeline_via_cli() {
             .args(["--order", "12", "--extent", "0", "0", "1000", "1000"])
             .output()
             .expect("preprocess");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
 
+    let stats_json = dir.join("report.json");
     let out = stj()
         .arg("join")
         .arg(&lakes_bin)
         .arg(&parks_bin)
         .arg("--ntriples")
         .arg(&links)
+        .arg("--stats-json")
+        .arg(&stats_json)
         .output()
         .expect("join");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Join statistics go to stderr; stdout stays pipeable (empty here).
+    let text = String::from_utf8(out.stderr).unwrap();
     assert!(text.contains("candidates"), "{text}");
+    assert!(String::from_utf8(out.stdout).unwrap().is_empty());
+
+    // The --stats-json report has the stj-join-report/v1 shape.
+    let report = std::fs::read_to_string(&stats_json).unwrap();
+    assert!(report.trim_start().starts_with('{'), "{report}");
+    for key in [
+        "\"schema\": \"stj-join-report/v1\"",
+        "\"candidates\"",
+        "\"wall_ns\"",
+        "\"stats\"",
+        "\"relations\"",
+        "\"profile\"",
+        "\"mbr_classify\"",
+        "\"intermediate_filter\"",
+        "\"refinement\"",
+        "\"p99_ns\"",
+        "\"mbr_classes\"",
+    ] {
+        assert!(report.contains(key), "missing {key} in {report}");
+    }
 
     let nt = std::fs::read_to_string(&links).unwrap();
     assert!(nt.lines().count() > 0);
@@ -97,6 +137,31 @@ fn full_pipeline_via_cli() {
         .output()
         .expect("predicate join");
     assert!(out.status.success());
+
+    // --quiet silences the summary entirely.
+    let out = stj()
+        .arg("join")
+        .arg(&lakes_bin)
+        .arg(&parks_bin)
+        .arg("--quiet")
+        .output()
+        .expect("quiet join");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().is_empty());
+    assert!(String::from_utf8(out.stderr).unwrap().is_empty());
+
+    // --progress emits at least a final heartbeat line on stderr.
+    let out = stj()
+        .arg("join")
+        .arg(&lakes_bin)
+        .arg(&parks_bin)
+        .args(["--quiet", "--progress"])
+        .output()
+        .expect("progress join");
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("progress:"), "{err}");
+    assert!(err.contains("pairs/sec"), "{err}");
 
     // Mismatched grids are refused.
     let other_bin = dir.join("other.stjd");

@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.8) crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides exactly the API subset the workspace uses — `Rng::gen_range`
+//! / `gen_bool` / `gen`, `SeedableRng::seed_from_u64` and
+//! `rngs::StdRng` — backed by xoshiro256++ seeded through SplitMix64.
+//!
+//! The streams differ from upstream `rand`'s `StdRng` (ChaCha12), so
+//! seeded datasets are reproducible *within* this workspace but not
+//! bit-identical to ones generated with the real crate. All workspace
+//! generators only rely on seed-determinism, not on specific streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator: the subset of `rand::Rng` the workspace
+/// uses, with the same method semantics.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// Panics if the range is empty, like `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a supported type (`f64` in `[0,1)`,
+    /// integers over their full range, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+/// Seeding interface mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Deterministically derives a full generator state from one `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`] (stand-in for `rand`'s `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: Rng>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] (stand-in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// `u64` in `[0, 1)` as an `f64` with 53 random mantissa bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; nudge back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in gen_range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+// No `f32` impl: `f64` as the sole float candidate lets `{float}`
+// range literals (`gen_range(0.3..1.5)`) infer without annotation,
+// which upstream rand achieves through its `SampleUniform` machinery.
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sample; bias is < 2^-64.
+                let hi = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo..hi.wrapping_add(1)).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard seedable generator: xoshiro256++.
+    ///
+    /// Small, fast and high-quality; *not* stream-compatible with
+    /// upstream `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&i));
+            let j = rng.gen_range(0..=2u64);
+            assert!(j <= 2);
+            let k = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}
