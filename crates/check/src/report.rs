@@ -1,0 +1,71 @@
+//! WKT repro dumps for failing runs.
+//!
+//! The dump is a WKT-per-line file with `#` comment headers, i.e. the
+//! exact format `stj_store::wktio::read_wkt_polygons` (and `stj relate
+//! --wkt`) consumes: each violation contributes two polygon lines
+//! preceded by comments identifying the pair, the invariant broken and
+//! the observed mismatch.
+
+use crate::runner::CheckReport;
+use std::io::Write;
+
+/// Writes the shrunk repro geometry of every retained violation.
+pub fn write_repro<W: Write>(w: &mut W, report: &CheckReport) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "# stj-check repro dump — seed {} pairs {} ({} violation(s), {} retained)",
+        report.config.seed,
+        report.pairs,
+        report.total_violations(),
+        report.violations.len()
+    )?;
+    for v in &report.violations {
+        writeln!(w, "#")?;
+        writeln!(
+            w,
+            "# pair {} category {} invariant {}",
+            v.index,
+            v.category,
+            v.kind.name()
+        )?;
+        writeln!(w, "# {}", v.detail)?;
+        writeln!(w, "{}", v.a_wkt)?;
+        writeln!(w, "{}", v.b_wkt)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::InvariantKind;
+    use crate::runner::{CheckConfig, Violation};
+    use stj_core::PipelineStats;
+
+    #[test]
+    fn repro_dump_is_readable_wkt() {
+        let report = CheckReport {
+            config: CheckConfig::default(),
+            pairs: 10,
+            violation_counts: [1, 0, 0, 0],
+            violations: vec![Violation {
+                index: 4,
+                category: "shared_edge",
+                kind: InvariantKind::MethodAgreement,
+                detail: "pc says Intersects, oracle says Meets".into(),
+                a_wkt: "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))".into(),
+                b_wkt: "POLYGON ((10 0, 20 0, 20 10, 10 10, 10 0))".into(),
+            }],
+            category_counts: [0; stj_datagen::adversarial::CATEGORIES.len()],
+            pipeline: PipelineStats::default(),
+            elapsed_ms: 0,
+        };
+        let mut buf = Vec::new();
+        write_repro(&mut buf, &report).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("invariant method_agreement"));
+        // The dump must parse back through the WKT reader.
+        let polys = stj_store::wktio::read_wkt_polygons(text.as_bytes()).unwrap();
+        assert_eq!(polys.len(), 2);
+    }
+}

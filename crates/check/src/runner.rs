@@ -1,0 +1,290 @@
+//! The differential check runner: drives the adversarial corpus through
+//! the invariants, sequentially or across scoped threads, and aggregates
+//! a machine-readable report.
+
+use crate::invariants::{check_pair, InvariantKind};
+use crate::shrink::shrink_pair;
+use std::time::Instant;
+use stj_core::PipelineStats;
+use stj_datagen::adversarial::{adversarial_pair, adversarial_space, CATEGORIES};
+use stj_geom::wkt::polygon_to_wkt;
+use stj_obs::Json;
+use stj_raster::Grid;
+
+/// Configuration of a check run.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// RNG seed; a run is fully determined by `(seed, pairs)`.
+    pub seed: u64,
+    /// Number of adversarial pairs to generate and check.
+    pub pairs: u64,
+    /// Worker threads (1 = sequential). Results are identical for any
+    /// thread count — per-pair seeding makes generation order-free.
+    pub threads: usize,
+    /// Hilbert grid order for the APRIL rasterization (paper default
+    /// territory; 8 → 256×256 cells over the adversarial data space).
+    pub grid_order: u32,
+    /// Maximum violations to keep (with shrunk WKT) in the report;
+    /// counting continues past the cap.
+    pub max_violations: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            seed: 0,
+            pairs: 1000,
+            threads: 1,
+            grid_order: 8,
+            max_violations: 16,
+        }
+    }
+}
+
+/// One recorded invariant violation, already shrunk.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Pair index under the run's seed (replayable).
+    pub index: u64,
+    /// Adversarial category that produced the pair.
+    pub category: &'static str,
+    /// The invariant broken.
+    pub kind: InvariantKind,
+    /// Human-readable mismatch description (from the *original* pair).
+    pub detail: String,
+    /// Shrunk first polygon, as WKT.
+    pub a_wkt: String,
+    /// Shrunk second polygon, as WKT.
+    pub b_wkt: String,
+}
+
+/// Aggregated result of a check run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The configuration that produced this report.
+    pub config: CheckConfig,
+    /// Pairs checked.
+    pub pairs: u64,
+    /// Violation count per invariant kind (indexed by `InvariantKind::ALL`
+    /// order); counts all violations, not just the retained ones.
+    pub violation_counts: [u64; 4],
+    /// Retained (shrunk) violations, at most `config.max_violations`.
+    pub violations: Vec<Violation>,
+    /// Pairs checked per adversarial category.
+    pub category_counts: [u64; CATEGORIES.len()],
+    /// P+C decision-stage mix over the clean pairs.
+    pub pipeline: PipelineStats,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl CheckReport {
+    /// Total violations across all invariant kinds.
+    pub fn total_violations(&self) -> u64 {
+        self.violation_counts.iter().sum()
+    }
+
+    /// Whether the run found any invariant violation.
+    pub fn has_violations(&self) -> bool {
+        self.total_violations() > 0
+    }
+
+    /// Renders the `stj-check-report/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut counts = Json::Obj(vec![]);
+        counts.push("total", Json::U64(self.total_violations()));
+        for (kind, n) in InvariantKind::ALL.iter().zip(self.violation_counts) {
+            counts.push(kind.name(), Json::U64(n));
+        }
+        let mut categories = Json::Obj(vec![]);
+        for (name, n) in CATEGORIES.iter().zip(self.category_counts) {
+            categories.push(name, Json::U64(n));
+        }
+        let failures: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::object([
+                    ("index", Json::U64(v.index)),
+                    ("category", Json::str(v.category)),
+                    ("invariant", Json::str(v.kind.name())),
+                    ("detail", Json::str(v.detail.clone())),
+                    ("a_wkt", Json::str(v.a_wkt.clone())),
+                    ("b_wkt", Json::str(v.b_wkt.clone())),
+                ])
+            })
+            .collect();
+        Json::object([
+            ("schema", Json::str("stj-check-report/v1")),
+            ("seed", Json::U64(self.config.seed)),
+            ("pairs", Json::U64(self.pairs)),
+            ("threads", Json::from(self.config.threads)),
+            ("grid_order", Json::U64(self.config.grid_order as u64)),
+            ("elapsed_ms", Json::U64(self.elapsed_ms)),
+            ("violations", counts),
+            ("categories", categories),
+            (
+                "pipeline",
+                Json::object([
+                    ("by_mbr", Json::U64(self.pipeline.by_mbr)),
+                    ("by_intermediate", Json::U64(self.pipeline.by_intermediate)),
+                    ("refined", Json::U64(self.pipeline.refined)),
+                    (
+                        "undetermined_pct",
+                        Json::F64(self.pipeline.undetermined_pct()),
+                    ),
+                ]),
+            ),
+            ("failures", Json::Arr(failures)),
+        ])
+    }
+}
+
+/// Per-worker accumulator, merged after the scoped threads join.
+#[derive(Default)]
+struct WorkerState {
+    violation_counts: [u64; 4],
+    violations: Vec<Violation>,
+    category_counts: [u64; CATEGORIES.len()],
+    pipeline: PipelineStats,
+}
+
+impl WorkerState {
+    fn merge(&mut self, other: WorkerState) {
+        for (a, b) in self.violation_counts.iter_mut().zip(other.violation_counts) {
+            *a += b;
+        }
+        self.violations.extend(other.violations);
+        for (a, b) in self.category_counts.iter_mut().zip(other.category_counts) {
+            *a += b;
+        }
+        self.pipeline.merge(&other.pipeline);
+    }
+}
+
+fn kind_slot(kind: InvariantKind) -> usize {
+    InvariantKind::ALL.iter().position(|k| *k == kind).unwrap()
+}
+
+fn check_range(config: &CheckConfig, grid: &Grid, lo: u64, hi: u64) -> WorkerState {
+    let mut state = WorkerState::default();
+    for index in lo..hi {
+        let pair = adversarial_pair(config.seed, index);
+        state.category_counts[(index % CATEGORIES.len() as u64) as usize] += 1;
+        match check_pair(&pair.a, &pair.b, grid) {
+            Ok(outcome) => state.pipeline.record(&outcome),
+            Err((kind, detail)) => {
+                state.violation_counts[kind_slot(kind)] += 1;
+                if state.violations.len() < config.max_violations {
+                    let (sa, sb) = shrink_pair(&pair.a, &pair.b, grid, kind);
+                    state.violations.push(Violation {
+                        index,
+                        category: pair.category,
+                        kind,
+                        detail,
+                        a_wkt: polygon_to_wkt(&sa),
+                        b_wkt: polygon_to_wkt(&sb),
+                    });
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Runs the differential check described by `config`.
+pub fn run_check(config: &CheckConfig) -> CheckReport {
+    let start = Instant::now();
+    let grid = Grid::new(adversarial_space(), config.grid_order);
+    let threads = config.threads.max(1);
+
+    let mut state = WorkerState::default();
+    if threads == 1 || config.pairs < 2 {
+        state = check_range(config, &grid, 0, config.pairs);
+    } else {
+        let chunk = config.pairs.div_ceil(threads as u64);
+        let grid_ref = &grid;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let lo = (t * chunk).min(config.pairs);
+                    let hi = ((t + 1) * chunk).min(config.pairs);
+                    scope.spawn(move || check_range(config, grid_ref, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("check worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for r in results {
+            state.merge(r);
+        }
+    }
+
+    // Deterministic report order regardless of worker interleaving.
+    state.violations.sort_by_key(|v| v.index);
+    state.violations.truncate(config.max_violations);
+
+    CheckReport {
+        config: *config,
+        pairs: config.pairs,
+        violation_counts: state.violation_counts,
+        violations: state.violations,
+        category_counts: state.category_counts,
+        pipeline: state.pipeline,
+        elapsed_ms: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_clean_and_covers_categories() {
+        let report = run_check(&CheckConfig {
+            seed: 0xA11CE,
+            pairs: 110,
+            ..CheckConfig::default()
+        });
+        assert_eq!(report.pairs, 110);
+        assert_eq!(
+            report.total_violations(),
+            0,
+            "violations: {:?}",
+            report.violations
+        );
+        assert!(report.category_counts.iter().all(|&n| n >= 10));
+        assert_eq!(report.pipeline.pairs, 110);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = CheckConfig {
+            seed: 7,
+            pairs: 66,
+            ..CheckConfig::default()
+        };
+        let seq = run_check(&base);
+        let par = run_check(&CheckConfig { threads: 4, ..base });
+        assert_eq!(seq.violation_counts, par.violation_counts);
+        assert_eq!(seq.category_counts, par.category_counts);
+        assert_eq!(seq.pipeline, par.pipeline);
+    }
+
+    #[test]
+    fn report_json_has_the_schema_and_counts() {
+        let report = run_check(&CheckConfig {
+            seed: 3,
+            pairs: 22,
+            ..CheckConfig::default()
+        });
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"schema\": \"stj-check-report/v1\""));
+        assert!(rendered.contains("\"pairs\": 22"));
+        assert!(rendered.contains("\"method_agreement\""));
+        assert!(rendered.contains("\"april_soundness\""));
+        assert!(rendered.contains("\"shared_edge\""));
+    }
+}

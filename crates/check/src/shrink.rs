@@ -1,0 +1,176 @@
+//! Greedy counterexample shrinking.
+//!
+//! When a pair violates an invariant, the raw generated geometry is
+//! rarely minimal — stars carry dozens of irrelevant vertices. The
+//! shrinker repeatedly applies size-reducing transformations (drop
+//! holes, halve rings, delete single vertices, round coordinates) and
+//! keeps any transform under which the *same* invariant still fails,
+//! until a fixpoint or an evaluation budget is reached. The result is a
+//! locally minimal repro for the WKT dump.
+
+use crate::invariants::{check_pair, InvariantKind};
+use stj_geom::{Point, Polygon, Ring};
+use stj_raster::Grid;
+
+/// Upper bound on re-checks during shrinking: failures should be rare,
+/// and each evaluation rebuilds rasters and runs every method.
+const EVAL_BUDGET: usize = 400;
+
+/// Shrinks a failing pair while invariant `kind` keeps failing. Returns
+/// the smallest pair found (possibly the input itself).
+pub fn shrink_pair(
+    a: &Polygon,
+    b: &Polygon,
+    grid: &Grid,
+    kind: InvariantKind,
+) -> (Polygon, Polygon) {
+    let mut cur_a = a.clone();
+    let mut cur_b = b.clone();
+    let mut evals = 0usize;
+    let still_fails = |x: &Polygon, y: &Polygon, evals: &mut usize| {
+        *evals += 1;
+        matches!(check_pair(x, y, grid), Err((k, _)) if k == kind)
+    };
+
+    let mut changed = true;
+    while changed && evals < EVAL_BUDGET {
+        changed = false;
+        // Shrink each side in turn against the other's current form.
+        for side in 0..2 {
+            let target = if side == 0 { &cur_a } else { &cur_b };
+            let mut accepted = None;
+            for cand in candidates(target) {
+                if evals >= EVAL_BUDGET {
+                    break;
+                }
+                let ok = if side == 0 {
+                    still_fails(&cand, &cur_b, &mut evals)
+                } else {
+                    still_fails(&cur_a, &cand, &mut evals)
+                };
+                if ok {
+                    accepted = Some(cand);
+                    break;
+                }
+            }
+            if let Some(cand) = accepted {
+                if side == 0 {
+                    cur_a = cand;
+                } else {
+                    cur_b = cand;
+                }
+                changed = true;
+            }
+        }
+    }
+    (cur_a, cur_b)
+}
+
+/// Candidate smaller versions of `p`, most aggressive first. Every
+/// candidate is strictly smaller (fewer holes or vertices) except the
+/// final coordinate-rounding attempts, which simplify the repro without
+/// changing counts.
+fn candidates(p: &Polygon) -> Vec<Polygon> {
+    let mut out = Vec::new();
+    let outer = p.outer();
+    let holes = p.holes();
+
+    // Drop all holes, then each hole individually.
+    if !holes.is_empty() {
+        out.push(Polygon::new(outer.clone(), Vec::new()));
+        if holes.len() > 1 {
+            for skip in 0..holes.len() {
+                let kept: Vec<Ring> = holes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, h)| h.clone())
+                    .collect();
+                out.push(Polygon::new(outer.clone(), kept));
+            }
+        }
+    }
+
+    // Halve the outer ring (keep every other vertex).
+    let v = outer.vertices();
+    if v.len() >= 6 {
+        let halved: Vec<Point> = v.iter().step_by(2).copied().collect();
+        push_rebuilt(&mut out, halved, holes);
+    }
+
+    // Delete single vertices.
+    if v.len() > 3 {
+        for i in 0..v.len() {
+            let mut pts = v.to_vec();
+            pts.remove(i);
+            push_rebuilt(&mut out, pts, holes);
+        }
+    }
+
+    // Round coordinates (whole units, then tenths) — often turns a
+    // noisy float repro into a readable one.
+    for scale in [1.0, 10.0] {
+        let rounded: Vec<Point> = v
+            .iter()
+            .map(|q| Point::new((q.x * scale).round() / scale, (q.y * scale).round() / scale))
+            .collect();
+        if rounded != v {
+            push_rebuilt(&mut out, rounded, holes);
+        }
+    }
+
+    out
+}
+
+/// Rebuilds a polygon from candidate outer vertices, skipping invalid
+/// rings (too few distinct vertices after dedup, zero area, ...).
+fn push_rebuilt(out: &mut Vec<Polygon>, pts: Vec<Point>, holes: &[Ring]) {
+    if let Ok(ring) = Ring::new(pts) {
+        if ring.area() > 0.0 {
+            out.push(Polygon::new(ring, holes.to_vec()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stj_geom::Rect;
+
+    #[test]
+    fn shrinking_a_clean_pair_is_identity() {
+        // No invariant fails, so no candidate is ever accepted.
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 1000.0, 1000.0), 8);
+        let a = Polygon::rect(Rect::from_coords(100.0, 100.0, 300.0, 300.0));
+        let b = Polygon::rect(Rect::from_coords(200.0, 200.0, 400.0, 400.0));
+        let (sa, sb) = shrink_pair(&a, &b, &grid, InvariantKind::MethodAgreement);
+        assert_eq!(sa, a);
+        assert_eq!(sb, b);
+    }
+
+    #[test]
+    fn candidates_are_valid_and_smaller() {
+        let p = Polygon::from_coords(
+            vec![
+                (0.0, 0.0),
+                (10.0, 0.0),
+                (10.1, 5.0),
+                (10.0, 10.0),
+                (5.0, 10.2),
+                (0.0, 10.0),
+            ],
+            vec![vec![(2.0, 2.0), (4.0, 2.0), (4.0, 4.0), (2.0, 4.0)]],
+        )
+        .unwrap();
+        let cands = candidates(&p);
+        assert!(!cands.is_empty());
+        // First candidate drops the hole.
+        assert!(cands[0].holes().is_empty());
+        for c in &cands {
+            assert!(c.outer().area() > 0.0);
+            assert!(
+                c.num_vertices() < p.num_vertices() || c.outer().vertices() != p.outer().vertices()
+            );
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Adversarial pair corpus for the differential check harness
+//! (`crates/check`).
+//!
+//! Each pair is drawn from a category of constructions chosen to sit on
+//! the decision boundaries of the P+C pipeline: exact shared edges,
+//! vertex-only contact, hole boundaries, collinear slivers, pairs with
+//! equal MBRs but different shapes, and the degenerate/tied MBR
+//! alignments that motivated the strict-spanning `Cross` fix. Lattice
+//! coordinates are used deliberately so that MBR sides tie *exactly* —
+//! the regime where an unsound filter shortcut disagrees with DE-9IM.
+//!
+//! Generation is deterministic and order-independent: pair `index` under
+//! `seed` is always the same polygons, regardless of how many pairs are
+//! requested or how work is partitioned across threads. Categories
+//! rotate round-robin by index so every run covers all of them.
+
+use crate::pairs::pair_with_relation;
+use crate::star::{star_polygon, StarParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stj_de9im::TopoRelation;
+use stj_geom::{Point, Polygon, Rect, Ring};
+
+/// The adversarial categories, in round-robin order.
+pub const CATEGORIES: [&str; 11] = [
+    "shared_edge",
+    "vertex_touch",
+    "hole_boundary",
+    "collinear_sliver",
+    "equal_mbr",
+    "degenerate_cross",
+    "nested",
+    "equal",
+    "axis_rect",
+    "random_star",
+    "disjoint_close",
+];
+
+/// The data space all adversarial pairs live in. Check runs rasterize on
+/// a grid over exactly this extent.
+pub fn adversarial_space() -> Rect {
+    Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+}
+
+/// One generated pair plus the category that produced it.
+#[derive(Clone, Debug)]
+pub struct AdversarialPair {
+    /// Category name (one of [`CATEGORIES`]).
+    pub category: &'static str,
+    /// First polygon of the pair.
+    pub a: Polygon,
+    /// Second polygon of the pair.
+    pub b: Polygon,
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, index)` into a per-pair
+/// RNG seed so generation is independent of iteration order.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates adversarial pair `index` under `seed`.
+pub fn adversarial_pair(seed: u64, index: u64) -> AdversarialPair {
+    let cat = (index % CATEGORIES.len() as u64) as usize;
+    let mut rng = StdRng::seed_from_u64(mix(seed, index));
+    let (mut a, mut b) = match cat {
+        0 => shared_edge(&mut rng),
+        1 => vertex_touch(&mut rng),
+        2 => hole_boundary(&mut rng),
+        3 => collinear_sliver(&mut rng),
+        4 => equal_mbr(&mut rng),
+        5 => degenerate_cross(&mut rng),
+        6 => nested(&mut rng),
+        7 => equal(&mut rng),
+        8 => axis_rect(&mut rng),
+        9 => random_star(&mut rng),
+        _ => disjoint_close(&mut rng),
+    };
+    if rng.gen_bool(0.5) {
+        std::mem::swap(&mut a, &mut b);
+    }
+    AdversarialPair {
+        category: CATEGORIES[cat],
+        a,
+        b,
+    }
+}
+
+/// A lattice coordinate in `[lo, hi]`, always a multiple of `step` —
+/// ties between independently drawn values are common by design.
+fn lattice<R: Rng>(rng: &mut R, lo: i64, hi: i64, step: f64) -> f64 {
+    rng.gen_range(lo..=hi) as f64 * step
+}
+
+fn rect_poly(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+    Polygon::rect(Rect::from_coords(x0, y0, x1, y1))
+}
+
+fn tri(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> Polygon {
+    Polygon::from_coords(vec![a, b, c], vec![]).expect("triangle valid")
+}
+
+/// Two bodies sharing a boundary arc exactly: axis-aligned rects glued
+/// along an edge (full, partial, or super-extent contact), or triangles
+/// glued along a random diagonal segment.
+fn shared_edge<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    if rng.gen_bool(0.5) {
+        // Rects sharing (part of) the vertical edge x = x1.
+        let x0 = lattice(rng, 0, 20, 20.0);
+        let x1 = x0 + lattice(rng, 1, 10, 20.0);
+        let y0 = lattice(rng, 1, 20, 20.0);
+        let y1 = y0 + lattice(rng, 1, 10, 20.0);
+        let x2 = x1 + lattice(rng, 1, 8, 20.0);
+        // Right rect's y-range: equal, nested, offset, or point-touching.
+        let (ry0, ry1) = match rng.gen_range(0u32..4) {
+            0 => (y0, y1),
+            1 => (y0 + (y1 - y0) * 0.25, y0 + (y1 - y0) * 0.75),
+            2 => (y0 - 20.0, y0 + (y1 - y0) * 0.5),
+            _ => (y1, y1 + 40.0), // corner contact only
+        };
+        (rect_poly(x0, y0, x1, y1), rect_poly(x1, ry0, x2, ry1))
+    } else {
+        // Triangles on opposite sides of a shared diagonal edge p–q.
+        let p = Point::new(lattice(rng, 15, 30, 20.0), lattice(rng, 15, 30, 20.0));
+        let q = Point::new(
+            p.x + lattice(rng, 1, 5, 20.0),
+            p.y + lattice(rng, -5, 5, 20.0),
+        );
+        let (q, p) = if q == p {
+            (Point::new(p.x + 40.0, p.y + 20.0), p)
+        } else {
+            (q, p)
+        };
+        let mid = Point::new((p.x + q.x) / 2.0, (p.y + q.y) / 2.0);
+        let (nx, ny) = (-(q.y - p.y), q.x - p.x);
+        let t = rng.gen_range(0.3..1.2);
+        let m1 = (mid.x + nx * t, mid.y + ny * t);
+        let m2 = (mid.x - nx * t, mid.y - ny * t);
+        (
+            tri((p.x, p.y), (q.x, q.y), m1),
+            tri((p.x, p.y), (q.x, q.y), m2),
+        )
+    }
+}
+
+/// Bodies touching at exactly one point: corner-to-corner rects, or a
+/// triangle apex landing on a rect corner or edge interior.
+fn vertex_touch<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let x0 = lattice(rng, 2, 20, 20.0);
+    let y0 = lattice(rng, 2, 20, 20.0);
+    let w = lattice(rng, 1, 8, 20.0);
+    let h = lattice(rng, 1, 8, 20.0);
+    let a = rect_poly(x0, y0, x0 + w, y0 + h);
+    let b = match rng.gen_range(0u32..3) {
+        // Corner-to-corner.
+        0 => rect_poly(x0 + w, y0 + h, x0 + w + 40.0, y0 + h + 40.0),
+        // Apex on a's top-right corner.
+        1 => tri(
+            (x0 + w, y0 + h),
+            (x0 + w + 60.0, y0 + h + 20.0),
+            (x0 + w + 20.0, y0 + h + 60.0),
+        ),
+        // Apex in the interior of a's right edge.
+        _ => tri(
+            (x0 + w, y0 + h / 2.0),
+            (x0 + w + 60.0, y0),
+            (x0 + w + 60.0, y0 + h),
+        ),
+    };
+    (a, b)
+}
+
+/// A square annulus (square with a square hole) against a body placed
+/// relative to the hole: strictly inside it (disjoint), filling it
+/// exactly (meets along the full hole ring), or poking across it.
+fn hole_boundary<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let u = lattice(rng, 0, 15, 20.0);
+    let w = lattice(rng, 8, 16, 20.0);
+    let m = lattice(rng, 2, 3, 20.0); // hole margin
+    let (h0, h1) = (u + m, u + w - m);
+    let outer = Polygon::from_coords(
+        vec![(u, u), (u + w, u), (u + w, u + w), (u, u + w)],
+        vec![vec![(h0, h0), (h1, h0), (h1, h1), (h0, h1)]],
+    )
+    .expect("annulus valid");
+    let b = match rng.gen_range(0u32..3) {
+        // Strictly inside the hole: disjoint from the annulus.
+        0 => rect_poly(h0 + 10.0, h0 + 10.0, h1 - 10.0, h1 - 10.0),
+        // Fills the hole exactly: boundaries share the full ring, meets.
+        1 => rect_poly(h0, h0, h1, h1),
+        // Pokes across the hole's left wall: intersects.
+        _ => rect_poly(h0 - 10.0, h0 + 10.0, h0 + 10.0, h1 - 10.0),
+    };
+    (outer, b)
+}
+
+/// Near-degenerate slivers: a long, hair-thin triangle riding on (or
+/// crossing) the edge line of a fat rectangle, plus edges carrying
+/// redundant collinear vertices.
+fn collinear_sliver<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let x0 = lattice(rng, 0, 15, 20.0);
+    let x1 = x0 + lattice(rng, 4, 12, 20.0);
+    let y = lattice(rng, 5, 30, 20.0);
+    let eps = match rng.gen_range(0u32..3) {
+        0 => 1e-3,
+        1 => 1e-6,
+        _ => 0.5,
+    };
+    // Rect below the line y; add a redundant collinear vertex midway
+    // along its top edge to exercise noding.
+    let a = Polygon::from_coords(
+        vec![
+            (x0, y - 60.0),
+            (x1, y - 60.0),
+            (x1, y),
+            ((x0 + x1) / 2.0, y),
+            (x0, y),
+        ],
+        vec![],
+    )
+    .expect("rect with collinear vertex valid");
+    let b = if rng.gen_bool(0.5) {
+        // Sliver sits on top of the shared line: meets along the base.
+        tri((x0, y), (x1, y), ((x0 + x1) / 2.0, y + eps))
+    } else {
+        // Sliver apex dips below the line: intersects.
+        tri((x0, y), (x1, y), ((x0 + x1) / 2.0, y - eps))
+    };
+    (a, b)
+}
+
+/// Pairs with exactly equal MBRs but different shapes — the regime where
+/// the `Equal` MBR class must keep `covered_by`/`covers`/`meets` alive.
+fn equal_mbr<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let u = lattice(rng, 0, 20, 20.0);
+    let w = lattice(rng, 4, 12, 20.0);
+    let (x0, y0, x1, y1) = (u, u, u + w, u + w);
+    match rng.gen_range(0u32..3) {
+        // Square split along the diagonal: two triangles that meet.
+        0 => (
+            tri((x0, y0), (x1, y0), (x1, y1)),
+            tri((x0, y0), (x1, y1), (x0, y1)),
+        ),
+        // Inscribed diamond: covered by the square, same MBR.
+        1 => {
+            let c = (x0 + x1) / 2.0;
+            (
+                rect_poly(x0, y0, x1, y1),
+                Polygon::from_coords(vec![(c, y0), (x1, c), (c, y1), (x0, c)], vec![])
+                    .expect("diamond valid"),
+            )
+        }
+        // Square vs the same square with a notch bitten out of an edge
+        // interior (MBR unchanged): covers.
+        _ => {
+            let n0 = x0 + w * 0.25;
+            let n1 = x0 + w * 0.5;
+            let d = w * 0.25;
+            (
+                rect_poly(x0, y0, x1, y1),
+                Polygon::from_coords(
+                    vec![
+                        (x0, y0),
+                        (x1, y0),
+                        (x1, y1),
+                        (n1, y1),
+                        (n1, y1 - d),
+                        (n0, y1 - d),
+                        (n0, y1),
+                        (x0, y1),
+                    ],
+                    vec![],
+                )
+                .expect("notched square valid"),
+            )
+        }
+    }
+}
+
+/// The Figure 4(d) danger zone: cross-shaped MBR alignments with `k`
+/// exact ties among the four spanning inequalities. With zero ties the
+/// rect pair truly crosses; with ties it must not classify `Cross`, and
+/// one sub-case is the shared-diagonal meets witness from the
+/// `MbrRelation::classify` regression.
+fn degenerate_cross<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    if rng.gen_bool(0.25) {
+        // Trapezoid/triangle pair sharing only the edge (4,8)–(6,5),
+        // translated onto a random lattice point: MBR spanning ties on
+        // two sides, most specific relation is meets.
+        let dx = lattice(rng, 0, 40, 20.0);
+        let dy = lattice(rng, 0, 40, 20.0);
+        let t = |x: f64, y: f64| (x * 10.0 + dx, y * 10.0 + dy);
+        (
+            Polygon::from_coords(
+                vec![t(6.0, 5.0), t(10.0, 5.0), t(10.0, 8.0), t(4.0, 8.0)],
+                vec![],
+            )
+            .expect("trapezoid valid"),
+            Polygon::from_coords(vec![t(6.0, 5.0), t(4.0, 8.0), t(4.0, 4.0)], vec![])
+                .expect("triangle valid"),
+        )
+    } else {
+        // Wide × tall rect pair; each of the four spanning comparisons
+        // independently ties with probability 1/2.
+        let cx = lattice(rng, 15, 35, 20.0);
+        let cy = lattice(rng, 15, 35, 20.0);
+        let (hw, hh) = (120.0, 120.0);
+        let (iw, ih) = (60.0, 60.0);
+        let wide = rect_poly(cx - hw, cy - ih, cx + hw, cy + ih);
+        let mut t = [cx - iw, cy - hh, cx + iw, cy + hh];
+        if rng.gen_bool(0.5) {
+            t[1] = cy - ih; // tie min.y with wide's
+        }
+        if rng.gen_bool(0.5) {
+            t[3] = cy + ih; // tie max.y with wide's
+        }
+        if rng.gen_bool(0.5) {
+            t[0] = cx - hw; // tie min.x — tall reaches wide's left edge
+        }
+        let tall = rect_poly(t[0], t[1], t[2], t[3]);
+        (wide, tall)
+    }
+}
+
+/// Containment family with shared boundary arcs, delegated to the
+/// known-relation generators.
+fn nested<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let rel = match rng.gen_range(0u32..4) {
+        0 => TopoRelation::Inside,
+        1 => TopoRelation::Contains,
+        2 => TopoRelation::CoveredBy,
+        _ => TopoRelation::Covers,
+    };
+    let complexity = rng.gen_range(16usize..96);
+    pair_with_relation(rel, complexity, rng.gen())
+}
+
+/// Exactly equal bodies, optionally with the vertex cycle rotated so the
+/// rings differ representationally.
+fn equal<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let params = StarParams {
+        center: Point::new(lattice(rng, 10, 40, 20.0), lattice(rng, 10, 40, 20.0)),
+        avg_radius: rng.gen_range(30.0..90.0),
+        irregularity: 0.5,
+        spikiness: 0.2,
+        num_vertices: rng.gen_range(6usize..40),
+    };
+    let a = star_polygon(rng, &params);
+    let verts = a.outer().vertices();
+    let k = rng.gen_range(0..verts.len());
+    let mut rotated: Vec<Point> = verts[k..].to_vec();
+    rotated.extend_from_slice(&verts[..k]);
+    let b = Polygon::new(Ring::new(rotated).expect("rotated ring valid"), Vec::new());
+    (a, b)
+}
+
+/// Axis-aligned rects on a coarse lattice: every MBR class (and every
+/// kind of tie) shows up here with non-trivial probability.
+fn axis_rect<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let draw = |rng: &mut R| {
+        let x0 = lattice(rng, 0, 8, 100.0);
+        let y0 = lattice(rng, 0, 8, 100.0);
+        let w = lattice(rng, 1, 4, 100.0);
+        let h = lattice(rng, 1, 4, 100.0);
+        rect_poly(x0, y0, (x0 + w).min(1000.0), (y0 + h).min(1000.0))
+    };
+    let a = draw(rng);
+    let b = draw(rng);
+    (a, b)
+}
+
+/// Two random stars — unconstrained relation mix, including holes.
+fn random_star<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    fn draw<R: Rng>(rng: &mut R) -> Polygon {
+        let params = StarParams {
+            center: Point::new(rng.gen_range(250.0..750.0), rng.gen_range(250.0..750.0)),
+            avg_radius: rng.gen_range(30.0..140.0),
+            irregularity: rng.gen_range(0.2..0.7),
+            spikiness: rng.gen_range(0.05..0.4),
+            num_vertices: rng.gen_range(5usize..48),
+        };
+        star_polygon(rng, &params)
+    }
+    (draw(rng), draw(rng))
+}
+
+/// Disjoint bodies whose MBRs overlap: triangles hugging opposite
+/// corners of the shared region — the rasters must prove disjointness.
+fn disjoint_close<R: Rng>(rng: &mut R) -> (Polygon, Polygon) {
+    let x0 = lattice(rng, 0, 25, 20.0);
+    let y0 = lattice(rng, 0, 25, 20.0);
+    let d = lattice(rng, 4, 10, 20.0);
+    let gap = rng.gen_range(1.0..20.0);
+    let a = tri((x0, y0), (x0 + d, y0), (x0, y0 + d));
+    let b = tri(
+        (x0 + d, y0 + d),
+        (x0 + d - gap.min(d - 1.0), y0 + d),
+        (x0 + d, y0 + d - gap.min(d - 1.0)),
+    );
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        for idx in [0u64, 7, 23, 101] {
+            let p1 = adversarial_pair(42, idx);
+            let p2 = adversarial_pair(42, idx);
+            assert_eq!(p1.a, p2.a);
+            assert_eq!(p1.b, p2.b);
+            assert_eq!(p1.category, p2.category);
+        }
+    }
+
+    #[test]
+    fn categories_rotate_and_all_appear() {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..CATEGORIES.len() as u64 {
+            seen.insert(adversarial_pair(7, idx).category);
+        }
+        assert_eq!(seen.len(), CATEGORIES.len());
+    }
+
+    #[test]
+    fn pairs_stay_inside_the_data_space() {
+        let space = adversarial_space();
+        for idx in 0..220u64 {
+            let p = adversarial_pair(0xC0FFEE, idx);
+            for poly in [&p.a, &p.b] {
+                let m = poly.mbr();
+                assert!(
+                    m.min.x >= space.min.x
+                        && m.min.y >= space.min.y
+                        && m.max.x <= space.max.x
+                        && m.max.y <= space.max.y,
+                    "idx {idx} category {} escapes the data space: {m:?}",
+                    p.category
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = adversarial_pair(1, 9);
+        let b = adversarial_pair(2, 9);
+        assert!(a.a != b.a || a.b != b.b);
+    }
+}

@@ -13,13 +13,18 @@
 //!   list, with correlated placement (lakes in parks, buildings in
 //!   parks) recreating the paper's relation mixes;
 //! - [`pairs`]: single pairs with a known target relation, including the
-//!   Figure 9 case-study pair.
+//!   Figure 9 case-study pair;
+//! - [`adversarial`]: the boundary-case pair corpus driven by the
+//!   `stj check` differential harness (shared edges, vertex contact,
+//!   holes, slivers, tied MBR alignments).
 
+pub mod adversarial;
 pub mod pairs;
 pub mod scenarios;
 pub mod star;
 pub mod tessellation;
 
+pub use adversarial::{adversarial_pair, adversarial_space, AdversarialPair, CATEGORIES};
 pub use pairs::{fig9_lake_in_park, pair_with_relation};
 pub use scenarios::{
     data_space, generate, generate_combo, scaled_count, ComboId, DatasetId, ALL_COMBOS,

@@ -66,6 +66,16 @@ impl Ring {
         if vertices.len() < 3 {
             return Err(GeomError::TooFewVertices);
         }
+        // `dedup` only removes *consecutive* duplicates: a zig-zag like
+        // (0,0),(1,1),(0,0),(1,1) still passes the length check with only
+        // two distinct vertices and zero area. Count distinct vertices
+        // the O(n log n) way rather than trusting adjacency.
+        let mut distinct: Vec<Point> = vertices.clone();
+        distinct.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+        distinct.dedup();
+        if distinct.len() < 3 {
+            return Err(GeomError::TooFewVertices);
+        }
         let mbr = Rect::of_points(vertices.iter().copied());
         Ok(Ring { vertices, mbr })
     }
@@ -336,6 +346,29 @@ mod tests {
             Point::new(1.0, 1.0)
         ])
         .is_err());
+    }
+
+    #[test]
+    fn ring_rejects_too_few_distinct_vertices() {
+        // Non-consecutive duplicates survive dedup but leave only two
+        // distinct points — a degenerate zig-zag, not an areal ring.
+        assert_eq!(
+            Ring::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 1.0),
+            ]),
+            Err(GeomError::TooFewVertices)
+        );
+        // Repeats of valid vertices are fine as long as 3 distinct remain.
+        let r = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(r.is_ok());
     }
 
     #[test]

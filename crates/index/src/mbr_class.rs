@@ -21,9 +21,17 @@ pub enum MbrRelation {
     Inside,
     /// `MBR(r)` contains `MBR(s)` without being equal (Figure 4(b)).
     Contains,
-    /// The MBRs cross: one spans the other's full x-extent while the
-    /// other spans the full y-extent (Figure 4(d)). For connected areal
-    /// objects this *proves* the `intersects` relation outright.
+    /// The MBRs cross: one *strictly* spans the other's full x-extent
+    /// while the other *strictly* spans the full y-extent (Figure 4(d)).
+    /// For connected areal objects this *proves* the `intersects`
+    /// relation outright: an interior path of one crosses the shared
+    /// strip left-to-right, an interior path of the other top-to-bottom,
+    /// and the two must meet.
+    ///
+    /// Strictness matters: if a span merely *touches* (e.g.
+    /// `r.min.x == s.min.x`), the objects can share nothing but a
+    /// boundary arc along the touching side and merely `meets` — such
+    /// pairs classify as [`MbrRelation::Overlap`] instead.
     Cross,
     /// Any other overlap (Figure 4(e)).
     Overlap,
@@ -69,10 +77,16 @@ impl MbrRelation {
         if r.contains_rect(s) {
             return MbrRelation::Contains;
         }
-        let r_spans_x = r.min.x <= s.min.x && r.max.x >= s.max.x;
-        let r_spans_y = r.min.y <= s.min.y && r.max.y >= s.max.y;
-        let s_spans_x = s.min.x <= r.min.x && s.max.x >= r.max.x;
-        let s_spans_y = s.min.y <= r.min.y && s.max.y >= r.max.y;
+        // Cross demands *strict* spanning on all four sides. With any
+        // equality the two objects can degenerate to a pure boundary
+        // contact (shared edge along the touching side), where the most
+        // specific relation is `meets` — so such pairs must keep `meets`
+        // (and even `disjoint`, for hole configurations) as candidates
+        // and are classified `Overlap` instead.
+        let r_spans_x = r.min.x < s.min.x && r.max.x > s.max.x;
+        let r_spans_y = r.min.y < s.min.y && r.max.y > s.max.y;
+        let s_spans_x = s.min.x < r.min.x && s.max.x > r.max.x;
+        let s_spans_y = s.min.y < r.min.y && s.max.y > r.max.y;
         if (r_spans_x && s_spans_y) || (s_spans_x && r_spans_y) {
             return MbrRelation::Cross;
         }
@@ -153,6 +167,36 @@ mod tests {
         // wide2's x-range equals tall2's; wide2 doesn't span more than
         // tall2 vertically -> this is containment (tall2 contains wide2).
         assert_eq!(MbrRelation::classify(&wide2, &tall2), MbrRelation::Inside);
+    }
+
+    #[test]
+    fn degenerate_spans_are_not_cross() {
+        // Regression: a "cross"-shaped pair whose spanning is not strict
+        // on every side must NOT classify Cross — the objects can merely
+        // meet. Witness (see crates/check adversarial corpus): trapezoid
+        // (6,5),(10,5),(10,8),(4,8) [MBR (4,5)-(10,8)] vs triangle
+        // (6,5),(4,8),(4,4) [MBR (4,4)-(6,8)] share only the edge
+        // (4,8)-(6,5); min.x ties at 4 and max.y ties at 8.
+        let trap = r(4.0, 5.0, 10.0, 8.0);
+        let tri = r(4.0, 4.0, 6.0, 8.0);
+        assert_eq!(MbrRelation::classify(&trap, &tri), MbrRelation::Overlap);
+        assert_eq!(MbrRelation::classify(&tri, &trap), MbrRelation::Overlap);
+
+        // Zero-width intersection strip: rects touching along an edge
+        // while one spans the other's y-extent. meets must stay possible.
+        let left = r(0.0, 2.0, 4.0, 6.0);
+        let right = r(4.0, 0.0, 8.0, 10.0);
+        assert_eq!(MbrRelation::classify(&left, &right), MbrRelation::Overlap);
+        assert_eq!(MbrRelation::classify(&right, &left), MbrRelation::Overlap);
+
+        // One tie on a single side is already enough to demote.
+        let wide = r(0.0, 4.0, 10.0, 6.0);
+        let tall = r(4.0, 4.0, 6.0, 10.0); // min.y ties with wide's
+        assert_eq!(MbrRelation::classify(&wide, &tall), MbrRelation::Overlap);
+
+        // Strict spanning on all four sides still crosses.
+        let tall2 = r(4.0, 0.0, 6.0, 10.0);
+        assert_eq!(MbrRelation::classify(&wide, &tall2), MbrRelation::Cross);
     }
 
     #[test]

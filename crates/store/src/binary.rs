@@ -26,6 +26,20 @@ use stj_raster::{AprilApprox, Grid, IntervalList};
 const MAGIC: &[u8; 4] = b"STJD";
 const VERSION: u32 = 1;
 
+/// Upper bound on any single `Vec::with_capacity` derived from an
+/// untrusted length field. Counts above this are still honored — the
+/// vector just grows by doubling as elements actually arrive — so a
+/// hostile header claiming 2^26 vertices costs nothing up front: the
+/// very next `read_exact` hits EOF and fails cleanly instead of first
+/// committing gigabytes.
+const MAX_TRUSTED_PREALLOC: usize = 1 << 12;
+
+/// Preallocation for an untrusted element count.
+#[inline]
+fn bounded_capacity(n: usize) -> usize {
+    n.min(MAX_TRUSTED_PREALLOC)
+}
+
 /// Errors raised by dataset (de)serialization.
 #[derive(Debug)]
 pub enum StoreError {
@@ -113,7 +127,7 @@ pub fn read_dataset<R: Read>(r: &mut R) -> Result<(Dataset, Grid), StoreError> {
         .map_err(|_| StoreError::Format("dataset name is not UTF-8".into()))?;
 
     let count = read_u64(r)? as usize;
-    let mut objects = Vec::with_capacity(count.min(1 << 24));
+    let mut objects = Vec::with_capacity(bounded_capacity(count));
     for _ in 0..count {
         let polygon = read_polygon(r)?;
         let p = read_intervals(r)?;
@@ -148,7 +162,7 @@ fn read_polygon<R: Read>(r: &mut R) -> Result<Polygon, StoreError> {
         return Err(StoreError::Format(format!("bad ring count {rings}")));
     }
     let outer = read_ring(r)?;
-    let mut holes = Vec::with_capacity(rings - 1);
+    let mut holes = Vec::with_capacity(bounded_capacity(rings - 1));
     for _ in 1..rings {
         holes.push(read_ring(r)?);
     }
@@ -160,7 +174,7 @@ fn read_ring<R: Read>(r: &mut R) -> Result<Ring, StoreError> {
     if !(3..=1 << 26).contains(&n) {
         return Err(StoreError::Format(format!("bad vertex count {n}")));
     }
-    let mut pts = Vec::with_capacity(n);
+    let mut pts = Vec::with_capacity(bounded_capacity(n));
     for _ in 0..n {
         pts.push(Point::new(read_f64(r)?, read_f64(r)?));
     }
@@ -181,7 +195,7 @@ fn read_intervals<R: Read>(r: &mut R) -> Result<IntervalList, StoreError> {
     if n > 1 << 28 {
         return Err(StoreError::Format(format!("bad interval count {n}")));
     }
-    let mut ranges = Vec::with_capacity(n);
+    let mut ranges = Vec::with_capacity(bounded_capacity(n));
     for _ in 0..n {
         let s = read_u64(r)?;
         let e = read_u64(r)?;
@@ -268,16 +282,87 @@ mod tests {
         ));
     }
 
+    /// A dataset small enough that the exhaustive truncation sweep
+    /// stays cheap, yet exercising every record type (holes, P and C
+    /// interval lists).
+    fn tiny_dataset() -> (Dataset, Grid) {
+        let polys = vec![
+            Polygon::rect(Rect::from_coords(5.0, 5.0, 40.0, 40.0)),
+            Polygon::from_coords(
+                vec![(50.0, 10.0), (90.0, 10.0), (90.0, 45.0), (50.0, 45.0)],
+                vec![vec![(60.0, 20.0), (80.0, 20.0), (80.0, 35.0), (60.0, 35.0)]],
+            )
+            .unwrap(),
+            Polygon::from_coords(vec![(10.0, 60.0), (45.0, 60.0), (20.0, 90.0)], vec![]).unwrap(),
+        ];
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 6);
+        (Dataset::build("tiny", polys, &grid), grid)
+    }
+
     #[test]
-    fn rejects_truncation_anywhere() {
-        let (ds, grid) = sample_dataset();
+    fn rejects_truncation_at_every_byte() {
+        let (ds, grid) = tiny_dataset();
         let mut buf = Vec::new();
         write_dataset(&mut buf, &ds, &grid).unwrap();
-        // Truncate at a spread of byte positions: every prefix must fail
-        // cleanly, never panic.
-        for cut in [3usize, 7, 20, 40, 100, buf.len() / 2, buf.len() - 1] {
+        // Cutting the file at EVERY byte offset must fail cleanly —
+        // never panic, never succeed with partial data.
+        for cut in 0..buf.len() {
             let err = read_dataset(&mut buf[..cut].as_ref());
-            assert!(err.is_err(), "cut at {cut} unexpectedly succeeded");
+            assert!(err.is_err(), "cut at {cut}/{} succeeded", buf.len());
+        }
+        assert!(read_dataset(&mut buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn hostile_counts_fail_without_allocating() {
+        let (ds, grid) = tiny_dataset();
+        let mut valid = Vec::new();
+        write_dataset(&mut valid, &ds, &grid).unwrap();
+        // Byte offset of the object-count u64: after magic (4), version
+        // (4), extent (32), order (4), name length (4) + name bytes.
+        let name_off = 4 + 4 + 32 + 4;
+        let count_off = name_off + 4 + ds.name.len();
+
+        // A header claiming u64::MAX objects (then EOF) must error out,
+        // not preallocate.
+        let mut buf = valid[..count_off].to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_dataset(&mut buf.as_slice()),
+            Err(StoreError::Io(_) | StoreError::Format(_))
+        ));
+
+        // Max-allowed vertex count (2^26, passes the range check) with
+        // no vertex data: must fail on EOF, not OOM on with_capacity.
+        let mut buf = valid[..count_off].to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes()); // one object
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one ring
+        buf.extend_from_slice(&(1u32 << 26).to_le_bytes()); // huge ring
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+
+        // Same for a huge interval count on the P list.
+        let mut buf = valid[..count_off].to_vec();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes()); // 3 vertices
+        for v in [0.0f64, 0.0, 10.0, 0.0, 0.0, 10.0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(1u32 << 28).to_le_bytes()); // huge P list
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_interval_lists_are_rejected() {
+        let (ds, grid) = tiny_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &ds, &grid).unwrap();
+        // Flip every byte position in turn and demand no panic: either a
+        // clean error or a (structurally re-validated) successful parse.
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0xFF;
+            let _ = read_dataset(&mut corrupt.as_slice());
         }
     }
 

@@ -91,4 +91,40 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
     }
+
+    #[track_caller]
+    fn expect_parse_error(text: &str, line: usize) {
+        match read_wkt_polygons(text.as_bytes()) {
+            Err(WktIoError::Parse(got, e)) => {
+                assert_eq!(got, line, "wrong line for {e}");
+            }
+            other => panic!("expected parse error at line {line}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinates_with_line_numbers() {
+        // Literal NaN/inf tokens.
+        expect_parse_error("# ok\nPOLYGON ((0 0, 1 0, NaN 1, 0 0))\n", 2);
+        expect_parse_error("POLYGON ((0 0, inf 0, 1 1, 0 0))\n", 1);
+        // Overflowing scientific notation parses to f64 infinity and must
+        // be rejected too, not silently constructed.
+        expect_parse_error(
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))\nPOLYGON ((0 0, 1e999 0, 1 1, 0 0))\n",
+            2,
+        );
+    }
+
+    #[test]
+    fn rejects_rings_with_too_few_distinct_points() {
+        // Fewer than 3 points.
+        expect_parse_error("POLYGON ((0 0, 1 1, 0 0))\n", 1);
+        // 4 points, but only 2 distinct (non-consecutive duplicates).
+        expect_parse_error("POLYGON ((0 0, 1 1, 0 0, 1 1, 0 0))\n", 1);
+        // A degenerate hole poisons the polygon as well.
+        expect_parse_error(
+            "POLYGON ((0 0, 9 0, 9 9, 0 9, 0 0), (2 2, 3 3, 2 2, 3 3, 2 2))\n",
+            1,
+        );
+    }
 }

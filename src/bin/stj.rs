@@ -19,6 +19,18 @@
 //!     --quiet                     suppress the human-readable summary
 //! ```
 //!
+//! ```text
+//! stj check [opts]                          differential correctness harness
+//!     --seed S       run seed: decimal, 0x-hex, or any string (hashed)
+//!     --pairs N      adversarial pairs to check (default 1000)
+//!     --threads N    worker threads (default 1; results identical)
+//!     --order N      grid order for APRIL rasterization (default 8)
+//!     --json OUT     write the stj-check-report/v1 JSON summary
+//!     --dump OUT     WKT repro file for violations (default stj-check-repro.wkt)
+//! ```
+//!
+//! `check` exits non-zero when any invariant is violated.
+//!
 //! Join statistics go to **stderr**; stdout stays clean/pipeable.
 //! Datasets for `generate`: TL TW TC TZ OBE OLE OPE OBN OLN OPN.
 
@@ -40,6 +52,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("check") => return cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -65,6 +78,8 @@ USAGE:
   stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
            [--predicate REL] [--threads N] [--ntriples OUT.nt]
            [--stats-json OUT.json] [--progress] [--quiet]
+  stj check [--seed S] [--pairs N] [--threads N] [--order N]
+            [--json OUT.json] [--dump OUT.wkt]
 ";
 
 fn cmd_relate(args: &[String]) -> Result<(), String> {
@@ -331,6 +346,113 @@ fn join_report(
         );
     }
     report
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    match run_check_cmd(args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check_cmd(args: &[String]) -> Result<bool, String> {
+    use stjoin::check::{run_check, write_repro, CheckConfig};
+
+    let mut config = CheckConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut dump_out = "stj-check-repro.wkt".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => config.seed = parse_seed(&next_arg(&mut it, "--seed")?),
+            "--pairs" => {
+                config.pairs = next_arg(&mut it, "--pairs")?
+                    .parse()
+                    .map_err(|_| "bad --pairs value".to_string())?;
+            }
+            "--threads" => {
+                config.threads = next_arg(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--order" => {
+                config.grid_order = next_arg(&mut it, "--order")?
+                    .parse()
+                    .map_err(|_| "bad --order value".to_string())?;
+                if !(1..=16).contains(&config.grid_order) {
+                    return Err("--order must be in 1..=16".into());
+                }
+            }
+            "--json" => json_out = Some(next_arg(&mut it, "--json")?),
+            "--dump" => dump_out = next_arg(&mut it, "--dump")?,
+            other => return Err(format!("unknown check option {other:?}")),
+        }
+    }
+
+    let report = run_check(&config);
+
+    eprintln!(
+        "checked {} adversarial pairs (seed {:#x}, {} thread(s), grid order {}) in {} ms: \
+         {} violation(s)",
+        report.pairs,
+        config.seed,
+        config.threads.max(1),
+        config.grid_order,
+        report.elapsed_ms,
+        report.total_violations(),
+    );
+    for v in &report.violations {
+        eprintln!(
+            "  pair {} [{}] broke {}: {}",
+            v.index,
+            v.category,
+            v.kind.name(),
+            v.detail
+        );
+    }
+
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json().render())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote check report to {path}");
+    }
+    if report.has_violations() {
+        let f = File::create(&dump_out).map_err(|e| format!("create {dump_out}: {e}"))?;
+        let mut w = BufWriter::new(f);
+        write_repro(&mut w, &report).map_err(|e| format!("write {dump_out}: {e}"))?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote WKT repro dump to {dump_out}");
+    }
+    Ok(!report.has_violations())
+}
+
+/// Parses a check seed: plain decimal, `0x`-prefixed hex, or — for
+/// anything else (e.g. `0xEDBT26`, which is not valid hex) — a stable
+/// FNV-1a hash of the string, so any token can name a run.
+fn parse_seed(s: &str) -> u64 {
+    if let Ok(n) = s.parse::<u64>() {
+        return n;
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(n) = u64::from_str_radix(hex, 16) {
+            return n;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn load(path: &str) -> Result<(Dataset, Grid), String> {

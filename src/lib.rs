@@ -21,7 +21,10 @@
 //! - [`datagen`] — seeded synthetic datasets mirroring the paper's
 //!   evaluation scenarios;
 //! - [`obs`] — observability: per-stage latency histograms, join
-//!   profiles, JSON telemetry, progress heartbeats.
+//!   profiles, JSON telemetry, progress heartbeats;
+//! - [`check`] — the differential & metamorphic correctness harness
+//!   behind `stj check` (adversarial pairs, invariants (a)–(d),
+//!   shrinking, WKT repro dumps).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@
 //! assert_eq!(out.determination, Determination::IntermediateFilter);
 //! ```
 
+pub use stj_check as check;
 pub use stj_core as core;
 pub use stj_datagen as datagen;
 pub use stj_de9im as de9im;

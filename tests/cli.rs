@@ -186,6 +186,68 @@ fn full_pipeline_via_cli() {
 }
 
 #[test]
+fn check_command() {
+    let dir = tempdir("check");
+    let report = dir.join("check.json");
+    let dump = dir.join("repro.wkt");
+    let out = stj()
+        .args(["check", "--seed", "0xEDBT26", "--pairs", "330"])
+        .arg("--json")
+        .arg(&report)
+        .arg("--dump")
+        .arg(&dump)
+        .output()
+        .expect("run stj check");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Summary on stderr, stdout pipeable.
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("0 violation(s)"), "{err}");
+    assert!(String::from_utf8(out.stdout).unwrap().is_empty());
+
+    let json = std::fs::read_to_string(&report).unwrap();
+    for key in [
+        "\"schema\": \"stj-check-report/v1\"",
+        "\"seed\"",
+        "\"pairs\"",
+        "\"violations\"",
+        "\"categories\"",
+        "\"pipeline\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // No violations, so no repro dump is written.
+    assert!(!dump.exists());
+
+    // The threaded run over the same seed reports identical counts.
+    let out = stj()
+        .args([
+            "check",
+            "--seed",
+            "0xEDBT26",
+            "--pairs",
+            "330",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .expect("run stj check threaded");
+    assert!(out.status.success());
+
+    // Bad flags are rejected.
+    let out = stj()
+        .args(["check", "--pairs", "nope"])
+        .output()
+        .expect("run stj check bad");
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = stj().arg("frobnicate").output().expect("run stj");
     assert!(!out.status.success());
