@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use stj_core::{
-    find_relation, find_relation_april, find_relation_op2, find_relation_st2, SpatialObject,
+    find_relation, find_relation_april, find_relation_op2, find_relation_st2, ObjectRef,
+    SpatialObject,
 };
 use stj_datagen::{pair_with_relation, star_polygon, StarParams};
 use stj_de9im::TopoRelation;
@@ -31,10 +32,7 @@ fn bench_methods_per_relation(c: &mut Criterion) {
     ] {
         let (r, s) = obj_pair(rel, 512, 31);
         for (name, f) in [
-            (
-                "PC",
-                find_relation as fn(&SpatialObject, &SpatialObject) -> _,
-            ),
+            ("PC", find_relation as fn(ObjectRef<'_>, ObjectRef<'_>) -> _),
             ("ST2", find_relation_st2),
             ("OP2", find_relation_op2),
             ("APRIL", find_relation_april),
@@ -42,7 +40,7 @@ fn bench_methods_per_relation(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(name, format!("{rel:?}")),
                 &rel,
-                |bench, _| bench.iter(|| black_box(f(black_box(&r), black_box(&s)))),
+                |bench, _| bench.iter(|| black_box(f(black_box(r.view()), black_box(s.view())))),
             );
         }
     }

@@ -38,25 +38,22 @@ fn main() {
         let t = Instant::now();
         let r = Dataset::build_parallel("OLE", r_polys.clone(), &grid, threads());
         let s = Dataset::build_parallel("OPE", s_polys.clone(), &grid, threads());
-        let prep = t.elapsed();
-        let pairs = mbr_join_parallel(&r.mbrs(), &s.mbrs(), threads());
-
-        let t = Instant::now();
-        let mut stats = PipelineStats::default();
-        for &(i, j) in &pairs {
-            stats.record(&find_relation(
-                &r.objects[i as usize],
-                &s.objects[j as usize],
-            ));
-        }
-        let dt = t.elapsed();
-
         let april_bytes: usize = r
             .objects
             .iter()
             .chain(&s.objects)
             .map(|o| o.april.serialized_bytes())
             .sum();
+        let (r, s) = (r.to_arena(), s.to_arena());
+        let prep = t.elapsed();
+        let pairs = mbr_join_parallel(r.mbrs(), s.mbrs(), threads());
+
+        let t = Instant::now();
+        let mut stats = PipelineStats::default();
+        for &(i, j) in &pairs {
+            stats.record(&find_relation(r.object(i as usize), s.object(j as usize)));
+        }
+        let dt = t.elapsed();
         println!(
             "{:<6} {:>10} {:>12} {:>11.1}% {:>12.0} {:>12}",
             order,

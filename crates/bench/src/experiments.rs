@@ -238,7 +238,7 @@ pub fn fig8_with(setup: &ComboSetup) {
         let mut to_refine: Vec<(u32, u32, &[TopoRelation])> = Vec::new();
         for &(i, j) in group {
             let (r, s) = setup.pair(i, j);
-            let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+            let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
             match intermediate_filter(mbr_rel, r, s) {
                 IfOutcome::Definite(_) => {}
                 IfOutcome::Refine(c) => to_refine.push((i, j, c)),
@@ -372,7 +372,7 @@ pub fn fig9() {
         let t = Instant::now();
         let mut out = None;
         for _ in 0..reps {
-            out = Some((m.run)(&lake, &park));
+            out = Some((m.run)(lake.view(), park.view()));
         }
         let dt = t.elapsed() / reps;
         times.push((m.name, out.unwrap().relation, dt));

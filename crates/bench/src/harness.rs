@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 use stj_core::{
     find_relation, find_relation_april, find_relation_op2, find_relation_profiled,
-    find_relation_st2, Dataset, FindOutcome, PipelineStats, SpatialObject,
+    find_relation_st2, Dataset, DatasetArena, FindOutcome, ObjectRef, PipelineStats,
 };
 use stj_datagen::{generate_combo, ComboId};
 use stj_geom::Rect;
@@ -34,10 +34,10 @@ pub fn threads() -> usize {
 pub struct ComboSetup {
     /// Combination id.
     pub combo: ComboId,
-    /// Left dataset (preprocessed).
-    pub r: Dataset,
-    /// Right dataset (preprocessed).
-    pub s: Dataset,
+    /// Left dataset (preprocessed, columnar).
+    pub r: DatasetArena,
+    /// Right dataset (preprocessed, columnar).
+    pub s: DatasetArena,
     /// Candidate pairs from the MBR intersection join.
     pub pairs: Vec<(u32, u32)>,
     /// Wall time spent preprocessing (APRIL build), off the measured path.
@@ -69,8 +69,9 @@ impl ComboSetup {
             threads(),
             sn.interval_budget(),
         );
+        let (r, s) = (r.to_arena(), s.to_arena());
         let preprocess_time = t.elapsed();
-        let pairs = mbr_join_parallel(&r.mbrs(), &s.mbrs(), threads());
+        let pairs = mbr_join_parallel(r.mbrs(), s.mbrs(), threads());
         ComboSetup {
             combo,
             r,
@@ -80,10 +81,10 @@ impl ComboSetup {
         }
     }
 
-    /// The pair of objects for candidate `(i, j)`.
+    /// The pair of object views for candidate `(i, j)`.
     #[inline]
-    pub fn pair(&self, i: u32, j: u32) -> (&SpatialObject, &SpatialObject) {
-        (&self.r.objects[i as usize], &self.s.objects[j as usize])
+    pub fn pair(&self, i: u32, j: u32) -> (ObjectRef<'_>, ObjectRef<'_>) {
+        (self.r.object(i as usize), self.s.object(j as usize))
     }
 }
 
@@ -93,7 +94,7 @@ pub struct Method {
     /// Display name as used in the paper's figures.
     pub name: &'static str,
     /// The per-pair entry point.
-    pub run: fn(&SpatialObject, &SpatialObject) -> FindOutcome,
+    pub run: fn(ObjectRef<'_>, ObjectRef<'_>) -> FindOutcome,
 }
 
 /// The four compared methods, in the paper's presentation order.
@@ -247,7 +248,7 @@ mod tests {
             assert!((i as usize) < setup.r.len());
             assert!((j as usize) < setup.s.len());
             let (r, s) = setup.pair(i, j);
-            assert!(r.mbr.intersects(&s.mbr));
+            assert!(r.mbr.intersects(s.mbr));
         }
     }
 

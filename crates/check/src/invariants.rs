@@ -1,14 +1,15 @@
-//! The four per-pair invariants (a)–(d), checked against the DE-9IM
+//! The five per-pair invariants (a)–(e), checked against the DE-9IM
 //! oracle.
 
 use stj_core::{
     find_relation, find_relation_april, find_relation_op2, find_relation_st2, intermediate_filter,
-    relate_p, IfOutcome, SpatialObject,
+    relate_p, Dataset, IfOutcome, SpatialObject,
 };
 use stj_de9im::{relate, TopoRelation};
 use stj_geom::Polygon;
 use stj_index::MbrRelation;
 use stj_raster::Grid;
+use stj_store::{open_arena_from_bytes, write_arena_v2};
 
 /// Which invariant a violation breaks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -24,15 +25,19 @@ pub enum InvariantKind {
     MbrAdmissibility,
     /// (d) An APRIL approximation or filter verdict contradicts DE-9IM.
     AprilSoundness,
+    /// (e) The pair answers differently after a v2 write / zero-copy
+    /// open round trip through [`stj_core::DatasetArena`].
+    StorageFidelity,
 }
 
 impl InvariantKind {
     /// Every kind, in report order.
-    pub const ALL: [InvariantKind; 4] = [
+    pub const ALL: [InvariantKind; 5] = [
         InvariantKind::MethodAgreement,
         InvariantKind::ConverseSymmetry,
         InvariantKind::MbrAdmissibility,
         InvariantKind::AprilSoundness,
+        InvariantKind::StorageFidelity,
     ];
 
     /// Stable snake_case name, used as a key in the JSON report.
@@ -42,6 +47,7 @@ impl InvariantKind {
             InvariantKind::ConverseSymmetry => "converse_symmetry",
             InvariantKind::MbrAdmissibility => "mbr_admissibility",
             InvariantKind::AprilSoundness => "april_soundness",
+            InvariantKind::StorageFidelity => "storage_fidelity",
         }
     }
 }
@@ -62,11 +68,13 @@ const ALL_RELATIONS: [TopoRelation; 8] = [
     TopoRelation::Covers,
 ];
 
-/// Checks invariants (a)–(d) for one polygon pair on `grid`.
+/// Checks invariants (a)–(e) for one polygon pair on `grid`.
 ///
 /// Builds the APRIL approximations, runs every join method plus all
 /// eight `relate_p` predicates, and compares everything against the
-/// DE-9IM oracle. Returns the first violation found.
+/// DE-9IM oracle; the pair is then pushed through a v2 write and
+/// zero-copy open to confirm the arena-backed views answer
+/// identically. Returns the first violation found.
 pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
     let r = SpatialObject::build(a.clone(), grid);
     let s = SpatialObject::build(b.clone(), grid);
@@ -85,12 +93,12 @@ pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
     let truth = TopoRelation::most_specific(&matrix);
 
     // (a) method agreement against the oracle.
-    let pc = find_relation(&r, &s);
+    let pc = find_relation(r.view(), s.view());
     for (method, got) in [
         ("pc", pc),
-        ("st2", find_relation_st2(&r, &s)),
-        ("op2", find_relation_op2(&r, &s)),
-        ("april", find_relation_april(&r, &s)),
+        ("st2", find_relation_st2(r.view(), s.view())),
+        ("op2", find_relation_op2(r.view(), s.view())),
+        ("april", find_relation_april(r.view(), s.view())),
     ] {
         if got.relation != truth {
             return Err((
@@ -104,7 +112,7 @@ pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
     }
 
     // (b) converse symmetry.
-    let rev = find_relation(&s, &r);
+    let rev = find_relation(s.view(), r.view());
     if rev.relation != truth.converse() {
         return Err((
             InvariantKind::ConverseSymmetry,
@@ -132,7 +140,7 @@ pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
     // (d) filter half: a Definite intermediate-filter verdict must match
     // the oracle...
     if !matches!(mbr_rel, MbrRelation::Disjoint | MbrRelation::Cross) {
-        if let IfOutcome::Definite(rel) = intermediate_filter(mbr_rel, &r, &s) {
+        if let IfOutcome::Definite(rel) = intermediate_filter(mbr_rel, r.view(), s.view()) {
             if rel != truth {
                 return Err((
                     InvariantKind::AprilSoundness,
@@ -146,7 +154,7 @@ pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
     }
     // ...and every relate_p predicate answer must match DE-9IM semantics.
     for p in ALL_RELATIONS {
-        let out = relate_p(&r, &s, p);
+        let out = relate_p(r.view(), s.view(), p);
         let expect = p.holds(&matrix);
         if out.holds != expect {
             return Err((
@@ -154,6 +162,56 @@ pub fn check_pair(a: &Polygon, b: &Polygon, grid: &Grid) -> PairVerdict {
                 format!(
                     "relate_p({p:?}) = {} (via {:?}), DE-9IM says {expect}",
                     out.holds, out.determination
+                ),
+            ));
+        }
+    }
+
+    // (e) storage fidelity: write the pair as an STJD v2 arena, reopen it
+    // through the zero-copy path (bulk decode on platforms without it),
+    // and require the borrowed views to answer exactly like the owned
+    // objects did above.
+    let ds = Dataset {
+        name: "check-pair".to_string(),
+        objects: vec![r.clone(), s.clone()],
+    };
+    let arena = ds.to_arena();
+    let mut buf = Vec::new();
+    if let Err(e) = write_arena_v2(&mut buf, &arena, grid) {
+        return Err((
+            InvariantKind::StorageFidelity,
+            format!("v2 write failed: {e}"),
+        ));
+    }
+    let reopened = match open_arena_from_bytes(&buf) {
+        Ok((arena, _grid)) => arena,
+        Err(e) => {
+            return Err((
+                InvariantKind::StorageFidelity,
+                format!("v2 reopen failed: {e}"),
+            ));
+        }
+    };
+    let (zr, zs) = (reopened.object(0), reopened.object(1));
+    let zc = find_relation(zr, zs);
+    if zc.relation != pc.relation || zc.determination != pc.determination {
+        return Err((
+            InvariantKind::StorageFidelity,
+            format!(
+                "reopened arena says {:?} (via {:?}), owned objects said {:?} (via {:?})",
+                zc.relation, zc.determination, pc.relation, pc.determination
+            ),
+        ));
+    }
+    for p in ALL_RELATIONS {
+        let owned = relate_p(r.view(), s.view(), p);
+        let stored = relate_p(zr, zs, p);
+        if stored.holds != owned.holds || stored.determination != owned.determination {
+            return Err((
+                InvariantKind::StorageFidelity,
+                format!(
+                    "relate_p({p:?}) diverges after reopen: stored {} (via {:?}), owned {} (via {:?})",
+                    stored.holds, stored.determination, owned.holds, owned.determination
                 ),
             ));
         }
@@ -205,7 +263,8 @@ mod tests {
                 "method_agreement",
                 "converse_symmetry",
                 "mbr_admissibility",
-                "april_soundness"
+                "april_soundness",
+                "storage_fidelity"
             ]
         );
     }

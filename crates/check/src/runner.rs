@@ -67,7 +67,7 @@ pub struct CheckReport {
     pub pairs: u64,
     /// Violation count per invariant kind (indexed by `InvariantKind::ALL`
     /// order); counts all violations, not just the retained ones.
-    pub violation_counts: [u64; 4],
+    pub violation_counts: [u64; 5],
     /// Retained (shrunk) violations, at most `config.max_violations`.
     pub violations: Vec<Violation>,
     /// Pairs checked per adversarial category.
@@ -143,7 +143,7 @@ impl CheckReport {
 /// Per-worker accumulator, merged after the scoped threads join.
 #[derive(Default)]
 struct WorkerState {
-    violation_counts: [u64; 4],
+    violation_counts: [u64; 5],
     violations: Vec<Violation>,
     category_counts: [u64; CATEGORIES.len()],
     pipeline: PipelineStats,
@@ -285,6 +285,7 @@ mod tests {
         assert!(rendered.contains("\"pairs\": 22"));
         assert!(rendered.contains("\"method_agreement\""));
         assert!(rendered.contains("\"april_soundness\""));
+        assert!(rendered.contains("\"storage_fidelity\""));
         assert!(rendered.contains("\"shared_edge\""));
     }
 }

@@ -13,21 +13,21 @@
 //! | APRIL | intersect test only | intersection-only \[14\] (detects disjoint) | every non-disjoint pair |
 //! | P+C | Figure 4 classification | full Figure 5 flows | undetermined pairs only |
 
-use crate::object::SpatialObject;
+use crate::arena::ObjectRef;
 use crate::pipeline::{Determination, FindOutcome};
 use stj_de9im::{relate, TopoRelation};
 use stj_index::MbrRelation;
 
 /// ST2 — standard 2-phase: MBR intersect test, then a full DE-9IM
 /// computation matched against all masks.
-pub fn find_relation_st2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
-    if !r.mbr.intersects(&s.mbr) {
+pub fn find_relation_st2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    if !r.mbr.intersects(s.mbr) {
         return FindOutcome {
             relation: TopoRelation::Disjoint,
             determination: Determination::MbrFilter,
         };
     }
-    let m = relate(&r.polygon, &s.polygon);
+    let m = relate(&r.geom, &s.geom);
     FindOutcome {
         relation: TopoRelation::most_specific(&m),
         determination: Determination::Refinement,
@@ -37,8 +37,8 @@ pub fn find_relation_st2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
 /// OP2 — optimized 2-phase: the Figure 4 MBR classification narrows the
 /// candidate masks (and decides crossing-MBR pairs outright), but every
 /// other pair still pays for the DE-9IM matrix.
-pub fn find_relation_op2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
-    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+pub fn find_relation_op2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
     match mbr_rel {
         MbrRelation::Disjoint => FindOutcome {
             relation: TopoRelation::Disjoint,
@@ -49,7 +49,7 @@ pub fn find_relation_op2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
             determination: Determination::MbrFilter,
         },
         _ => {
-            let m = relate(&r.polygon, &s.polygon);
+            let m = relate(&r.geom, &s.geom);
             // Walk only the candidate masks, specific→general; the
             // narrowed sets are provably complete for each MBR class.
             let relation = mbr_rel
@@ -70,14 +70,14 @@ pub fn find_relation_op2(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
 /// disjointness and definite intersection, but as it cannot specialize
 /// beyond `intersects`, every non-disjoint pair still requires the DE-9IM
 /// matrix to find the *most specific* relation.
-pub fn find_relation_april(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
-    if !r.mbr.intersects(&s.mbr) {
+pub fn find_relation_april(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    if !r.mbr.intersects(s.mbr) {
         return FindOutcome {
             relation: TopoRelation::Disjoint,
             determination: Determination::MbrFilter,
         };
     }
-    if !r.april.c.overlaps(&s.april.c) {
+    if !r.april.c.overlaps(s.april.c) {
         return FindOutcome {
             relation: TopoRelation::Disjoint,
             determination: Determination::IntermediateFilter,
@@ -86,7 +86,7 @@ pub fn find_relation_april(r: &SpatialObject, s: &SpatialObject) -> FindOutcome 
     // The APRIL filter can also prove intersection (C∩P contact), but for
     // find-relation that knowledge cannot skip refinement: a more
     // specific relation may hold. Only disjointness short-circuits.
-    let m = relate(&r.polygon, &s.polygon);
+    let m = relate(&r.geom, &s.geom);
     FindOutcome {
         relation: TopoRelation::most_specific(&m),
         determination: Determination::Refinement,
@@ -96,6 +96,7 @@ pub fn find_relation_april(r: &SpatialObject, s: &SpatialObject) -> FindOutcome 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::object::SpatialObject;
     use crate::pipeline::find_relation;
     use stj_geom::{Polygon, Rect};
     use stj_raster::Grid;
@@ -145,10 +146,10 @@ mod tests {
         let objs = catalog();
         for r in &objs {
             for s in &objs {
-                let expect = find_relation_st2(r, s).relation;
-                assert_eq!(find_relation_op2(r, s).relation, expect);
-                assert_eq!(find_relation_april(r, s).relation, expect);
-                assert_eq!(find_relation(r, s).relation, expect);
+                let expect = find_relation_st2(r.view(), s.view()).relation;
+                assert_eq!(find_relation_op2(r.view(), s.view()).relation, expect);
+                assert_eq!(find_relation_april(r.view(), s.view()).relation, expect);
+                assert_eq!(find_relation(r.view(), s.view()).relation, expect);
             }
         }
     }
@@ -158,12 +159,12 @@ mod tests {
         let a = obj(0.0, 0.0, 50.0, 50.0);
         let b = obj(10.0, 10.0, 30.0, 30.0);
         assert_eq!(
-            find_relation_st2(&a, &b).determination,
+            find_relation_st2(a.view(), b.view()).determination,
             Determination::Refinement
         );
         let far = obj(90.0, 90.0, 95.0, 95.0);
         assert_eq!(
-            find_relation_st2(&a, &far).determination,
+            find_relation_st2(a.view(), far.view()).determination,
             Determination::MbrFilter
         );
     }
@@ -172,7 +173,7 @@ mod tests {
     fn op2_decides_cross_without_refinement() {
         let wide = obj(0.0, 40.0, 100.0, 60.0);
         let tall = obj(40.0, 0.0, 60.0, 100.0);
-        let out = find_relation_op2(&wide, &tall);
+        let out = find_relation_op2(wide.view(), tall.view());
         assert_eq!(out.determination, Determination::MbrFilter);
         assert_eq!(out.relation, TopoRelation::Intersects);
     }
@@ -187,7 +188,7 @@ mod tests {
             Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
             &grid(),
         );
-        let out = find_relation_april(&t1, &t2);
+        let out = find_relation_april(t1.view(), t2.view());
         assert_eq!(out.relation, TopoRelation::Disjoint);
         assert_eq!(out.determination, Determination::IntermediateFilter);
     }
@@ -199,11 +200,11 @@ mod tests {
         let outer = obj(0.0, 0.0, 90.0, 90.0);
         let inner = obj(40.0, 40.0, 50.0, 50.0);
         assert_eq!(
-            find_relation_april(&inner, &outer).determination,
+            find_relation_april(inner.view(), outer.view()).determination,
             Determination::Refinement
         );
         assert_eq!(
-            find_relation(&inner, &outer).determination,
+            find_relation(inner.view(), outer.view()).determination,
             Determination::IntermediateFilter
         );
     }

@@ -24,8 +24,8 @@
 //! - [`TopologyJoin::progress`] prints a pairs/sec heartbeat to stderr
 //!   from a monitor thread while workers count pairs in batches.
 
+use crate::arena::{DatasetArena, ObjectRef};
 use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
-use crate::object::{Dataset, SpatialObject};
 use crate::pipeline::{find_relation, find_relation_profiled, FindOutcome, PipelineStats};
 use crate::relate_pred::{relate_p_profiled, RelateDetermination};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,7 +50,7 @@ pub enum JoinMethod {
 
 impl JoinMethod {
     /// The per-pair entry point for this method.
-    pub fn runner(self) -> fn(&SpatialObject, &SpatialObject) -> FindOutcome {
+    pub fn runner(self) -> fn(ObjectRef<'_>, ObjectRef<'_>) -> FindOutcome {
         match self {
             JoinMethod::PC => find_relation,
             JoinMethod::St2 => find_relation_st2,
@@ -149,10 +149,11 @@ impl TopologyJoin {
         self
     }
 
-    /// Runs the join.
-    pub fn run(&self, left: &Dataset, right: &Dataset) -> JoinResult {
+    /// Runs the join over two columnar arenas (owned datasets convert
+    /// via [`crate::Dataset::to_arena`]).
+    pub fn run(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
         let threads = self.threads.max(1);
-        let pairs = mbr_join_parallel(&left.mbrs(), &right.mbrs(), threads);
+        let pairs = mbr_join_parallel(left.mbrs(), right.mbrs(), threads);
         let candidates = pairs.len() as u64;
 
         let progress = self.progress.then(|| Progress::new(candidates));
@@ -181,8 +182,8 @@ impl TopologyJoin {
     /// finished profiles (if any) merge after the scope.
     fn run_with<P: Profiler + Default + Send>(
         &self,
-        left: &Dataset,
-        right: &Dataset,
+        left: &DatasetArena,
+        right: &DatasetArena,
         pairs: &[(u32, u32)],
         threads: usize,
         progress: Option<&Progress>,
@@ -221,8 +222,8 @@ impl TopologyJoin {
 
     fn run_chunk<P: Profiler + Default>(
         &self,
-        left: &Dataset,
-        right: &Dataset,
+        left: &DatasetArena,
+        right: &DatasetArena,
         pairs: &[(u32, u32)],
         progress: Option<&Progress>,
     ) -> (Vec<Link>, PipelineStats, Option<JoinProfile>) {
@@ -235,8 +236,8 @@ impl TopologyJoin {
                 JoinMethod::PC => {
                     for &(i, j) in pairs {
                         let out = find_relation_profiled(
-                            &left.objects[i as usize],
-                            &right.objects[j as usize],
+                            left.object(i as usize),
+                            right.object(j as usize),
                             &mut prof,
                         );
                         stats.record(&out);
@@ -260,7 +261,7 @@ impl TopologyJoin {
                     let run = method.runner();
                     for &(i, j) in pairs {
                         let t = prof.start();
-                        let out = run(&left.objects[i as usize], &right.objects[j as usize]);
+                        let out = run(left.object(i as usize), right.object(j as usize));
                         if P::ENABLED {
                             let stage = out.determination.stage();
                             prof.stage(stage, t);
@@ -283,8 +284,8 @@ impl TopologyJoin {
             Some(p) => {
                 for &(i, j) in pairs {
                     let out = relate_p_profiled(
-                        &left.objects[i as usize],
-                        &right.objects[j as usize],
+                        left.object(i as usize),
+                        right.object(j as usize),
                         p,
                         &mut prof,
                     );
@@ -314,10 +315,11 @@ impl TopologyJoin {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::object::Dataset;
     use stj_geom::{Polygon, Rect};
     use stj_raster::Grid;
 
-    fn datasets() -> (Dataset, Dataset) {
+    fn datasets() -> (DatasetArena, DatasetArena) {
         let grid = Grid::new(Rect::from_coords(0.0, 0.0, 200.0, 200.0), 9);
         let lefts: Vec<Polygon> = (0..20)
             .map(|i| {
@@ -334,8 +336,8 @@ mod tests {
             })
             .collect();
         (
-            Dataset::build("L", lefts, &grid),
-            Dataset::build("R", rights, &grid),
+            Dataset::build("L", lefts, &grid).to_arena(),
+            Dataset::build("R", rights, &grid).to_arena(),
         )
     }
 
@@ -402,7 +404,7 @@ mod tests {
     #[test]
     fn empty_datasets_yield_empty_result() {
         let grid = Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4);
-        let empty = Dataset::build("E", vec![], &grid);
+        let empty = Dataset::build("E", vec![], &grid).to_arena();
         let (l, _) = datasets();
         let out = TopologyJoin::new().run(&l, &empty);
         assert!(out.links.is_empty());

@@ -23,9 +23,9 @@
 //!   border cannot sit in the other's open interior), so proven
 //!   containment is boundary-touching containment.
 
-use crate::object::SpatialObject;
+use crate::arena::ObjectRef;
 use stj_de9im::TopoRelation;
-use stj_raster::AprilApprox;
+use stj_raster::AprilRef;
 
 /// Outcome of an intermediate filter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,27 +44,27 @@ use TopoRelation::*;
 ///
 /// Detects `covered by`/`covers` exactly; forwards everything else with
 /// narrowed candidates.
-pub fn if_equals(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
-    if !r.c.overlaps(&s.c) {
+pub fn if_equals(r: AprilRef<'_>, s: AprilRef<'_>) -> IfOutcome {
+    if !r.c.overlaps(s.c) {
         // Defensive guard: identical MBRs with disjoint conservative
         // rasters (possible for interlocking shapes).
         return Definite(Disjoint);
     }
-    if r.c.matches(&s.c) {
+    if r.c.matches(s.c) {
         // Same conservative footprint: could be equal, or one covering
         // the other, or merely overlapping within the same cells.
         return Refine(&[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint]);
     }
-    if r.c.inside(&s.c) {
-        if r.c.inside(&s.p) {
+    if r.c.inside(s.c) {
+        if r.c.inside(s.p) {
             // r confined to s's interior cells; with equal MBRs the
             // containment must touch the boundary — covered by.
             return Definite(CoveredBy);
         }
         return Refine(&[CoveredBy, Meets, Intersects, Disjoint]);
     }
-    if r.c.contains(&s.c) {
-        if r.p.contains(&s.c) {
+    if r.c.contains(s.c) {
+        if r.p.contains(s.c) {
             return Definite(Covers);
         }
         return Refine(&[Covers, Meets, Intersects, Disjoint]);
@@ -73,16 +73,16 @@ pub fn if_equals(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
 }
 
 /// IFInside (Figure 5, second flow): `MBR(r)` properly inside `MBR(s)`.
-pub fn if_inside(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
-    if !r.c.overlaps(&s.c) {
+pub fn if_inside(r: AprilRef<'_>, s: AprilRef<'_>) -> IfOutcome {
+    if !r.c.overlaps(s.c) {
         return Definite(Disjoint);
     }
-    if r.c.inside(&s.c) {
+    if r.c.inside(s.c) {
         if !s.p.is_empty() {
-            if r.c.inside(&s.p) {
+            if r.c.inside(s.p) {
                 return Definite(Inside);
             }
-            if r.c.overlaps(&s.p) {
+            if r.c.overlaps(s.p) {
                 // Interiors provably meet; specialization still open.
                 return Refine(&[Inside, CoveredBy, Intersects]);
             }
@@ -91,7 +91,7 @@ pub fn if_inside(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
     }
     // r has cells outside s's footprint: the containment family is
     // impossible for this pair.
-    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+    if r.c.overlaps(s.p) || r.p.overlaps(s.c) {
         return Definite(Intersects);
     }
     Refine(&[Disjoint, Meets, Intersects])
@@ -99,22 +99,22 @@ pub fn if_inside(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
 
 /// IFContains (Figure 5, third flow): `MBR(r)` properly contains
 /// `MBR(s)` — the mirror image of [`if_inside`].
-pub fn if_contains(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
-    if !r.c.overlaps(&s.c) {
+pub fn if_contains(r: AprilRef<'_>, s: AprilRef<'_>) -> IfOutcome {
+    if !r.c.overlaps(s.c) {
         return Definite(Disjoint);
     }
-    if r.c.contains(&s.c) {
+    if r.c.contains(s.c) {
         if !r.p.is_empty() {
-            if r.p.contains(&s.c) {
+            if r.p.contains(s.c) {
                 return Definite(Contains);
             }
-            if r.p.overlaps(&s.c) {
+            if r.p.overlaps(s.c) {
                 return Refine(&[Contains, Covers, Intersects]);
             }
         }
         return Refine(&[Disjoint, Contains, Covers, Meets, Intersects]);
     }
-    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+    if r.c.overlaps(s.p) || r.p.overlaps(s.c) {
         return Definite(Intersects);
     }
     Refine(&[Disjoint, Meets, Intersects])
@@ -122,11 +122,11 @@ pub fn if_contains(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
 
 /// IFIntersects (Figure 5, fourth flow): any other MBR overlap
 /// (Figure 4(e)) — only `disjoint`, `meets`, `intersects` are possible.
-pub fn if_intersects(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
-    if !r.c.overlaps(&s.c) {
+pub fn if_intersects(r: AprilRef<'_>, s: AprilRef<'_>) -> IfOutcome {
+    if !r.c.overlaps(s.c) {
         return Definite(Disjoint);
     }
-    if r.c.overlaps(&s.p) || r.p.overlaps(&s.c) {
+    if r.c.overlaps(s.p) || r.p.overlaps(s.c) {
         return Definite(Intersects);
     }
     Refine(&[Disjoint, Meets, Intersects])
@@ -136,24 +136,24 @@ pub fn if_intersects(r: &AprilApprox, s: &AprilApprox) -> IfOutcome {
 /// handling the two MBR-only decisions (`Disjoint`, `Cross`) inline.
 pub fn intermediate_filter(
     mbr_rel: stj_index::MbrRelation,
-    r: &SpatialObject,
-    s: &SpatialObject,
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
 ) -> IfOutcome {
     use stj_index::MbrRelation as M;
     match mbr_rel {
         M::Disjoint => Definite(Disjoint),
         M::Cross => Definite(Intersects),
-        M::Equal => if_equals(&r.april, &s.april),
-        M::Inside => if_inside(&r.april, &s.april),
-        M::Contains => if_contains(&r.april, &s.april),
-        M::Overlap => if_intersects(&r.april, &s.april),
+        M::Equal => if_equals(r.april, s.april),
+        M::Inside => if_inside(r.april, s.april),
+        M::Contains => if_contains(r.april, s.april),
+        M::Overlap => if_intersects(r.april, s.april),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stj_raster::IntervalList;
+    use stj_raster::{AprilApprox, IntervalList};
 
     fn april(p: &[(u64, u64)], c: &[(u64, u64)]) -> AprilApprox {
         AprilApprox {
@@ -167,43 +167,49 @@ mod tests {
         let s = april(&[(10, 50)], &[(5, 60)]);
         // r fully within s's full cells -> definite inside.
         assert_eq!(
-            if_inside(&april(&[(20, 25)], &[(18, 30)]), &s),
+            if_inside(april(&[(20, 25)], &[(18, 30)]).as_ref(), s.as_ref()),
             Definite(Inside)
         );
         // r within s's C but straddling P -> interiors provably meet.
         assert_eq!(
-            if_inside(&april(&[], &[(8, 12)]), &s),
+            if_inside(april(&[], &[(8, 12)]).as_ref(), s.as_ref()),
             Refine(&[Inside, CoveredBy, Intersects])
         );
         // r within s's C but outside P entirely -> wide open.
         assert_eq!(
-            if_inside(&april(&[], &[(5, 9)]), &s),
+            if_inside(april(&[], &[(5, 9)]).as_ref(), s.as_ref()),
             Refine(&[Disjoint, Inside, CoveredBy, Meets, Intersects])
         );
         // r partially outside s's C, overlapping P -> definite intersects.
         assert_eq!(
-            if_inside(&april(&[], &[(40, 70)]), &s),
+            if_inside(april(&[], &[(40, 70)]).as_ref(), s.as_ref()),
             Definite(Intersects)
         );
         // r's P overlapping s's C (r reaches outside but its interior
         // meets s's footprint)... r.p ∩ s.c nonempty.
         assert_eq!(
-            if_inside(&april(&[(55, 58)], &[(0, 70)]), &s),
+            if_inside(april(&[(55, 58)], &[(0, 70)]).as_ref(), s.as_ref()),
             Definite(Intersects)
         );
         // No C overlap -> disjoint.
         assert_eq!(
-            if_inside(&april(&[], &[(100, 110)]), &s),
+            if_inside(april(&[], &[(100, 110)]).as_ref(), s.as_ref()),
             Definite(Disjoint)
         );
         // C overlap only, no containment, no P contact -> small refine set.
         assert_eq!(
-            if_inside(&april(&[], &[(0, 7)]), &april(&[], &[(5, 60)])),
+            if_inside(
+                april(&[], &[(0, 7)]).as_ref(),
+                april(&[], &[(5, 60)]).as_ref()
+            ),
             Refine(&[Disjoint, Meets, Intersects])
         );
         // s has no full cells at all -> cannot conclude.
         assert_eq!(
-            if_inside(&april(&[], &[(20, 25)]), &april(&[], &[(5, 60)])),
+            if_inside(
+                april(&[], &[(20, 25)]).as_ref(),
+                april(&[], &[(5, 60)]).as_ref()
+            ),
             Refine(&[Disjoint, Inside, CoveredBy, Meets, Intersects])
         );
     }
@@ -212,24 +218,27 @@ mod tests {
     fn if_contains_mirrors_if_inside() {
         let r = april(&[(10, 50)], &[(5, 60)]);
         assert_eq!(
-            if_contains(&r, &april(&[(20, 25)], &[(18, 30)])),
+            if_contains(r.as_ref(), april(&[(20, 25)], &[(18, 30)]).as_ref()),
             Definite(Contains)
         );
         assert_eq!(
-            if_contains(&r, &april(&[], &[(8, 12)])),
+            if_contains(r.as_ref(), april(&[], &[(8, 12)]).as_ref()),
             Refine(&[Contains, Covers, Intersects])
         );
         assert_eq!(
-            if_contains(&r, &april(&[], &[(100, 110)])),
+            if_contains(r.as_ref(), april(&[], &[(100, 110)]).as_ref()),
             Definite(Disjoint)
         );
         assert_eq!(
-            if_contains(&r, &april(&[], &[(40, 70)])),
+            if_contains(r.as_ref(), april(&[], &[(40, 70)]).as_ref()),
             Definite(Intersects)
         );
         // r without full cells.
         assert_eq!(
-            if_contains(&april(&[], &[(5, 60)]), &april(&[], &[(20, 25)])),
+            if_contains(
+                april(&[], &[(5, 60)]).as_ref(),
+                april(&[], &[(20, 25)]).as_ref()
+            ),
             Refine(&[Disjoint, Contains, Covers, Meets, Intersects])
         );
     }
@@ -239,30 +248,42 @@ mod tests {
         let a = april(&[(10, 20)], &[(5, 25)]);
         // Identical C lists.
         assert_eq!(
-            if_equals(&a, &april(&[(12, 18)], &[(5, 25)])),
+            if_equals(a.as_ref(), april(&[(12, 18)], &[(5, 25)]).as_ref()),
             Refine(&[Equals, CoveredBy, Covers, Meets, Intersects, Disjoint])
         );
         // r's C inside s's C and inside s's P -> covered by, definite.
-        assert_eq!(if_equals(&april(&[], &[(12, 18)]), &a), Definite(CoveredBy));
+        assert_eq!(
+            if_equals(april(&[], &[(12, 18)]).as_ref(), a.as_ref()),
+            Definite(CoveredBy)
+        );
         // r's C inside s's C but not inside P.
         assert_eq!(
-            if_equals(&april(&[], &[(7, 18)]), &a),
+            if_equals(april(&[], &[(7, 18)]).as_ref(), a.as_ref()),
             Refine(&[CoveredBy, Meets, Intersects, Disjoint])
         );
         // r's C contains s's C and r's P contains it -> covers.
-        assert_eq!(if_equals(&a, &april(&[], &[(12, 18)])), Definite(Covers));
         assert_eq!(
-            if_equals(&a, &april(&[], &[(7, 18)])),
+            if_equals(a.as_ref(), april(&[], &[(12, 18)]).as_ref()),
+            Definite(Covers)
+        );
+        assert_eq!(
+            if_equals(a.as_ref(), april(&[], &[(7, 18)]).as_ref()),
             Refine(&[Covers, Meets, Intersects, Disjoint])
         );
         // Overlapping but no containment either way.
         assert_eq!(
-            if_equals(&april(&[], &[(0, 10)]), &april(&[], &[(5, 15)])),
+            if_equals(
+                april(&[], &[(0, 10)]).as_ref(),
+                april(&[], &[(5, 15)]).as_ref()
+            ),
             Refine(&[Meets, Intersects, Disjoint])
         );
         // Defensive: disjoint C lists.
         assert_eq!(
-            if_equals(&april(&[], &[(0, 5)]), &april(&[], &[(10, 15)])),
+            if_equals(
+                april(&[], &[(0, 5)]).as_ref(),
+                april(&[], &[(10, 15)]).as_ref()
+            ),
             Definite(Disjoint)
         );
     }
@@ -271,19 +292,22 @@ mod tests {
     fn if_intersects_flow() {
         let s = april(&[(10, 50)], &[(5, 60)]);
         assert_eq!(
-            if_intersects(&april(&[], &[(100, 101)]), &s),
+            if_intersects(april(&[], &[(100, 101)]).as_ref(), s.as_ref()),
             Definite(Disjoint)
         );
         assert_eq!(
-            if_intersects(&april(&[], &[(49, 70)]), &s),
+            if_intersects(april(&[], &[(49, 70)]).as_ref(), s.as_ref()),
             Definite(Intersects)
         );
         assert_eq!(
-            if_intersects(&april(&[(0, 6)], &[(0, 7)]), &s),
+            if_intersects(april(&[(0, 6)], &[(0, 7)]).as_ref(), s.as_ref()),
             Definite(Intersects)
         );
         assert_eq!(
-            if_intersects(&april(&[], &[(0, 7)]), &april(&[], &[(5, 60)])),
+            if_intersects(
+                april(&[], &[(0, 7)]).as_ref(),
+                april(&[], &[(5, 60)]).as_ref()
+            ),
             Refine(&[Disjoint, Meets, Intersects])
         );
     }

@@ -36,10 +36,13 @@
 //!     Polygon::rect(Rect::from_coords(30.0, 30.0, 50.0, 50.0)),
 //!     &grid,
 //! );
-//! let out = find_relation(&lake, &park);
+//! // The pipeline consumes borrowed views — from owned objects here,
+//! // or from `DatasetArena` slots in batch joins.
+//! let out = find_relation(lake.view(), park.view());
 //! assert_eq!(out.relation, TopoRelation::Inside);
 //! ```
 
+pub mod arena;
 pub mod baselines;
 pub mod exec;
 pub mod filters;
@@ -48,6 +51,9 @@ pub mod object;
 pub mod pipeline;
 pub mod relate_pred;
 
+pub use arena::{
+    zero_copy_supported, ArenaColumns, ArenaError, ColumnSpans, DatasetArena, ObjectRef,
+};
 pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
 pub use exec::{mbr_class_labels, JoinMethod, JoinResult, Link, TopologyJoin};
 pub use filters::{intermediate_filter, IfOutcome};

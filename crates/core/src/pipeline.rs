@@ -6,8 +6,8 @@
 //! compute the DE-9IM matrix and match candidate masks specific→general
 //! (selective refinement).
 
+use crate::arena::ObjectRef;
 use crate::filters::{intermediate_filter, IfOutcome};
-use crate::object::SpatialObject;
 use stj_de9im::{relate, TopoRelation};
 use stj_index::MbrRelation;
 use stj_obs::{Disabled, Profiler, Stage};
@@ -55,8 +55,8 @@ pub struct FindOutcome {
 /// MBR/intermediate filters — is consulted only by a debug assertion
 /// validating the filters' soundness argument (the true relation must be
 /// in the set); the returned relation is derived from the matrix alone.
-pub fn refine(r: &SpatialObject, s: &SpatialObject, candidates: &[TopoRelation]) -> TopoRelation {
-    let m = relate(&r.polygon, &s.polygon);
+pub fn refine(r: ObjectRef<'_>, s: ObjectRef<'_>, candidates: &[TopoRelation]) -> TopoRelation {
+    let m = relate(&r.geom, &s.geom);
     let best = TopoRelation::most_specific(&m);
     debug_assert!(
         candidates.contains(&best),
@@ -67,7 +67,7 @@ pub fn refine(r: &SpatialObject, s: &SpatialObject, candidates: &[TopoRelation])
 
 /// Solves *find relation* for one candidate pair with the paper's P+C
 /// pipeline (Algorithm 1).
-pub fn find_relation(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
+pub fn find_relation(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
     find_relation_profiled(r, s, &mut Disabled)
 }
 
@@ -77,12 +77,12 @@ pub fn find_relation(r: &SpatialObject, s: &SpatialObject) -> FindOutcome {
 /// Statically dispatched — instantiated with [`Disabled`] (as by
 /// [`find_relation`]) this compiles to the uninstrumented pipeline.
 pub fn find_relation_profiled<P: Profiler>(
-    r: &SpatialObject,
-    s: &SpatialObject,
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
     prof: &mut P,
 ) -> FindOutcome {
     let t = prof.start();
-    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+    let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
     prof.stage(Stage::MbrClassify, t);
     let out = match mbr_rel {
         MbrRelation::Disjoint => {
@@ -177,6 +177,7 @@ impl PipelineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::object::SpatialObject;
     use stj_geom::{Polygon, Rect};
     use stj_raster::Grid;
 
@@ -192,7 +193,7 @@ mod tests {
     fn disjoint_mbrs_decided_by_mbr_filter() {
         let a = obj(0.0, 0.0, 10.0, 10.0);
         let b = obj(50.0, 50.0, 60.0, 60.0);
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::Disjoint);
         assert_eq!(out.determination, Determination::MbrFilter);
     }
@@ -201,7 +202,7 @@ mod tests {
     fn crossing_mbrs_decided_by_mbr_filter() {
         let wide = obj(0.0, 40.0, 100.0, 60.0);
         let tall = obj(40.0, 0.0, 60.0, 100.0);
-        let out = find_relation(&wide, &tall);
+        let out = find_relation(wide.view(), tall.view());
         assert_eq!(out.relation, TopoRelation::Intersects);
         assert_eq!(out.determination, Determination::MbrFilter);
     }
@@ -210,10 +211,10 @@ mod tests {
     fn deep_containment_decided_by_intermediate_filter() {
         let outer = obj(0.0, 0.0, 90.0, 90.0);
         let inner = obj(40.0, 40.0, 50.0, 50.0);
-        let out = find_relation(&inner, &outer);
+        let out = find_relation(inner.view(), outer.view());
         assert_eq!(out.relation, TopoRelation::Inside);
         assert_eq!(out.determination, Determination::IntermediateFilter);
-        let out2 = find_relation(&outer, &inner);
+        let out2 = find_relation(outer.view(), inner.view());
         assert_eq!(out2.relation, TopoRelation::Contains);
         assert_eq!(out2.determination, Determination::IntermediateFilter);
     }
@@ -223,7 +224,7 @@ mod tests {
         // Big overlap: C of one overlaps P of the other.
         let a = obj(0.0, 0.0, 60.0, 60.0);
         let b = obj(30.0, 30.0, 90.0, 90.0);
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::Intersects);
         assert_eq!(out.determination, Determination::IntermediateFilter);
     }
@@ -239,7 +240,7 @@ mod tests {
             Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
             &grid(),
         );
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::Disjoint);
         assert_eq!(out.determination, Determination::IntermediateFilter);
     }
@@ -250,7 +251,7 @@ mod tests {
         // gap; refinement must resolve it.
         let a = obj(0.0, 0.0, 50.0, 50.0);
         let b = obj(50.0, 0.0, 90.0, 50.0);
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::Meets);
         assert_eq!(out.determination, Determination::Refinement);
     }
@@ -259,7 +260,7 @@ mod tests {
     fn equal_pair_requires_refinement_but_is_correct() {
         let a = obj(10.0, 10.0, 60.0, 60.0);
         let b = obj(10.0, 10.0, 60.0, 60.0);
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::Equals);
         assert_eq!(out.determination, Determination::Refinement);
     }
@@ -272,9 +273,9 @@ mod tests {
             Polygon::from_coords(vec![(0.0, 0.0), (60.0, 0.0), (60.0, 60.0)], vec![]).unwrap(),
             &grid(),
         );
-        let out = find_relation(&a, &b);
+        let out = find_relation(a.view(), b.view());
         assert_eq!(out.relation, TopoRelation::CoveredBy);
-        let out2 = find_relation(&b, &a);
+        let out2 = find_relation(b.view(), a.view());
         assert_eq!(out2.relation, TopoRelation::Covers);
     }
 
@@ -284,9 +285,9 @@ mod tests {
         let a = obj(0.0, 0.0, 10.0, 10.0);
         let b = obj(50.0, 50.0, 60.0, 60.0);
         let c = obj(2.0, 2.0, 8.0, 8.0);
-        st.record(&find_relation(&a, &b)); // mbr
-        st.record(&find_relation(&c, &a)); // intermediate (deep inside)
-        st.record(&find_relation(&a, &a)); // refinement (equals)
+        st.record(&find_relation(a.view(), b.view())); // mbr
+        st.record(&find_relation(c.view(), a.view())); // intermediate (deep inside)
+        st.record(&find_relation(a.view(), a.view())); // refinement (equals)
         assert_eq!(st.pairs, 3);
         assert_eq!(st.by_mbr, 1);
         assert_eq!(st.by_intermediate, 1);

@@ -12,7 +12,7 @@
 //!    refutes containment; interior cell contact refutes `meets`).
 //! 3. **Refinement** — DE-9IM as the fallback.
 
-use crate::object::SpatialObject;
+use crate::arena::ObjectRef;
 use stj_de9im::{relate, TopoRelation};
 use stj_index::MbrRelation;
 use stj_obs::{Disabled, Profiler, Stage};
@@ -73,56 +73,56 @@ fn mbr_verdict(mbr_rel: MbrRelation, p: TopoRelation) -> Option<bool> {
 /// Layer 2 verdict from the predicate-specific raster filters
 /// (Figure 6): `Some(holds)` when the `P`/`C` merge-joins confirm or
 /// refute `p`, `None` when the pair must be refined.
-fn raster_verdict(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> Option<bool> {
+fn raster_verdict(r: ObjectRef<'_>, s: ObjectRef<'_>, p: TopoRelation) -> Option<bool> {
     use TopoRelation::*;
-    let (ra, sa) = (&r.april, &s.april);
+    let (ra, sa) = (r.april, s.april);
     match p {
         Equals => {
-            if !ra.c.matches(&sa.c) || !ra.p.matches(&sa.p) {
+            if !ra.c.matches(sa.c) || !ra.p.matches(sa.p) {
                 return Some(false);
             }
         }
         Inside | CoveredBy => {
-            if !ra.c.inside(&sa.c) {
+            if !ra.c.inside(sa.c) {
                 return Some(false);
             }
-            if ra.c.inside(&sa.p) {
+            if ra.c.inside(sa.p) {
                 // Proves r ⊂ int(s): strict containment, which satisfies
                 // both `inside` and `covered by`.
                 return Some(true);
             }
         }
         Contains | Covers => {
-            if !ra.c.contains(&sa.c) {
+            if !ra.c.contains(sa.c) {
                 return Some(false);
             }
-            if ra.p.contains(&sa.c) {
+            if ra.p.contains(sa.c) {
                 return Some(true);
             }
         }
         Meets => {
-            if !ra.c.overlaps(&sa.c) {
+            if !ra.c.overlaps(sa.c) {
                 // Disjoint: no boundary contact.
                 return Some(false);
             }
-            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+            if ra.c.overlaps(sa.p) || ra.p.overlaps(sa.c) {
                 // Interiors provably meet: not `meets`.
                 return Some(false);
             }
         }
         Intersects => {
-            if !ra.c.overlaps(&sa.c) {
+            if !ra.c.overlaps(sa.c) {
                 return Some(false);
             }
-            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+            if ra.c.overlaps(sa.p) || ra.p.overlaps(sa.c) {
                 return Some(true);
             }
         }
         Disjoint => {
-            if !ra.c.overlaps(&sa.c) {
+            if !ra.c.overlaps(sa.c) {
                 return Some(true);
             }
-            if ra.c.overlaps(&sa.p) || ra.p.overlaps(&sa.c) {
+            if ra.c.overlaps(sa.p) || ra.p.overlaps(sa.c) {
                 return Some(false);
             }
         }
@@ -131,7 +131,7 @@ fn raster_verdict(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> Opti
 }
 
 /// Tests whether topological relation `p` holds between `r` and `s`.
-pub fn relate_p(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> RelateOutcome {
+pub fn relate_p(r: ObjectRef<'_>, s: ObjectRef<'_>, p: TopoRelation) -> RelateOutcome {
     relate_p_profiled(r, s, p, &mut Disabled)
 }
 
@@ -140,14 +140,14 @@ pub fn relate_p(r: &SpatialObject, s: &SpatialObject, p: TopoRelation) -> Relate
 /// decisions, plus the pair's MBR class, go to `prof`. Instantiated with
 /// [`Disabled`] this compiles to the uninstrumented test.
 pub fn relate_p_profiled<P: Profiler>(
-    r: &SpatialObject,
-    s: &SpatialObject,
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
     p: TopoRelation,
     prof: &mut P,
 ) -> RelateOutcome {
     // Layer 1: MBR classification and its short-circuits.
     let t = prof.start();
-    let mbr_rel = MbrRelation::classify(&r.mbr, &s.mbr);
+    let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
     let l1 = mbr_verdict(mbr_rel, p);
     prof.stage(Stage::MbrClassify, t);
     if let Some(holds) = l1 {
@@ -168,7 +168,7 @@ pub fn relate_p_profiled<P: Profiler>(
 
     // Layer 3: refinement.
     let t = prof.start();
-    let m = relate(&r.polygon, &s.polygon);
+    let m = relate(&r.geom, &s.geom);
     let holds = p.holds(&m);
     prof.stage(Stage::Refinement, t);
     prof.decided(Stage::Refinement);
@@ -182,6 +182,7 @@ pub fn relate_p_profiled<P: Profiler>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::object::SpatialObject;
     use stj_geom::{Polygon, Rect};
     use stj_raster::Grid;
     use TopoRelation::*;
@@ -217,7 +218,7 @@ mod tests {
         for (i, r) in objects.iter().enumerate() {
             for (j, s) in objects.iter().enumerate() {
                 for p in ALL {
-                    let got = relate_p(r, s, p);
+                    let got = relate_p(r.view(), s.view(), p);
                     assert_eq!(got.holds, oracle(r, s, p), "pair ({i},{j}) predicate {p:?}");
                 }
             }
@@ -230,7 +231,7 @@ mod tests {
         let big = obj(0.0, 0.0, 50.0, 50.0);
         // small's MBR is inside big's: contains/covers/equals impossible.
         for p in [Contains, Covers, Equals] {
-            let out = relate_p(&small, &big, p);
+            let out = relate_p(small.view(), big.view(), p);
             assert!(!out.holds);
             assert_eq!(out.determination, RelateDetermination::MbrFilter, "{p:?}");
         }
@@ -240,10 +241,10 @@ mod tests {
     fn cross_mbrs_answer_from_mbr_alone() {
         let wide = obj(0.0, 40.0, 100.0, 60.0);
         let tall = obj(40.0, 0.0, 60.0, 100.0);
-        let out = relate_p(&wide, &tall, Intersects);
+        let out = relate_p(wide.view(), tall.view(), Intersects);
         assert!(out.holds);
         assert_eq!(out.determination, RelateDetermination::MbrFilter);
-        let out = relate_p(&wide, &tall, Meets);
+        let out = relate_p(wide.view(), tall.view(), Meets);
         assert!(!out.holds);
         assert_eq!(out.determination, RelateDetermination::MbrFilter);
     }
@@ -252,7 +253,7 @@ mod tests {
     fn meets_refuted_cheaply_for_clear_overlaps() {
         let a = obj(0.0, 0.0, 60.0, 60.0);
         let b = obj(30.0, 30.0, 90.0, 90.0);
-        let out = relate_p(&a, &b, Meets);
+        let out = relate_p(a.view(), b.view(), Meets);
         assert!(!out.holds);
         assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
     }
@@ -262,12 +263,12 @@ mod tests {
         let outer = obj(0.0, 0.0, 90.0, 90.0);
         let inner = obj(40.0, 40.0, 50.0, 50.0);
         for p in [Inside, CoveredBy] {
-            let out = relate_p(&inner, &outer, p);
+            let out = relate_p(inner.view(), outer.view(), p);
             assert!(out.holds, "{p:?}");
             assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
         }
         for p in [Contains, Covers] {
-            let out = relate_p(&outer, &inner, p);
+            let out = relate_p(outer.view(), inner.view(), p);
             assert!(out.holds, "{p:?}");
             assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
         }
@@ -294,7 +295,7 @@ mod tests {
             .unwrap(),
             &grid(),
         );
-        let out = relate_p(&square, &tri, Equals);
+        let out = relate_p(square.view(), tri.view(), Equals);
         assert!(!out.holds);
         assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
     }
@@ -303,7 +304,7 @@ mod tests {
     fn equals_needs_refinement_when_lists_match() {
         let a = obj(0.0, 0.0, 60.0, 60.0);
         let b = obj(0.0, 0.0, 60.0, 60.0);
-        let out = relate_p(&a, &b, Equals);
+        let out = relate_p(a.view(), b.view(), Equals);
         assert!(out.holds);
         assert_eq!(out.determination, RelateDetermination::Refinement);
     }
@@ -312,7 +313,7 @@ mod tests {
     fn disjoint_predicate_paths() {
         let a = obj(0.0, 0.0, 10.0, 10.0);
         let far = obj(50.0, 50.0, 60.0, 60.0);
-        let out = relate_p(&a, &far, Disjoint);
+        let out = relate_p(a.view(), far.view(), Disjoint);
         assert!(out.holds);
         assert_eq!(out.determination, RelateDetermination::MbrFilter);
 
@@ -325,7 +326,7 @@ mod tests {
             Polygon::from_coords(vec![(40.0, 40.0), (40.0, 39.0), (39.0, 40.0)], vec![]).unwrap(),
             &grid(),
         );
-        let out = relate_p(&t1, &t2, Disjoint);
+        let out = relate_p(t1.view(), t2.view(), Disjoint);
         assert!(out.holds);
         assert_eq!(out.determination, RelateDetermination::IntermediateFilter);
     }

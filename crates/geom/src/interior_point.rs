@@ -20,8 +20,16 @@ use crate::polygon::{Location, Polygon};
 ///
 /// # Panics
 /// Panics if no interior point can be found, which cannot happen for a
-/// valid polygon with non-empty interior.
+/// valid polygon with non-empty interior. Use [`try_interior_point`] when
+/// the input is not trusted to be valid.
 pub fn interior_point(poly: &Polygon) -> Point {
+    try_interior_point(poly).expect("interior_point: polygon has no detectable interior")
+}
+
+/// Computes a point strictly inside `poly`, or `None` when no interior
+/// interval is detectable (degenerate sliver polygons with empty
+/// interior). Non-panicking variant of [`interior_point`].
+pub fn try_interior_point(poly: &Polygon) -> Option<Point> {
     // Candidate scanlines: midpoints of gaps between consecutive distinct
     // vertex ordinates, tried from the largest gap down. A valid polygon
     // has interior at some gap; trying several guards against degenerate
@@ -46,12 +54,11 @@ pub fn interior_point(poly: &Polygon) -> Point {
 
     for &(_, y) in &gaps {
         if let Some(p) = interior_point_on_scanline(poly, y) {
-            return p;
+            return Some(p);
         }
     }
-    // Fallback: sample midpoints between scanline crossings for every gap
-    // midpoint failed — should be unreachable for valid polygons.
-    panic!("interior_point: polygon has no detectable interior");
+    // Every gap midpoint failed — unreachable for valid polygons.
+    None
 }
 
 /// Finds the widest interior interval of `poly` on the horizontal line at

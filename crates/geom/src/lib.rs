@@ -35,15 +35,17 @@ pub mod seg_intersect;
 pub mod segment;
 pub mod sweep;
 pub mod validate;
+pub mod view;
 pub mod wkt;
 
-pub use interior_point::interior_point;
+pub use interior_point::{interior_point, try_interior_point};
 pub use locator::EdgeSetLocator;
 pub use multipolygon::{Areal, MultiPolygon};
 pub use point::Point;
-pub use polygon::{Location, Polygon, Ring};
+pub use polygon::{locate_in_ring, Location, Polygon, Ring};
 pub use predicates::{orient2d, Orientation};
 pub use rect::Rect;
 pub use seg_intersect::{intersect_segments, SegSegIntersection};
 pub use segment::Segment;
 pub use validate::{validate_polygon, validate_ring, ValidityError};
+pub use view::{GeomRef, PolyView};

@@ -9,7 +9,11 @@ use std::ops::{Add, Mul, Sub};
 /// crate (segments, rings, polygons) are built from `Point`s, and the
 /// robust predicates in [`crate::predicates`] give exact answers for any
 /// finite coordinates, so no particular coordinate scale is required.
+///
+/// `#[repr(C)]` pins the layout to two consecutive `f64`s so columnar
+/// stores can reinterpret point columns from raw little-endian words.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

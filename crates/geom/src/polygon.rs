@@ -150,33 +150,46 @@ impl Ring {
     /// incidence is detected first with [`point_on_segment`]. Exactness
     /// follows from [`orient2d`].
     pub fn locate(&self, p: Point) -> Location {
-        if !self.mbr.contains_point(p) {
-            return Location::Outside;
+        locate_in_ring(&self.vertices, &self.mbr, p)
+    }
+}
+
+/// Locates `p` relative to the closed region bounded by the (unclosed)
+/// ring `vertices` with bounding box `mbr` — the slice-based core of
+/// [`Ring::locate`], shared with borrowed views over vertex pools.
+///
+/// Uses exact ray-crossing parity: for a rightward ray from `p`, an edge
+/// contributes a crossing iff it spans `p.y` half-open upward or downward
+/// and `p` lies strictly on the corresponding side; boundary incidence is
+/// detected first with [`point_on_segment`]. Exactness follows from
+/// [`orient2d`].
+pub fn locate_in_ring(vertices: &[Point], mbr: &Rect, p: Point) -> Location {
+    if !mbr.contains_point(p) {
+        return Location::Outside;
+    }
+    let mut inside = false;
+    let n = vertices.len();
+    for i in 0..n {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        if point_on_segment(p, a, b) {
+            return Location::Boundary;
         }
-        let mut inside = false;
-        let n = self.vertices.len();
-        for i in 0..n {
-            let a = self.vertices[i];
-            let b = self.vertices[(i + 1) % n];
-            if point_on_segment(p, a, b) {
-                return Location::Boundary;
+        // Half-open vertical span avoids double counting at vertices.
+        if (a.y > p.y) != (b.y > p.y) {
+            // The edge crosses the horizontal line through p. It
+            // crosses the rightward ray iff p is strictly left of the
+            // edge, oriented to point upward.
+            let (lo, hi) = if a.y < b.y { (a, b) } else { (b, a) };
+            if orient2d(lo, hi, p) == Orientation::CounterClockwise {
+                inside = !inside;
             }
-            // Half-open vertical span avoids double counting at vertices.
-            if (a.y > p.y) != (b.y > p.y) {
-                // The edge crosses the horizontal line through p. It
-                // crosses the rightward ray iff p is strictly left of the
-                // edge, oriented to point upward.
-                let (lo, hi) = if a.y < b.y { (a, b) } else { (b, a) };
-                if orient2d(lo, hi, p) == Orientation::CounterClockwise {
-                    inside = !inside;
-                }
-            }
         }
-        if inside {
-            Location::Inside
-        } else {
-            Location::Outside
-        }
+    }
+    if inside {
+        Location::Inside
+    } else {
+        Location::Outside
     }
 }
 

@@ -7,7 +7,12 @@ use crate::point::Point;
 ///
 /// A `Rect` is *closed*: its boundary belongs to it. Degenerate rectangles
 /// (zero width and/or height) are permitted — a point MBR is a valid MBR.
+///
+/// `#[repr(C)]` pins the layout to `min` then `max` (four consecutive
+/// `f64`s) so columnar stores can reinterpret MBR columns from raw
+/// little-endian words.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
 pub struct Rect {
     pub min: Point,
     pub max: Point,

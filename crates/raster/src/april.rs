@@ -2,9 +2,21 @@
 //! interval list per object.
 
 use crate::grid::Grid;
-use crate::intervals::IntervalList;
+use crate::intervals::{IntervalList, IntervalsRef};
 use crate::rasterize::rasterize;
 use stj_geom::Polygon;
+
+/// A borrowed, `Copy`-able APRIL approximation: two interval-slice views
+/// (progressive + conservative) carved out of an owned [`AprilApprox`] or
+/// a columnar interval pool. The intermediate-filter relations run on
+/// this type so both representations share one code path.
+#[derive(Clone, Copy, Debug)]
+pub struct AprilRef<'a> {
+    /// Progressive list (full cells).
+    pub p: IntervalsRef<'a>,
+    /// Conservative list (full + partial cells).
+    pub c: IntervalsRef<'a>,
+}
 
 /// The APRIL approximation of one object on a shared [`Grid`].
 ///
@@ -70,6 +82,15 @@ impl AprilApprox {
             }
         }
         unreachable!("loop always returns at bits == 24");
+    }
+
+    /// A borrowed [`AprilRef`] over both lists.
+    #[inline]
+    pub fn as_ref(&self) -> AprilRef<'_> {
+        AprilRef {
+            p: self.p.as_ref(),
+            c: self.c.as_ref(),
+        }
     }
 
     /// Serialized size in bytes of both lists (Table 2 accounting: each

@@ -11,10 +11,166 @@
 //! - **inside** — every interval of `X` is contained in one interval of
 //!   `Y` (⇔ cell-set inclusion, thanks to normalization);
 //! - **contains** — the converse of inside.
+//!
+//! The relations are implemented over bare `&[(u64, u64)]` slices
+//! ([`ivs_overlaps`], [`ivs_matches`], [`ivs_inside`], [`ivs_contains`])
+//! so an owned [`IntervalList`] and a borrowed span of a columnar
+//! interval pool ([`IntervalsRef`]) share one code path.
 
 /// Length ratio beyond which the list relations switch from merge-join
 /// to per-interval binary search over the longer list.
 const GALLOP_FACTOR: usize = 16;
+
+/// `X, Y overlap` over normalized slices: the lists share at least one
+/// cell id.
+///
+/// Single-pass merge-join, `O(|X| + |Y|)`; when one list is much shorter
+/// it switches to per-interval binary search, `O(|X| log |Y|)` — the
+/// common case when a tiny object (building) is checked against a huge
+/// one (park, county).
+pub fn ivs_overlaps(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    if a.len() * GALLOP_FACTOR < b.len() {
+        return overlaps_gallop(a, b);
+    }
+    if b.len() * GALLOP_FACTOR < a.len() {
+        return overlaps_gallop(b, a);
+    }
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (s1, e1) = a[i];
+        let (s2, e2) = b[j];
+        if s1 < e2 && s2 < e1 {
+            return true;
+        }
+        if e1 <= e2 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+/// Overlap via binary search: `small` must be the (much) shorter list.
+fn overlaps_gallop(small: &[(u64, u64)], big: &[(u64, u64)]) -> bool {
+    for &(s, e) in small {
+        // First interval of `big` ending after `s` is the only one that
+        // can overlap `[s, e)` from the left.
+        let idx = big.partition_point(|&(_, be)| be <= s);
+        if idx < big.len() && big[idx].0 < e {
+            return true;
+        }
+    }
+    false
+}
+
+/// `X, Y match` over normalized slices: identical interval sequences
+/// (⇔ identical cell sets, thanks to normalization).
+#[inline]
+pub fn ivs_matches(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    a == b
+}
+
+/// `X inside Y` over normalized slices: every interval of `a` is
+/// contained in one interval of `b` (⇔ cell-set inclusion).
+///
+/// Single-pass merge-join, `O(|X| + |Y|)`, switching to binary search
+/// (`O(|X| log |Y|)`) when `b` is much longer.
+pub fn ivs_inside(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    if a.len() * GALLOP_FACTOR < b.len() {
+        return a.iter().all(|&(s, e)| {
+            // The first Y interval ending at or after `e` is the only
+            // candidate container.
+            let idx = b.partition_point(|&(_, ye)| ye < e);
+            idx < b.len() && b[idx].0 <= s
+        });
+    }
+    let mut j = 0;
+    'outer: for &(s, e) in a {
+        while j < b.len() {
+            let (ys, ye) = b[j];
+            if ye < e {
+                // This Y interval ends before X's does; X can only be
+                // covered by a later Y interval (Y intervals are
+                // disjoint and sorted).
+                j += 1;
+                continue;
+            }
+            if ys <= s {
+                continue 'outer; // covered by b[j]
+            }
+            return false; // the first Y interval reaching e starts too late
+        }
+        return false;
+    }
+    true
+}
+
+/// `X contains Y` over normalized slices: the converse of [`ivs_inside`].
+#[inline]
+pub fn ivs_contains(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    ivs_inside(b, a)
+}
+
+/// A borrowed, `Copy`-able view of a normalized interval list — a span of
+/// a columnar interval pool, or a whole [`IntervalList`] via
+/// [`IntervalList::as_ref`]. Supports the same four relations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalsRef<'a> {
+    ivs: &'a [(u64, u64)],
+}
+
+impl<'a> IntervalsRef<'a> {
+    /// Wraps a normalized slice (sorted, disjoint, non-adjacent, each
+    /// `end > start`). Normalization is the caller's invariant — arena
+    /// construction and the v2 loader validate it once per dataset.
+    #[inline]
+    pub fn new(ivs: &'a [(u64, u64)]) -> Self {
+        IntervalsRef { ivs }
+    }
+
+    /// The underlying intervals.
+    #[inline]
+    pub fn intervals(self) -> &'a [(u64, u64)] {
+        self.ivs
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Whether the list denotes the empty cell set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// See [`ivs_overlaps`].
+    #[inline]
+    pub fn overlaps(self, other: IntervalsRef<'_>) -> bool {
+        ivs_overlaps(self.ivs, other.ivs)
+    }
+
+    /// See [`ivs_matches`].
+    #[inline]
+    pub fn matches(self, other: IntervalsRef<'_>) -> bool {
+        ivs_matches(self.ivs, other.ivs)
+    }
+
+    /// See [`ivs_inside`].
+    #[inline]
+    pub fn inside(self, other: IntervalsRef<'_>) -> bool {
+        ivs_inside(self.ivs, other.ivs)
+    }
+
+    /// See [`ivs_contains`].
+    #[inline]
+    pub fn contains(self, other: IntervalsRef<'_>) -> bool {
+        ivs_contains(self.ivs, other.ivs)
+    }
+}
 
 /// A normalized list of half-open `[start, end)` id intervals.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
@@ -144,92 +300,36 @@ impl IntervalList {
         )
     }
 
-    /// `X, Y overlap`: the lists share at least one cell id.
-    ///
-    /// Single-pass merge-join, `O(|X| + |Y|)`; when one list is much
-    /// shorter it switches to per-interval binary search,
-    /// `O(|X| log |Y|)` — the common case when a tiny object (building)
-    /// is checked against a huge one (park, county).
-    pub fn overlaps(&self, other: &IntervalList) -> bool {
-        if self.ivs.len() * GALLOP_FACTOR < other.ivs.len() {
-            return self.overlaps_gallop(other);
-        }
-        if other.ivs.len() * GALLOP_FACTOR < self.ivs.len() {
-            return other.overlaps_gallop(self);
-        }
-        let (mut i, mut j) = (0, 0);
-        while i < self.ivs.len() && j < other.ivs.len() {
-            let (s1, e1) = self.ivs[i];
-            let (s2, e2) = other.ivs[j];
-            if s1 < e2 && s2 < e1 {
-                return true;
-            }
-            if e1 <= e2 {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
-        false
+    /// A borrowed [`IntervalsRef`] over this list.
+    #[inline]
+    pub fn as_ref(&self) -> IntervalsRef<'_> {
+        IntervalsRef::new(&self.ivs)
     }
 
-    /// Overlap via binary search: `self` must be the (much) shorter list.
-    fn overlaps_gallop(&self, big: &IntervalList) -> bool {
-        for &(s, e) in &self.ivs {
-            // First interval of `big` ending after `s` is the only one
-            // that can overlap `[s, e)` from the left.
-            let idx = big.ivs.partition_point(|&(_, be)| be <= s);
-            if idx < big.ivs.len() && big.ivs[idx].0 < e {
-                return true;
-            }
-        }
-        false
+    /// `X, Y overlap`: the lists share at least one cell id. See
+    /// [`ivs_overlaps`].
+    #[inline]
+    pub fn overlaps(&self, other: &IntervalList) -> bool {
+        ivs_overlaps(&self.ivs, &other.ivs)
     }
 
     /// `X, Y match`: identical interval lists (⇔ identical cell sets,
     /// thanks to normalization).
     #[inline]
     pub fn matches(&self, other: &IntervalList) -> bool {
-        self.ivs == other.ivs
+        ivs_matches(&self.ivs, &other.ivs)
     }
 
     /// `X inside Y`: every interval of `self` is contained in one
     /// interval of `other` (⇔ the cell set of `self` is a subset of
-    /// `other`'s).
-    ///
-    /// Single-pass merge-join, `O(|X| + |Y|)`, switching to binary
-    /// search (`O(|X| log |Y|)`) when `other` is much longer.
+    /// `other`'s). See [`ivs_inside`]; the cached cell counts give an
+    /// extra O(1) early exit the slice path cannot have.
+    #[inline]
     pub fn inside(&self, other: &IntervalList) -> bool {
         if self.num_cells > other.num_cells {
             return false;
         }
-        if self.ivs.len() * GALLOP_FACTOR < other.ivs.len() {
-            return self.ivs.iter().all(|&(s, e)| {
-                // The first Y interval ending at or after `e` is the only
-                // candidate container.
-                let idx = other.ivs.partition_point(|&(_, ye)| ye < e);
-                idx < other.ivs.len() && other.ivs[idx].0 <= s
-            });
-        }
-        let mut j = 0;
-        'outer: for &(s, e) in &self.ivs {
-            while j < other.ivs.len() {
-                let (ys, ye) = other.ivs[j];
-                if ye < e {
-                    // This Y interval ends before X's does; X can only be
-                    // covered by a later Y interval (Y intervals are
-                    // disjoint and sorted).
-                    j += 1;
-                    continue;
-                }
-                if ys <= s {
-                    continue 'outer; // covered by other.ivs[j]
-                }
-                return false; // the first Y interval reaching e starts too late
-            }
-            return false;
-        }
-        true
+        ivs_inside(&self.ivs, &other.ivs)
     }
 
     /// `X contains Y`: every interval of `other` is contained in one
@@ -372,6 +472,30 @@ mod tests {
                 "contains gallop at {s0}+{len}"
             );
         }
+    }
+
+    #[test]
+    fn slice_refs_agree_with_owned_lists() {
+        let a = il(&[(0, 5), (10, 15), (20, 40)]);
+        let cases = [
+            il(&[(4, 6)]),
+            il(&[(5, 10)]),
+            il(&[(0, 5), (10, 15), (20, 40)]),
+            il(&[(11, 14), (22, 23)]),
+            il(&[]),
+            il(&[(0, 100)]),
+        ];
+        for b in &cases {
+            let (ra, rb) = (a.as_ref(), b.as_ref());
+            assert_eq!(ra.overlaps(rb), a.overlaps(b));
+            assert_eq!(ra.matches(rb), a.matches(b));
+            assert_eq!(ra.inside(rb), a.inside(b));
+            assert_eq!(ra.contains(rb), a.contains(b));
+            assert_eq!(rb.inside(ra), b.inside(&a));
+        }
+        assert_eq!(a.as_ref().len(), a.len());
+        assert!(!a.as_ref().is_empty());
+        assert_eq!(a.as_ref().intervals(), a.intervals());
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub mod hilbert;
 pub mod intervals;
 pub mod rasterize;
 
-pub use april::AprilApprox;
+pub use april::{AprilApprox, AprilRef};
 pub use grid::Grid;
-pub use intervals::IntervalList;
+pub use intervals::{
+    ivs_contains, ivs_inside, ivs_matches, ivs_overlaps, IntervalList, IntervalsRef,
+};
 pub use rasterize::rasterize;

@@ -23,7 +23,7 @@ use stj_core::{Dataset, SpatialObject};
 use stj_geom::{Point, Polygon, Rect, Ring};
 use stj_raster::{AprilApprox, Grid, IntervalList};
 
-const MAGIC: &[u8; 4] = b"STJD";
+pub(crate) const MAGIC: &[u8; 4] = b"STJD";
 const VERSION: u32 = 1;
 
 /// Upper bound on any single `Vec::with_capacity` derived from an
@@ -105,6 +105,12 @@ pub fn read_dataset<R: Read>(r: &mut R) -> Result<(Dataset, Grid), StoreError> {
             "unsupported version {version} (expected {VERSION})"
         )));
     }
+    read_dataset_v1_body(r)
+}
+
+/// The v1 payload after magic + version (shared with the
+/// version-dispatching reader in [`crate::v2`]).
+pub(crate) fn read_dataset_v1_body<R: Read>(r: &mut R) -> Result<(Dataset, Grid), StoreError> {
     let (minx, miny, maxx, maxy) = (read_f64(r)?, read_f64(r)?, read_f64(r)?, read_f64(r)?);
     if !(minx < maxx && miny < maxy) {
         return Err(StoreError::Format("degenerate grid extent".into()));
@@ -373,8 +379,9 @@ mod tests {
         let mut buf = Vec::new();
         write_dataset(&mut buf, &ds, &grid).unwrap();
         let (ds2, _) = read_dataset(&mut buf.as_slice()).unwrap();
-        let a = TopologyJoin::new().run(&ds, &ds);
-        let b = TopologyJoin::new().run(&ds2, &ds2);
+        let (ar, ar2) = (ds.to_arena(), ds2.to_arena());
+        let a = TopologyJoin::new().run(&ar, &ar);
+        let b = TopologyJoin::new().run(&ar2, &ar2);
         assert_eq!(a.links, b.links);
         assert_eq!(a.stats, b.stats);
     }

@@ -4,15 +4,22 @@
 //! preprocessing step) and reused across joins; this crate provides the
 //! storage side of that workflow:
 //!
-//! - [`binary`]: a compact, versioned binary format for a full
+//! - [`binary`]: the v1 record-per-object format for a full
 //!   [`Dataset`](stj_core::Dataset) — polygons, MBRs and `P`/`C`
 //!   interval lists — plus the grid it was built on, so a join can start
 //!   without re-rasterizing anything;
+//! - [`v2`]: the columnar STJD v2 format that bulk-loads (or zero-copy
+//!   opens) straight into a [`stj_core::DatasetArena`], with version
+//!   dispatch so v1 files keep working;
 //! - [`wktio`]: plain-text WKT files (one geometry per line) for
 //!   interchange with PostGIS/GEOS tooling.
 
 pub mod binary;
+pub mod v2;
 pub mod wktio;
 
 pub use binary::{read_dataset, write_dataset, StoreError};
+pub use v2::{
+    dataset_info, open_arena, open_arena_from_bytes, read_arena, write_arena_v2, DatasetInfo,
+};
 pub use wktio::{read_wkt_polygons, write_wkt_polygons};

@@ -53,10 +53,10 @@ fn main() {
 
     // The relation, per method, with per-pair timing.
     let iters = 20;
-    let (out_pc, t_pc) = time(|| find_relation(&lake, &park), iters);
-    let (out_st2, t_st2) = time(|| find_relation_st2(&lake, &park), iters);
-    let (out_op2, t_op2) = time(|| find_relation_op2(&lake, &park), iters);
-    let (out_april, t_april) = time(|| find_relation_april(&lake, &park), iters);
+    let (out_pc, t_pc) = time(|| find_relation(lake.view(), park.view()), iters);
+    let (out_st2, t_st2) = time(|| find_relation_st2(lake.view(), park.view()), iters);
+    let (out_op2, t_op2) = time(|| find_relation_op2(lake.view(), park.view()), iters);
+    let (out_april, t_april) = time(|| find_relation_april(lake.view(), park.view()), iters);
 
     println!("\nmethod   relation     time/pair");
     println!(

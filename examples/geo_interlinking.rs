@@ -32,8 +32,8 @@ fn main() {
 
     let t = Instant::now();
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let lakes = Dataset::build_parallel("OLE", lakes_polys, &grid, threads);
-    let parks = Dataset::build_parallel("OPE", parks_polys, &grid, threads);
+    let lakes = Dataset::build_parallel("OLE", lakes_polys, &grid, threads).to_arena();
+    let parks = Dataset::build_parallel("OPE", parks_polys, &grid, threads).to_arena();
     println!(
         "preprocessed {} lakes + {} parks (MBRs + APRIL) in {:.2?}",
         lakes.len(),
@@ -42,7 +42,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let pairs = mbr_join_parallel(&lakes.mbrs(), &parks.mbrs(), threads);
+    let pairs = mbr_join_parallel(lakes.mbrs(), parks.mbrs(), threads);
     println!(
         "MBR join: {} candidate pairs in {:.2?}",
         pairs.len(),
@@ -54,7 +54,7 @@ fn main() {
     let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
     let mut stats = PipelineStats::default();
     for &(i, j) in &pairs {
-        let out = find_relation(&lakes.objects[i as usize], &parks.objects[j as usize]);
+        let out = find_relation(lakes.object(i as usize), parks.object(j as usize));
         stats.record(&out);
         if out.relation != TopoRelation::Disjoint {
             *histogram.entry(out.relation.to_string()).or_default() += 1;
@@ -78,7 +78,7 @@ fn main() {
     for (name, f) in [
         (
             "ST2",
-            find_relation_st2 as fn(&SpatialObject, &SpatialObject) -> FindOutcome,
+            find_relation_st2 as fn(ObjectRef<'_>, ObjectRef<'_>) -> FindOutcome,
         ),
         ("OP2", find_relation_op2),
         ("APRIL", find_relation_april),
@@ -86,7 +86,7 @@ fn main() {
         let t = Instant::now();
         let mut st = PipelineStats::default();
         for &(i, j) in &pairs {
-            st.record(&f(&lakes.objects[i as usize], &parks.objects[j as usize]));
+            st.record(&f(lakes.object(i as usize), parks.object(j as usize)));
         }
         let dt = t.elapsed();
         println!(

@@ -11,7 +11,7 @@ use std::time::Instant;
 use stjoin::core::{JoinMethod, TopologyJoin};
 use stjoin::datagen::{generate_combo, ComboId};
 use stjoin::prelude::*;
-use stjoin::store::{read_dataset, write_dataset};
+use stjoin::store::{open_arena, write_arena_v2};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("stj-persist-example-{}", std::process::id()));
@@ -34,12 +34,14 @@ fn main() {
         t.elapsed()
     );
 
-    // 2. Persist both datasets (grid travels with the file).
+    // 2. Move onto columnar arenas and persist them as STJD v2 (the
+    //    grid travels with the file).
+    let (lakes, parks) = (lakes.to_arena(), parks.to_arena());
     let lakes_path = dir.join("lakes.stjd");
     let parks_path = dir.join("parks.stjd");
     for (ds, path) in [(&lakes, &lakes_path), (&parks, &parks_path)] {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create"));
-        write_dataset(&mut f, ds, &grid).expect("serialize");
+        write_arena_v2(&mut f, ds, &grid).expect("serialize");
     }
     println!(
         "saved {} + {} bytes",
@@ -47,18 +49,17 @@ fn main() {
         std::fs::metadata(&parks_path).unwrap().len()
     );
 
-    // 3. A later session: load (no rasterization!) and join immediately.
+    // 3. A later session: open (no rasterization, and on little-endian
+    //    hosts no per-column decode either) and join immediately.
     let t = Instant::now();
-    let (lakes2, g1) = {
-        let mut f = std::io::BufReader::new(std::fs::File::open(&lakes_path).expect("open"));
-        read_dataset(&mut f).expect("deserialize")
-    };
-    let (parks2, g2) = {
-        let mut f = std::io::BufReader::new(std::fs::File::open(&parks_path).expect("open"));
-        read_dataset(&mut f).expect("deserialize")
-    };
+    let (lakes2, g1) = open_arena(&lakes_path).expect("open lakes");
+    let (parks2, g2) = open_arena(&parks_path).expect("open parks");
     assert_eq!(g1, g2, "datasets must share the grid");
-    println!("loaded both datasets in {:.2?}", t.elapsed());
+    println!(
+        "opened both datasets in {:.2?} (zero-copy: {})",
+        t.elapsed(),
+        lakes2.is_zero_copy() && parks2.is_zero_copy()
+    );
 
     let t = Instant::now();
     let result = TopologyJoin::new()

@@ -31,7 +31,7 @@ fn main() {
 
     // 3. Find the most specific topological relation per pair.
     for (name, obj) in [("lake", &lake), ("pond", &pond)] {
-        let out = find_relation(obj, &park);
+        let out = find_relation(obj.view(), park.view());
         println!(
             "{name} vs park: {} (decided by {:?})",
             out.relation, out.determination
@@ -41,12 +41,18 @@ fn main() {
     // The lake sits in the park's material: `inside`, decided from the
     // interval lists alone. The pond sits in the park's hole (the
     // clearing): `disjoint`.
-    assert_eq!(find_relation(&lake, &park).relation, TopoRelation::Inside);
-    assert_eq!(find_relation(&pond, &park).relation, TopoRelation::Disjoint);
+    assert_eq!(
+        find_relation(lake.view(), park.view()).relation,
+        TopoRelation::Inside
+    );
+    assert_eq!(
+        find_relation(pond.view(), park.view()).relation,
+        TopoRelation::Disjoint
+    );
 
     // 4. Predicate queries: "is the lake inside the park?" — cheaper than
     //    finding the most specific relation when you only need one test.
-    let q = relate_p(&lake, &park, TopoRelation::Inside);
+    let q = relate_p(lake.view(), park.view(), TopoRelation::Inside);
     println!(
         "relate_inside(lake, park) = {} via {:?}",
         q.holds, q.determination

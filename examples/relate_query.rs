@@ -30,9 +30,9 @@ fn main() {
     }
     let grid = Grid::new(extent, 14);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let lakes = Dataset::build_parallel("OLE", lakes_polys, &grid, threads);
-    let parks = Dataset::build_parallel("OPE", parks_polys, &grid, threads);
-    let pairs = mbr_join_parallel(&lakes.mbrs(), &parks.mbrs(), threads);
+    let lakes = Dataset::build_parallel("OLE", lakes_polys, &grid, threads).to_arena();
+    let parks = Dataset::build_parallel("OPE", parks_polys, &grid, threads).to_arena();
+    let pairs = mbr_join_parallel(lakes.mbrs(), parks.mbrs(), threads);
     println!(
         "{} lakes x {} parks -> {} candidate pairs\n",
         lakes.len(),
@@ -51,8 +51,8 @@ fn main() {
         let mut refined = 0u64;
         for &(i, j) in &pairs {
             let out = relate_p(
-                &lakes.objects[i as usize],
-                &parks.objects[j as usize],
+                lakes.object(i as usize),
+                parks.object(j as usize),
                 predicate,
             );
             if out.holds {
@@ -73,8 +73,8 @@ fn main() {
 
         // Cross-check a sample against the general pipeline.
         for &(i, j) in pairs.iter().take(500) {
-            let r = &lakes.objects[i as usize];
-            let s = &parks.objects[j as usize];
+            let r = lakes.object(i as usize);
+            let s = parks.object(j as usize);
             let general = find_relation(r, s).relation;
             let expected = general == predicate || general.implies(predicate);
             assert_eq!(

@@ -7,6 +7,9 @@
 //!     --order N      grid order (default 16)
 //!     --extent x0 y0 x1 y1   grid extent (default: dataset MBR + 1%)
 //!     --name NAME    dataset name (default: file stem)
+//!     --format v1|v2 storage format (default v2: columnar, zero-copy
+//!                    loadable; v1 is the legacy per-object record format)
+//! stj info <DATASET.stjd>                   format version, counts, sections
 //! stj join <LEFT.stjd> <RIGHT.stjd> [opts]  run the topology join
 //!     --method pc|st2|op2|april   (default pc)
 //!     --predicate REL             relate_p mode (inside, meets, ...)
@@ -38,12 +41,15 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use stjoin::core::linking::links_to_ntriples;
+use stjoin::core::DatasetArena;
 use stjoin::core::{JoinMethod, TopologyJoin};
 use stjoin::datagen::DatasetId;
 use stjoin::geom::wkt::polygon_from_wkt;
 use stjoin::obs::Json;
 use stjoin::prelude::*;
-use stjoin::store::{read_dataset, read_wkt_polygons, write_dataset, write_wkt_polygons};
+use stjoin::store::{
+    dataset_info, open_arena, read_wkt_polygons, write_arena_v2, write_dataset, write_wkt_polygons,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
         Some("relate") => cmd_relate(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("preprocess") => cmd_preprocess(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -75,6 +82,8 @@ USAGE:
   stj relate <WKT> <WKT>
   stj generate <DATASET> <SCALE> <OUT.wkt>
   stj preprocess <IN.wkt> <OUT.stjd> [--order N] [--extent x0 y0 x1 y1] [--name NAME]
+                 [--format v1|v2]
+  stj info <DATASET.stjd>
   stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
            [--predicate REL] [--threads N] [--ntriples OUT.nt]
            [--stats-json OUT.json] [--progress] [--quiet]
@@ -114,6 +123,7 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     let mut order = 16u32;
     let mut name: Option<String> = None;
     let mut extent: Option<Rect> = None;
+    let mut format = "v2";
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -123,6 +133,13 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --order value".to_string())?;
             }
             "--name" => name = Some(next_arg(&mut it, "--name")?),
+            "--format" => {
+                format = match next_arg(&mut it, "--format")?.as_str() {
+                    "v1" => "v1",
+                    "v2" => "v2",
+                    other => return Err(format!("unknown format {other:?} (expected v1 or v2)")),
+                };
+            }
             "--extent" => {
                 let mut v = [0.0f64; 4];
                 for slot in &mut v {
@@ -165,9 +182,42 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     let ds = Dataset::build_parallel(ds_name, polys, &grid, threads);
     let f = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
     let mut w = BufWriter::new(f);
-    write_dataset(&mut w, &ds, &grid).map_err(|e| e.to_string())?;
+    if format == "v2" {
+        write_arena_v2(&mut w, &ds.to_arena(), &grid).map_err(|e| e.to_string())?;
+    } else {
+        write_dataset(&mut w, &ds, &grid).map_err(|e| e.to_string())?;
+    }
     w.flush().map_err(|e| e.to_string())?;
-    println!("preprocessed {count} polygons (grid order {order}) -> {output}");
+    println!("preprocessed {count} polygons (grid order {order}, format {format}) -> {output}");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info needs exactly one <DATASET.stjd> argument".into());
+    };
+    let info = dataset_info(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!("file:     {path} ({} bytes)", info.file_bytes);
+    println!("format:   STJD v{}", info.version);
+    println!("name:     {}", info.name);
+    println!(
+        "grid:     order {} over ({}, {})..({}, {})",
+        info.order, info.extent.min.x, info.extent.min.y, info.extent.max.x, info.extent.max.y
+    );
+    println!(
+        "objects:  {} ({} rings, {} vertices)",
+        info.n_objects, info.n_rings, info.n_vertices
+    );
+    println!(
+        "april:    {} P intervals, {} C intervals",
+        info.n_p, info.n_c
+    );
+    if !info.sections.is_empty() {
+        println!("sections:");
+        for (name, bytes) in &info.sections {
+            println!("  {name:<14} {bytes} bytes");
+        }
+    }
     Ok(())
 }
 
@@ -242,8 +292,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     if !quiet {
         eprintln!(
             "{} x {} -> {} candidates, {} links in {:.2?} ({:.0} pairs/s, {:.1}% refined)",
-            left.name,
-            right.name,
+            left.name(),
+            right.name(),
             out.candidates,
             out.links.len(),
             dt,
@@ -258,8 +308,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     if let Some(path) = stats_json {
         let report = join_report(
             &out,
-            &left.name,
-            &right.name,
+            left.name(),
+            right.name(),
             method_name,
             predicate,
             threads,
@@ -273,8 +323,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = ntriples {
-        let lname = left.name.clone();
-        let rname = right.name.clone();
+        let lname = left.name().to_string();
+        let rname = right.name().to_string();
         let nt = links_to_ntriples(
             &out.links,
             |i| format!("urn:stj:{lname}:{i}"),
@@ -455,9 +505,11 @@ fn parse_seed(s: &str) -> u64 {
     h
 }
 
-fn load(path: &str) -> Result<(Dataset, Grid), String> {
-    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    read_dataset(&mut BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+/// Loads either format into a [`DatasetArena`]: v2 files open zero-copy
+/// when the platform supports it, v1 files migrate through the legacy
+/// record reader.
+fn load(path: &str) -> Result<(DatasetArena, Grid), String> {
+    open_arena(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn next_arg(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {

@@ -20,10 +20,13 @@
 //!   ([`relate_p`]), and the ST2/OP2/APRIL baselines;
 //! - [`datagen`] — seeded synthetic datasets mirroring the paper's
 //!   evaluation scenarios;
+//! - [`store`] — persistence: the columnar STJD v2 format (bulk-load
+//!   or zero-copy open into a [`DatasetArena`]) plus the legacy v1
+//!   record format and WKT interchange;
 //! - [`obs`] — observability: per-stage latency histograms, join
 //!   profiles, JSON telemetry, progress heartbeats;
 //! - [`check`] — the differential & metamorphic correctness harness
-//!   behind `stj check` (adversarial pairs, invariants (a)–(d),
+//!   behind `stj check` (adversarial pairs, invariants (a)–(e),
 //!   shrinking, WKT repro dumps).
 //!
 //! ## Quickstart
@@ -51,7 +54,9 @@
 //!     &grid,
 //! );
 //!
-//! let out = find_relation(&lake, &park);
+//! // The pipeline works on borrowed views: `.view()` on an owned
+//! // object, or `DatasetArena::object(i)` in batch joins.
+//! let out = find_relation(lake.view(), park.view());
 //! assert_eq!(out.relation, TopoRelation::Inside);
 //! // Decided from interval lists alone — no DE-9IM computation:
 //! assert_eq!(out.determination, Determination::IntermediateFilter);
@@ -69,7 +74,8 @@ pub use stj_store as store;
 
 pub use stj_core::{
     find_relation, find_relation_april, find_relation_op2, find_relation_st2, relate_p, Dataset,
-    Determination, FindOutcome, PipelineStats, RelateDetermination, RelateOutcome, SpatialObject,
+    DatasetArena, Determination, FindOutcome, ObjectRef, PipelineStats, RelateDetermination,
+    RelateOutcome, SpatialObject,
 };
 pub use stj_de9im::{relate, De9Im, Mask, TopoRelation};
 pub use stj_geom::{MultiPolygon, Point, Polygon, Rect, Ring, Segment};
@@ -80,7 +86,7 @@ pub use stj_raster::{AprilApprox, Grid, IntervalList};
 pub mod prelude {
     pub use stj_core::{
         find_relation, find_relation_april, find_relation_op2, find_relation_st2, relate_p,
-        Dataset, Determination, FindOutcome, PipelineStats, SpatialObject,
+        Dataset, DatasetArena, Determination, FindOutcome, ObjectRef, PipelineStats, SpatialObject,
     };
     pub use stj_de9im::{relate, De9Im, TopoRelation};
     pub use stj_geom::{MultiPolygon, Point, Polygon, Rect, Ring, Segment};

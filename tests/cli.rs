@@ -186,6 +186,86 @@ fn full_pipeline_via_cli() {
 }
 
 #[test]
+fn v2_default_v1_interop_and_info() {
+    let dir = tempdir("formats");
+    let wkt = dir.join("lakes.wkt");
+    let v2_bin = dir.join("lakes-v2.stjd");
+    let v1_bin = dir.join("lakes-v1.stjd");
+
+    let out = stj()
+        .args(["generate", "OLE", "0.003"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+
+    // Default preprocess writes the columnar v2 format; --format v1
+    // keeps the legacy record format.
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&v2_bin)
+        .args(["--order", "12", "--extent", "0", "0", "1000", "1000"])
+        .output()
+        .expect("preprocess v2");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("format v2"));
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&v1_bin)
+        .args(["--order", "12", "--extent", "0", "0", "1000", "1000"])
+        .args(["--format", "v1"])
+        .output()
+        .expect("preprocess v1");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("format v1"));
+
+    // `stj info` reads both formats; v2 reports per-section sizes.
+    let out = stj().arg("info").arg(&v2_bin).output().expect("info v2");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("STJD v2"), "{text}");
+    assert!(text.contains("sections:"), "{text}");
+    assert!(text.contains("mbrs"), "{text}");
+    let out = stj().arg("info").arg(&v1_bin).output().expect("info v1");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("STJD v1"), "{text}");
+
+    // Both formats load into the same join results.
+    let mut reports = Vec::new();
+    for (bin, tag) in [(&v2_bin, "v2"), (&v1_bin, "v1")] {
+        let json = dir.join(format!("report-{tag}.json"));
+        let out = stj()
+            .arg("join")
+            .arg(bin)
+            .arg(bin)
+            .arg("--quiet")
+            .arg("--stats-json")
+            .arg(&json)
+            .output()
+            .expect("join");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = std::fs::read_to_string(&json).unwrap();
+        let links = report
+            .lines()
+            .find(|l| l.contains("\"links\""))
+            .expect("links line")
+            .trim()
+            .to_string();
+        reports.push(links);
+    }
+    assert_eq!(reports[0], reports[1], "v1/v2 joins diverged");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn check_command() {
     let dir = tempdir("check");
     let report = dir.join("check.json");

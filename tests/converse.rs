@@ -25,7 +25,7 @@ fn grid() -> Grid {
     Grid::new(Rect::from_coords(-200.0, -200.0, 1200.0, 1200.0), 10)
 }
 
-type Method = fn(&SpatialObject, &SpatialObject) -> FindOutcome;
+type Method = fn(ObjectRef<'_>, ObjectRef<'_>) -> FindOutcome;
 
 /// Asserts converse symmetry for one preprocessed pair, for every join
 /// method and every `relate_p` predicate.
@@ -37,15 +37,15 @@ fn assert_converse(r: &SpatialObject, s: &SpatialObject, ctx: &str) {
         ("APRIL", find_relation_april),
     ];
     for (name, method) in methods {
-        let fwd = method(r, s).relation;
-        let rev = method(s, r).relation;
+        let fwd = method(r.view(), s.view()).relation;
+        let rev = method(s.view(), r.view()).relation;
         assert_eq!(rev, fwd.converse(), "{name} {ctx}: {fwd:?} vs {rev:?}");
         // converse is an involution, so the reverse direction follows.
         assert_eq!(fwd, rev.converse(), "{name} {ctx} (back)");
     }
     for p in ALL_RELATIONS {
-        let fwd = relate_p(r, s, p).holds;
-        let rev = relate_p(s, r, p.converse()).holds;
+        let fwd = relate_p(r.view(), s.view(), p).holds;
+        let rev = relate_p(s.view(), r.view(), p.converse()).holds;
         assert_eq!(fwd, rev, "relate_p({p:?}) {ctx}");
     }
 }
@@ -90,8 +90,8 @@ proptest! {
         let (a, b) = pair_with_relation(ALL_RELATIONS[rel_idx], complexity, seed);
         let r = SpatialObject::build(a, &grid);
         let s = SpatialObject::build(b, &grid);
-        let fwd = find_relation(&r, &s).relation;
-        let rev = find_relation(&s, &r).relation;
+        let fwd = find_relation(r.view(), s.view()).relation;
+        let rev = find_relation(s.view(), r.view()).relation;
         prop_assert_eq!(rev, fwd.converse());
         // The DE-9IM oracle agrees with itself under transposition.
         let fwd_truth = TopoRelation::most_specific(&relate(&r.polygon, &s.polygon));

@@ -7,26 +7,18 @@ use std::collections::BTreeMap;
 use stjoin::datagen::{generate_combo, ComboId};
 use stjoin::prelude::*;
 
-/// Builds both datasets of a combo at a tiny scale and returns the
-/// preprocessed objects plus candidate pairs.
-fn setup(combo: ComboId, scale: f64) -> (Vec<SpatialObject>, Vec<SpatialObject>, Vec<(u32, u32)>) {
+/// Builds both datasets of a combo at a tiny scale into columnar arenas
+/// and returns them plus the candidate pairs.
+fn setup(combo: ComboId, scale: f64) -> (DatasetArena, DatasetArena, Vec<(u32, u32)>) {
     let (r_polys, s_polys) = generate_combo(combo, scale);
     let mut extent = Rect::empty();
     for p in r_polys.iter().chain(&s_polys) {
         extent.grow_rect(p.mbr());
     }
     let grid = Grid::new(extent, 12);
-    let r: Vec<SpatialObject> = r_polys
-        .into_iter()
-        .map(|p| SpatialObject::build(p, &grid))
-        .collect();
-    let s: Vec<SpatialObject> = s_polys
-        .into_iter()
-        .map(|p| SpatialObject::build(p, &grid))
-        .collect();
-    let r_mbrs: Vec<Rect> = r.iter().map(|o| o.mbr).collect();
-    let s_mbrs: Vec<Rect> = s.iter().map(|o| o.mbr).collect();
-    let pairs = mbr_join(&r_mbrs, &s_mbrs);
+    let r = Dataset::build("R", r_polys, &grid).to_arena();
+    let s = Dataset::build("S", s_polys, &grid).to_arena();
+    let pairs = mbr_join(r.mbrs(), s.mbrs());
     (r, s, pairs)
 }
 
@@ -41,7 +33,7 @@ fn run_combo(combo: ComboId, scale: f64, expect_if_decisions: bool) {
     let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
 
     for &(i, j) in &pairs {
-        let (ro, so) = (&r[i as usize], &s[j as usize]);
+        let (ro, so) = (r.object(i as usize), s.object(j as usize));
         let a = find_relation(ro, so);
         let b = find_relation_st2(ro, so);
         let c = find_relation_op2(ro, so);
@@ -117,7 +109,7 @@ fn counties_zipcodes_have_rich_relation_mix() {
     let mut covered = 0u64;
     let mut meets = 0u64;
     for &(i, j) in &pairs {
-        match find_relation(&r[i as usize], &s[j as usize]).relation {
+        match find_relation(r.object(i as usize), s.object(j as usize)).relation {
             TopoRelation::Covers | TopoRelation::Contains => covered += 1,
             TopoRelation::Meets => meets += 1,
             _ => {}
@@ -132,7 +124,7 @@ fn relation_histogram_is_diverse_on_lakes_parks() {
     let (r, s, pairs) = setup(ComboId::OleOpe, 0.04);
     let mut seen = std::collections::BTreeSet::new();
     for &(i, j) in &pairs {
-        seen.insert(find_relation(&r[i as usize], &s[j as usize]).relation);
+        seen.insert(find_relation(r.object(i as usize), s.object(j as usize)).relation);
     }
     // Expect at least intersects, one containment flavour, and a third
     // distinct relation (the exact mix depends on the sampled scale).

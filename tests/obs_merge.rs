@@ -9,13 +9,13 @@ use stjoin::core::{JoinMethod, TopologyJoin};
 use stjoin::obs::{JoinProfile, Stage};
 use stjoin::prelude::*;
 
-fn datasets() -> (Dataset, Dataset) {
+fn datasets() -> (DatasetArena, DatasetArena) {
     let grid = Grid::new(Rect::from_coords(-50.0, -50.0, 1100.0, 1100.0), 10);
     let a = stjoin::datagen::generate(stjoin::datagen::DatasetId::OLE, 0.05);
     let b = stjoin::datagen::generate(stjoin::datagen::DatasetId::OPE, 0.05);
     (
-        Dataset::build("lakes", a, &grid),
-        Dataset::build("parks", b, &grid),
+        Dataset::build("lakes", a, &grid).to_arena(),
+        Dataset::build("parks", b, &grid).to_arena(),
     )
 }
 

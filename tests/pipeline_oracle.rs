@@ -32,13 +32,33 @@ fn oracle(r: &SpatialObject, s: &SpatialObject) -> TopoRelation {
 
 fn assert_all_methods_agree(r: &SpatialObject, s: &SpatialObject, ctx: &str) {
     let expect = oracle(r, s);
-    assert_eq!(find_relation(r, s).relation, expect, "P+C {ctx}");
-    assert_eq!(find_relation_st2(r, s).relation, expect, "ST2 {ctx}");
-    assert_eq!(find_relation_op2(r, s).relation, expect, "OP2 {ctx}");
-    assert_eq!(find_relation_april(r, s).relation, expect, "APRIL {ctx}");
+    assert_eq!(
+        find_relation(r.view(), s.view()).relation,
+        expect,
+        "P+C {ctx}"
+    );
+    assert_eq!(
+        find_relation_st2(r.view(), s.view()).relation,
+        expect,
+        "ST2 {ctx}"
+    );
+    assert_eq!(
+        find_relation_op2(r.view(), s.view()).relation,
+        expect,
+        "OP2 {ctx}"
+    );
+    assert_eq!(
+        find_relation_april(r.view(), s.view()).relation,
+        expect,
+        "APRIL {ctx}"
+    );
     for p in ALL_RELATIONS {
         let want = p.holds(&relate(&r.polygon, &s.polygon));
-        assert_eq!(relate_p(r, s, p).holds, want, "relate_p({p:?}) {ctx}");
+        assert_eq!(
+            relate_p(r.view(), s.view(), p).holds,
+            want,
+            "relate_p({p:?}) {ctx}"
+        );
     }
 }
 
@@ -136,7 +156,7 @@ fn determination_paths_are_all_reachable() {
     let mut stats = PipelineStats::default();
     for (i, r) in objs.iter().enumerate() {
         for s in objs.iter().skip(i + 1) {
-            stats.record(&find_relation(r, s));
+            stats.record(&find_relation(r.view(), s.view()));
         }
     }
     assert!(stats.pairs > 0);
