@@ -1,5 +1,6 @@
-//! The five per-pair invariants (a)–(e), checked against the DE-9IM
-//! oracle.
+//! The per-pair invariants (a)–(e), checked against the DE-9IM oracle,
+//! plus the dataset-level executor-equivalence invariant (f) enforced by
+//! the runner.
 
 use stj_core::{
     find_relation, find_relation_april, find_relation_op2, find_relation_st2, intermediate_filter,
@@ -28,16 +29,22 @@ pub enum InvariantKind {
     /// (e) The pair answers differently after a v2 write / zero-copy
     /// open round trip through [`stj_core::DatasetArena`].
     StorageFidelity,
+    /// (f) The streaming and materialized `TopologyJoin` executors
+    /// disagree on links, stats, or candidate counts over a dataset
+    /// assembled from the adversarial corpus (checked once per run by
+    /// the runner, not per pair).
+    ExecEquivalence,
 }
 
 impl InvariantKind {
     /// Every kind, in report order.
-    pub const ALL: [InvariantKind; 5] = [
+    pub const ALL: [InvariantKind; 6] = [
         InvariantKind::MethodAgreement,
         InvariantKind::ConverseSymmetry,
         InvariantKind::MbrAdmissibility,
         InvariantKind::AprilSoundness,
         InvariantKind::StorageFidelity,
+        InvariantKind::ExecEquivalence,
     ];
 
     /// Stable snake_case name, used as a key in the JSON report.
@@ -48,6 +55,7 @@ impl InvariantKind {
             InvariantKind::MbrAdmissibility => "mbr_admissibility",
             InvariantKind::AprilSoundness => "april_soundness",
             InvariantKind::StorageFidelity => "storage_fidelity",
+            InvariantKind::ExecEquivalence => "exec_equivalence",
         }
     }
 }
@@ -264,7 +272,8 @@ mod tests {
                 "converse_symmetry",
                 "mbr_admissibility",
                 "april_soundness",
-                "storage_fidelity"
+                "storage_fidelity",
+                "exec_equivalence"
             ]
         );
     }

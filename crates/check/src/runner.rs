@@ -5,11 +5,20 @@
 use crate::invariants::{check_pair, InvariantKind};
 use crate::shrink::shrink_pair;
 use std::time::Instant;
-use stj_core::PipelineStats;
+use stj_core::{Dataset, ExecStrategy, Link, PipelineStats, TopologyJoin};
 use stj_datagen::adversarial::{adversarial_pair, adversarial_space, CATEGORIES};
 use stj_geom::wkt::polygon_to_wkt;
 use stj_obs::Json;
 use stj_raster::Grid;
+
+/// Cap on the dataset assembled for the executor-equivalence invariant
+/// (f): the first `min(pairs, cap)` adversarial pairs contribute their
+/// `a` polygons to the left dataset and `b` polygons to the right one.
+/// The corpus packs every object into the same 1000×1000 space, so the
+/// candidate count grows quadratically with the sample — the cap keeps
+/// the dataset join a bounded fraction of the run while still exercising
+/// skew-split tiles, replication dedup, and every adversarial category.
+const EXEC_SAMPLE_CAP: u64 = 2048;
 
 /// Configuration of a check run.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +76,7 @@ pub struct CheckReport {
     pub pairs: u64,
     /// Violation count per invariant kind (indexed by `InvariantKind::ALL`
     /// order); counts all violations, not just the retained ones.
-    pub violation_counts: [u64; 5],
+    pub violation_counts: [u64; 6],
     /// Retained (shrunk) violations, at most `config.max_violations`.
     pub violations: Vec<Violation>,
     /// Pairs checked per adversarial category.
@@ -143,7 +152,7 @@ impl CheckReport {
 /// Per-worker accumulator, merged after the scoped threads join.
 #[derive(Default)]
 struct WorkerState {
-    violation_counts: [u64; 5],
+    violation_counts: [u64; 6],
     violations: Vec<Violation>,
     category_counts: [u64; CATEGORIES.len()],
     pipeline: PipelineStats,
@@ -192,6 +201,98 @@ fn check_range(config: &CheckConfig, grid: &Grid, lo: u64, hi: u64) -> WorkerSta
     state
 }
 
+/// Invariant (f): over datasets assembled from the adversarial corpus
+/// (pair `i`'s `a` polygon becomes left object `i`, its `b` polygon
+/// right object `i`, capped at [`EXEC_SAMPLE_CAP`] pairs), the streaming
+/// executor must reproduce the materialized executor's links, stats, and
+/// candidate count exactly — sequentially and at the run's thread count.
+fn check_exec_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Violation> {
+    let sample = config.pairs.min(EXEC_SAMPLE_CAP);
+    if sample == 0 {
+        return Ok(());
+    }
+    let mut lefts = Vec::with_capacity(sample as usize);
+    let mut rights = Vec::with_capacity(sample as usize);
+    for index in 0..sample {
+        let pair = adversarial_pair(config.seed, index);
+        lefts.push(pair.a);
+        rights.push(pair.b);
+    }
+    let threads = config.threads.max(1);
+    let left = Dataset::build_parallel("check-exec-a", lefts, grid, threads).to_arena();
+    let right = Dataset::build_parallel("check-exec-b", rights, grid, threads).to_arena();
+
+    let baseline = TopologyJoin::new()
+        .strategy(ExecStrategy::Materialized)
+        .threads(1)
+        .run(&left, &right);
+    let mut base_links = baseline.links.clone();
+    base_links.sort_by_key(|l| (l.r, l.s));
+
+    for t in [1, threads] {
+        let got = TopologyJoin::new()
+            .strategy(ExecStrategy::Streaming)
+            .threads(t)
+            .run(&left, &right);
+        let mut got_links = got.links.clone();
+        got_links.sort_by_key(|l| (l.r, l.s));
+        let detail = if got.candidates != baseline.candidates {
+            Some(format!(
+                "streaming({t} thread(s)) examined {} candidates, materialized {}",
+                got.candidates, baseline.candidates
+            ))
+        } else if got.stats != baseline.stats {
+            Some(format!(
+                "streaming({t} thread(s)) stats {:?} != materialized {:?}",
+                got.stats, baseline.stats
+            ))
+        } else if got_links != base_links {
+            Some(link_diff_detail(t, &base_links, &got_links))
+        } else {
+            None
+        };
+        if let Some(detail) = detail {
+            // Repro geometry: the first divergent link's pair of objects
+            // (left object i is adversarial pair i's `a`, right object j
+            // is pair j's `b`), or pair 0 for stat-level mismatches.
+            let (i, j) = first_link_diff(&base_links, &got_links).unwrap_or((0, 0));
+            return Err(Violation {
+                index: u64::from(i),
+                category: "exec_dataset",
+                kind: InvariantKind::ExecEquivalence,
+                detail,
+                a_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(i)).a),
+                b_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(j)).b),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The first `(r, s)` where the sorted link lists diverge.
+fn first_link_diff(base: &[Link], got: &[Link]) -> Option<(u32, u32)> {
+    for (a, b) in base.iter().zip(got) {
+        if a != b {
+            return Some((a.r, a.s));
+        }
+    }
+    match base.len().cmp(&got.len()) {
+        std::cmp::Ordering::Less => got.get(base.len()).map(|l| (l.r, l.s)),
+        std::cmp::Ordering::Greater => base.get(got.len()).map(|l| (l.r, l.s)),
+        std::cmp::Ordering::Equal => None,
+    }
+}
+
+fn link_diff_detail(threads: usize, base: &[Link], got: &[Link]) -> String {
+    let at = first_link_diff(base, got);
+    format!(
+        "streaming({threads} thread(s)) produced {} links, materialized {}; first divergence at {:?}",
+        got.len(),
+        base.len(),
+        at
+    )
+}
+
 /// Runs the differential check described by `config`.
 pub fn run_check(config: &CheckConfig) -> CheckReport {
     let start = Instant::now();
@@ -220,6 +321,12 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
         for r in results {
             state.merge(r);
         }
+    }
+
+    // Invariant (f): dataset-level executor equivalence.
+    if let Err(v) = check_exec_equivalence(config, &grid) {
+        state.violation_counts[kind_slot(v.kind)] += 1;
+        state.violations.push(v);
     }
 
     // Deterministic report order regardless of worker interleaving.
@@ -286,6 +393,7 @@ mod tests {
         assert!(rendered.contains("\"method_agreement\""));
         assert!(rendered.contains("\"april_soundness\""));
         assert!(rendered.contains("\"storage_fidelity\""));
+        assert!(rendered.contains("\"exec_equivalence\""));
         assert!(rendered.contains("\"shared_edge\""));
     }
 }

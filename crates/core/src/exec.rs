@@ -2,13 +2,32 @@
 //!
 //! [`TopologyJoin`] is the high-level entry point a downstream system
 //! would use: configure the method (P+C or a baseline), optionally a
-//! single predicate (`relate_p` mode), and the thread count; run it over
-//! two preprocessed [`Dataset`]s and get every non-disjoint pair's
-//! relation plus aggregate statistics.
+//! single predicate (`relate_p` mode), the thread count, and the
+//! execution strategy; run it over two preprocessed [`Dataset`]s and get
+//! every non-disjoint pair's relation plus aggregate statistics.
 //!
-//! Parallelism is per candidate-pair chunk over scoped threads;
-//! per-thread stats are merged at the end, so the aggregate matches a
-//! sequential run exactly.
+//! # Execution strategies
+//!
+//! Two [`ExecStrategy`] variants produce identical links (up to order),
+//! [`PipelineStats`], and profile totals:
+//!
+//! - [`ExecStrategy::Streaming`] (default) — the fused executor. Workers
+//!   claim [`TileTask`]s from a shared atomic counter (work-stealing by
+//!   construction), generate each task's candidate pairs into a small
+//!   per-worker batch buffer, and run the P+C pipeline (or the selected
+//!   baseline / predicate runner) over the batch immediately, while the
+//!   MBRs and APRIL spans touched by the filter step are still
+//!   cache-hot. Peak candidate-buffer memory is `O(threads ×`
+//!   [`STREAM_BATCH_PAIRS`]`)` regardless of the candidate count, and
+//!   dense tiles are split into sub-range tasks so one hot spot cannot
+//!   serialize the join.
+//! - [`ExecStrategy::Materialized`] — the original two-phase shape: run
+//!   the full MBR join first (`O(candidates)` memory), then static-chunk
+//!   the pair list across workers. Kept for differential testing and for
+//!   callers who want the raw candidate list via `stj_index::mbr_join*`.
+//!
+//! Parallel runs merge per-thread stats at the end, so the aggregate
+//! matches a sequential run exactly under either strategy.
 //!
 //! # Observability
 //!
@@ -22,17 +41,25 @@
 //!   dispatched: when off, the pair loop monomorphizes to the
 //!   uninstrumented code.
 //! - [`TopologyJoin::progress`] prints a pairs/sec heartbeat to stderr
-//!   from a monitor thread while workers count pairs in batches.
+//!   from a monitor thread while workers count pairs in batches. (The
+//!   streaming executor reports progress without a total: the candidate
+//!   count is only known once generation finishes.)
 
 use crate::arena::{DatasetArena, ObjectRef};
 use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
 use crate::pipeline::{find_relation, find_relation_profiled, FindOutcome, PipelineStats};
 use crate::relate_pred::{relate_p_profiled, RelateDetermination};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 use stj_de9im::TopoRelation;
-use stj_index::{mbr_join_parallel, MbrRelation};
+use stj_index::{mbr_join_parallel, MbrRelation, TileTask, Tiling, DEFAULT_SPLIT_THRESHOLD};
 use stj_obs::{Disabled, JoinProfile, Profiler, Progress, ProgressBatch, Recorder};
+
+/// Streaming batch size: candidate pairs buffered per worker before the
+/// pipeline runs over them. Large enough to amortize the per-batch
+/// dispatch, small enough (32 KiB of pair ids) that the batch plus the
+/// tile's MBRs stay cache-resident.
+pub const STREAM_BATCH_PAIRS: usize = 4096;
 
 /// Which find-relation method a [`TopologyJoin`] uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -58,6 +85,18 @@ impl JoinMethod {
             JoinMethod::April => find_relation_april,
         }
     }
+}
+
+/// How a [`TopologyJoin`] schedules candidate generation and refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// Fused tile-at-a-time execution: candidates stream from the tile
+    /// index straight into per-worker pipeline batches (default).
+    #[default]
+    Streaming,
+    /// Materialize the full candidate list first, then chunk it across
+    /// workers.
+    Materialized,
 }
 
 /// One discovered link: indexes into the joined datasets plus the
@@ -105,13 +144,18 @@ pub struct TopologyJoin {
     method: JoinMethod,
     predicate: Option<TopoRelation>,
     threads: usize,
+    strategy: ExecStrategy,
     profiled: bool,
     progress: bool,
 }
 
+/// Per-worker accumulation: links, stats, and (when profiling) the
+/// worker's finished profile.
+type WorkerPart = (Vec<Link>, PipelineStats, Option<JoinProfile>);
+
 impl TopologyJoin {
     /// A join with default configuration (P+C, find-relation mode,
-    /// single-threaded, unprofiled).
+    /// streaming executor, auto-detected thread count, unprofiled).
     pub fn new() -> TopologyJoin {
         TopologyJoin::default()
     }
@@ -129,9 +173,18 @@ impl TopologyJoin {
         self
     }
 
-    /// Sets the worker thread count (0 or 1 = sequential).
+    /// Sets the worker thread count. `0` (the default) auto-detects via
+    /// [`std::thread::available_parallelism`]; `1` forces a sequential
+    /// run.
     pub fn threads(mut self, threads: usize) -> TopologyJoin {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the execution strategy (default
+    /// [`ExecStrategy::Streaming`]).
+    pub fn strategy(mut self, strategy: ExecStrategy) -> TopologyJoin {
+        self.strategy = strategy;
         self
     }
 
@@ -149,10 +202,28 @@ impl TopologyJoin {
         self
     }
 
+    /// The effective worker count: explicit, or auto-detected when the
+    /// configured count is `0`.
+    fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
     /// Runs the join over two columnar arenas (owned datasets convert
     /// via [`crate::Dataset::to_arena`]).
     pub fn run(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
-        let threads = self.threads.max(1);
+        match self.strategy {
+            ExecStrategy::Streaming => self.run_streaming(left, right),
+            ExecStrategy::Materialized => self.run_materialized(left, right),
+        }
+    }
+
+    /// The materialized path: full MBR join, then static chunking.
+    fn run_materialized(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
+        let threads = self.worker_threads();
         let pairs = mbr_join_parallel(left.mbrs(), right.mbrs(), threads);
         let candidates = pairs.len() as u64;
 
@@ -178,8 +249,38 @@ impl TopologyJoin {
         }
     }
 
-    /// Statically-dispatched join body: each worker owns a fresh `P`,
-    /// finished profiles (if any) merge after the scope.
+    /// The streaming fused path: workers claim tile tasks and pipeline
+    /// each task's candidates in cache-sized batches.
+    fn run_streaming(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
+        let threads = self.worker_threads();
+        // Candidate totals are unknown until generation finishes, so the
+        // heartbeat runs without a percentage.
+        let progress = self.progress.then(|| Progress::new(0));
+        let stop = AtomicBool::new(false);
+        let (links, stats, profile) = std::thread::scope(|scope| {
+            if let Some(p) = &progress {
+                scope.spawn(|| p.run_reporter(&stop, Duration::from_secs(1)));
+            }
+            let out = if self.profiled {
+                self.stream_with::<Recorder>(left, right, threads, progress.as_ref())
+            } else {
+                self.stream_with::<Disabled>(left, right, threads, progress.as_ref())
+            };
+            stop.store(true, Ordering::Release);
+            out
+        });
+        JoinResult {
+            links,
+            // Every candidate pair passes through the pipeline exactly
+            // once, so the stat counter is the candidate count.
+            candidates: stats.pairs,
+            stats,
+            profile,
+        }
+    }
+
+    /// Statically-dispatched materialized join body: each worker owns a
+    /// fresh `P`, finished profiles (if any) merge after the scope.
     fn run_with<P: Profiler + Default + Send>(
         &self,
         left: &DatasetArena,
@@ -187,9 +288,9 @@ impl TopologyJoin {
         pairs: &[(u32, u32)],
         threads: usize,
         progress: Option<&Progress>,
-    ) -> (Vec<Link>, PipelineStats, Option<JoinProfile>) {
+    ) -> WorkerPart {
         let chunk = pairs.len().div_ceil(threads).max(1);
-        let mut parts: Vec<(Vec<Link>, PipelineStats, Option<JoinProfile>)> = Vec::new();
+        let mut parts: Vec<WorkerPart> = Vec::new();
         if threads == 1 || pairs.len() < 2 * chunk {
             parts.push(self.run_chunk::<P>(left, right, pairs, progress));
         } else {
@@ -206,31 +307,115 @@ impl TopologyJoin {
                     .collect();
             });
         }
-
-        let mut links = Vec::new();
-        let mut stats = PipelineStats::default();
-        let mut profile: Option<JoinProfile> = None;
-        for (mut l, st, prof) in parts {
-            links.append(&mut l);
-            stats.merge(&st);
-            if let Some(p) = prof {
-                profile.get_or_insert_with(JoinProfile::new).merge(&p);
-            }
-        }
-        (links, stats, profile)
+        merge_parts(parts)
     }
 
+    /// Statically-dispatched streaming join body: `threads` workers
+    /// drain the shared task counter; per-worker state merges after the
+    /// scope.
+    fn stream_with<P: Profiler + Default + Send>(
+        &self,
+        left: &DatasetArena,
+        right: &DatasetArena,
+        threads: usize,
+        progress: Option<&Progress>,
+    ) -> WorkerPart {
+        let tiling = Tiling::for_inputs(left.mbrs(), right.mbrs());
+        let tasks = tiling.tasks(DEFAULT_SPLIT_THRESHOLD);
+        let next = AtomicUsize::new(0);
+        if threads == 1 || tasks.len() < 2 {
+            return self.stream_worker::<P>(left, right, &tiling, &tasks, &next, progress);
+        }
+        let mut parts: Vec<WorkerPart> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (tiling, tasks, next) = (&tiling, &tasks, &next);
+                handles.push(scope.spawn(move || {
+                    self.stream_worker::<P>(left, right, tiling, tasks, next, progress)
+                }));
+            }
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("join worker panicked"))
+                .collect();
+        });
+        merge_parts(parts)
+    }
+
+    /// One streaming worker: claim a task, stream its candidates into
+    /// the batch buffer, flush the pipeline whenever the buffer fills,
+    /// repeat until the queue drains. The buffer is the worker's only
+    /// candidate storage — capacity [`STREAM_BATCH_PAIRS`], never grown.
+    fn stream_worker<P: Profiler + Default>(
+        &self,
+        left: &DatasetArena,
+        right: &DatasetArena,
+        tiling: &Tiling,
+        tasks: &[TileTask],
+        next: &AtomicUsize,
+        progress: Option<&Progress>,
+    ) -> WorkerPart {
+        let mut prof = P::default();
+        let mut batch = progress.map(ProgressBatch::new);
+        let mut links = Vec::new();
+        let mut stats = PipelineStats::default();
+        let mut buf: Vec<(u32, u32)> = Vec::with_capacity(STREAM_BATCH_PAIRS);
+        loop {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks.len() {
+                break;
+            }
+            tiling.run_task(&tasks[t], left.mbrs(), right.mbrs(), &mut |i, j| {
+                buf.push((i, j));
+                if buf.len() == STREAM_BATCH_PAIRS {
+                    self.process_pairs::<P>(
+                        left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
+                    );
+                    buf.clear();
+                }
+            });
+        }
+        if !buf.is_empty() {
+            self.process_pairs::<P>(
+                left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
+            );
+        }
+        (links, stats, prof.finish())
+    }
+
+    /// One materialized worker: the whole chunk is a single batch.
     fn run_chunk<P: Profiler + Default>(
         &self,
         left: &DatasetArena,
         right: &DatasetArena,
         pairs: &[(u32, u32)],
         progress: Option<&Progress>,
-    ) -> (Vec<Link>, PipelineStats, Option<JoinProfile>) {
+    ) -> WorkerPart {
         let mut prof = P::default();
         let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
+        self.process_pairs::<P>(
+            left, right, pairs, &mut prof, &mut links, &mut stats, &mut batch,
+        );
+        (links, stats, prof.finish())
+    }
+
+    /// The per-pair loop shared by both executors: runs the configured
+    /// method (or predicate) over `pairs`, appending links and folding
+    /// stats/profile into the caller's accumulators.
+    #[allow(clippy::too_many_arguments)]
+    fn process_pairs<P: Profiler>(
+        &self,
+        left: &DatasetArena,
+        right: &DatasetArena,
+        pairs: &[(u32, u32)],
+        prof: &mut P,
+        links: &mut Vec<Link>,
+        stats: &mut PipelineStats,
+        batch: &mut Option<ProgressBatch<'_>>,
+    ) {
         match self.predicate {
             None => match self.method {
                 JoinMethod::PC => {
@@ -238,7 +423,7 @@ impl TopologyJoin {
                         let out = find_relation_profiled(
                             left.object(i as usize),
                             right.object(j as usize),
-                            &mut prof,
+                            prof,
                         );
                         stats.record(&out);
                         if out.relation != TopoRelation::Disjoint {
@@ -287,7 +472,7 @@ impl TopologyJoin {
                         left.object(i as usize),
                         right.object(j as usize),
                         p,
-                        &mut prof,
+                        prof,
                     );
                     stats.pairs += 1;
                     match out.determination {
@@ -308,8 +493,22 @@ impl TopologyJoin {
                 }
             }
         }
-        (links, stats, prof.finish())
     }
+}
+
+/// Concatenates worker links and merges stats/profiles exactly.
+fn merge_parts(parts: Vec<WorkerPart>) -> WorkerPart {
+    let mut links = Vec::new();
+    let mut stats = PipelineStats::default();
+    let mut profile: Option<JoinProfile> = None;
+    for (mut l, st, prof) in parts {
+        links.append(&mut l);
+        stats.merge(&st);
+        if let Some(p) = prof {
+            profile.get_or_insert_with(JoinProfile::new).merge(&p);
+        }
+    }
+    (links, stats, profile)
 }
 
 #[cfg(test)]
@@ -341,6 +540,11 @@ mod tests {
         )
     }
 
+    fn sorted_links(mut links: Vec<Link>) -> Vec<Link> {
+        links.sort_by_key(|l| (l.r, l.s));
+        links
+    }
+
     #[test]
     fn find_relation_mode_discovers_containments() {
         let (l, r) = datasets();
@@ -361,27 +565,62 @@ mod tests {
         let base = TopologyJoin::new().method(JoinMethod::St2).run(&l, &r);
         for m in [JoinMethod::PC, JoinMethod::Op2, JoinMethod::April] {
             let out = TopologyJoin::new().method(m).run(&l, &r);
-            let mut a = base.links.clone();
-            let mut b = out.links.clone();
-            a.sort_by_key(|l| (l.r, l.s));
-            b.sort_by_key(|l| (l.r, l.s));
-            assert_eq!(a, b, "{m:?}");
+            assert_eq!(
+                sorted_links(base.links.clone()),
+                sorted_links(out.links.clone()),
+                "{m:?}"
+            );
         }
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let (l, r) = datasets();
-        let seq = TopologyJoin::new().run(&l, &r);
+        let seq = TopologyJoin::new().threads(1).run(&l, &r);
         for threads in [2, 4, 8] {
             let par = TopologyJoin::new().threads(threads).run(&l, &r);
-            let mut a = seq.links.clone();
-            let mut b = par.links.clone();
-            a.sort_by_key(|l| (l.r, l.s));
-            b.sort_by_key(|l| (l.r, l.s));
-            assert_eq!(a, b);
+            assert_eq!(
+                sorted_links(seq.links.clone()),
+                sorted_links(par.links.clone())
+            );
             assert_eq!(seq.stats, par.stats);
         }
+    }
+
+    #[test]
+    fn strategies_agree_on_links_stats_and_candidates() {
+        let (l, r) = datasets();
+        for threads in [1, 3] {
+            let streaming = TopologyJoin::new()
+                .strategy(ExecStrategy::Streaming)
+                .threads(threads)
+                .run(&l, &r);
+            let materialized = TopologyJoin::new()
+                .strategy(ExecStrategy::Materialized)
+                .threads(threads)
+                .run(&l, &r);
+            assert_eq!(
+                sorted_links(streaming.links.clone()),
+                sorted_links(materialized.links.clone())
+            );
+            assert_eq!(streaming.stats, materialized.stats);
+            assert_eq!(streaming.candidates, materialized.candidates);
+        }
+    }
+
+    #[test]
+    fn zero_threads_auto_detects() {
+        let (l, r) = datasets();
+        // threads(0) must behave like an explicit positive thread count
+        // (auto-detect), not hang or panic — and produce identical
+        // results.
+        let auto = TopologyJoin::new().threads(0).run(&l, &r);
+        let one = TopologyJoin::new().threads(1).run(&l, &r);
+        assert_eq!(
+            sorted_links(auto.links.clone()),
+            sorted_links(one.links.clone())
+        );
+        assert_eq!(auto.stats, one.stats);
     }
 
     #[test]
@@ -391,13 +630,15 @@ mod tests {
         let contains = TopologyJoin::new()
             .predicate(TopoRelation::Contains)
             .run(&l, &r);
-        let expected: Vec<_> = general
-            .links
+        let expected: Vec<_> = sorted_links(general.links.clone())
             .iter()
             .filter(|lk| lk.relation == TopoRelation::Contains)
             .map(|lk| (lk.r, lk.s))
             .collect();
-        let got: Vec<_> = contains.links.iter().map(|lk| (lk.r, lk.s)).collect();
+        let got: Vec<_> = sorted_links(contains.links.clone())
+            .iter()
+            .map(|lk| (lk.r, lk.s))
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -406,28 +647,35 @@ mod tests {
         let grid = Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4);
         let empty = Dataset::build("E", vec![], &grid).to_arena();
         let (l, _) = datasets();
-        let out = TopologyJoin::new().run(&l, &empty);
-        assert!(out.links.is_empty());
-        assert_eq!(out.candidates, 0);
+        for strategy in [ExecStrategy::Streaming, ExecStrategy::Materialized] {
+            let out = TopologyJoin::new().strategy(strategy).run(&l, &empty);
+            assert!(out.links.is_empty());
+            assert_eq!(out.candidates, 0);
+        }
     }
 
     #[test]
     fn profiled_run_reports_consistent_totals() {
         let (l, r) = datasets();
-        let out = TopologyJoin::new().profiled(true).run(&l, &r);
-        let profile = out.profile.expect("profiled run returns a profile");
-        assert_eq!(profile.pairs_decided(), out.stats.pairs);
-        assert_eq!(
-            profile.stage(stj_obs::Stage::Refinement).decided,
-            out.stats.refined
-        );
-        // Every candidate pair passes MBR classification exactly once.
-        assert_eq!(
-            profile.stage(stj_obs::Stage::MbrClassify).latency.count(),
-            out.candidates
-        );
-        let class_pairs: u64 = profile.classes.iter().map(|c| c.pairs).sum();
-        assert_eq!(class_pairs, out.candidates);
+        for strategy in [ExecStrategy::Streaming, ExecStrategy::Materialized] {
+            let out = TopologyJoin::new()
+                .strategy(strategy)
+                .profiled(true)
+                .run(&l, &r);
+            let profile = out.profile.expect("profiled run returns a profile");
+            assert_eq!(profile.pairs_decided(), out.stats.pairs);
+            assert_eq!(
+                profile.stage(stj_obs::Stage::Refinement).decided,
+                out.stats.refined
+            );
+            // Every candidate pair passes MBR classification exactly once.
+            assert_eq!(
+                profile.stage(stj_obs::Stage::MbrClassify).latency.count(),
+                out.candidates
+            );
+            let class_pairs: u64 = profile.classes.iter().map(|c| c.pairs).sum();
+            assert_eq!(class_pairs, out.candidates);
+        }
     }
 
     #[test]

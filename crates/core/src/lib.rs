@@ -55,7 +55,9 @@ pub use arena::{
     zero_copy_supported, ArenaColumns, ArenaError, ColumnSpans, DatasetArena, ObjectRef,
 };
 pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
-pub use exec::{mbr_class_labels, JoinMethod, JoinResult, Link, TopologyJoin};
+pub use exec::{
+    mbr_class_labels, ExecStrategy, JoinMethod, JoinResult, Link, TopologyJoin, STREAM_BATCH_PAIRS,
+};
 pub use filters::{intermediate_filter, IfOutcome};
 pub use object::{Dataset, SpatialObject};
 pub use pipeline::{

@@ -13,4 +13,4 @@ pub mod mbr_class;
 pub mod mbr_join;
 
 pub use mbr_class::MbrRelation;
-pub use mbr_join::{mbr_join, mbr_join_parallel};
+pub use mbr_join::{mbr_join, mbr_join_parallel, TileTask, Tiling, DEFAULT_SPLIT_THRESHOLD};

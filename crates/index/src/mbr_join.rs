@@ -4,16 +4,33 @@
 //! that the topology pipeline consumes, in the style of the partitioned
 //! in-memory plane-sweep joins the paper builds on \[39\]: partition the
 //! space into a uniform tile grid, replicate each MBR into every tile it
-//! overlaps, forward-scan plane-sweep within each tile, and deduplicate
-//! replicated results with the reference-point technique (a pair is
-//! reported only by the tile containing the top-left corner of the two
-//! MBRs' intersection).
+//! overlaps, forward-scan within each tile on xmin order, and
+//! deduplicate replicated results with the reference-point technique (a
+//! pair is reported only by the tile containing the top-left corner of
+//! the two MBRs' intersection).
+//!
+//! The [`Tiling`] is a reusable index: per-tile id lists are sorted by
+//! xmin **once at build time**, and candidate generation is exposed as a
+//! set of [`TileTask`]s that emit pairs through a caller-supplied sink
+//! (`FnMut(u32, u32)`), so executors can fuse downstream work into the
+//! scan instead of materializing a global candidate vector. Tiles whose
+//! estimated work (`|r_tile| × |s_tile|`) exceeds a split threshold are
+//! divided into sub-range tasks, so one dense tile cannot serialize a
+//! parallel join.
+//!
+//! [`mbr_join`] / [`mbr_join_parallel`] remain the materializing
+//! wrappers: they run every task and collect the pairs into a `Vec`.
 //!
 //! The paper excludes this step's cost from its measurements; we provide
-//! it so the harness is end-to-end runnable, plus a thread-parallel
-//! variant for faster dataset preparation.
+//! it so the harness is end-to-end runnable.
 
 use stj_geom::Rect;
+
+/// Default skew-split threshold for [`Tiling::tasks`]: tiles whose
+/// `|r_tile| × |s_tile|` product exceeds this are split into sub-range
+/// tasks. With the build heuristic of a few dozen objects per tile the
+/// typical product is ~10³, so only genuinely dense tiles split.
+pub const DEFAULT_SPLIT_THRESHOLD: u64 = 16 * 1024;
 
 /// Joins two MBR collections, returning every pair `(i, j)` with
 /// `r[i]` intersecting `s[j]` (closed semantics: touching counts).
@@ -23,14 +40,14 @@ use stj_geom::Rect;
 pub fn mbr_join(r: &[Rect], s: &[Rect]) -> Vec<(u32, u32)> {
     let tiles = Tiling::for_inputs(r, s);
     let mut out = Vec::new();
-    for tile in 0..tiles.num_tiles() {
-        tiles.join_tile(tile, r, s, &mut out);
+    for task in tiles.tasks(DEFAULT_SPLIT_THRESHOLD) {
+        tiles.run_task(&task, r, s, &mut |i, j| out.push((i, j)));
     }
     out
 }
 
-/// Parallel variant of [`mbr_join`]: tiles are processed by a scoped
-/// thread pool and the per-tile results concatenated.
+/// Parallel variant of [`mbr_join`]: workers drain the task queue and
+/// the per-worker results are concatenated.
 ///
 /// The output contains the same pair set as [`mbr_join`] (order may
 /// differ).
@@ -40,22 +57,23 @@ pub fn mbr_join_parallel(r: &[Rect], s: &[Rect], threads: usize) -> Vec<(u32, u3
         return mbr_join(r, s);
     }
     let tiles = Tiling::for_inputs(r, s);
-    let n_tiles = tiles.num_tiles();
+    let tasks = tiles.tasks(DEFAULT_SPLIT_THRESHOLD);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Vec<(u32, u32)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let tiles = &tiles;
+            let tasks = &tasks;
             let next = &next;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
                     let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if t >= n_tiles {
+                    if t >= tasks.len() {
                         break;
                     }
-                    tiles.join_tile(t, r, s, &mut local);
+                    tiles.run_task(&tasks[t], r, s, &mut |i, j| local.push((i, j)));
                 }
                 local
             }));
@@ -73,16 +91,47 @@ pub fn mbr_join_parallel(r: &[Rect], s: &[Rect], threads: usize) -> Vec<(u32, u3
     out
 }
 
-/// A uniform tile partitioning with per-tile object id lists.
-struct Tiling {
+/// One unit of candidate-generation work: a tile (or a sub-range of a
+/// dense tile) whose pairs are emitted by [`Tiling::run_task`].
+///
+/// The ranges index into the tile's xmin-sorted id lists. A task *owns*
+/// the r-events in `r_lo..r_hi` and the s-events in `s_lo..s_hi`: an
+/// r-event emits the pairs whose partner starts at-or-after it on the
+/// x-axis, an s-event the pairs whose partner starts strictly after it,
+/// so every pair belongs to exactly one event and splitting the event
+/// ranges partitions the tile's output exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileTask {
+    /// Tile index in `0..num_tiles()`.
+    pub tile: u32,
+    /// Start of the owned range in the tile's sorted `r` id list.
+    pub r_lo: u32,
+    /// End (exclusive) of the owned `r` range.
+    pub r_hi: u32,
+    /// Start of the owned range in the tile's sorted `s` id list.
+    pub s_lo: u32,
+    /// End (exclusive) of the owned `s` range.
+    pub s_hi: u32,
+}
+
+/// A uniform tile partitioning with per-tile object id lists, sorted by
+/// xmin at build time so candidate generation never re-sorts.
+pub struct Tiling {
     universe: Rect,
     k: u32,
+    /// Tiles per unit of x/y: precomputed `k / universe.{width,height}`
+    /// so the per-pair dedup check does no divisions.
+    inv_w: f64,
+    inv_h: f64,
     r_tiles: Vec<Vec<u32>>,
     s_tiles: Vec<Vec<u32>>,
 }
 
 impl Tiling {
-    fn for_inputs(r: &[Rect], s: &[Rect]) -> Tiling {
+    /// Builds the tile index for the two MBR collections: picks the grid
+    /// resolution, replicates each MBR into the tiles it overlaps, and
+    /// sorts every tile's id list by xmin.
+    pub fn for_inputs(r: &[Rect], s: &[Rect]) -> Tiling {
         let mut universe = Rect::empty();
         for m in r.iter().chain(s) {
             universe.grow_rect(m);
@@ -96,26 +145,38 @@ impl Tiling {
         let mut t = Tiling {
             universe,
             k,
+            inv_w: f64::from(k) / universe.width().max(f64::MIN_POSITIVE),
+            inv_h: f64::from(k) / universe.height().max(f64::MIN_POSITIVE),
             r_tiles: vec![Vec::new(); (k * k) as usize],
             s_tiles: vec![Vec::new(); (k * k) as usize],
         };
         t.assign(r, true);
         t.assign(s, false);
+        for (tiles, mbrs) in [(&mut t.r_tiles, r), (&mut t.s_tiles, s)] {
+            for ids in tiles.iter_mut() {
+                ids.sort_unstable_by(|&a, &b| {
+                    mbrs[a as usize]
+                        .min
+                        .x
+                        .partial_cmp(&mbrs[b as usize].min.x)
+                        .expect("finite")
+                });
+            }
+        }
         t
     }
 
-    fn num_tiles(&self) -> usize {
+    /// Number of tiles in the grid (`k × k`).
+    pub fn num_tiles(&self) -> usize {
         (self.k * self.k) as usize
     }
 
     fn tile_span(&self, m: &Rect) -> (u32, u32, u32, u32) {
-        let w = self.universe.width().max(f64::MIN_POSITIVE);
-        let h = self.universe.height().max(f64::MIN_POSITIVE);
         let clamp = |v: f64| -> u32 { (v as i64).clamp(0, i64::from(self.k - 1)) as u32 };
-        let x0 = clamp((m.min.x - self.universe.min.x) / w * f64::from(self.k));
-        let x1 = clamp((m.max.x - self.universe.min.x) / w * f64::from(self.k));
-        let y0 = clamp((m.min.y - self.universe.min.y) / h * f64::from(self.k));
-        let y1 = clamp((m.max.y - self.universe.min.y) / h * f64::from(self.k));
+        let x0 = clamp((m.min.x - self.universe.min.x) * self.inv_w);
+        let x1 = clamp((m.max.x - self.universe.min.x) * self.inv_w);
+        let y0 = clamp((m.min.y - self.universe.min.y) * self.inv_h);
+        let y1 = clamp((m.max.y - self.universe.min.y) * self.inv_h);
         (x0, x1, y0, y1)
     }
 
@@ -136,66 +197,99 @@ impl Tiling {
     }
 
     /// Reference-point dedup: report a pair only from the tile containing
-    /// the intersection rectangle's min corner.
+    /// the intersection rectangle's min corner. Division-free: uses the
+    /// precomputed inverse tile extents.
     fn owns_pair(&self, tile: usize, a: &Rect, b: &Rect) -> bool {
-        let ix = a.min.x.max(b.min.x);
-        let iy = a.min.y.max(b.min.y);
-        let (x0, x1, y0, y1) = self.tile_span(&Rect::from_coords(ix, iy, ix, iy));
-        debug_assert!(x0 == x1 && y0 == y1);
-        tile as u32 == y0 * self.k + x0
+        let clamp = |v: f64| -> u32 { (v as i64).clamp(0, i64::from(self.k - 1)) as u32 };
+        let tx = clamp((a.min.x.max(b.min.x) - self.universe.min.x) * self.inv_w);
+        let ty = clamp((a.min.y.max(b.min.y) - self.universe.min.y) * self.inv_h);
+        tile as u32 == ty * self.k + tx
     }
 
-    fn join_tile(&self, tile: usize, r: &[Rect], s: &[Rect], out: &mut Vec<(u32, u32)>) {
-        let ri = &self.r_tiles[tile];
-        let si = &self.s_tiles[tile];
-        if ri.is_empty() || si.is_empty() {
-            return;
-        }
-        // Forward-scan plane sweep on xmin.
-        let mut rs: Vec<u32> = ri.clone();
-        let mut ss: Vec<u32> = si.clone();
-        rs.sort_unstable_by(|&a, &b| {
-            r[a as usize]
-                .min
-                .x
-                .partial_cmp(&r[b as usize].min.x)
-                .expect("finite")
-        });
-        ss.sort_unstable_by(|&a, &b| {
-            s[a as usize]
-                .min
-                .x
-                .partial_cmp(&s[b as usize].min.x)
-                .expect("finite")
-        });
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < rs.len() && j < ss.len() {
-            let ra = &r[rs[i] as usize];
-            let sb = &s[ss[j] as usize];
-            if ra.min.x <= sb.min.x {
-                for &sj in ss[j..].iter() {
-                    let m = &s[sj as usize];
-                    if m.min.x > ra.max.x {
-                        break;
-                    }
-                    if ra.intersects(m) && self.owns_pair(tile, ra, m) {
-                        out.push((rs[i], sj));
-                    }
-                }
-                i += 1;
-            } else {
-                for &rj in rs[i..].iter() {
-                    let m = &r[rj as usize];
-                    if m.min.x > sb.max.x {
-                        break;
-                    }
-                    if m.intersects(sb) && self.owns_pair(tile, m, sb) {
-                        out.push((rj, ss[j]));
-                    }
-                }
-                j += 1;
+    /// The task list covering every tile's output exactly once, with
+    /// tiles whose estimated work `|r_tile| × |s_tile|` exceeds
+    /// `split_threshold` divided into proportional sub-range tasks (see
+    /// [`DEFAULT_SPLIT_THRESHOLD`]). Tasks are independent: any
+    /// assignment of tasks to workers produces the same pair set.
+    pub fn tasks(&self, split_threshold: u64) -> Vec<TileTask> {
+        let threshold = split_threshold.max(1);
+        let mut out = Vec::new();
+        for tile in 0..self.num_tiles() {
+            let nr = self.r_tiles[tile].len() as u64;
+            let ns = self.s_tiles[tile].len() as u64;
+            if nr == 0 || ns == 0 {
+                continue;
+            }
+            // One task per `threshold` of estimated work, but never finer
+            // than one event per task.
+            let parts = (((nr * ns).div_ceil(threshold)).min(nr.max(ns)).max(1)) as u32;
+            let (nr, ns) = (nr as u32, ns as u32);
+            for p in 0..parts {
+                out.push(TileTask {
+                    tile: tile as u32,
+                    r_lo: nr * p / parts,
+                    r_hi: nr * (p + 1) / parts,
+                    s_lo: ns * p / parts,
+                    s_hi: ns * (p + 1) / parts,
+                });
             }
         }
+        out
+    }
+
+    /// Runs one task, emitting each candidate pair `(i, j)` — `r[i]`
+    /// intersects `s[j]`, deduplicated across tiles — into `sink`.
+    pub fn run_task(
+        &self,
+        task: &TileTask,
+        r: &[Rect],
+        s: &[Rect],
+        sink: &mut impl FnMut(u32, u32),
+    ) {
+        let tile = task.tile as usize;
+        let rs = &self.r_tiles[tile];
+        let ss = &self.s_tiles[tile];
+        // r-events: pairs whose s starts at-or-after the r on x.
+        for &ri in &rs[task.r_lo as usize..task.r_hi as usize] {
+            let ra = &r[ri as usize];
+            let j0 = ss.partition_point(|&sj| s[sj as usize].min.x < ra.min.x);
+            for &sj in &ss[j0..] {
+                let m = &s[sj as usize];
+                if m.min.x > ra.max.x {
+                    break;
+                }
+                if ra.intersects(m) && self.owns_pair(tile, ra, m) {
+                    sink(ri, sj);
+                }
+            }
+        }
+        // s-events: pairs whose r starts strictly after the s on x.
+        for &sj in &ss[task.s_lo as usize..task.s_hi as usize] {
+            let sb = &s[sj as usize];
+            let i0 = rs.partition_point(|&ri| r[ri as usize].min.x <= sb.min.x);
+            for &ri in &rs[i0..] {
+                let m = &r[ri as usize];
+                if m.min.x > sb.max.x {
+                    break;
+                }
+                if m.intersects(sb) && self.owns_pair(tile, m, sb) {
+                    sink(ri, sj);
+                }
+            }
+        }
+    }
+
+    /// Convenience: appends every pair owned by `tile` to `out`
+    /// (equivalent to running the tile's full-range task).
+    pub fn join_tile(&self, tile: usize, r: &[Rect], s: &[Rect], out: &mut Vec<(u32, u32)>) {
+        let task = TileTask {
+            tile: tile as u32,
+            r_lo: 0,
+            r_hi: self.r_tiles[tile].len() as u32,
+            s_lo: 0,
+            s_hi: self.s_tiles[tile].len() as u32,
+        };
+        self.run_task(&task, r, s, &mut |i, j| out.push((i, j)));
     }
 }
 
@@ -300,5 +394,78 @@ mod tests {
         let r = vec![Rect::from_coords(5.0, 5.0, 5.0, 5.0); 3];
         let s = vec![Rect::from_coords(5.0, 5.0, 5.0, 5.0); 2];
         assert_eq!(mbr_join(&r, &s).len(), 6);
+    }
+
+    /// Collects the pair set produced by running every task under the
+    /// given split threshold.
+    fn pairs_via_tasks(r: &[Rect], s: &[Rect], threshold: u64) -> Vec<(u32, u32)> {
+        let tiles = Tiling::for_inputs(r, s);
+        let mut out = Vec::new();
+        for task in tiles.tasks(threshold) {
+            tiles.run_task(&task, r, s, &mut |i, j| out.push((i, j)));
+        }
+        out
+    }
+
+    #[test]
+    fn splitting_preserves_the_pair_set() {
+        let r = random_rects(400, 9, 200.0, 20.0);
+        let s = random_rects(450, 10, 200.0, 20.0);
+        let expect = sorted(brute(&r, &s));
+        // Thresholds from "never split" down to "split to single events":
+        // the emitted pair set must not change.
+        for threshold in [u64::MAX, DEFAULT_SPLIT_THRESHOLD, 64, 1] {
+            assert_eq!(
+                sorted(pairs_via_tasks(&r, &s, threshold)),
+                expect,
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_tile_splits_into_bounded_tasks() {
+        // Everything piled into one spot: a single dense tile.
+        let r = vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0); 256];
+        let s = vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0); 256];
+        let tiles = Tiling::for_inputs(&r, &s);
+        let tasks = tiles.tasks(1024);
+        // 256 × 256 = 65536 estimated work → at least 64 sub-tasks for
+        // each tile the (replicated) objects land in.
+        assert!(tasks.len() >= 64, "got {} tasks", tasks.len());
+        // Within each tile, the ranges cover the event lists contiguously.
+        let mut cover: std::collections::BTreeMap<u32, (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for t in &tasks {
+            let (r_cover, s_cover) = cover.entry(t.tile).or_insert((0, 0));
+            assert_eq!(t.r_lo, *r_cover);
+            assert_eq!(t.s_lo, *s_cover);
+            *r_cover = t.r_hi;
+            *s_cover = t.s_hi;
+        }
+        for (&tile, &(r_cover, s_cover)) in &cover {
+            assert_eq!((r_cover, s_cover), (256, 256), "tile {tile}");
+        }
+        // And the output is still the full cross product, exactly once.
+        let mut out = Vec::new();
+        for task in &tasks {
+            tiles.run_task(task, &r, &s, &mut |i, j| out.push((i, j)));
+        }
+        assert_eq!(sorted(out), sorted(brute(&r, &s)));
+    }
+
+    #[test]
+    fn tasks_skip_empty_tiles() {
+        let r = vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)];
+        let s = vec![Rect::from_coords(500.0, 500.0, 501.0, 501.0)];
+        let tiles = Tiling::for_inputs(&r, &s);
+        // Disjoint corners: no tile holds both an r and an s (k = 1 puts
+        // them together, but with one object each the task list is at
+        // most one entry and emits nothing).
+        let mut out = Vec::new();
+        for task in tiles.tasks(DEFAULT_SPLIT_THRESHOLD) {
+            tiles.run_task(&task, &r, &s, &mut |i, j| out.push((i, j)));
+        }
+        assert!(out.is_empty());
     }
 }

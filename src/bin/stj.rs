@@ -13,7 +13,12 @@
 //! stj join <LEFT.stjd> <RIGHT.stjd> [opts]  run the topology join
 //!     --method pc|st2|op2|april   (default pc)
 //!     --predicate REL             relate_p mode (inside, meets, ...)
-//!     --threads N                 worker threads (default: all cores)
+//!     --exec streaming|materialized  executor strategy (default
+//!                                 streaming: fused tile-at-a-time
+//!                                 candidate generation; materialized
+//!                                 builds the full candidate list first)
+//!     --threads N                 worker threads (0 = auto-detect via
+//!                                 available_parallelism; default 0)
 //!     --ntriples OUT.nt           write GeoSPARQL links as N-Triples
 //!     --stats-json OUT.json       write a machine-readable join report
 //!                                 (per-stage latency histograms included;
@@ -42,7 +47,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use stjoin::core::linking::links_to_ntriples;
 use stjoin::core::DatasetArena;
-use stjoin::core::{JoinMethod, TopologyJoin};
+use stjoin::core::{ExecStrategy, JoinMethod, TopologyJoin};
 use stjoin::datagen::DatasetId;
 use stjoin::geom::wkt::polygon_from_wkt;
 use stjoin::obs::Json;
@@ -85,7 +90,8 @@ USAGE:
                  [--format v1|v2]
   stj info <DATASET.stjd>
   stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
-           [--predicate REL] [--threads N] [--ntriples OUT.nt]
+           [--predicate REL] [--exec streaming|materialized]
+           [--threads N (0 = auto)] [--ntriples OUT.nt]
            [--stats-json OUT.json] [--progress] [--quiet]
   stj check [--seed S] [--pairs N] [--threads N] [--order N]
             [--json OUT.json] [--dump OUT.wkt]
@@ -226,7 +232,10 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let mut method = JoinMethod::PC;
     let mut method_name = "pc";
     let mut predicate: Option<TopoRelation> = None;
-    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut strategy = ExecStrategy::Streaming;
+    let mut strategy_name = "streaming";
+    // 0 = auto-detect (available_parallelism), resolved by TopologyJoin.
+    let mut threads = 0usize;
     let mut ntriples: Option<String> = None;
     let mut stats_json: Option<String> = None;
     let mut progress = false;
@@ -245,6 +254,18 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
                 };
             }
             "--predicate" => predicate = Some(parse_relation(&next_arg(&mut it, "--predicate")?)?),
+            "--exec" => {
+                let name = next_arg(&mut it, "--exec")?;
+                (strategy, strategy_name) = match name.as_str() {
+                    "streaming" => (ExecStrategy::Streaming, "streaming"),
+                    "materialized" => (ExecStrategy::Materialized, "materialized"),
+                    other => {
+                        return Err(format!(
+                            "unknown exec strategy {other:?} (expected streaming or materialized)"
+                        ))
+                    }
+                };
+            }
             "--threads" => {
                 threads = next_arg(&mut it, "--threads")?
                     .parse()
@@ -272,6 +293,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
 
     let mut join = TopologyJoin::new()
         .method(method)
+        .strategy(strategy)
         .threads(threads)
         .profiled(stats_json.is_some())
         .progress(progress);
@@ -306,13 +328,19 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = stats_json {
+        let effective_threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
         let report = join_report(
             &out,
             left.name(),
             right.name(),
             method_name,
+            strategy_name,
             predicate,
-            threads,
+            effective_threads,
             dt,
             &histogram,
         );
@@ -346,6 +374,7 @@ fn join_report(
     left: &str,
     right: &str,
     method: &str,
+    exec: &str,
     predicate: Option<TopoRelation>,
     threads: usize,
     wall: std::time::Duration,
@@ -357,6 +386,7 @@ fn join_report(
         ("left", Json::str(left)),
         ("right", Json::str(right)),
         ("method", Json::str(method)),
+        ("exec", Json::str(exec)),
         (
             "predicate",
             predicate.map_or(Json::Null, |p| Json::str(p.to_string())),

@@ -74,19 +74,20 @@ pub use stj_store as store;
 
 pub use stj_core::{
     find_relation, find_relation_april, find_relation_op2, find_relation_st2, relate_p, Dataset,
-    DatasetArena, Determination, FindOutcome, ObjectRef, PipelineStats, RelateDetermination,
-    RelateOutcome, SpatialObject,
+    DatasetArena, Determination, ExecStrategy, FindOutcome, JoinMethod, JoinResult, Link,
+    ObjectRef, PipelineStats, RelateDetermination, RelateOutcome, SpatialObject, TopologyJoin,
 };
 pub use stj_de9im::{relate, De9Im, Mask, TopoRelation};
 pub use stj_geom::{MultiPolygon, Point, Polygon, Rect, Ring, Segment};
-pub use stj_index::{mbr_join, mbr_join_parallel, MbrRelation};
+pub use stj_index::{mbr_join, mbr_join_parallel, MbrRelation, TileTask, Tiling};
 pub use stj_raster::{AprilApprox, Grid, IntervalList};
 
 /// Convenience glob-import module: `use stjoin::prelude::*;`.
 pub mod prelude {
     pub use stj_core::{
         find_relation, find_relation_april, find_relation_op2, find_relation_st2, relate_p,
-        Dataset, DatasetArena, Determination, FindOutcome, ObjectRef, PipelineStats, SpatialObject,
+        Dataset, DatasetArena, Determination, ExecStrategy, FindOutcome, JoinMethod, Link,
+        ObjectRef, PipelineStats, SpatialObject, TopologyJoin,
     };
     pub use stj_de9im::{relate, De9Im, TopoRelation};
     pub use stj_geom::{MultiPolygon, Point, Polygon, Rect, Ring, Segment};
