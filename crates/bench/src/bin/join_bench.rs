@@ -218,7 +218,7 @@ fn main() {
         ("stream_batch_pairs", Json::from(STREAM_BATCH_PAIRS)),
         ("runs", Json::Arr(entries)),
     ]);
-    let path = std::env::var("STJ_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let path = stj_bench::experiments::bench_output_path("BENCH_PR4.json");
     std::fs::write(&path, report.render()).expect("write bench json");
     eprintln!("wrote {path}");
 }

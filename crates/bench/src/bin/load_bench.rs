@@ -245,7 +245,7 @@ fn main() {
             ]),
         ),
     ]);
-    let path = std::env::var("STJ_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let path = stj_bench::experiments::bench_output_path("BENCH_PR3.json");
     std::fs::write(&path, report.render()).expect("write bench json");
     eprintln!("wrote {path}");
 }

@@ -1,0 +1,236 @@
+//! Serving benchmark: throughput and tail latency of the `stj-serve`
+//! request pipeline at 1, 4, and 16 concurrent connections.
+//!
+//! The server runs in-process on a loopback port with deadlines
+//! disabled, so the numbers measure the query pipeline plus transport —
+//! not load shedding. Each client thread drives a framed
+//! [`stj_serve::Client`] (keep-alive, length-prefixed frames) through a
+//! deterministic probe schedule:
+//!
+//! - **relate** — ad-hoc WKT probes drawn from a fixed pool, revisited
+//!   often enough that the probe cache sees a realistic mix of hits and
+//!   misses (the per-run hit counts are reported);
+//! - **pair** — stored-object lookups, the cheapest full-pipeline
+//!   request, which bounds the transport + dispatch overhead.
+//!
+//! Every response is sanity-checked (status 200, non-empty body) and
+//! per-request latency goes into a thread-private [`stj_obs::Histogram`]
+//! merged after the run, so recording never serializes the clients.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p stj-bench --bin serve_bench
+//! ```
+//!
+//! Telemetry (`stj-bench/v1`) goes to `BENCH_PR5.json`, or the path in
+//! `$STJ_BENCH_JSON`. `$STJ_SERVE_BENCH_SCALE` scales the dataset
+//! (default 0.1); `$STJ_SERVE_BENCH_REQS` sets the request count per
+//! connection per run (default 400).
+
+use std::time::Instant;
+use stj_core::Dataset;
+use stj_datagen::{generate, DatasetId};
+use stj_geom::wkt::polygon_to_wkt;
+use stj_geom::Rect;
+use stj_index::Tiling;
+use stj_obs::{Histogram, Json};
+use stj_raster::Grid;
+use stj_serve::{Client, LoadedDataset, ServeConfig, ServeCtx, Server};
+
+/// One endpoint's measured run at a given connection count.
+struct RunSample {
+    endpoint: &'static str,
+    connections: usize,
+    requests: u64,
+    wall_ns: u64,
+    hist: Histogram,
+    cache_hits_delta: u64,
+}
+
+fn run_clients(
+    addr: &str,
+    connections: usize,
+    requests_per_conn: u64,
+    targets: &[(String, Vec<u8>)],
+) -> (u64, u64, Histogram) {
+    let t = Instant::now();
+    let per_thread: Vec<Histogram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::new(addr, true);
+                    let mut hist = Histogram::new();
+                    for i in 0..requests_per_conn {
+                        // Offset each connection's schedule so concurrent
+                        // clients are not in lock-step on one cache entry.
+                        let idx = ((i + c as u64 * 7) % targets.len() as u64) as usize;
+                        let (target, body) = &targets[idx];
+                        let method = if body.is_empty() { "GET" } else { "POST" };
+                        let t0 = Instant::now();
+                        let (status, resp) = client
+                            .request(method, target, body)
+                            .expect("bench request failed");
+                        let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        assert_eq!(status, 200, "bench request got {status}: {target}");
+                        assert!(!resp.is_empty(), "empty response body: {target}");
+                        hist.record(ns);
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall_ns = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let mut merged = Histogram::new();
+    for h in &per_thread {
+        merged.merge(h);
+    }
+    (connections as u64 * requests_per_conn, wall_ns, merged)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("STJ_SERVE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let requests_per_conn: u64 = std::env::var("STJ_SERVE_BENCH_REQS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
+        .max(1);
+    let build_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    // Lakes probed against parks: the same correlated pairing the join
+    // benches use, so relate probes actually hit candidates.
+    let parks = generate(DatasetId::OPE, scale);
+    let lakes = generate(DatasetId::OLE, scale);
+    let mut extent = Rect::empty();
+    for p in parks.iter().chain(&lakes) {
+        extent.grow_rect(p.mbr());
+    }
+    let grid = Grid::new(extent, 12);
+
+    // Probe pool: 64 lake polygons as ad-hoc WKT, reused round-robin so
+    // the cache sees repeats.
+    let probes: Vec<String> = lakes
+        .iter()
+        .step_by((lakes.len() / 64).max(1))
+        .take(64)
+        .map(polygon_to_wkt)
+        .collect();
+
+    let arena = Dataset::build_parallel("OPE", parks, &grid, build_threads).to_arena();
+    let n = arena.len();
+    let tiling = Tiling::for_probes(arena.mbrs());
+    let datasets = vec![LoadedDataset {
+        name: "OPE".to_string(),
+        arena,
+        grid,
+        tiling,
+    }];
+    eprintln!("serving {n} objects, {} probe polygons", probes.len());
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 0,
+        queue_depth: 256,
+        cache_mb: 64,
+        deadline_ms: 0,
+        max_links: 100_000,
+    };
+    let server = Server::bind(ServeCtx::new(config, datasets)).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let ctx = server.ctx();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    eprintln!("server on {addr}");
+
+    // Request schedules. Bodies ride in the frame payload for relate;
+    // pair is a pure GET with query parameters.
+    let relate_targets: Vec<(String, Vec<u8>)> = probes
+        .iter()
+        .map(|wkt| {
+            (
+                "/v1/relate?dataset=OPE&limit=16".to_string(),
+                wkt.clone().into_bytes(),
+            )
+        })
+        .collect();
+    let pair_targets: Vec<(String, Vec<u8>)> = (0..64u64)
+        .map(|i| {
+            let l = (i * 131) % n as u64;
+            let r = (i * 137 + 1) % n as u64;
+            (
+                format!("/v1/pair?left=OPE&i={l}&right=OPE&j={r}"),
+                Vec::new(),
+            )
+        })
+        .collect();
+
+    let mut samples = Vec::new();
+    for connections in [1usize, 4, 16] {
+        for (endpoint, targets) in [("relate", &relate_targets), ("pair", &pair_targets)] {
+            let hits0 = ctx.cache.hits.get();
+            let (requests, wall_ns, hist) =
+                run_clients(&addr, connections, requests_per_conn, targets);
+            let cache_hits_delta = ctx.cache.hits.get() - hits0;
+            let req_per_sec = requests as f64 / (wall_ns as f64 / 1e9).max(1e-12);
+            eprintln!(
+                "{endpoint:<7} x{connections:<2}  {:>8.0} req/s  p50 {:>7.1} us  p99 {:>8.1} us  ({} cache hits)",
+                req_per_sec,
+                hist.p50() as f64 / 1e3,
+                hist.p99() as f64 / 1e3,
+                cache_hits_delta,
+            );
+            samples.push(RunSample {
+                endpoint,
+                connections,
+                requests,
+                wall_ns,
+                hist,
+                cache_hits_delta,
+            });
+        }
+    }
+
+    shutdown.trigger();
+    server_thread.join().expect("server thread");
+    eprintln!("server drained");
+
+    let entries: Vec<Json> = samples
+        .iter()
+        .map(|s| {
+            let req_per_sec = s.requests as f64 / (s.wall_ns as f64 / 1e9).max(1e-12);
+            Json::object([
+                ("endpoint", Json::str(s.endpoint)),
+                ("connections", Json::from(s.connections)),
+                ("requests", Json::U64(s.requests)),
+                ("wall_ns", Json::U64(s.wall_ns)),
+                ("req_per_sec", Json::F64(req_per_sec)),
+                ("p50_ns", Json::U64(s.hist.p50())),
+                ("p95_ns", Json::U64(s.hist.p95())),
+                ("p99_ns", Json::U64(s.hist.p99())),
+                ("max_ns", Json::U64(s.hist.max())),
+                ("mean_ns", Json::F64(s.hist.mean())),
+                ("cache_hits", Json::U64(s.cache_hits_delta)),
+            ])
+        })
+        .collect();
+    let report = Json::object([
+        ("schema", Json::str("stj-bench/v1")),
+        ("benchmark", Json::str("serve_throughput")),
+        ("dataset", Json::str("OPE")),
+        ("objects", Json::from(n)),
+        ("probe_pool", Json::from(probes.len())),
+        ("requests_per_connection", Json::U64(requests_per_conn)),
+        ("transport", Json::str("framed")),
+        ("runs", Json::Arr(entries)),
+    ]);
+    let path = stj_bench::experiments::bench_output_path("BENCH_PR5.json");
+    std::fs::write(&path, report.render()).expect("write bench json");
+    eprintln!("wrote {path}");
+}

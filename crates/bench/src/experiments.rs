@@ -183,10 +183,38 @@ pub fn bench_report(reports: &[ComboReport], scale: f64) -> Json {
     ])
 }
 
-/// Where [`repro_all`] writes its telemetry: `$STJ_BENCH_JSON`, or
-/// `BENCH_PR1.json` in the working directory by default.
+/// Where a bench binary writes its telemetry. All harness binaries
+/// resolve their output through this one rule so `$STJ_BENCH_JSON`
+/// works uniformly:
+///
+/// - unset → `default_name` in the working directory;
+/// - set to a directory (existing, or any value ending in `/`) →
+///   `dir/default_name`, letting one variable redirect *every* bench
+///   artifact without filename collisions;
+/// - set to anything else → used verbatim as the output file.
+pub fn bench_output_path(default_name: &str) -> String {
+    resolve_bench_output(
+        std::env::var("STJ_BENCH_JSON").ok().as_deref(),
+        default_name,
+    )
+}
+
+/// The pure resolution rule behind [`bench_output_path`].
+pub fn resolve_bench_output(env: Option<&str>, default_name: &str) -> String {
+    match env {
+        None => default_name.to_string(),
+        Some(v) if v.ends_with('/') || std::path::Path::new(v).is_dir() => std::path::Path::new(v)
+            .join(default_name)
+            .display()
+            .to_string(),
+        Some(v) => v.to_string(),
+    }
+}
+
+/// Where [`repro_all`] writes its telemetry: `$STJ_BENCH_JSON` (see
+/// [`bench_output_path`]), or `BENCH_PR1.json` by default.
 pub fn bench_json_path() -> String {
-    std::env::var("STJ_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR1.json".to_string())
+    bench_output_path("BENCH_PR1.json")
 }
 
 /// Table 4 + Figure 8: OLE-OPE pairs grouped into 10 equi-depth

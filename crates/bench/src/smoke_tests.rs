@@ -65,4 +65,31 @@ mod tests {
             assert!(doc.contains(key), "missing {key} in {doc}");
         }
     }
+
+    #[test]
+    fn bench_output_path_resolves_files_and_directories() {
+        use crate::experiments::resolve_bench_output;
+        // Unset: the binary's default name, in the working directory.
+        assert_eq!(
+            resolve_bench_output(None, "BENCH_PR5.json"),
+            "BENCH_PR5.json"
+        );
+        // A plain value is taken verbatim as the output file.
+        assert_eq!(
+            resolve_bench_output(Some("out/custom.json"), "BENCH_PR5.json"),
+            "out/custom.json"
+        );
+        // A trailing slash always means "directory", even if it does not
+        // exist yet at resolution time.
+        assert_eq!(
+            resolve_bench_output(Some("artifacts/"), "BENCH_PR5.json"),
+            "artifacts/BENCH_PR5.json"
+        );
+        // An existing directory without the trailing slash works too, so
+        // one `STJ_BENCH_JSON=dir` serves every bench binary at once.
+        let dir = std::env::temp_dir().join("stj-bench-output-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let resolved = resolve_bench_output(dir.to_str(), "BENCH_PR4.json");
+        assert_eq!(resolved, dir.join("BENCH_PR4.json").display().to_string());
+    }
 }

@@ -49,8 +49,8 @@ use crate::arena::{DatasetArena, ObjectRef};
 use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
 use crate::pipeline::{find_relation, find_relation_profiled, FindOutcome, PipelineStats};
 use crate::relate_pred::{relate_p_profiled, RelateDetermination};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use stj_de9im::TopoRelation;
 use stj_index::{mbr_join_parallel, MbrRelation, TileTask, Tiling, DEFAULT_SPLIT_THRESHOLD};
 use stj_obs::{Disabled, JoinProfile, Profiler, Progress, ProgressBatch, Recorder};
@@ -126,6 +126,95 @@ pub struct JoinResult {
     /// Per-stage/per-class observation, when [`TopologyJoin::profiled`]
     /// was requested.
     pub profile: Option<JoinProfile>,
+}
+
+/// Resource limits for a bounded join run (see
+/// [`TopologyJoin::run_bounded`]). The default has no limits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinBounds {
+    /// Stop once this many links have been found. The returned link
+    /// list is truncated to exactly this count (deterministically, by
+    /// ascending `(r, s)`).
+    pub max_links: Option<u64>,
+    /// Stop once this instant passes. Checked at task and batch
+    /// granularity, so a run overshoots the deadline by at most one
+    /// tile task per worker.
+    pub deadline: Option<Instant>,
+}
+
+/// Result of a [`TopologyJoin::run_bounded`] run: the (possibly
+/// partial) join result plus which limit, if any, cut it short.
+#[derive(Clone, Debug)]
+pub struct BoundedJoinResult {
+    /// The join output. When no limit fired this is bit-identical to
+    /// [`TopologyJoin::run`]; when one did, `links` holds the pairs
+    /// found before the stop (capped runs: the `(r, s)`-smallest
+    /// `max_links` of them) and `stats`/`candidates` count the pairs
+    /// actually examined.
+    pub result: JoinResult,
+    /// The link cap stopped the run.
+    pub hit_link_cap: bool,
+    /// The deadline stopped the run.
+    pub hit_deadline: bool,
+}
+
+impl BoundedJoinResult {
+    /// Whether any limit cut the run short.
+    pub fn truncated(&self) -> bool {
+        self.hit_link_cap || self.hit_deadline
+    }
+}
+
+/// Shared cooperative-stop state for a bounded run: workers consult it
+/// between tasks and batches, and trip it when a limit is exceeded.
+struct LimitState {
+    stop: AtomicBool,
+    emitted: AtomicU64,
+    /// `u64::MAX` when uncapped.
+    max_links: u64,
+    deadline: Option<Instant>,
+    hit_cap: AtomicBool,
+    hit_deadline: AtomicBool,
+}
+
+impl LimitState {
+    fn new(bounds: &JoinBounds) -> LimitState {
+        LimitState {
+            stop: AtomicBool::new(false),
+            emitted: AtomicU64::new(0),
+            max_links: bounds.max_links.unwrap_or(u64::MAX),
+            deadline: bounds.deadline,
+            hit_cap: AtomicBool::new(false),
+            hit_deadline: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether workers should stop claiming work; trips the stop flag
+    /// on an expired deadline.
+    fn should_stop(&self) -> bool {
+        if self.stop.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.hit_deadline.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Folds `n` freshly found links into the global count; trips the
+    /// stop flag once the cap is reached.
+    fn note_links(&self, n: u64) {
+        if n == 0 || self.max_links == u64::MAX {
+            return;
+        }
+        let total = self.emitted.fetch_add(n, Ordering::Relaxed) + n;
+        if total >= self.max_links {
+            self.hit_cap.store(true, Ordering::Relaxed);
+            self.stop.store(true, Ordering::Release);
+        }
+    }
 }
 
 /// The MBR-class labels matching the class ids recorded in
@@ -216,8 +305,51 @@ impl TopologyJoin {
     /// via [`crate::Dataset::to_arena`]).
     pub fn run(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
         match self.strategy {
-            ExecStrategy::Streaming => self.run_streaming(left, right),
+            ExecStrategy::Streaming => self.run_streaming(left, right, None),
             ExecStrategy::Materialized => self.run_materialized(left, right),
+        }
+    }
+
+    /// Runs the join under resource limits — the entry point for online
+    /// serving, where a request must not hold a worker (or the client)
+    /// hostage to an unbounded join.
+    ///
+    /// With empty `bounds` this is exactly [`TopologyJoin::run`]. With
+    /// limits set, the streaming executor is used regardless of the
+    /// configured strategy (only the fused tile-at-a-time path can stop
+    /// early without having paid for full candidate materialization up
+    /// front): workers check the limits between tile tasks and pair
+    /// batches, so a tripped limit stops the join within one task per
+    /// worker. `hit_link_cap` / `hit_deadline` report which limit
+    /// fired; a capped run returns the `(r, s)`-smallest `max_links`
+    /// links found so the truncation is deterministic for a given set
+    /// of discovered links.
+    pub fn run_bounded(
+        &self,
+        left: &DatasetArena,
+        right: &DatasetArena,
+        bounds: JoinBounds,
+    ) -> BoundedJoinResult {
+        if bounds.max_links.is_none() && bounds.deadline.is_none() {
+            return BoundedJoinResult {
+                result: self.run(left, right),
+                hit_link_cap: false,
+                hit_deadline: false,
+            };
+        }
+        let limits = LimitState::new(&bounds);
+        let mut result = self.run_streaming(left, right, Some(&limits));
+        let hit_link_cap = limits.hit_cap.load(Ordering::Relaxed);
+        let hit_deadline = limits.hit_deadline.load(Ordering::Relaxed);
+        if hit_link_cap {
+            let cap = bounds.max_links.unwrap_or(u64::MAX) as usize;
+            result.links.sort_unstable_by_key(|l| (l.r, l.s));
+            result.links.truncate(cap);
+        }
+        BoundedJoinResult {
+            result,
+            hit_link_cap,
+            hit_deadline,
         }
     }
 
@@ -250,8 +382,14 @@ impl TopologyJoin {
     }
 
     /// The streaming fused path: workers claim tile tasks and pipeline
-    /// each task's candidates in cache-sized batches.
-    fn run_streaming(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
+    /// each task's candidates in cache-sized batches. `limits` (bounded
+    /// runs only) is consulted between tasks and batches.
+    fn run_streaming(
+        &self,
+        left: &DatasetArena,
+        right: &DatasetArena,
+        limits: Option<&LimitState>,
+    ) -> JoinResult {
         let threads = self.worker_threads();
         // Candidate totals are unknown until generation finishes, so the
         // heartbeat runs without a percentage.
@@ -262,9 +400,9 @@ impl TopologyJoin {
                 scope.spawn(|| p.run_reporter(&stop, Duration::from_secs(1)));
             }
             let out = if self.profiled {
-                self.stream_with::<Recorder>(left, right, threads, progress.as_ref())
+                self.stream_with::<Recorder>(left, right, threads, progress.as_ref(), limits)
             } else {
-                self.stream_with::<Disabled>(left, right, threads, progress.as_ref())
+                self.stream_with::<Disabled>(left, right, threads, progress.as_ref(), limits)
             };
             stop.store(true, Ordering::Release);
             out
@@ -319,12 +457,13 @@ impl TopologyJoin {
         right: &DatasetArena,
         threads: usize,
         progress: Option<&Progress>,
+        limits: Option<&LimitState>,
     ) -> WorkerPart {
         let tiling = Tiling::for_inputs(left.mbrs(), right.mbrs());
         let tasks = tiling.tasks(DEFAULT_SPLIT_THRESHOLD);
         let next = AtomicUsize::new(0);
         if threads == 1 || tasks.len() < 2 {
-            return self.stream_worker::<P>(left, right, &tiling, &tasks, &next, progress);
+            return self.stream_worker::<P>(left, right, &tiling, &tasks, &next, progress, limits);
         }
         let mut parts: Vec<WorkerPart> = Vec::new();
         std::thread::scope(|scope| {
@@ -332,7 +471,7 @@ impl TopologyJoin {
             for _ in 0..threads {
                 let (tiling, tasks, next) = (&tiling, &tasks, &next);
                 handles.push(scope.spawn(move || {
-                    self.stream_worker::<P>(left, right, tiling, tasks, next, progress)
+                    self.stream_worker::<P>(left, right, tiling, tasks, next, progress, limits)
                 }));
             }
             parts = handles
@@ -347,6 +486,7 @@ impl TopologyJoin {
     /// the batch buffer, flush the pipeline whenever the buffer fills,
     /// repeat until the queue drains. The buffer is the worker's only
     /// candidate storage — capacity [`STREAM_BATCH_PAIRS`], never grown.
+    #[allow(clippy::too_many_arguments)]
     fn stream_worker<P: Profiler + Default>(
         &self,
         left: &DatasetArena,
@@ -355,13 +495,22 @@ impl TopologyJoin {
         tasks: &[TileTask],
         next: &AtomicUsize,
         progress: Option<&Progress>,
+        limits: Option<&LimitState>,
     ) -> WorkerPart {
         let mut prof = P::default();
         let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
         let mut buf: Vec<(u32, u32)> = Vec::with_capacity(STREAM_BATCH_PAIRS);
+        // Links already reported to `limits` (bounded runs).
+        let mut noted = 0usize;
         loop {
+            if limits.is_some_and(LimitState::should_stop) {
+                // Drop the unprocessed tail of the batch buffer: these
+                // candidates were never examined, so stats stay exact.
+                buf.clear();
+                break;
+            }
             let t = next.fetch_add(1, Ordering::Relaxed);
             if t >= tasks.len() {
                 break;
@@ -373,6 +522,10 @@ impl TopologyJoin {
                         left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
                     );
                     buf.clear();
+                    if let Some(l) = limits {
+                        l.note_links((links.len() - noted) as u64);
+                        noted = links.len();
+                    }
                 }
             });
         }
@@ -380,6 +533,9 @@ impl TopologyJoin {
             self.process_pairs::<P>(
                 left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
             );
+        }
+        if let Some(l) = limits {
+            l.note_links((links.len() - noted) as u64);
         }
         (links, stats, prof.finish())
     }
@@ -640,6 +796,91 @@ mod tests {
             .map(|lk| (lk.r, lk.s))
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn unbounded_run_bounded_is_bit_identical_to_run() {
+        let (l, r) = datasets();
+        for threads in [1, 4] {
+            let plain = TopologyJoin::new().threads(threads).run(&l, &r);
+            let bounded =
+                TopologyJoin::new()
+                    .threads(threads)
+                    .run_bounded(&l, &r, JoinBounds::default());
+            assert!(!bounded.truncated());
+            assert_eq!(
+                sorted_links(plain.links.clone()),
+                sorted_links(bounded.result.links.clone())
+            );
+            assert_eq!(plain.stats, bounded.result.stats);
+            assert_eq!(plain.candidates, bounded.result.candidates);
+        }
+    }
+
+    #[test]
+    fn link_cap_truncates_deterministically() {
+        let (l, r) = datasets();
+        let full = TopologyJoin::new().run(&l, &r);
+        assert!(full.links.len() >= 10);
+        for threads in [1, 4] {
+            let capped = TopologyJoin::new().threads(threads).run_bounded(
+                &l,
+                &r,
+                JoinBounds {
+                    max_links: Some(5),
+                    deadline: None,
+                },
+            );
+            assert!(capped.hit_link_cap);
+            assert!(capped.truncated());
+            assert_eq!(capped.result.links.len(), 5);
+            // Deterministic truncation: the (r, s)-smallest of the found
+            // links, each of which must exist in the full join.
+            let all = sorted_links(full.links.clone());
+            for link in &capped.result.links {
+                assert!(all.contains(link), "capped link {link:?} not in full join");
+            }
+            let mut sorted = capped.result.links.clone();
+            sorted.sort_unstable_by_key(|l| (l.r, l.s));
+            assert_eq!(sorted, capped.result.links, "cap output is (r, s)-sorted");
+        }
+    }
+
+    #[test]
+    fn generous_limits_do_not_truncate() {
+        let (l, r) = datasets();
+        let bounded = TopologyJoin::new().run_bounded(
+            &l,
+            &r,
+            JoinBounds {
+                max_links: Some(1_000_000),
+                deadline: Some(Instant::now() + Duration::from_secs(600)),
+            },
+        );
+        assert!(!bounded.truncated());
+        let plain = TopologyJoin::new().run(&l, &r);
+        assert_eq!(
+            sorted_links(plain.links),
+            sorted_links(bounded.result.links.clone())
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_early() {
+        let (l, r) = datasets();
+        let out = TopologyJoin::new().run_bounded(
+            &l,
+            &r,
+            JoinBounds {
+                max_links: None,
+                deadline: Some(Instant::now() - Duration::from_secs(1)),
+            },
+        );
+        assert!(out.hit_deadline);
+        assert!(out.truncated());
+        // A pre-expired deadline is checked before any task is claimed.
+        assert!(out.result.links.is_empty());
+        assert_eq!(out.result.candidates, 0);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub use arena::{
 };
 pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
 pub use exec::{
-    mbr_class_labels, ExecStrategy, JoinMethod, JoinResult, Link, TopologyJoin, STREAM_BATCH_PAIRS,
+    mbr_class_labels, BoundedJoinResult, ExecStrategy, JoinBounds, JoinMethod, JoinResult, Link,
+    TopologyJoin, STREAM_BATCH_PAIRS,
 };
 pub use filters::{intermediate_filter, IfOutcome};
 pub use object::{Dataset, SpatialObject};

@@ -36,7 +36,7 @@ impl SpatialObject {
     /// (`usize::MAX` keeps the full-resolution approximation).
     pub fn build_with_budget(polygon: Polygon, grid: &Grid, max_intervals: usize) -> SpatialObject {
         let mbr = *polygon.mbr();
-        let april = AprilApprox::build(&polygon, grid).with_max_intervals(max_intervals);
+        let april = AprilApprox::build_capped(&polygon, grid, max_intervals);
         SpatialObject {
             polygon,
             mbr,

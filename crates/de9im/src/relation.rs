@@ -125,6 +125,26 @@ impl TopoRelation {
     }
 }
 
+impl TopoRelation {
+    /// Parses a relation name as accepted by the CLI and the serving
+    /// API: canonical names plus the common aliases (`touches`,
+    /// `within`, `covered_by` / `covered-by` / `coveredby`). Matching is
+    /// case-insensitive. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<TopoRelation> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "disjoint" => TopoRelation::Disjoint,
+            "intersects" => TopoRelation::Intersects,
+            "meets" | "touches" => TopoRelation::Meets,
+            "equals" => TopoRelation::Equals,
+            "inside" | "within" => TopoRelation::Inside,
+            "contains" => TopoRelation::Contains,
+            "coveredby" | "covered_by" | "covered-by" | "covered by" => TopoRelation::CoveredBy,
+            "covers" => TopoRelation::Covers,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for TopoRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -238,5 +258,19 @@ mod tests {
     fn display_names() {
         assert_eq!(CoveredBy.to_string(), "covered by");
         assert_eq!(Intersects.to_string(), "intersects");
+    }
+
+    #[test]
+    fn parse_roundtrips_display_and_aliases() {
+        for rel in TopoRelation::SPECIFIC_TO_GENERAL {
+            assert_eq!(TopoRelation::parse(&rel.to_string()), Some(rel));
+        }
+        assert_eq!(TopoRelation::parse("disjoint"), Some(Disjoint));
+        assert_eq!(TopoRelation::parse("TOUCHES"), Some(Meets));
+        assert_eq!(TopoRelation::parse("within"), Some(Inside));
+        assert_eq!(TopoRelation::parse("covered_by"), Some(CoveredBy));
+        assert_eq!(TopoRelation::parse("covered-by"), Some(CoveredBy));
+        assert_eq!(TopoRelation::parse("overlaps"), None);
+        assert_eq!(TopoRelation::parse(""), None);
     }
 }

@@ -279,6 +279,48 @@ impl Tiling {
         }
     }
 
+    /// Builds a *probe* index over a single MBR collection: the
+    /// collection is loaded on the `s` side and ad-hoc probe rectangles
+    /// are answered by [`Tiling::probe`]. The `r` side stays empty, so
+    /// the index costs the same as one side of a join tiling.
+    pub fn for_probes(s: &[Rect]) -> Tiling {
+        Tiling::for_inputs(&[], s)
+    }
+
+    /// Emits the index of every `s`-side MBR intersecting `probe`
+    /// (closed semantics, deduplicated across tiles), in ascending id
+    /// order. `s` must be the collection the tiling was built over.
+    ///
+    /// Per-tile work uses the xmin-sorted id lists: each scan
+    /// early-exits once `min.x` passes the probe's right edge, and
+    /// dedup reuses the reference-point rule with the probe as the `r`
+    /// side.
+    pub fn probe(&self, probe: &Rect, s: &[Rect], sink: &mut impl FnMut(u32)) {
+        if probe.is_empty() {
+            return;
+        }
+        let mut hits = Vec::new();
+        let (x0, x1, y0, y1) = self.tile_span(probe);
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                let tile = (ty * self.k + tx) as usize;
+                for &sj in &self.s_tiles[tile] {
+                    let m = &s[sj as usize];
+                    if m.min.x > probe.max.x {
+                        break;
+                    }
+                    if probe.intersects(m) && self.owns_pair(tile, probe, m) {
+                        hits.push(sj);
+                    }
+                }
+            }
+        }
+        hits.sort_unstable();
+        for sj in hits {
+            sink(sj);
+        }
+    }
+
     /// Convenience: appends every pair owned by `tile` to `out`
     /// (equivalent to running the tile's full-range task).
     pub fn join_tile(&self, tile: usize, r: &[Rect], s: &[Rect], out: &mut Vec<(u32, u32)>) {
@@ -452,6 +494,51 @@ mod tests {
             tiles.run_task(task, &r, &s, &mut |i, j| out.push((i, j)));
         }
         assert_eq!(sorted(out), sorted(brute(&r, &s)));
+    }
+
+    #[test]
+    fn probe_matches_bruteforce() {
+        let s = random_rects(700, 11, 300.0, 20.0);
+        let tiles = Tiling::for_probes(&s);
+        let probes = random_rects(200, 12, 330.0, 40.0);
+        for p in &probes {
+            let mut got = Vec::new();
+            tiles.probe(p, &s, &mut |j| got.push(j));
+            let expect: Vec<u32> = s
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| p.intersects(m))
+                .map(|(j, _)| j as u32)
+                .collect();
+            assert_eq!(got, expect, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn probe_giant_and_outside() {
+        let s = random_rects(300, 13, 100.0, 5.0);
+        let tiles = Tiling::for_probes(&s);
+        // A probe covering everything reports each object exactly once,
+        // in ascending order.
+        let mut got = Vec::new();
+        tiles.probe(
+            &Rect::from_coords(-10.0, -10.0, 1000.0, 1000.0),
+            &s,
+            &mut |j| got.push(j),
+        );
+        assert_eq!(got, (0..s.len() as u32).collect::<Vec<_>>());
+        // A probe fully outside the universe reports nothing.
+        let mut none = Vec::new();
+        tiles.probe(
+            &Rect::from_coords(-500.0, -500.0, -400.0, -400.0),
+            &s,
+            &mut |j| none.push(j),
+        );
+        assert!(none.is_empty());
+        // An empty probe reports nothing.
+        let mut empty = Vec::new();
+        tiles.probe(&Rect::empty(), &s, &mut |j| empty.push(j));
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   exactly after the join);
 //! - [`json::Json`] — a dependency-free JSON document model backing
 //!   `stj join --stats-json`, and the bench harness's `BENCH_*.json`;
-//! - [`progress::Progress`] — a pairs/sec heartbeat on stderr.
+//! - [`progress::Progress`] — a pairs/sec heartbeat on stderr;
+//! - [`metrics`] — shared-state counters, gauges and histograms for
+//!   long-lived services (`stj serve`'s `/stats` endpoint).
 //!
 //! The crate has no dependencies (the build environment is offline) and
 //! no knowledge of geometry: callers pass stage/class identifiers in
@@ -21,10 +23,12 @@
 
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod progress;
 
 pub use hist::Histogram;
 pub use json::Json;
+pub use metrics::{Counter, Gauge, SharedHistogram};
 pub use profile::{ClassStats, Disabled, JoinProfile, Profiler, Recorder, Stage, StageStats};
 pub use progress::{Progress, ProgressBatch};

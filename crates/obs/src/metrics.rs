@@ -1,0 +1,210 @@
+//! Shared-state metrics for long-lived services.
+//!
+//! The join-side profiling in [`crate::profile`] is deliberately
+//! thread-private (each worker owns a recorder, merged once at the end
+//! of a run). A resident server has the opposite shape: many
+//! short-lived requests on many threads updating the *same* metrics for
+//! the lifetime of the process, sampled at arbitrary points by a
+//! `/stats` endpoint. This module provides the three primitives that
+//! shape needs:
+//!
+//! - [`Counter`] — a monotonically increasing `u64` (requests served,
+//!   cache hits, bytes moved);
+//! - [`Gauge`] — a current-value-plus-high-water-mark pair (queue
+//!   depth, in-flight requests);
+//! - [`SharedHistogram`] — a mutex-guarded [`Histogram`] for
+//!   cross-thread latency recording (per-endpoint latency; the mutex is
+//!   held for a few nanoseconds per record, far off any hot loop).
+//!
+//! All three are `Sync`, cheap to update, and snapshot without stopping
+//! writers.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The count as a JSON number.
+    pub fn to_json(&self) -> Json {
+        Json::U64(self.get())
+    }
+}
+
+/// A current value with a high-water mark — e.g. a queue-depth gauge
+/// whose peak reveals how close the service came to shedding load.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Increments the value, updating the peak.
+    #[inline]
+    pub fn inc(&self) {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Decrements the value. Saturates at zero (a decrement racing a
+    /// snapshot must never underflow to `u64::MAX`).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Sets an absolute value, updating the peak.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value ever observed.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// `{"current": .., "peak": ..}`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("current", Json::U64(self.get())),
+            ("peak", Json::U64(self.peak())),
+        ])
+    }
+}
+
+/// A [`Histogram`] shared across threads behind a mutex.
+#[derive(Debug, Default)]
+pub struct SharedHistogram(Mutex<Histogram>);
+
+impl SharedHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> SharedHistogram {
+        SharedHistogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.0.lock().expect("histogram lock").record(value);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().expect("histogram lock").clone()
+    }
+
+    /// JSON rendering of the snapshot (see [`Histogram::to_json`]).
+    pub fn to_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.to_json(), Json::U64(42));
+    }
+
+    #[test]
+    fn gauge_tracks_peak_and_saturates() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 3);
+        g.set(10);
+        assert_eq!(g.peak(), 10);
+        g.set(0);
+        g.dec(); // saturates, no underflow
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 10);
+    }
+
+    #[test]
+    fn gauge_concurrent_updates_balance() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+        assert!(g.peak() >= 1);
+    }
+
+    #[test]
+    fn shared_histogram_merges_across_threads() {
+        let h = SharedHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 400);
+    }
+}

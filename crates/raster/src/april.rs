@@ -47,6 +47,20 @@ impl AprilApprox {
         AprilApprox { p, c }
     }
 
+    /// Builds the approximation of `poly` on `grid` and caps it at
+    /// `max_intervals` intervals per list in one call.
+    ///
+    /// This is the entry point for *ad-hoc probe* polygons — e.g. an
+    /// online `relate` query rasterizing a request geometry once and
+    /// reusing the approximation across every candidate of the probe —
+    /// where the polygon is not part of a preprocessed dataset but must
+    /// receive exactly the same treatment (same rasterization, same
+    /// budget coarsening) as stored objects so filter decisions agree
+    /// with the offline pipeline bit-for-bit.
+    pub fn build_capped(poly: &Polygon, grid: &Grid, max_intervals: usize) -> AprilApprox {
+        AprilApprox::build(poly, grid).with_max_intervals(max_intervals)
+    }
+
     /// An approximation with empty lists (used for placeholder slots in
     /// tests; a real object always has a non-empty `c`).
     pub fn empty() -> AprilApprox {

@@ -1,0 +1,251 @@
+//! A sharded LRU cache for rendered probe results.
+//!
+//! `relate` probes are the service's hot path and frequently repeat
+//! (map tiles, dashboards, retries), so the fully rendered response
+//! body is cached keyed by `(dataset, probe WKT, limit)`. Sharding by
+//! key hash keeps the lock a short critical section under concurrent
+//! workers; each shard runs an independent LRU over its byte budget.
+//!
+//! Keys are FNV-1a hashes, but the full key material is stored and
+//! compared on lookup — a hash collision must degrade to a miss, never
+//! to a wrong answer.
+
+use crate::stats::fnv1a;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use stj_obs::{Counter, Json};
+
+const SHARDS: usize = 8;
+
+/// Cache key material: dataset index, result limit, probe WKT bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeKey {
+    pub dataset: u32,
+    pub limit: u64,
+    pub wkt: Vec<u8>,
+}
+
+impl ProbeKey {
+    fn hash(&self) -> u64 {
+        let mut h = fnv1a(&self.dataset.to_le_bytes(), 0xcbf2_9ce4_8422_2325);
+        h = fnv1a(&self.limit.to_le_bytes(), h);
+        fnv1a(&self.wkt, h)
+    }
+
+    fn weight(&self) -> usize {
+        self.wkt.len() + 64
+    }
+}
+
+struct Entry {
+    key: ProbeKey,
+    body: Vec<u8>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    bytes: usize,
+    clock: u64,
+}
+
+impl Shard {
+    fn evict_to(&mut self, budget: usize, evictions: &Counter) {
+        while self.bytes > budget {
+            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) else {
+                break;
+            };
+            let e = self.map.remove(&oldest).expect("entry just found");
+            self.bytes -= e.key.weight() + e.body.len();
+            evictions.inc();
+        }
+    }
+}
+
+/// The sharded LRU. All methods are `&self`; internal mutation is
+/// per-shard mutexes.
+pub struct ProbeCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    /// Lookups that returned a body.
+    pub hits: Counter,
+    /// Lookups that found nothing (or a colliding key).
+    pub misses: Counter,
+    /// Entries inserted.
+    pub insertions: Counter,
+    /// Entries evicted to stay under budget.
+    pub evictions: Counter,
+}
+
+impl ProbeCache {
+    /// A cache bounded by `budget_mb` mebibytes across all shards.
+    /// `budget_mb == 0` disables caching (every lookup misses, inserts
+    /// are dropped).
+    pub fn new(budget_mb: usize) -> ProbeCache {
+        ProbeCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_mb * 1024 * 1024 / SHARDS,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            insertions: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash % SHARDS as u64) as usize]
+    }
+
+    /// The cached body for `key`, bumping its recency.
+    pub fn get(&self, key: &ProbeKey) -> Option<Vec<u8>> {
+        let hash = key.hash();
+        let mut shard = self.shard_of(hash).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(&hash) {
+            Some(e) if e.key == *key => {
+                e.stamp = stamp;
+                self.hits.inc();
+                Some(e.body.clone())
+            }
+            _ => {
+                self.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the body for `key`, evicting
+    /// least-recently-used entries to stay under budget.
+    pub fn put(&self, key: ProbeKey, body: Vec<u8>) {
+        let weight = key.weight() + body.len();
+        if weight > self.shard_budget {
+            return; // would evict the whole shard for one entry
+        }
+        let hash = key.hash();
+        let mut shard = self.shard_of(hash).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if let Some(old) = shard.map.remove(&hash) {
+            shard.bytes -= old.key.weight() + old.body.len();
+        }
+        shard.map.insert(hash, Entry { key, body, stamp });
+        shard.bytes += weight;
+        self.insertions.inc();
+        let budget = self.shard_budget;
+        shard.evict_to(budget, &self.evictions);
+    }
+
+    /// Total bytes currently held across shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").bytes)
+            .sum()
+    }
+
+    /// Entry count across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stats snapshot for `/stats`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("insertions", self.insertions.to_json()),
+            ("evictions", self.evictions.to_json()),
+            ("entries", Json::U64(self.len() as u64)),
+            ("bytes", Json::U64(self.bytes() as u64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ds: u32, wkt: &str) -> ProbeKey {
+        ProbeKey {
+            dataset: ds,
+            limit: 100,
+            wkt: wkt.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let c = ProbeCache::new(1);
+        assert_eq!(c.get(&key(0, "POLYGON((0 0,1 0,1 1,0 0))")), None);
+        c.put(key(0, "POLYGON((0 0,1 0,1 1,0 0))"), b"{\"x\":1}".to_vec());
+        assert_eq!(
+            c.get(&key(0, "POLYGON((0 0,1 0,1 1,0 0))")),
+            Some(b"{\"x\":1}".to_vec())
+        );
+        assert_eq!(c.hits.get(), 1);
+        assert_eq!(c.misses.get(), 1);
+    }
+
+    #[test]
+    fn distinct_limits_are_distinct_entries() {
+        let c = ProbeCache::new(1);
+        let mut a = key(0, "P");
+        a.limit = 1;
+        let mut b = key(0, "P");
+        b.limit = 2;
+        c.put(a.clone(), b"one".to_vec());
+        c.put(b.clone(), b"two".to_vec());
+        assert_eq!(c.get(&a), Some(b"one".to_vec()));
+        assert_eq!(c.get(&b), Some(b"two".to_vec()));
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        let c = ProbeCache::new(1); // 128 KiB per shard
+        let body = vec![0u8; 40 * 1024];
+        // All keys map to some shard; insert enough to overflow every
+        // shard several times.
+        for i in 0..64u32 {
+            c.put(key(i, "probe"), body.clone());
+        }
+        assert!(c.evictions.get() > 0, "evictions must have occurred");
+        assert!(c.bytes() <= 1024 * 1024, "stays under total budget");
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let c = ProbeCache::new(0);
+        c.put(key(0, "probe"), b"body".to_vec());
+        assert_eq!(c.get(&key(0, "probe")), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = ProbeCache::new(1);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = key(t * 1000 + i % 10, "probe");
+                        if c.get(&k).is_none() {
+                            c.put(k, vec![t as u8; 256]);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.hits.get() + c.misses.get() >= 800);
+    }
+}

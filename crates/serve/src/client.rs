@@ -1,0 +1,155 @@
+//! A small blocking client for the service, speaking either transport.
+//!
+//! Shared by `stj query`, the end-to-end tests, and `serve_bench`, so
+//! all three exercise the same wire code. The client keeps its
+//! connection alive across requests and transparently reconnects when
+//! the server closed it (join responses and drains do).
+
+use crate::framing;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A keep-alive client for one server address.
+pub struct Client {
+    addr: String,
+    framed: bool,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). `framed` selects the binary
+    /// framing transport instead of HTTP.
+    pub fn new(addr: impl Into<String>, framed: bool) -> Client {
+        Client {
+            addr: addr.into(),
+            framed,
+            stream: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.stream.is_none() {
+            let conn = TcpStream::connect(&self.addr)?;
+            conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+            conn.set_write_timeout(Some(Duration::from_secs(30)))?;
+            conn.set_nodelay(true)?;
+            let mut reader = BufReader::new(conn);
+            if self.framed {
+                reader.get_mut().write_all(&framing::MAGIC)?;
+            }
+            self.stream = Some(reader);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the response: `(status, body)`.
+    ///
+    /// `target` is the path with query string (`/v1/pair?left=...`).
+    /// Retries once on a fresh connection if the kept-alive one turned
+    /// out to be dead.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let had_live_conn = self.stream.is_some();
+        match self.request_once(method, target, body) {
+            Err(_) if had_live_conn => {
+                self.stream = None;
+                self.request_once(method, target, body)
+            }
+            other => other,
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let framed = self.framed;
+        let stream = self.connect()?;
+        if framed {
+            let r = framing::write_request_frame(stream.get_mut(), method, target, body)
+                .and_then(|()| framing::read_response_frame(stream));
+            if r.is_err() {
+                self.stream = None;
+            }
+            r
+        } else {
+            match http_request(stream, method, target, body) {
+                Ok((status, body, close)) => {
+                    // Join responses and server drains close the
+                    // connection; drop ours so the next request
+                    // reconnects.
+                    if close {
+                        self.stream = None;
+                    }
+                    Ok((status, body))
+                }
+                Err(e) => {
+                    self.stream = None;
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Drops the kept-alive connection (next request reconnects).
+    pub fn reset(&mut self) {
+        self.stream = None;
+    }
+}
+
+/// One HTTP request/response on an established connection. The third
+/// element reports whether the server closed the connection.
+fn http_request(
+    stream: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>, bool)> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: stj\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.get_mut().write_all(head.as_bytes())?;
+    stream.get_mut().write_all(body)?;
+    stream.get_mut().flush()?;
+
+    let mut status_line = String::new();
+    stream.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_length: usize = 0;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        stream.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                close = true;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok((status, body, close))
+}

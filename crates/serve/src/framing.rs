@@ -1,0 +1,212 @@
+//! Length-prefixed binary framing for batch clients.
+//!
+//! HTTP keep-alive costs one head parse per request; batch drivers
+//! (`serve_bench`, `stj query --framed`) skip it with a trivial binary
+//! protocol sharing the same dispatch layer:
+//!
+//! - the client opens the connection with the 4-byte magic `STJB`
+//!   (detected server-side via [`std::net::TcpStream::peek`], so plain
+//!   HTTP clients on the same port are unaffected);
+//! - each request frame is a `u32` little-endian payload length
+//!   (capped at [`MAX_FRAME_BYTES`]) followed by the payload
+//!   `"<METHOD> <path-with-query>\n<body>"`;
+//! - each response frame is a `u32` little-endian payload length
+//!   followed by `"<status>\n<body>"`.
+//!
+//! Response frames are not capped: a bounded join result may exceed the
+//! request cap, and the server controls its own output.
+
+use std::io::{self, Read, Write};
+
+/// Connection-opening magic distinguishing framed clients from HTTP.
+pub const MAGIC: [u8; 4] = *b"STJB";
+/// Upper bound on a request frame payload.
+pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// Why a request frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// Transport error (includes mid-frame disconnects and timeouts).
+    Io(io::Error),
+    /// Declared length exceeded [`MAX_FRAME_BYTES`] → 413.
+    TooLarge,
+    /// Payload is not `"<METHOD> <target>\n<body>"` → 400.
+    Malformed(String),
+}
+
+/// A request decoded from one frame.
+#[derive(Clone, Debug)]
+pub struct FramedRequest {
+    /// Uppercased method.
+    pub method: String,
+    /// Raw target (`/path?query`), still percent-encoded.
+    pub target: String,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+/// Reads exactly `buf.len()` bytes, mapping clean EOF at offset 0 to
+/// [`FrameError::Closed`].
+fn read_exact_or_closed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..]).map_err(FrameError::Io)?;
+        if n == 0 {
+            return if filled == 0 {
+                Err(FrameError::Closed)
+            } else {
+                Err(FrameError::Malformed("eof inside frame".into()))
+            };
+        }
+        filled += n;
+    }
+    Ok(())
+}
+
+/// Reads one request frame (the connection magic must already have been
+/// consumed).
+pub fn read_request_frame(r: &mut impl Read) -> Result<FramedRequest, FrameError> {
+    let mut len_buf = [0u8; 4];
+    read_exact_or_closed(r, &mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge);
+    }
+    let mut payload = vec![0u8; len];
+    if len > 0 {
+        match read_exact_or_closed(r, &mut payload) {
+            Err(FrameError::Closed) => {
+                return Err(FrameError::Malformed("eof inside frame".into()))
+            }
+            other => other?,
+        }
+    }
+    let newline = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| FrameError::Malformed("frame has no request line".into()))?;
+    let line = std::str::from_utf8(&payload[..newline])
+        .map_err(|_| FrameError::Malformed("request line is not utf-8".into()))?;
+    let (method, target) = line
+        .split_once(' ')
+        .ok_or_else(|| FrameError::Malformed("request line has no method".into()))?;
+    if method.is_empty() || target.is_empty() {
+        return Err(FrameError::Malformed("empty method or target".into()));
+    }
+    Ok(FramedRequest {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        body: payload[newline + 1..].to_vec(),
+    })
+}
+
+/// Writes one response frame.
+pub fn write_response_frame(w: &mut impl Write, status: u16, body: &[u8]) -> io::Result<usize> {
+    let head = format!("{status}\n");
+    let len = (head.len() + body.len()) as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(4 + head.len() + body.len())
+}
+
+/// Writes one request frame (client side).
+pub fn write_request_frame(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!("{method} {target}\n");
+    let len = (head.len() + body.len()) as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one response frame (client side): `(status, body)`.
+pub fn read_response_frame(r: &mut impl Read) -> io::Result<(u16, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let newline = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame has no status line"))?;
+    let status = std::str::from_utf8(&payload[..newline])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, payload[newline + 1..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frame_roundtrips() {
+        let mut buf = Vec::new();
+        write_request_frame(
+            &mut buf,
+            "POST",
+            "/v1/relate?dataset=0",
+            b"POLYGON((0 0,1 0,1 1,0 0))",
+        )
+        .unwrap();
+        let req = read_request_frame(&mut &buf[..]).expect("roundtrip");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/relate?dataset=0");
+        assert_eq!(req.body, b"POLYGON((0 0,1 0,1 1,0 0))");
+    }
+
+    #[test]
+    fn response_frame_roundtrips() {
+        let mut buf = Vec::new();
+        write_response_frame(&mut buf, 429, b"{\"error\":1}").unwrap();
+        let (status, body) = read_response_frame(&mut &buf[..]).expect("roundtrip");
+        assert_eq!(status, 429);
+        assert_eq!(body, b"{\"error\":1}");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"ignored");
+        assert!(matches!(
+            read_request_frame(&mut &buf[..]),
+            Err(FrameError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly() {
+        let mut full = Vec::new();
+        write_request_frame(&mut full, "GET", "/stats", b"").unwrap();
+        for cut in 0..full.len() {
+            let r = read_request_frame(&mut &full[..cut]);
+            assert!(r.is_err(), "cut at {cut}");
+        }
+        // Clean EOF between frames is Closed, not an error report.
+        assert!(matches!(
+            read_request_frame(&mut &b""[..]),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn frame_without_request_line_is_malformed() {
+        let mut buf = 5u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"nonlf");
+        assert!(matches!(
+            read_request_frame(&mut &buf[..]),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

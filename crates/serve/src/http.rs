@@ -1,0 +1,376 @@
+//! A deliberately minimal HTTP/1.1 server-side codec.
+//!
+//! The build environment is offline, so `stj serve` cannot lean on
+//! hyper or tiny_http; this module implements exactly the subset the
+//! service needs — request line + headers + `Content-Length` bodies,
+//! keep-alive, and fixed-length responses — hardened against hostile
+//! input: oversized heads (431) and bodies (413) are bounded *before*
+//! allocation catches up with the peer, and fragmented (byte-at-a-time)
+//! or truncated requests must never panic.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly before sending anything.
+    Closed,
+    /// Transport error (includes read timeouts and mid-request
+    /// disconnects).
+    Io(io::Error),
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Declared body length exceeded [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Structurally invalid request → 400; payload says what broke.
+    Malformed(String),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => write!(f, "connection closed"),
+            RecvError::Io(e) => write!(f, "io error: {e}"),
+            RecvError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            RecvError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            RecvError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// Tolerates arbitrary fragmentation: the head is accumulated until the
+/// blank line, and any body bytes that arrived in the same segments are
+/// carried over before the exact remainder is read.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RecvError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RecvError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(RecvError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RecvError::Closed);
+            }
+            return Err(RecvError::Malformed("eof inside request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(RecvError::HeadTooLarge);
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RecvError::Malformed("head is not utf-8".into()))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RecvError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RecvError::Malformed("missing http version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RecvError::Malformed(format!(
+                "header without colon: {line:?}"
+            )));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| RecvError::Malformed(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RecvError::BodyTooLarge);
+    }
+
+    // Body bytes that arrived glued to the head.
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    if body.len() > content_length {
+        // Pipelined extra bytes are not supported; treat as malformed
+        // rather than silently desynchronising the stream.
+        return Err(RecvError::Malformed(
+            "body longer than content-length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(RecvError::Io)?;
+        if n == 0 {
+            return Err(RecvError::Malformed("eof inside request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw)
+        .ok_or_else(|| RecvError::Malformed("bad percent-encoding in path".into()))?;
+    let mut query = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| RecvError::Malformed("bad percent-encoding in query".into()))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| RecvError::Malformed("bad percent-encoding in query".into()))?;
+            query.push((k, v));
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// Position of the `\r\n\r\n` separator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Decodes `%XX` escapes and `+` (as space). Returns `None` on invalid
+/// escapes or non-utf8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') && !s.contains('+') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// The reason phrase for a status code.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<usize> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(head.len() + body.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ByteAtATime<'a>(&'a [u8], usize);
+    impl Read for ByteAtATime<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.1 >= self.0.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[self.1];
+            self.1 += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn parses_fragmented_request_with_body() {
+        let raw = b"POST /v1/relate?dataset=0&limit=5 HTTP/1.1\r\ncontent-length: 7\r\n\r\npayload";
+        let req = read_request(&mut ByteAtATime(raw, 0)).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/relate");
+        assert_eq!(req.query_param("dataset"), Some("0"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.body, b"payload");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn percent_decoding_in_query() {
+        let raw = b"GET /v1/pair?left=lakes%201&i=3 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut &raw[..]).expect("parse");
+        assert_eq!(req.query_param("left"), Some("lakes 1"));
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_head_is_bounded() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'x', MAX_HEAD_BYTES + 100));
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(RecvError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_read() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(RecvError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_requests_do_not_panic() {
+        let full = b"POST /v1/relate HTTP/1.1\r\ncontent-length: 20\r\n\r\nshort";
+        for cut in 0..full.len() {
+            let r = read_request(&mut &full[..cut]);
+            assert!(r.is_err(), "cut at {cut} should not yield a request");
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(
+            read_request(&mut &b""[..]),
+            Err(RecvError::Closed)
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_panic() {
+        for raw in [
+            &b"\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET / SPDY/9\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nnocolon\r\n\r\n"[..],
+            &b"GET /%zz HTTP/1.1\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n"[..],
+            &b"\xff\xfe\xfd\xfc\r\n\r\n"[..],
+        ] {
+            assert!(matches!(
+                read_request(&mut &raw[..]),
+                Err(RecvError::Malformed(_))
+            ));
+        }
+    }
+}

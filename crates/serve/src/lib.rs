@@ -1,0 +1,186 @@
+//! `stj-serve`: an online topology-query service over zero-copy arenas.
+//!
+//! The batch pipeline answers "join these two datasets"; this crate
+//! answers the *online* variants a resident service gets asked:
+//!
+//! - **relate** — the most specific topological relation between an
+//!   ad-hoc WKT polygon and every object in a loaded dataset. The probe
+//!   is rasterized once per request ([`stj_raster::AprilApprox`] on the
+//!   dataset's own grid), candidates come from a probe-side
+//!   [`stj_index::Tiling`], and each candidate runs the full enhanced
+//!   MBR → APRIL → DE-9IM pipeline — bit-identical to the offline path.
+//! - **pair** — the relation between two stored objects by index.
+//! - **join** — a bounded server-side [`stj_core::TopologyJoin`]
+//!   (`run_bounded`: link cap + deadline) streamed as NDJSON.
+//!
+//! Serving machinery, all on `std`: a hand-rolled HTTP/1.1 codec with
+//! keep-alive ([`http`]) sharing one dispatch layer with a
+//! length-prefixed binary framing for batch clients ([`framing`]); a
+//! fixed worker pool behind a bounded accept queue with 429 load
+//! shedding ([`pool`]); per-request deadlines with partial-result
+//! truncation flags; a sharded LRU over rendered probe responses
+//! ([`cache`]); and full observability exported at `/stats` as a
+//! versioned `stj-serve-report/v1` document ([`stats`]).
+
+pub mod cache;
+pub mod client;
+pub mod framing;
+pub mod http;
+pub mod pool;
+pub mod query;
+pub mod stats;
+
+pub use cache::{ProbeCache, ProbeKey};
+pub use client::Client;
+pub use pool::{install_signal_handlers, Server, ShutdownFlag};
+pub use query::{dispatch, Response};
+pub use stats::{Endpoint, ServeStats};
+
+use std::path::Path;
+use std::time::Instant;
+use stj_core::DatasetArena;
+use stj_index::Tiling;
+use stj_obs::Json;
+use stj_raster::Grid;
+use stj_store::open_arena;
+
+/// Server configuration (CLI flags map onto this 1:1).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads; 0 means available parallelism.
+    pub threads: usize,
+    /// Bounded accept-queue depth; beyond it connections are shed with
+    /// a 429.
+    pub queue_depth: usize,
+    /// Probe-cache budget in mebibytes (0 disables the cache).
+    pub cache_mb: usize,
+    /// Per-request deadline in milliseconds (0 disables deadlines).
+    pub deadline_ms: u64,
+    /// Server-side cap on links returned by `/v1/join`.
+    pub max_links: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 0,
+            queue_depth: 64,
+            cache_mb: 64,
+            deadline_ms: 2000,
+            max_links: 100_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Worker-thread count after resolving `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+
+    /// The config block embedded in `/stats`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("addr", Json::str(self.addr.clone())),
+            ("threads", Json::U64(self.effective_threads() as u64)),
+            ("queue_depth", Json::U64(self.queue_depth as u64)),
+            ("cache_mb", Json::U64(self.cache_mb as u64)),
+            ("deadline_ms", Json::U64(self.deadline_ms)),
+            ("max_links", Json::U64(self.max_links)),
+        ])
+    }
+}
+
+/// One dataset resident in the server: its arena (zero-copy when the
+/// platform supports it), grid, and a probe-side tile index built once
+/// at startup.
+pub struct LoadedDataset {
+    /// Dataset name (from the store header).
+    pub name: String,
+    /// The columnar object arena.
+    pub arena: DatasetArena,
+    /// The raster grid the arena was preprocessed on.
+    pub grid: Grid,
+    /// Tile index over the arena's MBRs, for ad-hoc probes.
+    pub tiling: Tiling,
+}
+
+impl LoadedDataset {
+    /// Loads one STJD v2 file and builds its probe index.
+    pub fn open(path: &Path) -> Result<LoadedDataset, String> {
+        let (arena, grid) = open_arena(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let tiling = Tiling::for_probes(arena.mbrs());
+        Ok(LoadedDataset {
+            name: arena.name().to_string(),
+            arena,
+            grid,
+            tiling,
+        })
+    }
+}
+
+/// Loads every `--data` file. Duplicate dataset names are rejected —
+/// lookups are by name.
+pub fn load_datasets(paths: &[impl AsRef<Path>]) -> Result<Vec<LoadedDataset>, String> {
+    if paths.is_empty() {
+        return Err("no datasets given".to_string());
+    }
+    let mut out: Vec<LoadedDataset> = Vec::with_capacity(paths.len());
+    for p in paths {
+        let ds = LoadedDataset::open(p.as_ref())?;
+        if out.iter().any(|d| d.name == ds.name) {
+            return Err(format!("duplicate dataset name {:?}", ds.name));
+        }
+        out.push(ds);
+    }
+    Ok(out)
+}
+
+/// Shared server state: config, datasets, cache, metrics.
+pub struct ServeCtx {
+    /// The resolved configuration.
+    pub config: ServeConfig,
+    /// Loaded datasets, in `--data` order.
+    pub datasets: Vec<LoadedDataset>,
+    /// The probe-result cache.
+    pub cache: ProbeCache,
+    /// Service metrics backing `/stats`.
+    pub stats: ServeStats,
+    /// Server start time (for `/stats` uptime).
+    pub started: Instant,
+}
+
+impl ServeCtx {
+    /// Builds the shared state.
+    pub fn new(config: ServeConfig, datasets: Vec<LoadedDataset>) -> ServeCtx {
+        ServeCtx {
+            cache: ProbeCache::new(config.cache_mb),
+            stats: ServeStats::new(),
+            started: Instant::now(),
+            config,
+            datasets,
+        }
+    }
+
+    /// Resolves a dataset by name, or by decimal index into the
+    /// `--data` order.
+    pub fn find_dataset(&self, key: &str) -> Option<(usize, &LoadedDataset)> {
+        if let Some((i, ds)) = self
+            .datasets
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == key)
+        {
+            return Some((i, ds));
+        }
+        let i: usize = key.parse().ok()?;
+        self.datasets.get(i).map(|d| (i, d))
+    }
+}

@@ -1,0 +1,391 @@
+//! The serving loop: accept thread, bounded queue, fixed worker pool,
+//! load shedding, graceful drain.
+//!
+//! Shape (all `std`, no async runtime):
+//!
+//! - the accept thread polls a non-blocking listener and pushes
+//!   accepted connections onto a bounded queue;
+//! - when the queue is full the connection is *shed* immediately — a
+//!   `429` with `Retry-After: 1` written from the accept thread (with a
+//!   short write timeout so a stalled peer cannot block accepting) —
+//!   rather than queued into unbounded latency;
+//! - N workers pop connections and run their request loop (HTTP
+//!   keep-alive or binary framing, sniffed via [`TcpStream::peek`]);
+//! - on shutdown (SIGINT/SIGTERM or [`ShutdownFlag::trigger`]) the
+//!   accept loop stops, workers drain the queue and finish in-flight
+//!   requests, and [`Server::run`] returns — a graceful drain.
+
+use crate::framing::{self, FrameError};
+use crate::http::{self, RecvError};
+use crate::query::{self, Response};
+use crate::{ServeCtx, ServeStats};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Idle keep-alive timeout: a connection with no new request for this
+/// long is closed (also bounds how long a drain can wait on idle
+/// clients).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A cooperative shutdown flag, shared between the signal handler, the
+/// accept loop, and the workers.
+#[derive(Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Requests shutdown.
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by this flag or a signal).
+    pub fn requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+/// Set by the signal handler; observed by every [`ShutdownFlag`].
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain.
+///
+/// Uses the raw `signal(2)` C ABI directly — the workspace builds
+/// offline with no libc crate — and the handler only stores to an
+/// `AtomicBool`, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// No-op on non-unix platforms (ctrl-c falls back to process kill).
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// The bounded handoff between the accept thread and the workers.
+struct ConnQueue {
+    deque: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            deque: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes a connection; on a full queue the connection is handed
+    /// back so the accept loop can shed it.
+    fn push(&self, conn: TcpStream, stats: &ServeStats) -> Result<(), TcpStream> {
+        let mut q = self.deque.lock().expect("queue lock");
+        if q.len() >= self.capacity {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        stats.queue_depth.set(q.len() as u64);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops a connection, waiting up to `wait`; `None` on timeout.
+    fn pop(&self, wait: Duration, stats: &ServeStats) -> Option<TcpStream> {
+        let mut q = self.deque.lock().expect("queue lock");
+        if q.is_empty() {
+            let (guard, _timeout) = self.ready.wait_timeout(q, wait).expect("queue lock");
+            q = guard;
+        }
+        let conn = q.pop_front();
+        stats.queue_depth.set(q.len() as u64);
+        conn
+    }
+
+    fn is_empty(&self) -> bool {
+        self.deque.lock().expect("queue lock").is_empty()
+    }
+}
+
+/// The running server: a bound listener plus shared state.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServeCtx>,
+    shutdown: ShutdownFlag,
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    pub fn bind(ctx: ServeCtx) -> io::Result<Server> {
+        let listener = TcpListener::bind(&ctx.config.addr)?;
+        Ok(Server {
+            listener,
+            ctx: Arc::new(ctx),
+            shutdown: ShutdownFlag::new(),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that triggers a graceful drain when set (signals work
+    /// too, once [`install_signal_handlers`] ran).
+    pub fn shutdown_flag(&self) -> ShutdownFlag {
+        self.shutdown.clone()
+    }
+
+    /// The shared state, for post-drain inspection (final stats dump).
+    pub fn ctx(&self) -> Arc<ServeCtx> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns.
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue = Arc::new(ConnQueue::new(self.ctx.config.queue_depth));
+        let threads = self.ctx.config.effective_threads();
+
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for w in 0..threads {
+                let queue = Arc::clone(&queue);
+                let ctx = Arc::clone(&self.ctx);
+                let shutdown = self.shutdown.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("stj-serve-{w}"))
+                        .spawn_scoped(scope, move || {
+                            loop {
+                                match queue.pop(Duration::from_millis(50), &ctx.stats) {
+                                    Some(conn) => serve_connection(&ctx, &shutdown, conn),
+                                    // Exit only once draining is done:
+                                    // shutdown requested and the queue
+                                    // observed empty.
+                                    None if shutdown.requested() && queue.is_empty() => break,
+                                    None => {}
+                                }
+                            }
+                        })
+                        .expect("spawn worker"),
+                );
+            }
+
+            // Accept loop (runs on the caller's thread).
+            while !self.shutdown.requested() {
+                match self.listener.accept() {
+                    Ok((conn, _peer)) => {
+                        self.ctx.stats.connections.inc();
+                        if let Err(mut conn) = queue.push(conn_prepared(conn), &self.ctx.stats) {
+                            // Queue full: shed with 429 + Retry-After.
+                            // The write timeout set in `conn_prepared`
+                            // keeps a stalled peer from blocking accept.
+                            shed(&mut conn, &self.ctx.stats);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Drain: workers exit once the queue is empty.
+            for w in workers {
+                let _ = w.join();
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Applies per-connection socket settings (ignoring failures — a
+/// connection that cannot take a timeout still gets served).
+fn conn_prepared(conn: TcpStream) -> TcpStream {
+    let _ = conn.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(IDLE_TIMEOUT));
+    let _ = conn.set_nodelay(true);
+    conn
+}
+
+/// Writes the 429 shed response and drops the connection.
+fn shed(conn: &mut TcpStream, stats: &ServeStats) {
+    stats.rejected_429.inc();
+    let body = b"{\"error\": {\"code\": 429, \"kind\": \"overloaded\", \"message\": \"accept queue full, retry later\"}}\n";
+    let _ = http::write_response(
+        conn,
+        429,
+        "application/json",
+        &[("retry-after", "1")],
+        body,
+        false,
+    );
+}
+
+/// Serves one connection to completion: sniffs the protocol, then runs
+/// the per-request loop until close, error, idle timeout, or drain.
+fn serve_connection(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+    let mut magic = [0u8; 4];
+    let framed = matches!(conn.peek(&mut magic), Ok(4) if magic == framing::MAGIC);
+    if framed {
+        let mut sink = [0u8; 4];
+        if io::Read::read_exact(&mut conn, &mut sink).is_err() {
+            return;
+        }
+        serve_framed(ctx, shutdown, conn);
+    } else {
+        serve_http(ctx, shutdown, conn);
+    }
+}
+
+/// Runs `f` with in-flight/latency accounting around it.
+fn timed_dispatch(
+    ctx: &ServeCtx,
+    endpoint: crate::Endpoint,
+    f: impl FnOnce() -> Response,
+) -> Response {
+    ctx.stats.in_flight.inc();
+    let start = Instant::now();
+    let resp = f();
+    ctx.stats
+        .latency(endpoint)
+        .record(start.elapsed().as_nanos() as u64);
+    ctx.stats.in_flight.dec();
+    ctx.stats.note_status(resp.status);
+    if resp.truncated {
+        ctx.stats.truncated_responses.inc();
+    }
+    resp
+}
+
+fn serve_http(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+    loop {
+        let req = match http::read_request(&mut conn) {
+            Ok(r) => r,
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Io(_)) => return, // timeout or disconnect
+            Err(RecvError::HeadTooLarge) => {
+                let r = Response::error(431, "head_too_large", RecvError::HeadTooLarge.to_string());
+                ctx.stats.note_status(r.status);
+                let _ = write_http(&mut conn, &r, false, &ctx.stats);
+                return;
+            }
+            Err(RecvError::BodyTooLarge) => {
+                let r = Response::error(413, "body_too_large", RecvError::BodyTooLarge.to_string());
+                ctx.stats.note_status(r.status);
+                let _ = write_http(&mut conn, &r, false, &ctx.stats);
+                return;
+            }
+            Err(RecvError::Malformed(m)) => {
+                let r = Response::error(400, "malformed_request", m);
+                ctx.stats.note_status(r.status);
+                let _ = write_http(&mut conn, &r, false, &ctx.stats);
+                return;
+            }
+        };
+        ctx.stats.requests_total.inc();
+        ctx.stats.requests_http.inc();
+        ctx.stats
+            .bytes_in
+            .add((req.body.len() + req.path.len() + 32) as u64);
+
+        let endpoint = query::endpoint_of(&req.path);
+        let resp = timed_dispatch(ctx, endpoint, || {
+            query::dispatch(ctx, &req.method, &req.path, &req.query, &req.body)
+        });
+        let keep = req.keep_alive && !resp.close && !shutdown.requested();
+        if write_http(&mut conn, &resp, keep, &ctx.stats).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+fn write_http(
+    conn: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    stats: &ServeStats,
+) -> io::Result<()> {
+    let retry: &[(&str, &str)] = if resp.status == 429 {
+        &[("retry-after", "1")]
+    } else {
+        &[]
+    };
+    let n = http::write_response(
+        conn,
+        resp.status,
+        resp.content_type,
+        retry,
+        &resp.body,
+        keep_alive,
+    )?;
+    stats.bytes_out.add(n as u64);
+    Ok(())
+}
+
+fn serve_framed(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+    loop {
+        let req = match framing::read_request_frame(&mut conn) {
+            Ok(r) => r,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::TooLarge) => {
+                let r = Response::error(413, "frame_too_large", "frame exceeds size cap");
+                ctx.stats.note_status(r.status);
+                let _ = write_framed(&mut conn, &r, &ctx.stats);
+                return;
+            }
+            Err(FrameError::Malformed(m)) => {
+                let r = Response::error(400, "malformed_frame", m);
+                ctx.stats.note_status(r.status);
+                let _ = write_framed(&mut conn, &r, &ctx.stats);
+                return;
+            }
+        };
+        ctx.stats.requests_total.inc();
+        ctx.stats.requests_framed.inc();
+        ctx.stats
+            .bytes_in
+            .add((req.body.len() + req.target.len() + 8) as u64);
+
+        let path = req.target.split('?').next().unwrap_or("");
+        let endpoint = query::endpoint_of(path);
+        let resp = timed_dispatch(ctx, endpoint, || {
+            query::dispatch_target(ctx, &req.method, &req.target, &req.body)
+        });
+        let closing = resp.close || shutdown.requested();
+        if write_framed(&mut conn, &resp, &ctx.stats).is_err() || closing {
+            return;
+        }
+    }
+}
+
+fn write_framed(conn: &mut TcpStream, resp: &Response, stats: &ServeStats) -> io::Result<()> {
+    let n = framing::write_response_frame(conn, resp.status, &resp.body)?;
+    stats.bytes_out.add(n as u64);
+    Ok(())
+}

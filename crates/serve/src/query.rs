@@ -1,0 +1,651 @@
+//! Request dispatch: the endpoint handlers shared by the HTTP and
+//! binary-framing transports.
+//!
+//! Every handler is a pure function of `(ServeCtx, request)` →
+//! [`Response`]; transports only differ in how bytes get on and off the
+//! wire. Errors are structured JSON
+//! (`{"error": {"code", "kind", "message"}}`) so clients can branch on
+//! `kind` without parsing prose.
+
+use crate::http::percent_decode;
+use crate::{Endpoint, ProbeKey, ServeCtx};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use stj_core::{find_relation, Determination, JoinBounds, JoinMethod, SpatialObject, TopologyJoin};
+use stj_de9im::TopoRelation;
+use stj_obs::Json;
+use stj_store::read_wkt_polygons;
+
+/// Default and maximum `limit` for `/v1/relate` matches.
+pub const DEFAULT_RELATE_LIMIT: u64 = 1000;
+const MAX_RELATE_LIMIT: u64 = 1_000_000;
+
+/// A transport-independent response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code (embedded in the frame for framed clients).
+    pub status: u16,
+    /// MIME type.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Whether the connection should close after this response
+    /// (streaming joins close; everything else keeps alive).
+    pub close: bool,
+    /// Whether the response was truncated by a deadline or cap (for the
+    /// truncation counter).
+    pub truncated: bool,
+}
+
+impl Response {
+    fn json(status: u16, doc: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: doc.render().into_bytes(),
+            close: false,
+            truncated: false,
+        }
+    }
+
+    /// A structured JSON error.
+    pub fn error(status: u16, kind: &str, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Json::object([(
+                "error",
+                Json::object([
+                    ("code", Json::U64(status as u64)),
+                    ("kind", Json::str(kind)),
+                    ("message", Json::str(message.into())),
+                ]),
+            )]),
+        )
+    }
+}
+
+/// Which endpoint family a path belongs to (for per-endpoint latency).
+pub fn endpoint_of(path: &str) -> Endpoint {
+    match path {
+        "/v1/relate" => Endpoint::Relate,
+        "/v1/pair" => Endpoint::Pair,
+        "/v1/join" => Endpoint::Join,
+        "/stats" => Endpoint::Stats,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Dispatches one request to its handler.
+pub fn dispatch(
+    ctx: &ServeCtx,
+    method: &str,
+    path: &str,
+    query: &[(String, String)],
+    body: &[u8],
+) -> Response {
+    match (method, path) {
+        ("GET", "/healthz") => Response::json(200, &Json::object([("ok", Json::Bool(true))])),
+        ("GET", "/stats") => handle_stats(ctx),
+        ("GET", "/v1/datasets") => handle_datasets(ctx),
+        ("POST", "/v1/relate") => handle_relate(ctx, query, body),
+        ("GET", "/v1/pair") => handle_pair(ctx, query),
+        ("POST", "/v1/join") => handle_join(ctx, query),
+        (_, "/healthz" | "/stats" | "/v1/datasets" | "/v1/relate" | "/v1/pair" | "/v1/join") => {
+            Response::error(
+                405,
+                "method_not_allowed",
+                format!("{method} not allowed here"),
+            )
+        }
+        _ => Response::error(404, "not_found", format!("no such endpoint: {path}")),
+    }
+}
+
+/// Parses a framed request target (`/path?query`, still
+/// percent-encoded) into dispatch inputs and runs it.
+pub fn dispatch_target(ctx: &ServeCtx, method: &str, target: &str, body: &[u8]) -> Response {
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let Some(path) = percent_decode(path_raw) else {
+        return Response::error(400, "bad_target", "bad percent-encoding in path");
+    };
+    let mut query = Vec::new();
+    if let Some(qs) = query_raw {
+        for pair in qs.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            match (percent_decode(k), percent_decode(v)) {
+                (Some(k), Some(v)) => query.push((k, v)),
+                _ => return Response::error(400, "bad_target", "bad percent-encoding in query"),
+            }
+        }
+    }
+    dispatch(ctx, method, &path, &query, body)
+}
+
+fn handle_stats(ctx: &ServeCtx) -> Response {
+    let datasets: Vec<(String, usize, bool)> = ctx
+        .datasets
+        .iter()
+        .map(|d| (d.name.clone(), d.arena.len(), d.arena.is_zero_copy()))
+        .collect();
+    let doc = ctx.stats.render(
+        ctx.started,
+        &datasets,
+        ctx.cache.to_json(),
+        ctx.config.to_json(),
+    );
+    Response::json(200, &doc)
+}
+
+fn handle_datasets(ctx: &ServeCtx) -> Response {
+    let items: Vec<Json> = ctx
+        .datasets
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Json::object([
+                ("index", Json::U64(i as u64)),
+                ("name", Json::str(d.name.clone())),
+                ("objects", Json::U64(d.arena.len() as u64)),
+                ("grid_order", Json::U64(u64::from(d.grid.order()))),
+            ])
+        })
+        .collect();
+    Response::json(200, &Json::object([("datasets", Json::Arr(items))]))
+}
+
+/// The deadline for a request starting now (None when disabled).
+fn request_deadline(ctx: &ServeCtx) -> Option<Instant> {
+    (ctx.config.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(ctx.config.deadline_ms))
+}
+
+fn determination_label(d: Determination) -> &'static str {
+    match d {
+        Determination::MbrFilter => "mbr_filter",
+        Determination::IntermediateFilter => "intermediate_filter",
+        Determination::Refinement => "refinement",
+    }
+}
+
+/// First query value for `key`, if present.
+fn qp<'a>(query: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    query
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn handle_relate(ctx: &ServeCtx, query: &[(String, String)], body: &[u8]) -> Response {
+    let q = |key: &str| qp(query, key);
+    let Some(ds_key) = q("dataset") else {
+        return Response::error(
+            400,
+            "missing_param",
+            "query parameter `dataset` is required",
+        );
+    };
+    let Some((ds_idx, ds)) = ctx.find_dataset(ds_key) else {
+        return Response::error(404, "unknown_dataset", format!("no dataset {ds_key:?}"));
+    };
+    let limit = match q("limit") {
+        None => DEFAULT_RELATE_LIMIT,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n.min(MAX_RELATE_LIMIT),
+            _ => return Response::error(400, "bad_param", format!("bad limit {v:?}")),
+        },
+    };
+
+    let key = ProbeKey {
+        dataset: ds_idx as u32,
+        limit,
+        wkt: body.to_vec(),
+    };
+    if let Some(cached) = ctx.cache.get(&key) {
+        return Response {
+            status: 200,
+            content_type: "application/json",
+            body: cached,
+            close: false,
+            truncated: false,
+        };
+    }
+
+    // Parse the probe with the store's line-oriented WKT reader so
+    // errors carry 1-based line numbers ("line 1: WKT syntax error:
+    // ..."), exactly like `stj preprocess` on a bad input file.
+    let polygons = match read_wkt_polygons(body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(400, "bad_wkt", e.to_string()),
+    };
+    let polygon = match polygons.len() {
+        1 => polygons.into_iter().next().expect("len checked"),
+        0 => return Response::error(400, "bad_wkt", "request body contains no polygon"),
+        n => {
+            return Response::error(
+                400,
+                "bad_wkt",
+                format!("request body contains {n} polygons, expected exactly one"),
+            )
+        }
+    };
+
+    // Rasterize the probe once, on the dataset's own grid, then probe
+    // the tile index and run the full pipeline per candidate.
+    let deadline = request_deadline(ctx);
+    let probe = SpatialObject::build(polygon, &ds.grid);
+    let mut candidates: Vec<u32> = Vec::new();
+    ds.tiling
+        .probe(probe.view().mbr, ds.arena.mbrs(), &mut |id| {
+            candidates.push(id)
+        });
+
+    let mut matches = Json::Arr(Vec::new());
+    let mut match_count: u64 = 0;
+    let mut truncated = false;
+    let mut limit_hit = false;
+    for (n, &id) in candidates.iter().enumerate() {
+        if n % 256 == 255 && deadline.is_some_and(|d| Instant::now() >= d) {
+            truncated = true;
+            break;
+        }
+        let out = find_relation(probe.view(), ds.arena.object(id as usize));
+        if out.relation == TopoRelation::Disjoint {
+            continue;
+        }
+        if match_count >= limit {
+            limit_hit = true;
+            break;
+        }
+        match_count += 1;
+        if let Json::Arr(items) = &mut matches {
+            items.push(Json::object([
+                ("id", Json::U64(u64::from(id))),
+                ("relation", Json::str(out.relation.to_string())),
+                (
+                    "determination",
+                    Json::str(determination_label(out.determination)),
+                ),
+            ]));
+        }
+    }
+
+    let doc = Json::object([
+        ("dataset", Json::str(ds.name.clone())),
+        ("candidates", Json::U64(candidates.len() as u64)),
+        ("matches", matches),
+        ("truncated", Json::Bool(truncated)),
+        ("limit_hit", Json::Bool(limit_hit)),
+    ]);
+    let body_bytes = doc.render().into_bytes();
+    // Truncated results depend on server load at request time; caching
+    // them would pin a partial answer.
+    if !truncated {
+        ctx.cache.put(key, body_bytes.clone());
+    }
+    Response {
+        status: 200,
+        content_type: "application/json",
+        body: body_bytes,
+        close: false,
+        truncated,
+    }
+}
+
+/// Resolves a dataset and an object index within it.
+fn resolve_object<'c>(
+    ctx: &'c ServeCtx,
+    query: &[(String, String)],
+    ds_param: &str,
+    idx_param: &str,
+) -> Result<(&'c crate::LoadedDataset, usize), Response> {
+    let q = |key: &str| qp(query, key);
+    let Some(ds_key) = q(ds_param) else {
+        return Err(Response::error(
+            400,
+            "missing_param",
+            format!("query parameter `{ds_param}` is required"),
+        ));
+    };
+    let Some((_, ds)) = ctx.find_dataset(ds_key) else {
+        return Err(Response::error(
+            404,
+            "unknown_dataset",
+            format!("no dataset {ds_key:?}"),
+        ));
+    };
+    let Some(idx_raw) = q(idx_param) else {
+        return Err(Response::error(
+            400,
+            "missing_param",
+            format!("query parameter `{idx_param}` is required"),
+        ));
+    };
+    let Ok(idx) = idx_raw.parse::<usize>() else {
+        return Err(Response::error(
+            400,
+            "bad_param",
+            format!("bad object index {idx_raw:?}"),
+        ));
+    };
+    if idx >= ds.arena.len() {
+        return Err(Response::error(
+            404,
+            "object_out_of_range",
+            format!(
+                "index {idx} out of range for dataset {:?} ({} objects)",
+                ds.name,
+                ds.arena.len()
+            ),
+        ));
+    }
+    Ok((ds, idx))
+}
+
+fn handle_pair(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
+    let (left, i) = match resolve_object(ctx, query, "left", "i") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let (right, j) = match resolve_object(ctx, query, "right", "j") {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    if left.grid != right.grid {
+        return Response::error(
+            400,
+            "grid_mismatch",
+            "datasets were preprocessed on different grids; relations cannot be compared",
+        );
+    }
+    let out = find_relation(left.arena.object(i), right.arena.object(j));
+    Response::json(
+        200,
+        &Json::object([
+            ("left", Json::str(left.name.clone())),
+            ("i", Json::U64(i as u64)),
+            ("right", Json::str(right.name.clone())),
+            ("j", Json::U64(j as u64)),
+            ("relation", Json::str(out.relation.to_string())),
+            (
+                "determination",
+                Json::str(determination_label(out.determination)),
+            ),
+        ]),
+    )
+}
+
+fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
+    let q = |key: &str| qp(query, key);
+    let resolve = |param: &str| -> Result<&crate::LoadedDataset, Response> {
+        let Some(key) = q(param) else {
+            return Err(Response::error(
+                400,
+                "missing_param",
+                format!("query parameter `{param}` is required"),
+            ));
+        };
+        ctx.find_dataset(key)
+            .map(|(_, d)| d)
+            .ok_or_else(|| Response::error(404, "unknown_dataset", format!("no dataset {key:?}")))
+    };
+    let left = match resolve("left") {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    let right = match resolve("right") {
+        Ok(d) => d,
+        Err(r) => return r,
+    };
+    if left.grid != right.grid {
+        return Response::error(
+            400,
+            "grid_mismatch",
+            "datasets were preprocessed on different grids and cannot be joined",
+        );
+    }
+    let method = match q("method").unwrap_or("pc") {
+        "pc" => JoinMethod::PC,
+        "st2" => JoinMethod::St2,
+        "op2" => JoinMethod::Op2,
+        "april" => JoinMethod::April,
+        other => return Response::error(400, "bad_param", format!("unknown method {other:?}")),
+    };
+    let predicate = match q("predicate") {
+        None => None,
+        Some(name) => match TopoRelation::parse(name) {
+            Some(p) => Some(p),
+            None => {
+                return Response::error(400, "bad_param", format!("unknown predicate {name:?}"))
+            }
+        },
+    };
+    let max_links = match q("max_links") {
+        None => ctx.config.max_links,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n.min(ctx.config.max_links),
+            _ => return Response::error(400, "bad_param", format!("bad max_links {v:?}")),
+        },
+    };
+
+    let mut join = TopologyJoin::new().method(method);
+    if let Some(p) = predicate {
+        join = join.predicate(p);
+    }
+    let bounds = JoinBounds {
+        max_links: Some(max_links),
+        deadline: request_deadline(ctx),
+    };
+    let bounded = join.run_bounded(&left.arena, &right.arena, bounds);
+
+    // NDJSON: one compact link object per line, then a summary line.
+    let mut body = String::with_capacity(bounded.result.links.len() * 40 + 256);
+    for link in &bounded.result.links {
+        let _ = writeln!(
+            body,
+            "{{\"r\":{},\"s\":{},\"relation\":\"{}\"}}",
+            link.r, link.s, link.relation
+        );
+    }
+    let _ = writeln!(
+        body,
+        "{{\"summary\":{{\"links\":{},\"candidates\":{},\"hit_link_cap\":{},\"hit_deadline\":{},\"truncated\":{}}}}}",
+        bounded.result.links.len(),
+        bounded.result.candidates,
+        bounded.hit_link_cap,
+        bounded.hit_deadline,
+        bounded.truncated(),
+    );
+    Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: body.into_bytes(),
+        close: true,
+        truncated: bounded.truncated(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoadedDataset, ServeConfig, ServeCtx};
+    use stj_core::Dataset;
+    use stj_geom::{Polygon, Rect};
+    use stj_index::Tiling;
+    use stj_raster::Grid;
+
+    fn test_ctx() -> ServeCtx {
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 8);
+        let polys = vec![
+            Polygon::rect(Rect::from_coords(10.0, 10.0, 40.0, 40.0)),
+            Polygon::rect(Rect::from_coords(20.0, 20.0, 30.0, 30.0)),
+            Polygon::rect(Rect::from_coords(60.0, 60.0, 90.0, 90.0)),
+        ];
+        let ds = Dataset::build("boxes", polys, &grid);
+        let arena = ds.to_arena();
+        let tiling = Tiling::for_probes(arena.mbrs());
+        let loaded = LoadedDataset {
+            name: "boxes".to_string(),
+            arena,
+            grid,
+            tiling,
+        };
+        ServeCtx::new(ServeConfig::default(), vec![loaded])
+    }
+
+    fn body_str(r: &Response) -> &str {
+        std::str::from_utf8(&r.body).expect("utf8 body")
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let ctx = test_ctx();
+        assert_eq!(dispatch(&ctx, "GET", "/healthz", &[], b"").status, 200);
+        assert_eq!(dispatch(&ctx, "GET", "/nope", &[], b"").status, 404);
+        assert_eq!(dispatch(&ctx, "DELETE", "/stats", &[], b"").status, 405);
+    }
+
+    #[test]
+    fn relate_finds_containing_box() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "boxes".to_string())];
+        // A probe inside both object 0 and object 1's neighbourhood.
+        let r = dispatch(
+            &ctx,
+            "POST",
+            "/v1/relate",
+            &q,
+            b"POLYGON((22 22, 28 22, 28 28, 22 28, 22 22))",
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        assert!(body.contains("\"inside\""), "{body}");
+        assert!(body.contains("\"truncated\": false"), "{body}");
+        // Object 2 is far away: must not appear.
+        assert!(!body.contains("\"id\": 2"), "{body}");
+    }
+
+    #[test]
+    fn relate_bad_wkt_is_line_numbered_400() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "0".to_string())];
+        let r = dispatch(&ctx, "POST", "/v1/relate", &q, b"POLYGON((not wkt");
+        assert_eq!(r.status, 400);
+        let body = body_str(&r);
+        assert!(body.contains("\"kind\": \"bad_wkt\""), "{body}");
+        assert!(body.contains("line 1:"), "{body}");
+    }
+
+    #[test]
+    fn relate_caches_identical_probes() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "boxes".to_string())];
+        let wkt = b"POLYGON((22 22, 28 22, 28 28, 22 28, 22 22))";
+        let first = dispatch(&ctx, "POST", "/v1/relate", &q, wkt);
+        let second = dispatch(&ctx, "POST", "/v1/relate", &q, wkt);
+        assert_eq!(first.body, second.body);
+        assert_eq!(ctx.cache.hits.get(), 1);
+        assert_eq!(ctx.cache.misses.get(), 1);
+    }
+
+    #[test]
+    fn relate_unknown_dataset_404() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "nope".to_string())];
+        let r = dispatch(
+            &ctx,
+            "POST",
+            "/v1/relate",
+            &q,
+            b"POLYGON((0 0,1 0,1 1,0 0))",
+        );
+        assert_eq!(r.status, 404);
+        assert!(body_str(&r).contains("unknown_dataset"));
+    }
+
+    #[test]
+    fn pair_matches_offline_pipeline() {
+        let ctx = test_ctx();
+        let q: Vec<(String, String)> = [
+            ("left", "boxes"),
+            ("i", "1"),
+            ("right", "boxes"),
+            ("j", "0"),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let r = dispatch(&ctx, "GET", "/v1/pair", &q, b"");
+        assert_eq!(r.status, 200);
+        let expect = find_relation(
+            ctx.datasets[0].arena.object(1),
+            ctx.datasets[0].arena.object(0),
+        );
+        assert!(
+            body_str(&r).contains(&format!("\"relation\": \"{}\"", expect.relation)),
+            "{}",
+            body_str(&r)
+        );
+    }
+
+    #[test]
+    fn pair_out_of_range_404() {
+        let ctx = test_ctx();
+        let q: Vec<(String, String)> = [
+            ("left", "boxes"),
+            ("i", "99"),
+            ("right", "boxes"),
+            ("j", "0"),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let r = dispatch(&ctx, "GET", "/v1/pair", &q, b"");
+        assert_eq!(r.status, 404);
+        assert!(body_str(&r).contains("object_out_of_range"));
+    }
+
+    #[test]
+    fn join_streams_ndjson_with_summary() {
+        let ctx = test_ctx();
+        let q: Vec<(String, String)> = [("left", "boxes"), ("right", "boxes")]
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let r = dispatch(&ctx, "POST", "/v1/join", &q, b"");
+        assert_eq!(r.status, 200);
+        assert!(r.close, "join responses close the connection");
+        let body = body_str(&r);
+        let last = body.lines().last().expect("summary line");
+        assert!(last.starts_with("{\"summary\":"), "{last}");
+        assert!(
+            body.lines().count() >= 2,
+            "self-join must find links: {body}"
+        );
+    }
+
+    #[test]
+    fn join_max_links_caps_and_flags() {
+        let ctx = test_ctx();
+        let q: Vec<(String, String)> = [("left", "boxes"), ("right", "boxes"), ("max_links", "1")]
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let r = dispatch(&ctx, "POST", "/v1/join", &q, b"");
+        assert_eq!(r.status, 200);
+        assert!(r.truncated);
+        let body = body_str(&r);
+        assert_eq!(body.lines().count(), 2, "one link + summary: {body}");
+        assert!(body.contains("\"hit_link_cap\":true"), "{body}");
+    }
+
+    #[test]
+    fn dispatch_target_decodes_query() {
+        let ctx = test_ctx();
+        let r = dispatch_target(&ctx, "GET", "/v1/pair?left=boxes&i=0&right=boxes&j=0", b"");
+        assert_eq!(r.status, 200);
+        assert!(body_str(&r).contains("\"equals\""));
+    }
+}

@@ -1,0 +1,194 @@
+//! Service-level metrics and the `/stats` report.
+//!
+//! Every request updates a shared [`ServeStats`] (built from the
+//! `stj-obs` service primitives); `/stats` renders a point-in-time
+//! snapshot as a versioned `stj-serve-report/v1` JSON document, the
+//! serving-side sibling of `stj-join-report/v1` and `stj-bench/v1`.
+
+use std::time::Instant;
+use stj_obs::{Counter, Gauge, Json, SharedHistogram};
+
+/// FNV-1a over `bytes`, continuing from `seed` (pass the FNV offset
+/// basis `0xcbf29ce484222325` to start a fresh hash).
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which endpoint family a request hit, for per-endpoint latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Relate,
+    Pair,
+    Join,
+    Stats,
+    Other,
+}
+
+/// All service metrics. One instance per server, shared by workers.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests fully read and dispatched.
+    pub requests_total: Counter,
+    /// ... of which arrived over HTTP.
+    pub requests_http: Counter,
+    /// ... of which arrived over binary framing.
+    pub requests_framed: Counter,
+    /// 2xx responses.
+    pub responses_ok: Counter,
+    /// 4xx responses (excluding load-shed 429s).
+    pub responses_client_error: Counter,
+    /// 5xx responses.
+    pub responses_server_error: Counter,
+    /// Connections shed with 429 because the accept queue was full.
+    pub rejected_429: Counter,
+    /// Responses carrying a `truncated: true` flag (deadline or cap).
+    pub truncated_responses: Counter,
+    /// Request bytes read (approximate: head + body as parsed).
+    pub bytes_in: Counter,
+    /// Response bytes written.
+    pub bytes_out: Counter,
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Accept-queue depth (with high-water mark).
+    pub queue_depth: Gauge,
+    /// Requests currently being processed.
+    pub in_flight: Gauge,
+    /// Per-endpoint request latency, nanoseconds.
+    pub lat_relate: SharedHistogram,
+    pub lat_pair: SharedHistogram,
+    pub lat_join: SharedHistogram,
+    pub lat_stats: SharedHistogram,
+    pub lat_other: SharedHistogram,
+}
+
+impl ServeStats {
+    /// A zeroed stats block.
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// The latency histogram for `endpoint`.
+    pub fn latency(&self, endpoint: Endpoint) -> &SharedHistogram {
+        match endpoint {
+            Endpoint::Relate => &self.lat_relate,
+            Endpoint::Pair => &self.lat_pair,
+            Endpoint::Join => &self.lat_join,
+            Endpoint::Stats => &self.lat_stats,
+            Endpoint::Other => &self.lat_other,
+        }
+    }
+
+    /// Records the response status against the right counter.
+    pub fn note_status(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_ok.inc(),
+            400..=499 => self.responses_client_error.inc(),
+            _ => self.responses_server_error.inc(),
+        }
+    }
+
+    /// Renders the `stj-serve-report/v1` document.
+    ///
+    /// `datasets` is `(name, objects, zero_copy)` per loaded dataset;
+    /// `cache` is the cache's own JSON block.
+    pub fn render(
+        &self,
+        started: Instant,
+        datasets: &[(String, usize, bool)],
+        cache: Json,
+        config: Json,
+    ) -> Json {
+        let mut ds = Json::Arr(Vec::new());
+        if let Json::Arr(items) = &mut ds {
+            for (name, objects, zero_copy) in datasets {
+                items.push(Json::object([
+                    ("name", Json::str(name.clone())),
+                    ("objects", Json::U64(*objects as u64)),
+                    ("zero_copy", Json::Bool(*zero_copy)),
+                ]));
+            }
+        }
+        Json::object([
+            ("schema", Json::str("stj-serve-report/v1")),
+            ("uptime_ms", Json::U64(started.elapsed().as_millis() as u64)),
+            ("config", config),
+            ("datasets", ds),
+            (
+                "requests",
+                Json::object([
+                    ("total", self.requests_total.to_json()),
+                    ("http", self.requests_http.to_json()),
+                    ("framed", self.requests_framed.to_json()),
+                    ("ok", self.responses_ok.to_json()),
+                    ("client_error", self.responses_client_error.to_json()),
+                    ("server_error", self.responses_server_error.to_json()),
+                    ("rejected_429", self.rejected_429.to_json()),
+                    ("truncated", self.truncated_responses.to_json()),
+                ]),
+            ),
+            (
+                "transport",
+                Json::object([
+                    ("connections", self.connections.to_json()),
+                    ("bytes_in", self.bytes_in.to_json()),
+                    ("bytes_out", self.bytes_out.to_json()),
+                    ("queue_depth", self.queue_depth.to_json()),
+                    ("in_flight", self.in_flight.to_json()),
+                ]),
+            ),
+            ("cache", cache),
+            (
+                "latency_ns",
+                Json::object([
+                    ("relate", self.lat_relate.to_json()),
+                    ("pair", self.lat_pair.to_json()),
+                    ("join", self.lat_join.to_json()),
+                    ("stats", self.lat_stats.to_json()),
+                    ("other", self.lat_other.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        let seed = 0xcbf2_9ce4_8422_2325;
+        assert_ne!(fnv1a(b"a", seed), fnv1a(b"b", seed));
+        assert_ne!(fnv1a(b"ab", seed), fnv1a(b"ba", seed));
+        assert_eq!(fnv1a(b"same", seed), fnv1a(b"same", seed));
+    }
+
+    #[test]
+    fn report_carries_schema_and_counts() {
+        let s = ServeStats::new();
+        s.requests_total.add(3);
+        s.note_status(200);
+        s.note_status(404);
+        s.note_status(500);
+        s.latency(Endpoint::Relate).record(1000);
+        let doc = s.render(
+            Instant::now(),
+            &[("lakes".into(), 42, true)],
+            Json::object([("hits", Json::U64(0))]),
+            Json::object([("threads", Json::U64(4))]),
+        );
+        let text = doc.render();
+        assert!(
+            text.contains("\"schema\": \"stj-serve-report/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"lakes\""), "{text}");
+        assert!(text.contains("\"client_error\": 1"), "{text}");
+        assert!(text.contains("\"server_error\": 1"), "{text}");
+    }
+}

@@ -28,6 +28,28 @@
 //! ```
 //!
 //! ```text
+//! stj serve [opts]                          run the online query service
+//!     --data FILE.stjd   dataset to load (repeatable; zero-copy when
+//!                        the platform supports it)
+//!     --addr HOST:PORT   listen address (default 127.0.0.1:7878;
+//!                        port 0 picks a free port)
+//!     --threads N        worker threads (0 = auto; default 0)
+//!     --queue-depth N    bounded accept queue; beyond it connections
+//!                        are shed with 429 + Retry-After (default 64)
+//!     --cache-mb N       probe-result LRU cache budget (default 64)
+//!     --deadline-ms N    per-request deadline; responses that hit it
+//!                        carry truncated:true (0 = off; default 2000)
+//!     --max-links N      server-side cap for /v1/join (default 100000)
+//!     --stats-json OUT   write the final stj-serve-report/v1 on drain
+//!     --quiet            suppress startup/drain chatter on stderr
+//! stj query --addr HOST:PORT [--framed] <SUB>   one-shot client
+//!     relate <DATASET> <WKT> [--limit N]
+//!     pair <LEFT> <I> <RIGHT> <J>
+//!     join <LEFT> <RIGHT> [--method M] [--predicate REL] [--max-links N]
+//!     stats | datasets | healthz
+//! ```
+//!
+//! ```text
 //! stj check [opts]                          differential correctness harness
 //!     --seed S       run seed: decimal, 0x-hex, or any string (hashed)
 //!     --pairs N      adversarial pairs to check (default 1000)
@@ -64,6 +86,8 @@ fn main() -> ExitCode {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -93,6 +117,15 @@ USAGE:
            [--predicate REL] [--exec streaming|materialized]
            [--threads N (0 = auto)] [--ntriples OUT.nt]
            [--stats-json OUT.json] [--progress] [--quiet]
+  stj serve --data <FILE.stjd> [--data <FILE.stjd> ...] [--addr HOST:PORT]
+            [--threads N (0 = auto)] [--queue-depth N] [--cache-mb N]
+            [--deadline-ms N (0 = off)] [--max-links N]
+            [--stats-json OUT.json] [--quiet]
+  stj query --addr HOST:PORT [--framed] <SUBCOMMAND>
+            relate <DATASET> <WKT> [--limit N]
+            pair <LEFT> <I> <RIGHT> <J>
+            join <LEFT> <RIGHT> [--method M] [--predicate REL] [--max-links N]
+            stats | datasets | healthz
   stj check [--seed S] [--pairs N] [--threads N] [--order N]
             [--json OUT.json] [--dump OUT.wkt]
 ";
@@ -428,6 +461,221 @@ fn join_report(
     report
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use stjoin::serve::{install_signal_handlers, load_datasets, ServeConfig, ServeCtx, Server};
+
+    let mut cfg = ServeConfig::default();
+    let mut data: Vec<String> = Vec::new();
+    let mut stats_json: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data" => data.push(next_arg(&mut it, "--data")?),
+            "--addr" => cfg.addr = next_arg(&mut it, "--addr")?,
+            "--threads" => {
+                cfg.threads = next_arg(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value".to_string())?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = next_arg(&mut it, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "bad --queue-depth value".to_string())?;
+            }
+            "--cache-mb" => {
+                cfg.cache_mb = next_arg(&mut it, "--cache-mb")?
+                    .parse()
+                    .map_err(|_| "bad --cache-mb value".to_string())?;
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = next_arg(&mut it, "--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --deadline-ms value".to_string())?;
+            }
+            "--max-links" => {
+                cfg.max_links = next_arg(&mut it, "--max-links")?
+                    .parse()
+                    .map_err(|_| "bad --max-links value".to_string())?;
+            }
+            "--stats-json" => stats_json = Some(next_arg(&mut it, "--stats-json")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    if data.is_empty() {
+        return Err("serve needs at least one --data <FILE.stjd>".into());
+    }
+
+    let datasets = load_datasets(&data)?;
+    if !quiet {
+        for d in &datasets {
+            eprintln!(
+                "loaded {:?}: {} objects, grid order {}{}",
+                d.name,
+                d.arena.len(),
+                d.grid.order(),
+                if d.arena.is_zero_copy() {
+                    " (zero-copy)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    let server = Server::bind(ServeCtx::new(cfg, datasets)).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    install_signal_handlers();
+
+    // The address line goes to stdout (and is flushed) so scripts can
+    // scrape the picked port when binding to :0.
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let ctx = server.ctx();
+    server.run().map_err(|e| format!("serve: {e}"))?;
+
+    if let Some(path) = stats_json {
+        let final_stats = stjoin::serve::dispatch(&ctx, "GET", "/stats", &[], b"");
+        std::fs::write(&path, final_stats.body).map_err(|e| format!("write {path}: {e}"))?;
+        if !quiet {
+            eprintln!("wrote final stats to {path}");
+        }
+    }
+    if !quiet {
+        eprintln!(
+            "drained after {} request(s), exiting",
+            ctx.stats.requests_total.get()
+        );
+    }
+    Ok(())
+}
+
+/// Percent-encodes a query-string value (RFC 3986 unreserved set).
+fn encode_query_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use stjoin::serve::Client;
+
+    let mut addr: Option<String> = None;
+    let mut framed = false;
+    let mut limit: Option<u64> = None;
+    let mut method: Option<String> = None;
+    let mut predicate: Option<String> = None;
+    let mut max_links: Option<u64> = None;
+    let mut pos: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(next_arg(&mut it, "--addr")?),
+            "--framed" => framed = true,
+            "--limit" => {
+                limit = Some(
+                    next_arg(&mut it, "--limit")?
+                        .parse()
+                        .map_err(|_| "bad --limit value".to_string())?,
+                );
+            }
+            "--method" => method = Some(next_arg(&mut it, "--method")?),
+            "--predicate" => predicate = Some(next_arg(&mut it, "--predicate")?),
+            "--max-links" => {
+                max_links = Some(
+                    next_arg(&mut it, "--max-links")?
+                        .parse()
+                        .map_err(|_| "bad --max-links value".to_string())?,
+                );
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+    let addr = addr.ok_or("query needs --addr HOST:PORT")?;
+
+    let (http_method, target, body): (&str, String, Vec<u8>) = match pos.first().map(String::as_str)
+    {
+        Some("relate") => {
+            let [_, dataset, wkt] = pos.as_slice() else {
+                return Err("query relate needs <DATASET> <WKT>".into());
+            };
+            let mut target = format!("/v1/relate?dataset={}", encode_query_value(dataset));
+            if let Some(n) = limit {
+                target.push_str(&format!("&limit={n}"));
+            }
+            ("POST", target, wkt.clone().into_bytes())
+        }
+        Some("pair") => {
+            let [_, left, i, right, j] = pos.as_slice() else {
+                return Err("query pair needs <LEFT> <I> <RIGHT> <J>".into());
+            };
+            let target = format!(
+                "/v1/pair?left={}&i={}&right={}&j={}",
+                encode_query_value(left),
+                encode_query_value(i),
+                encode_query_value(right),
+                encode_query_value(j),
+            );
+            ("GET", target, Vec::new())
+        }
+        Some("join") => {
+            let [_, left, right] = pos.as_slice() else {
+                return Err("query join needs <LEFT> <RIGHT>".into());
+            };
+            let mut target = format!(
+                "/v1/join?left={}&right={}",
+                encode_query_value(left),
+                encode_query_value(right),
+            );
+            if let Some(m) = &method {
+                target.push_str(&format!("&method={}", encode_query_value(m)));
+            }
+            if let Some(p) = &predicate {
+                target.push_str(&format!("&predicate={}", encode_query_value(p)));
+            }
+            if let Some(n) = max_links {
+                target.push_str(&format!("&max_links={n}"));
+            }
+            ("POST", target, Vec::new())
+        }
+        Some("stats") => ("GET", "/stats".to_string(), Vec::new()),
+        Some("datasets") => ("GET", "/v1/datasets".to_string(), Vec::new()),
+        Some("healthz") => ("GET", "/healthz".to_string(), Vec::new()),
+        _ => {
+            return Err(
+                "query needs a subcommand: relate | pair | join | stats | datasets | healthz"
+                    .into(),
+            )
+        }
+    };
+
+    let mut client = Client::new(addr, framed);
+    let (status, resp_body) = client
+        .request(http_method, &target, &body)
+        .map_err(|e| format!("request failed: {e}"))?;
+    // The response body goes to stdout verbatim (it is already JSON or
+    // NDJSON); the status decides the exit code.
+    let mut stdout = std::io::stdout();
+    stdout.write_all(&resp_body).map_err(|e| e.to_string())?;
+    stdout.flush().map_err(|e| e.to_string())?;
+    if (200..300).contains(&status) {
+        Ok(())
+    } else {
+        Err(format!("server returned {status}"))
+    }
+}
+
 fn cmd_check(args: &[String]) -> ExitCode {
     match run_check_cmd(args) {
         Ok(clean) => {
@@ -565,15 +813,5 @@ fn parse_dataset(name: &str) -> Result<DatasetId, String> {
 }
 
 fn parse_relation(name: &str) -> Result<TopoRelation, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "disjoint" => TopoRelation::Disjoint,
-        "intersects" => TopoRelation::Intersects,
-        "meets" | "touches" => TopoRelation::Meets,
-        "equals" => TopoRelation::Equals,
-        "inside" | "within" => TopoRelation::Inside,
-        "contains" => TopoRelation::Contains,
-        "coveredby" | "covered_by" | "covered-by" => TopoRelation::CoveredBy,
-        "covers" => TopoRelation::Covers,
-        other => return Err(format!("unknown relation {other:?}")),
-    })
+    TopoRelation::parse(name).ok_or_else(|| format!("unknown relation {name:?}"))
 }

@@ -27,7 +27,11 @@
 //!   profiles, JSON telemetry, progress heartbeats;
 //! - [`check`] — the differential & metamorphic correctness harness
 //!   behind `stj check` (adversarial pairs, invariants (a)–(e),
-//!   shrinking, WKT repro dumps).
+//!   shrinking, WKT repro dumps);
+//! - [`serve`] — the online query service behind `stj serve`: ad-hoc
+//!   relate probes, stored-pair lookups, and bounded joins over
+//!   resident zero-copy arenas, with load shedding, deadlines, a probe
+//!   cache, and a `/stats` report.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +74,7 @@ pub use stj_geom as geom;
 pub use stj_index as index;
 pub use stj_obs as obs;
 pub use stj_raster as raster;
+pub use stj_serve as serve;
 pub use stj_store as store;
 
 pub use stj_core::{

@@ -333,3 +333,123 @@ fn unknown_command_fails_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
+
+/// End-to-end `stj serve` + `stj query` round trip: start the service
+/// on a free port, exercise every query family, assert the structured
+/// 400 for bad probe WKT, then drain gracefully via SIGTERM and check
+/// the exit code.
+#[cfg(unix)]
+#[test]
+fn serve_and_query_round_trip() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tempdir("serve");
+    let wkt = dir.join("boxes.wkt");
+    let bin = dir.join("boxes.stjd");
+    let stats_json = dir.join("serve-stats.json");
+
+    let out = stj()
+        .args(["generate", "TL", "0.02"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&bin)
+        .args(["--order", "8", "--name", "boxes"])
+        .output()
+        .expect("preprocess");
+    assert!(out.status.success());
+
+    let mut server = stj()
+        .arg("serve")
+        .arg("--data")
+        .arg(&bin)
+        .args(["--addr", "127.0.0.1:0", "--threads", "2", "--quiet"])
+        .arg("--stats-json")
+        .arg(&stats_json)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The first stdout line announces the picked port.
+    let mut stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+
+    let query = |args: &[&str]| {
+        stj()
+            .args(["query", "--addr", &addr])
+            .args(args)
+            .output()
+            .expect("run stj query")
+    };
+
+    let out = query(&["healthz"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = query(&[
+        "relate",
+        "boxes",
+        "POLYGON((100 100, 500 100, 500 500, 100 500, 100 100))",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"matches\""), "{text}");
+
+    // Invalid probe WKT: non-zero exit, structured 400 with a
+    // line-numbered parse error on stdout.
+    let out = query(&["relate", "boxes", "POLYGON((broken"]);
+    assert!(!out.status.success(), "bad WKT must fail the client");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"kind\": \"bad_wkt\""), "{text}");
+    assert!(text.contains("line 1:"), "{text}");
+
+    let out = query(&["pair", "boxes", "0", "boxes", "0"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"equals\""));
+
+    let out = query(&["join", "boxes", "boxes", "--max-links", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.lines().last().unwrap_or("").contains("\"summary\""),
+        "{text}"
+    );
+
+    let out = query(&["--framed", "stats"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stj-serve-report/v1"), "{text}");
+
+    // Graceful drain: SIGTERM, then the server must exit 0 and write
+    // the final stats report.
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = server.wait().expect("wait for serve");
+    assert!(
+        status.success(),
+        "serve must drain cleanly on SIGTERM: {status:?}"
+    );
+    let report = std::fs::read_to_string(&stats_json).expect("final stats written");
+    assert!(
+        report.contains("\"schema\": \"stj-serve-report/v1\""),
+        "{report}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

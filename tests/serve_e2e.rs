@@ -1,0 +1,333 @@
+//! End-to-end tests of the serving stack against a real in-process
+//! server: every byte goes over a loopback TCP connection through the
+//! production accept/queue/worker/dispatch path.
+//!
+//! The acceptance bar is *bit-identical results*: for adversarial pair
+//! workloads (the same generator the differential check harness uses),
+//! the server's `pair`, `relate`, and `join` answers must match the
+//! offline pipeline exactly.
+
+use stjoin::core::{find_relation, TopologyJoin};
+use stjoin::datagen::{adversarial_pair, adversarial_space};
+use stjoin::de9im::TopoRelation;
+use stjoin::geom::wkt::polygon_to_wkt;
+use stjoin::prelude::*;
+use stjoin::serve::{Client, LoadedDataset, ServeConfig, ServeCtx, Server};
+use stjoin::store::write_arena_v2;
+use stjoin::Tiling;
+
+const SEED: u64 = 0xE2E_5E12;
+const PAIRS: u64 = 44; // covers all 11 adversarial categories 4x
+
+/// Builds the two adversarial datasets (all `a` sides, all `b` sides)
+/// on a shared grid over the adversarial space.
+fn adversarial_arenas() -> (DatasetArena, DatasetArena, Grid) {
+    let grid = Grid::new(adversarial_space(), 8);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in 0..PAIRS {
+        let p = adversarial_pair(SEED, i);
+        left.push(p.a);
+        right.push(p.b);
+    }
+    let l = Dataset::build("adv-a", left, &grid).to_arena();
+    let r = Dataset::build("adv-b", right, &grid).to_arena();
+    (l, r, grid)
+}
+
+/// Starts a server on a free port and returns (address, shutdown
+/// closure joining the serve thread).
+fn start_server(config: ServeConfig) -> (String, impl FnOnce()) {
+    let (l, r, grid) = adversarial_arenas();
+    let datasets = vec![
+        LoadedDataset {
+            name: l.name().to_string(),
+            tiling: Tiling::for_probes(l.mbrs()),
+            arena: l,
+            grid: grid.clone(),
+        },
+        LoadedDataset {
+            name: r.name().to_string(),
+            tiling: Tiling::for_probes(r.mbrs()),
+            arena: r,
+            grid,
+        },
+    ];
+    let server = Server::bind(ServeCtx::new(config, datasets)).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let stop = move || {
+        flag.trigger();
+        handle.join().expect("join serve thread");
+    };
+    (addr, stop)
+}
+
+fn free_port_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn pair_replay_is_bit_identical_to_offline_pipeline() {
+    let (addr, stop) = start_server(free_port_config());
+    let (l, r, _grid) = adversarial_arenas();
+    let mut client = Client::new(addr, false);
+    for i in 0..PAIRS as usize {
+        let target = format!("/v1/pair?left=adv-a&i={i}&right=adv-b&j={i}");
+        let (status, body) = client.request("GET", &target, b"").expect("pair request");
+        assert_eq!(status, 200, "pair {i}");
+        let body = String::from_utf8(body).expect("utf8");
+        let offline = find_relation(l.object(i), r.object(i));
+        assert!(
+            body.contains(&format!("\"relation\": \"{}\"", offline.relation)),
+            "pair {i}: server disagreed with offline pipeline: {body}"
+        );
+    }
+    stop();
+}
+
+#[test]
+fn relate_replay_matches_offline_bruteforce() {
+    let (addr, stop) = start_server(free_port_config());
+    let (_l, r, grid) = adversarial_arenas();
+    let mut client = Client::new(addr, false);
+    // Probe dataset adv-b with each left-side polygon, rebuilt from its
+    // WKT round-trip exactly as the server will see it.
+    for i in (0..PAIRS as usize).step_by(3) {
+        let wkt = polygon_to_wkt(&adversarial_pair(SEED, i as u64).a);
+        let target = "/v1/relate?dataset=adv-b&limit=1000000";
+        let (status, body) = client
+            .request("POST", target, wkt.as_bytes())
+            .expect("relate request");
+        assert_eq!(
+            status,
+            200,
+            "relate {i}: {}",
+            String::from_utf8_lossy(&body)
+        );
+        let body = String::from_utf8(body).expect("utf8");
+        assert!(body.contains("\"truncated\": false"), "{body}");
+
+        // Offline truth: the same probe object built from the same WKT,
+        // against every stored object.
+        let probe_poly = stjoin::geom::wkt::polygon_from_wkt(&wkt).expect("roundtrip wkt");
+        let probe = SpatialObject::build(probe_poly, &grid);
+        for j in 0..r.len() {
+            let out = find_relation(probe.view(), r.object(j));
+            let expected = format!("\"id\": {j},\n      \"relation\": \"{}\"", out.relation);
+            if out.relation == TopoRelation::Disjoint {
+                assert!(
+                    !body.contains(&format!("\"id\": {j},")),
+                    "probe {i}: server reported disjoint object {j}: {body}"
+                );
+            } else {
+                assert!(
+                    body.contains(&expected),
+                    "probe {i}: missing/differing match for object {j} \
+                     (expected {:?}): {body}",
+                    out.relation
+                );
+            }
+        }
+    }
+    stop();
+}
+
+#[test]
+fn join_replay_matches_offline_join() {
+    let (addr, stop) = start_server(free_port_config());
+    let (l, r, _grid) = adversarial_arenas();
+    let offline = TopologyJoin::new().run(&l, &r);
+    let mut offline_lines: Vec<String> = offline
+        .links
+        .iter()
+        .map(|k| {
+            format!(
+                "{{\"r\":{},\"s\":{},\"relation\":\"{}\"}}",
+                k.r, k.s, k.relation
+            )
+        })
+        .collect();
+    offline_lines.sort();
+
+    let mut client = Client::new(addr, false);
+    let (status, body) = client
+        .request("POST", "/v1/join?left=adv-a&right=adv-b", b"")
+        .expect("join request");
+    assert_eq!(status, 200);
+    let body = String::from_utf8(body).expect("utf8");
+    let mut server_lines: Vec<String> = body
+        .lines()
+        .filter(|line| !line.starts_with("{\"summary\""))
+        .map(str::to_string)
+        .collect();
+    server_lines.sort();
+    assert_eq!(
+        server_lines, offline_lines,
+        "served join differs from offline join"
+    );
+
+    let summary = body
+        .lines()
+        .find(|line| line.starts_with("{\"summary\""))
+        .expect("summary line");
+    assert!(
+        summary.contains(&format!("\"links\":{}", offline.links.len())),
+        "{summary}"
+    );
+    assert!(summary.contains("\"truncated\":false"), "{summary}");
+    stop();
+}
+
+#[test]
+fn framed_transport_agrees_with_http() {
+    let (addr, stop) = start_server(free_port_config());
+    let mut http = Client::new(addr.clone(), false);
+    let mut framed = Client::new(addr, true);
+    for i in 0..8 {
+        let target = format!("/v1/pair?left=adv-a&i={i}&right=adv-b&j={i}");
+        let (hs, hb) = http.request("GET", &target, b"").expect("http");
+        let (fs, fb) = framed.request("GET", &target, b"").expect("framed");
+        assert_eq!(hs, fs);
+        assert_eq!(hb, fb, "transports disagree on pair {i}");
+    }
+    stop();
+}
+
+#[test]
+fn bad_wkt_probe_gets_line_numbered_400() {
+    let (addr, stop) = start_server(free_port_config());
+    let mut client = Client::new(addr, false);
+    let (status, body) = client
+        .request("POST", "/v1/relate?dataset=adv-a", b"POLYGON((1 2, 3")
+        .expect("request");
+    assert_eq!(status, 400);
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(body.contains("\"kind\": \"bad_wkt\""), "{body}");
+    assert!(body.contains("line 1:"), "{body}");
+    stop();
+}
+
+#[test]
+fn server_round_trips_stats_and_cache_hits() {
+    let (addr, stop) = start_server(free_port_config());
+    let mut client = Client::new(addr, false);
+    let wkt = b"POLYGON((100 100, 300 100, 300 300, 100 300, 100 100))";
+    let (s1, b1) = client
+        .request("POST", "/v1/relate?dataset=adv-a", wkt)
+        .expect("first");
+    let (s2, b2) = client
+        .request("POST", "/v1/relate?dataset=adv-a", wkt)
+        .expect("second");
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "cached response must be byte-identical");
+
+    let (status, stats) = client.request("GET", "/stats", b"").expect("stats");
+    assert_eq!(status, 200);
+    let stats = String::from_utf8(stats).expect("utf8");
+    assert!(
+        stats.contains("\"schema\": \"stj-serve-report/v1\""),
+        "{stats}"
+    );
+    assert!(
+        stats.contains("\"hits\": 1"),
+        "cache hit not recorded: {stats}"
+    );
+    stop();
+}
+
+#[test]
+fn load_shedding_returns_429_when_queue_full() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    // One worker, queue depth 1. A connection with a half-sent request
+    // pins the worker (it blocks reading the rest); one more connection
+    // fills the queue; everything after that must be shed with 429.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, stop) = start_server(cfg);
+
+    let mut pin = TcpStream::connect(&addr).expect("pin connection");
+    pin.write_all(b"GET /healthz HTTP/1.1\r\n")
+        .expect("partial write");
+    // Give the worker time to pick it up and block on the missing head.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let mut extra: Vec<TcpStream> = Vec::new();
+    let mut shed_seen = false;
+    for _ in 0..8 {
+        let mut conn = TcpStream::connect(&addr).expect("extra connection");
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .expect("timeout");
+        let mut first = [0u8; 1];
+        // Shed connections get an immediate 429 + close; queued ones
+        // time out waiting (the worker is pinned).
+        if conn.read(&mut first).is_ok() {
+            let mut rest = String::new();
+            let _ = conn.read_to_string(&mut rest);
+            let resp = format!("{}{rest}", first[0] as char);
+            assert!(resp.contains("429"), "unexpected early response: {resp}");
+            assert!(resp.contains("retry-after: 1"), "{resp}");
+            shed_seen = true;
+            break;
+        }
+        extra.push(conn);
+    }
+    assert!(shed_seen, "no connection was shed despite a full queue");
+
+    // Unblock the pinned worker so the drain is quick.
+    let _ = pin.write_all(b"connection: close\r\n\r\n");
+    drop(pin);
+    drop(extra);
+    stop();
+}
+
+/// Writes both arenas to real STJD v2 files and serves them from disk
+/// (zero-copy on supporting platforms), checking results still match.
+#[test]
+fn disk_loaded_datasets_serve_identically() {
+    let dir = std::env::temp_dir().join(format!("stj-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let (l, r, grid) = adversarial_arenas();
+    let mut paths = Vec::new();
+    for (name, arena) in [("a.stjd", &l), ("b.stjd", &r)] {
+        let path = dir.join(name);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create"));
+        write_arena_v2(&mut f, arena, &grid).expect("write v2");
+        std::io::Write::flush(&mut f).expect("flush");
+        paths.push(path);
+    }
+    let datasets = stjoin::serve::load_datasets(&paths).expect("load from disk");
+    let server = Server::bind(ServeCtx::new(free_port_config(), datasets)).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+
+    let mut client = Client::new(addr, false);
+    for i in 0..PAIRS as usize {
+        let target = format!("/v1/pair?left=adv-a&i={i}&right=adv-b&j={i}");
+        let (status, body) = client.request("GET", &target, b"").expect("pair");
+        assert_eq!(status, 200);
+        let offline = find_relation(l.object(i), r.object(i));
+        assert!(
+            String::from_utf8(body)
+                .expect("utf8")
+                .contains(&format!("\"relation\": \"{}\"", offline.relation)),
+            "disk-backed pair {i} disagrees with offline pipeline"
+        );
+    }
+    flag.trigger();
+    handle.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}
