@@ -39,6 +39,8 @@ fn note_alloc(size: usize) {
     ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    // Feed the site-attribution table too (a relaxed load when off).
+    stj_obs::alloc::note_alloc(size);
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
@@ -185,6 +187,36 @@ fn main() {
     }
     eprintln!("all runs agree: {} links", warm.links.len());
 
+    // Flight-recorder overhead: best-of-reps traced vs untraced wall on
+    // the widest streaming configuration. The untraced runs carry the
+    // recorder hooks in their disabled state (a branch on an `Option`
+    // per task), so untraced-vs-baseline drift is the tracing-off cost;
+    // the traced delta additionally includes the per-pair stage timers
+    // that tracing implies, which dominate at small scales.
+    let probe_threads = *thread_counts.last().expect("thread counts");
+    let time_join = |traced: bool| -> u64 {
+        let t = Instant::now();
+        let out = TopologyJoin::new()
+            .strategy(ExecStrategy::Streaming)
+            .threads(probe_threads)
+            .traced(traced)
+            .run(&arena, &arena);
+        assert_eq!(out.links.len(), warm.links.len());
+        t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    };
+    let mut untraced_ns = u64::MAX;
+    let mut traced_ns = u64::MAX;
+    for _ in 0..reps.max(3) {
+        untraced_ns = untraced_ns.min(time_join(false));
+        traced_ns = traced_ns.min(time_join(true));
+    }
+    let overhead_pct = (traced_ns as f64 - untraced_ns as f64) / untraced_ns as f64 * 100.0;
+    eprintln!(
+        "trace overhead x{probe_threads}: untraced {:.1} ms, traced {:.1} ms ({overhead_pct:+.2}%)",
+        untraced_ns as f64 / 1e6,
+        traced_ns as f64 / 1e6,
+    );
+
     let pair_bytes = std::mem::size_of::<(u32, u32)>() as u64;
     let entries: Vec<Json> = samples
         .iter()
@@ -217,6 +249,15 @@ fn main() {
         ("links", Json::from(warm.links.len())),
         ("stream_batch_pairs", Json::from(STREAM_BATCH_PAIRS)),
         ("runs", Json::Arr(entries)),
+        (
+            "trace_overhead",
+            Json::object([
+                ("threads", Json::from(probe_threads)),
+                ("untraced_ns", Json::U64(untraced_ns)),
+                ("traced_ns", Json::U64(traced_ns)),
+                ("overhead_pct", Json::F64(overhead_pct)),
+            ]),
+        ),
     ]);
     let path = stj_bench::experiments::bench_output_path("BENCH_PR4.json");
     std::fs::write(&path, report.render()).expect("write bench json");

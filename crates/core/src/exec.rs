@@ -31,7 +31,7 @@
 //!
 //! # Observability
 //!
-//! Two opt-in observation channels (see `stj-obs`):
+//! Opt-in observation channels (see `stj-obs`):
 //!
 //! - [`TopologyJoin::profiled`] collects a [`JoinProfile`] — per-stage
 //!   latency histograms, decision counts, and a per-MBR-class breakdown.
@@ -40,10 +40,22 @@
 //!   is exact regardless of thread count. Profiling is statically
 //!   dispatched: when off, the pair loop monomorphizes to the
 //!   uninstrumented code.
+//! - [`TopologyJoin::traced`] turns on the flight recorder: each
+//!   streaming worker records one [`stj_obs::SpanRecord`] per tile task
+//!   into a private fixed-capacity ring, assembled into a
+//!   [`JoinTrace`] after the scope (exportable as Chrome trace-event
+//!   JSON via `stj join --trace`). Tracing implies profiling, which
+//!   supplies the per-stage nanos inside each span.
+//! - Streaming runs always return a [`SchedReport`]: per-worker
+//!   busy/idle nanos, task-claim and skew-split counts, and the
+//!   derived imbalance ratio. The cost is two `Instant` reads per tile
+//!   task, off the per-pair path.
 //! - [`TopologyJoin::progress`] prints a pairs/sec heartbeat to stderr
 //!   from a monitor thread while workers count pairs in batches. (The
 //!   streaming executor reports progress without a total: the candidate
-//!   count is only known once generation finishes.)
+//!   count is only known once generation finishes.) Streaming workers
+//!   also feed per-task busy time into the meter, so heartbeats carry
+//!   worker utilization.
 
 use crate::arena::{DatasetArena, ObjectRef};
 use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
@@ -53,7 +65,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use stj_de9im::TopoRelation;
 use stj_index::{mbr_join_parallel, MbrRelation, TileTask, Tiling, DEFAULT_SPLIT_THRESHOLD};
-use stj_obs::{Disabled, JoinProfile, Profiler, Progress, ProgressBatch, Recorder};
+use stj_obs::{
+    Disabled, JoinProfile, JoinTrace, Profiler, Progress, ProgressBatch, Recorder, SchedReport,
+    SpanRecord, SpanRing, WorkerSched, WorkerTrace, DEFAULT_TRACE_SPANS,
+};
 
 /// Streaming batch size: candidate pairs buffered per worker before the
 /// pipeline runs over them. Large enough to amortize the per-batch
@@ -124,8 +139,15 @@ pub struct JoinResult {
     /// mode `refined` counts refinement-determined predicate answers).
     pub stats: PipelineStats,
     /// Per-stage/per-class observation, when [`TopologyJoin::profiled`]
-    /// was requested.
+    /// (or [`TopologyJoin::traced`], which implies it) was requested.
     pub profile: Option<JoinProfile>,
+    /// Per-worker busy/idle/task tallies. Always present for streaming
+    /// runs; `None` for materialized runs (static chunking has no task
+    /// scheduler to measure).
+    pub sched: Option<SchedReport>,
+    /// The flight-recorder trace, when [`TopologyJoin::traced`] was
+    /// requested on a streaming run.
+    pub trace: Option<JoinTrace>,
 }
 
 /// Resource limits for a bounded join run (see
@@ -235,12 +257,28 @@ pub struct TopologyJoin {
     threads: usize,
     strategy: ExecStrategy,
     profiled: bool,
+    traced: bool,
     progress: bool,
 }
 
 /// Per-worker accumulation: links, stats, and (when profiling) the
 /// worker's finished profile.
 type WorkerPart = (Vec<Link>, PipelineStats, Option<JoinProfile>);
+
+/// A streaming worker's full output: the pipeline accumulation plus
+/// its scheduler tallies and (when tracing) its slice of the trace.
+struct StreamPart {
+    part: WorkerPart,
+    sched: WorkerSched,
+    trace: Option<WorkerTrace>,
+}
+
+/// Nanoseconds from `epoch` to `now`, saturating.
+fn ns_since(epoch: Instant, now: Instant) -> u64 {
+    now.saturating_duration_since(epoch)
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
 
 impl TopologyJoin {
     /// A join with default configuration (P+C, find-relation mode,
@@ -282,6 +320,15 @@ impl TopologyJoin {
     /// timing overhead; leave off for throughput measurements.
     pub fn profiled(mut self, on: bool) -> TopologyJoin {
         self.profiled = on;
+        self
+    }
+
+    /// Enables the flight recorder on streaming runs: the result's
+    /// [`trace`](JoinResult::trace) carries one span per tile task.
+    /// Implies [`TopologyJoin::profiled`] (spans embed per-stage
+    /// nanos). Materialized runs ignore this (no tile tasks to span).
+    pub fn traced(mut self, on: bool) -> TopologyJoin {
+        self.traced = on;
         self
     }
 
@@ -378,6 +425,8 @@ impl TopologyJoin {
             candidates,
             stats,
             profile,
+            sched: None,
+            trace: None,
         }
     }
 
@@ -395,11 +444,13 @@ impl TopologyJoin {
         // heartbeat runs without a percentage.
         let progress = self.progress.then(|| Progress::new(0));
         let stop = AtomicBool::new(false);
-        let (links, stats, profile) = std::thread::scope(|scope| {
+        let ((links, stats, profile), sched, trace) = std::thread::scope(|scope| {
             if let Some(p) = &progress {
                 scope.spawn(|| p.run_reporter(&stop, Duration::from_secs(1)));
             }
-            let out = if self.profiled {
+            // Tracing needs the per-stage timings only a Recorder
+            // collects, so it forces the profiled monomorphization.
+            let out = if self.profiled || self.traced {
                 self.stream_with::<Recorder>(left, right, threads, progress.as_ref(), limits)
             } else {
                 self.stream_with::<Disabled>(left, right, threads, progress.as_ref(), limits)
@@ -414,6 +465,8 @@ impl TopologyJoin {
             candidates: stats.pairs,
             stats,
             profile,
+            sched: Some(sched),
+            trace,
         }
     }
 
@@ -450,7 +503,8 @@ impl TopologyJoin {
 
     /// Statically-dispatched streaming join body: `threads` workers
     /// drain the shared task counter; per-worker state merges after the
-    /// scope.
+    /// scope, including scheduler tallies and (when tracing) the
+    /// per-worker span rings.
     fn stream_with<P: Profiler + Default + Send>(
         &self,
         left: &DatasetArena,
@@ -458,34 +512,78 @@ impl TopologyJoin {
         threads: usize,
         progress: Option<&Progress>,
         limits: Option<&LimitState>,
-    ) -> WorkerPart {
+    ) -> (WorkerPart, SchedReport, Option<JoinTrace>) {
         let tiling = Tiling::for_inputs(left.mbrs(), right.mbrs());
         let tasks = tiling.tasks(DEFAULT_SPLIT_THRESHOLD);
+        // A task is a skew-split when its ranges cover only a slice of
+        // its tile's event lists.
+        let splits: Vec<bool> = tasks
+            .iter()
+            .map(|t| {
+                let (nr, ns) = tiling.tile_sizes(t.tile as usize);
+                (t.r_hi - t.r_lo) as usize != nr || (t.s_hi - t.s_lo) as usize != ns
+            })
+            .collect();
         let next = AtomicUsize::new(0);
-        if threads == 1 || tasks.len() < 2 {
-            return self.stream_worker::<P>(left, right, &tiling, &tasks, &next, progress, limits);
+        let workers = if threads == 1 || tasks.len() < 2 {
+            1
+        } else {
+            threads
+        };
+        if let Some(p) = progress {
+            p.set_workers(workers);
         }
-        let mut parts: Vec<WorkerPart> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let (tiling, tasks, next) = (&tiling, &tasks, &next);
-                handles.push(scope.spawn(move || {
-                    self.stream_worker::<P>(left, right, tiling, tasks, next, progress, limits)
-                }));
+        // The trace/sched epoch: everything is timestamped relative to
+        // the start of the parallel region.
+        let epoch = Instant::now();
+        let mut stream_parts: Vec<StreamPart> = Vec::new();
+        if workers == 1 {
+            stream_parts.push(self.stream_worker::<P>(
+                left, right, &tiling, &tasks, &splits, 0, epoch, &next, progress, limits,
+            ));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let (tiling, tasks, splits, next) = (&tiling, &tasks, &splits, &next);
+                    handles.push(scope.spawn(move || {
+                        self.stream_worker::<P>(
+                            left, right, tiling, tasks, splits, w, epoch, next, progress, limits,
+                        )
+                    }));
+                }
+                stream_parts = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join worker panicked"))
+                    .collect();
+            });
+        }
+        let wall_ns = ns_since(epoch, Instant::now());
+        let mut parts = Vec::with_capacity(stream_parts.len());
+        let mut scheds = Vec::with_capacity(stream_parts.len());
+        let mut traces = Vec::new();
+        for sp in stream_parts {
+            parts.push(sp.part);
+            scheds.push(sp.sched);
+            if let Some(t) = sp.trace {
+                traces.push(t);
             }
-            parts = handles
-                .into_iter()
-                .map(|h| h.join().expect("join worker panicked"))
-                .collect();
+        }
+        let trace = self.traced.then_some(JoinTrace {
+            wall_ns,
+            workers: traces,
         });
-        merge_parts(parts)
+        (merge_parts(parts), SchedReport::new(wall_ns, scheds), trace)
     }
 
     /// One streaming worker: claim a task, stream its candidates into
-    /// the batch buffer, flush the pipeline whenever the buffer fills,
-    /// repeat until the queue drains. The buffer is the worker's only
-    /// candidate storage — capacity [`STREAM_BATCH_PAIRS`], never grown.
+    /// the batch buffer, flush the pipeline whenever the buffer fills
+    /// and at the end of the task, repeat until the queue drains. The
+    /// buffer is the worker's only candidate storage — capacity
+    /// [`STREAM_BATCH_PAIRS`], never grown. The end-of-task flush keeps
+    /// pair/link/stage tallies exactly attributable to the task that
+    /// generated them (for spans and scheduler metrics) at the cost of
+    /// one extra pipeline dispatch per task.
     #[allow(clippy::too_many_arguments)]
     fn stream_worker<P: Profiler + Default>(
         &self,
@@ -493,10 +591,13 @@ impl TopologyJoin {
         right: &DatasetArena,
         tiling: &Tiling,
         tasks: &[TileTask],
+        splits: &[bool],
+        worker: usize,
+        epoch: Instant,
         next: &AtomicUsize,
         progress: Option<&Progress>,
         limits: Option<&LimitState>,
-    ) -> WorkerPart {
+    ) -> StreamPart {
         let mut prof = P::default();
         let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
@@ -504,6 +605,9 @@ impl TopologyJoin {
         let mut buf: Vec<(u32, u32)> = Vec::with_capacity(STREAM_BATCH_PAIRS);
         // Links already reported to `limits` (bounded runs).
         let mut noted = 0usize;
+        let mut sched = WorkerSched::new(worker);
+        let mut ring = self.traced.then(|| SpanRing::new(DEFAULT_TRACE_SPANS));
+        let start_ns = ns_since(epoch, Instant::now());
         loop {
             if limits.is_some_and(LimitState::should_stop) {
                 // Drop the unprocessed tail of the batch buffer: these
@@ -515,6 +619,13 @@ impl TopologyJoin {
             if t >= tasks.len() {
                 break;
             }
+            let task_start = Instant::now();
+            let (pairs_before, links_before) = (stats.pairs, links.len() as u64);
+            let stages_before = if ring.is_some() {
+                prof.stage_ns_totals()
+            } else {
+                [0; 3]
+            };
             tiling.run_task(&tasks[t], left.mbrs(), right.mbrs(), &mut |i, j| {
                 buf.push((i, j));
                 if buf.len() == STREAM_BATCH_PAIRS {
@@ -528,16 +639,57 @@ impl TopologyJoin {
                     }
                 }
             });
+            if !buf.is_empty() {
+                self.process_pairs::<P>(
+                    left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
+                );
+                buf.clear();
+                if let Some(l) = limits {
+                    l.note_links((links.len() - noted) as u64);
+                    noted = links.len();
+                }
+            }
+            let task_end = Instant::now();
+            let dur_ns = ns_since(task_start, task_end);
+            sched.busy_ns += dur_ns;
+            sched.tasks += 1;
+            sched.splits += u64::from(splits[t]);
+            sched.pairs += stats.pairs - pairs_before;
+            sched.links += links.len() as u64 - links_before;
+            if let Some(p) = progress {
+                p.add_busy(dur_ns);
+            }
+            if let Some(ring) = &mut ring {
+                let stages_after = prof.stage_ns_totals();
+                let mut stage_ns = [0u64; 3];
+                for (i, s) in stage_ns.iter_mut().enumerate() {
+                    *s = stages_after[i] - stages_before[i];
+                }
+                ring.push(SpanRecord {
+                    task: t as u32,
+                    tile: tasks[t].tile,
+                    split_depth: u8::from(splits[t]),
+                    start_ns: ns_since(epoch, task_start),
+                    dur_ns,
+                    pairs: stats.pairs - pairs_before,
+                    links: links.len() as u64 - links_before,
+                    stage_ns,
+                });
+            }
         }
-        if !buf.is_empty() {
-            self.process_pairs::<P>(
-                left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
-            );
+        let end_ns = ns_since(epoch, Instant::now());
+        let trace = ring.map(|ring| WorkerTrace {
+            worker,
+            start_ns,
+            end_ns,
+            dropped: ring.dropped(),
+            spans: ring.into_spans(),
+        });
+        StreamPart {
+            part: (links, stats, prof.finish()),
+            sched,
+            trace,
         }
-        if let Some(l) = limits {
-            l.note_links((links.len() - noted) as u64);
-        }
-        (links, stats, prof.finish())
     }
 
     /// One materialized worker: the whole chunk is a single batch.
@@ -917,6 +1069,93 @@ mod tests {
             let class_pairs: u64 = profile.classes.iter().map(|c| c.pairs).sum();
             assert_eq!(class_pairs, out.candidates);
         }
+    }
+
+    #[test]
+    fn streaming_runs_always_report_scheduler_metrics() {
+        let (l, r) = datasets();
+        for threads in [1, 4] {
+            let out = TopologyJoin::new().threads(threads).run(&l, &r);
+            let sched = out.sched.expect("streaming runs carry sched metrics");
+            let tasks: u64 = sched.workers.iter().map(|w| w.tasks).sum();
+            let pairs: u64 = sched.workers.iter().map(|w| w.pairs).sum();
+            let links: u64 = sched.workers.iter().map(|w| w.links).sum();
+            assert!(tasks > 0);
+            assert_eq!(pairs, out.candidates, "every pair attributed to a task");
+            assert_eq!(links, out.links.len() as u64);
+            for w in &sched.workers {
+                assert!(w.busy_ns <= sched.wall_ns + sched.wall_ns / 4);
+            }
+            assert!(sched.imbalance_ratio() >= 1.0 - 1e-9);
+        }
+        let mat = TopologyJoin::new()
+            .strategy(ExecStrategy::Materialized)
+            .run(&l, &r);
+        assert!(mat.sched.is_none(), "no task scheduler to measure");
+    }
+
+    #[test]
+    fn traced_run_attributes_all_work_to_spans() {
+        let (l, r) = datasets();
+        for threads in [1, 3] {
+            let out = TopologyJoin::new()
+                .threads(threads)
+                .traced(true)
+                .run(&l, &r);
+            assert!(out.profile.is_some(), "tracing implies profiling");
+            let trace = out.trace.expect("traced run returns a trace");
+            let spans: Vec<_> = trace.workers.iter().flat_map(|w| w.spans.iter()).collect();
+            let pairs: u64 = spans.iter().map(|s| s.pairs).sum();
+            let links: u64 = spans.iter().map(|s| s.links).sum();
+            assert_eq!(pairs, out.candidates);
+            assert_eq!(links, out.links.len() as u64);
+            for w in &trace.workers {
+                assert_eq!(w.dropped, 0);
+                for s in &w.spans {
+                    assert!(s.start_ns + s.dur_ns <= trace.wall_ns + trace.wall_ns / 4);
+                }
+            }
+            // Spans (plus synthesized idle tails) must account for
+            // nearly all of each worker's share of the region.
+            for cov in trace.span_coverage() {
+                assert!(cov >= 0.5, "span coverage collapsed: {cov}");
+            }
+        }
+        let untraced = TopologyJoin::new().run(&l, &r);
+        assert!(untraced.trace.is_none(), "tracing is opt-in");
+    }
+
+    #[test]
+    fn traced_results_match_untraced() {
+        let (l, r) = datasets();
+        let plain = TopologyJoin::new().threads(2).run(&l, &r);
+        let traced = TopologyJoin::new().threads(2).traced(true).run(&l, &r);
+        assert_eq!(
+            sorted_links(plain.links.clone()),
+            sorted_links(traced.links.clone())
+        );
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.candidates, traced.candidates);
+    }
+
+    #[test]
+    fn single_thread_trace_spans_are_stable_across_reruns() {
+        let (l, r) = datasets();
+        let run = || {
+            let out = TopologyJoin::new().threads(1).traced(true).run(&l, &r);
+            let trace = out.trace.expect("trace");
+            // Project out the timing fields: task identity, tile,
+            // split, pairs, links are deterministic at one thread.
+            trace.workers[0]
+                .spans
+                .iter()
+                .map(|s| (s.task, s.tile, s.split_depth, s.pairs, s.links))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "non-timing span fields are bit-stable");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub struct Prepared {
 impl Prepared {
     /// Preprocesses `g` (cost `O(n log n)` in the number of vertices).
     pub fn new<G: Areal>(g: &G) -> Prepared {
+        let _site = stj_obs::alloc::enter(stj_obs::AllocSite::Noding);
         let mut edges = Vec::new();
         g.collect_edges(&mut edges);
         let locator = EdgeSetLocator::new(edges.clone());
@@ -170,6 +171,7 @@ fn classify_boundary(
     side: HitSide,
     other: &Prepared,
 ) -> BoundaryFlags {
+    let _site = stj_obs::alloc::enter(stj_obs::AllocSite::SubEdge);
     // Group hits by edge index on our side.
     let mut per_edge: Vec<Vec<&EdgePairHit>> = vec![Vec::new(); edges.len()];
     for h in hits {

@@ -38,12 +38,18 @@ pub fn boundary_pairs(
     let mut hits = Vec::new();
 
     // Index + sort both lists by MBR xmin.
-    let mut a_sorted: Vec<(usize, Segment)> = a_edges.iter().copied().enumerate().collect();
-    let mut b_sorted: Vec<(usize, Segment)> = b_edges.iter().copied().enumerate().collect();
+    let (mut a_sorted, mut b_sorted) = {
+        let _site = stj_obs::alloc::enter(stj_obs::AllocSite::SweepEvents);
+        let a: Vec<(usize, Segment)> = a_edges.iter().copied().enumerate().collect();
+        let b: Vec<(usize, Segment)> = b_edges.iter().copied().enumerate().collect();
+        (a, b)
+    };
     let xmin = |s: &Segment| s.a.x.min(s.b.x);
     a_sorted.sort_by(|l, r| xmin(&l.1).partial_cmp(&xmin(&r.1)).expect("finite"));
     b_sorted.sort_by(|l, r| xmin(&l.1).partial_cmp(&xmin(&r.1)).expect("finite"));
 
+    // Growth of `hits` during the scan is the intersection-list site.
+    let _site = stj_obs::alloc::enter(stj_obs::AllocSite::IntersectionList);
     let mut i = 0;
     let mut j = 0;
     while i < a_sorted.len() && j < b_sorted.len() {

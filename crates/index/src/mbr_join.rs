@@ -171,6 +171,13 @@ impl Tiling {
         (self.k * self.k) as usize
     }
 
+    /// Event-list lengths `(|r_tile|, |s_tile|)` for one tile. A
+    /// [`TileTask`] whose ranges don't span these is a skew-split slice
+    /// of a dense tile — the executor's scheduler metrics count those.
+    pub fn tile_sizes(&self, tile: usize) -> (usize, usize) {
+        (self.r_tiles[tile].len(), self.s_tiles[tile].len())
+    }
+
     fn tile_span(&self, m: &Rect) -> (u32, u32, u32, u32) {
         let clamp = |v: f64| -> u32 { (v as i64).clamp(0, i64::from(self.k - 1)) as u32 };
         let x0 = clamp((m.min.x - self.universe.min.x) * self.inv_w);

@@ -1,0 +1,274 @@
+//! Allocation attribution: site-tagged counting-allocator hooks.
+//!
+//! The join makes millions of small allocations per run (the bench
+//! harness counts ~5.6M on the 102k-object OBE self-join), almost all
+//! of them in the DE-9IM refine path. Knowing the total is not enough
+//! to attack the problem; this module splits it by *site*.
+//!
+//! The mechanism has three parts:
+//!
+//! 1. A binary installs a counting `#[global_allocator]` that forwards
+//!    every allocation's size to [`note_alloc`] (the `stj` CLI and
+//!    `join_bench` both do).
+//! 2. Hot allocation sites in the refine path scope a [`SiteGuard`]
+//!    (via [`enter`]) that tags the current thread with an
+//!    [`AllocSite`] while the guard lives. The tag lives in a
+//!    const-initialized `thread_local` `Cell`, so touching it never
+//!    allocates — which matters inside a global allocator.
+//! 3. [`note_alloc`] charges each allocation to the thread's current
+//!    site in a global atomic table, read back with [`snapshot`].
+//!
+//! Everything is gated on a process-global `TRACKING` flag:
+//! when off (the default) both [`enter`] and [`note_alloc`] are a
+//! single relaxed atomic load, so the hooks cost nothing measurable on
+//! untraced runs.
+
+use crate::json::Json;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// A refine-path allocation site. `Other` absorbs everything that runs
+/// outside a [`SiteGuard`] (arena loading, candidate buffers, I/O).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocSite {
+    Other = 0,
+    /// Noding a geometry into a prepared edge set (edge extraction,
+    /// locator build, interior points).
+    Noding = 1,
+    /// Building and sorting the sweep's per-input event lists.
+    SweepEvents = 2,
+    /// Sub-edge classification: per-edge hit lists, parameter splits,
+    /// collinear-overlap ranges.
+    SubEdge = 3,
+    /// The edge-pair intersection hit list the sweep accumulates.
+    IntersectionList = 4,
+}
+
+/// Number of sites, including `Other`.
+pub const NUM_SITES: usize = 5;
+
+impl AllocSite {
+    /// All sites, in counter-table order.
+    pub const ALL: [AllocSite; NUM_SITES] = [
+        AllocSite::Other,
+        AllocSite::Noding,
+        AllocSite::SweepEvents,
+        AllocSite::SubEdge,
+        AllocSite::IntersectionList,
+    ];
+
+    /// Stable label used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocSite::Other => "other",
+            AllocSite::Noding => "noding",
+            AllocSite::SweepEvents => "sweep_events",
+            AllocSite::SubEdge => "sub_edge",
+            AllocSite::IntersectionList => "intersection_list",
+        }
+    }
+}
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static SITE_CALLS: [AtomicU64; NUM_SITES] = [ZERO; NUM_SITES];
+static SITE_BYTES: [AtomicU64; NUM_SITES] = [ZERO; NUM_SITES];
+
+thread_local! {
+    /// The thread's current site tag. Const-initialized so reading it
+    /// from inside the global allocator cannot itself allocate.
+    static CURRENT_SITE: Cell<u8> = const { Cell::new(0) };
+}
+
+/// Turns attribution on or off process-wide.
+pub fn set_tracking(on: bool) {
+    TRACKING.store(on, Relaxed);
+}
+
+/// Whether attribution is currently on.
+pub fn tracking() -> bool {
+    TRACKING.load(Relaxed)
+}
+
+/// Zeroes the site table.
+pub fn reset() {
+    for i in 0..NUM_SITES {
+        SITE_CALLS[i].store(0, Relaxed);
+        SITE_BYTES[i].store(0, Relaxed);
+    }
+}
+
+/// Tags the current thread with `site` until the guard drops, then
+/// restores the previous tag (guards nest). Near-free when tracking is
+/// off.
+#[inline]
+pub fn enter(site: AllocSite) -> SiteGuard {
+    if !TRACKING.load(Relaxed) {
+        return SiteGuard {
+            prev: 0,
+            active: false,
+        };
+    }
+    let prev = CURRENT_SITE
+        .try_with(|c| {
+            let prev = c.get();
+            c.set(site as u8);
+            prev
+        })
+        .unwrap_or(0);
+    SiteGuard { prev, active: true }
+}
+
+/// RAII tag restorer returned by [`enter`].
+pub struct SiteGuard {
+    prev: u8,
+    active: bool,
+}
+
+impl Drop for SiteGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = CURRENT_SITE.try_with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Charges one allocation of `size` bytes to the calling thread's
+/// current site. Called from a binary's `#[global_allocator]` on every
+/// `alloc`/`realloc`; must not allocate (it doesn't: `try_with` over a
+/// const-initialized TLS cell plus relaxed atomics).
+#[inline]
+pub fn note_alloc(size: usize) {
+    if !TRACKING.load(Relaxed) {
+        return;
+    }
+    // TLS may be gone during thread teardown; charge `Other` then.
+    let site = CURRENT_SITE.try_with(Cell::get).unwrap_or(0) as usize;
+    SITE_CALLS[site].fetch_add(1, Relaxed);
+    SITE_BYTES[site].fetch_add(size as u64, Relaxed);
+}
+
+/// A point-in-time copy of the site table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    pub calls: [u64; NUM_SITES],
+    pub bytes: [u64; NUM_SITES],
+}
+
+impl AllocSnapshot {
+    /// Reads the current counters.
+    pub fn capture() -> AllocSnapshot {
+        let mut snap = AllocSnapshot::default();
+        for i in 0..NUM_SITES {
+            snap.calls[i] = SITE_CALLS[i].load(Relaxed);
+            snap.bytes[i] = SITE_BYTES[i].load(Relaxed);
+        }
+        snap
+    }
+
+    /// Counters accumulated since `earlier` (for bracketing one join).
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        let mut snap = AllocSnapshot::default();
+        for i in 0..NUM_SITES {
+            snap.calls[i] = self.calls[i].saturating_sub(earlier.calls[i]);
+            snap.bytes[i] = self.bytes[i].saturating_sub(earlier.bytes[i]);
+        }
+        snap
+    }
+
+    /// Total allocation calls across all sites.
+    pub fn total_calls(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+
+    /// Sites with at least one recorded allocation.
+    pub fn live_sites(&self) -> usize {
+        self.calls.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The `alloc` block of `stj-join-report/v1`: totals plus a
+    /// per-site `{calls, bytes}` breakdown.
+    pub fn to_json(&self) -> Json {
+        let mut sites = Json::Obj(Vec::new());
+        for site in AllocSite::ALL {
+            let i = site as usize;
+            sites.push(
+                site.name(),
+                Json::object([
+                    ("calls", Json::U64(self.calls[i])),
+                    ("bytes", Json::U64(self.bytes[i])),
+                ]),
+            );
+        }
+        Json::object([
+            ("total_calls", Json::U64(self.total_calls())),
+            ("total_bytes", Json::U64(self.bytes.iter().sum())),
+            ("sites", sites),
+        ])
+    }
+}
+
+/// Takes [`AllocSnapshot::capture`]; alias kept for call-site brevity.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot::capture()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tracking state is process-global; serialize the tests that
+    /// toggle it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_tracking_records_nothing() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        set_tracking(false);
+        let _g = enter(AllocSite::Noding);
+        note_alloc(128);
+        assert_eq!(snapshot().total_calls(), 0);
+    }
+
+    #[test]
+    fn guards_attribute_and_nest() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        set_tracking(true);
+        let before = snapshot();
+        {
+            let _g = enter(AllocSite::Noding);
+            note_alloc(100);
+            {
+                let _h = enter(AllocSite::SubEdge);
+                note_alloc(10);
+                note_alloc(10);
+            }
+            // Inner guard dropped: back to Noding.
+            note_alloc(100);
+        }
+        // Outer guard dropped: back to Other.
+        note_alloc(1);
+        set_tracking(false);
+        let d = snapshot().since(&before);
+        assert_eq!(d.calls[AllocSite::Noding as usize], 2);
+        assert_eq!(d.bytes[AllocSite::Noding as usize], 200);
+        assert_eq!(d.calls[AllocSite::SubEdge as usize], 2);
+        assert_eq!(d.bytes[AllocSite::SubEdge as usize], 20);
+        assert_eq!(d.calls[AllocSite::Other as usize], 1);
+        assert!(d.live_sites() >= 3);
+    }
+
+    #[test]
+    fn snapshot_json_lists_every_site() {
+        let text = AllocSnapshot::default().to_json().render();
+        for site in AllocSite::ALL {
+            assert!(text.contains(site.name()), "{text}");
+        }
+        assert!(text.contains("total_calls"), "{text}");
+    }
+}

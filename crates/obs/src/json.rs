@@ -1,10 +1,12 @@
-//! A minimal JSON document model and emitter.
+//! A minimal JSON document model, emitter and parser.
 //!
 //! Hand-rolled (the workspace builds with no external dependencies):
 //! just enough to assemble and pretty-print the join/bench telemetry
 //! documents — objects with insertion-ordered keys, arrays, strings
 //! with RFC 8259 escaping, and numbers. Non-finite floats render as
-//! `null` so the output is always strictly valid JSON.
+//! `null` so the output is always strictly valid JSON. [`Json::parse`]
+//! reads the same documents back, which is what `stj bench-diff` and
+//! the trace-validation tests are built on.
 
 use std::fmt::Write as _;
 
@@ -46,6 +48,62 @@ impl Json {
         match self {
             Json::Obj(entries) => entries.push((key.to_string(), value)),
             other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Parses a JSON document. Integers land in [`Json::U64`] /
+    /// [`Json::I64`] when they fit exactly; everything else numeric is
+    /// [`Json::F64`]. Errors carry a byte offset.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// The value under `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as an unsigned integer (exact `U64` only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a float (accepting any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -155,6 +213,161 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(_) => {
+            // Literal or number: consume the token, then classify it.
+            let start = *pos;
+            while *pos < b.len() && !b",]}: \n\r\t".contains(&b[*pos]) {
+                *pos += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            match tok {
+                "null" => Ok(Json::Null),
+                "true" => Ok(Json::Bool(true)),
+                "false" => Ok(Json::Bool(false)),
+                t => parse_number(t).ok_or_else(|| format!("bad token {t:?} at byte {start}")),
+            }
+        }
+    }
+}
+
+fn parse_number(tok: &str) -> Option<Json> {
+    if !tok.contains(['.', 'e', 'E']) {
+        if let Ok(n) = tok.parse::<u64>() {
+            return Some(Json::U64(n));
+        }
+        if let Ok(n) = tok.parse::<i64>() {
+            return Some(Json::I64(n));
+        }
+    }
+    tok.parse::<f64>()
+        .ok()
+        .filter(|f| f.is_finite())
+        .map(Json::F64)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // Unpaired surrogates degrade to the
+                        // replacement character rather than erroring.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Copy a whole multi-byte UTF-8 scalar.
+                let len = match c {
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    0xf0..=0xf7 => 4,
+                    _ => return Err(format!("bad UTF-8 at byte {pos}")),
+                };
+                let s = b
+                    .get(*pos..*pos + len)
+                    .and_then(|x| std::str::from_utf8(x).ok())
+                    .ok_or_else(|| format!("bad UTF-8 at byte {pos}"))?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
         Json::U64(n)
@@ -201,111 +414,6 @@ impl<T: Into<Json>> From<Option<T>> for Json {
 mod tests {
     use super::*;
 
-    /// A structural validator: enough of a parser to prove the emitter
-    /// produces well-formed JSON (values, nesting, commas, escapes).
-    fn validate(s: &str) -> Result<(), String> {
-        let b = s.trim().as_bytes();
-        let mut pos = 0usize;
-        parse_value(b, &mut pos)?;
-        skip_ws(b, &mut pos);
-        if pos != b.len() {
-            return Err(format!("trailing garbage at {pos}"));
-        }
-        Ok(())
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && (b[*pos] as char).is_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            None => Err("eof".into()),
-            Some(b'{') => {
-                *pos += 1;
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(());
-                }
-                loop {
-                    skip_ws(b, pos);
-                    parse_string(b, pos)?;
-                    skip_ws(b, pos);
-                    if b.get(*pos) != Some(&b':') {
-                        return Err(format!("expected : at {pos}"));
-                    }
-                    *pos += 1;
-                    parse_value(b, pos)?;
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(format!("expected , or }} at {pos}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(());
-                }
-                loop {
-                    parse_value(b, pos)?;
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(format!("expected , or ] at {pos}")),
-                    }
-                }
-            }
-            Some(b'"') => parse_string(b, pos),
-            Some(_) => {
-                // Literal or number: consume the token and check it.
-                let start = *pos;
-                while *pos < b.len() && !b",]}\n\r\t ".contains(&b[*pos]) {
-                    *pos += 1;
-                }
-                let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-                match tok {
-                    "null" | "true" | "false" => Ok(()),
-                    t if t.parse::<f64>().is_ok() => Ok(()),
-                    t => Err(format!("bad token {t:?}")),
-                }
-            }
-        }
-    }
-
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at {pos}"));
-        }
-        *pos += 1;
-        while let Some(&c) = b.get(*pos) {
-            match c {
-                b'\\' => *pos += 2,
-                b'"' => {
-                    *pos += 1;
-                    return Ok(());
-                }
-                _ => *pos += 1,
-            }
-        }
-        Err("unterminated string".into())
-    }
-
     fn sample() -> Json {
         Json::object([
             ("name", Json::str("join \"quoted\" \\ path\n")),
@@ -330,7 +438,53 @@ mod tests {
     #[test]
     fn emitted_json_is_well_formed() {
         let rendered = sample().render();
-        validate(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+        Json::parse(&rendered).unwrap_or_else(|e| panic!("{e}\n---\n{rendered}"));
+    }
+
+    #[test]
+    fn parse_round_trips_the_emitter() {
+        // NaN renders as null, so swap it for a finite float before
+        // asserting a perfect round-trip.
+        let mut doc = sample();
+        if let Json::Obj(entries) = &mut doc {
+            for (k, v) in entries.iter_mut() {
+                if k == "bad_float" {
+                    *v = Json::F64(2.5);
+                }
+            }
+        }
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        let doc = Json::parse(r#"{"u": 18446744073709551615, "i": -7, "f": 1.25e3}"#).unwrap();
+        assert_eq!(doc.get("u"), Some(&Json::U64(u64::MAX)));
+        assert_eq!(doc.get("i"), Some(&Json::I64(-7)));
+        assert_eq!(doc.get("f"), Some(&Json::F64(1250.0)));
+    }
+
+    #[test]
+    fn parse_decodes_escapes() {
+        let doc = Json::parse(r#""a\"b\\c\ndA λ""#).unwrap();
+        assert_eq!(doc.as_str(), Some("a\"b\\c\ndA λ"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"open", "{\"a\":}"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"runs": [{"wall_ns": 12, "exec": "st"}]}"#).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs[0].get("wall_ns").and_then(Json::as_u64), Some(12));
+        assert_eq!(runs[0].get("exec").and_then(Json::as_str), Some("st"));
+        assert_eq!(runs[0].get("wall_ns").and_then(Json::as_f64), Some(12.0));
     }
 
     #[test]

@@ -52,6 +52,13 @@ impl Counter {
         self.0.load(Ordering::Relaxed)
     }
 
+    /// Increments and returns the new count — a process-unique sequence
+    /// number (request trace ids).
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The count as a JSON number.
     pub fn to_json(&self) -> Json {
         Json::U64(self.get())
@@ -156,6 +163,8 @@ mod tests {
         c.add(41);
         assert_eq!(c.get(), 42);
         assert_eq!(c.to_json(), Json::U64(42));
+        assert_eq!(c.next(), 43);
+        assert_eq!(c.next(), 44);
     }
 
     #[test]

@@ -183,6 +183,13 @@ pub trait Profiler {
     /// needed refinement.
     fn mbr_class(&mut self, class: usize, refined: bool);
 
+    /// Running per-stage latency totals in nanoseconds (all zeros for
+    /// disabled implementations). The flight recorder snapshots this
+    /// around each tile task to attribute stage time to spans.
+    fn stage_ns_totals(&self) -> [u64; 3] {
+        [0; 3]
+    }
+
     /// Consumes the profiler, yielding its collected profile (`None`
     /// for disabled implementations).
     fn finish(self) -> Option<JoinProfile>
@@ -261,6 +268,14 @@ impl Profiler for Recorder {
         let slot = &mut self.profile.classes[class.min(MAX_MBR_CLASSES - 1)];
         slot.pairs += 1;
         slot.refined += u64::from(refined);
+    }
+
+    fn stage_ns_totals(&self) -> [u64; 3] {
+        let mut totals = [0u64; 3];
+        for (i, t) in totals.iter_mut().enumerate() {
+            *t = self.profile.stages[i].latency.sum();
+        }
+        totals
     }
 
     #[inline]

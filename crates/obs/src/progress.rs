@@ -6,6 +6,13 @@
 //! thread — see [`Progress::run_reporter`] — periodically prints a
 //! `pairs/sec` heartbeat line to stderr, keeping stdout clean for
 //! pipeable join output.
+//!
+//! Executors that track scheduler metrics also feed per-task busy time
+//! into the meter ([`Progress::add_busy`] after
+//! [`Progress::set_workers`]); the heartbeat then appends worker
+//! utilization — busy time over `workers × elapsed` — so a stalled
+//! line readily distinguishes "one skewed task pinning one worker"
+//! from "everyone still busy".
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -20,6 +27,9 @@ pub struct Progress {
     done: AtomicU64,
     total: u64,
     start: Instant,
+    /// Workers feeding [`Progress::add_busy`]; `0` hides utilization.
+    workers: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 impl Progress {
@@ -29,7 +39,37 @@ impl Progress {
             done: AtomicU64::new(0),
             total,
             start: Instant::now(),
+            workers: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Declares how many workers will report busy time; heartbeats
+    /// include a utilization figure once this is nonzero.
+    pub fn set_workers(&self, n: usize) {
+        self.workers.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records `ns` nanoseconds of worker busy time (called at task
+    /// boundaries, not per pair).
+    #[inline]
+    pub fn add_busy(&self, ns: u64) {
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Mean busy fraction across declared workers so far, or `None`
+    /// before [`Progress::set_workers`].
+    pub fn utilization(&self) -> Option<f64> {
+        let workers = self.workers.load(Ordering::Relaxed);
+        if workers == 0 {
+            return None;
+        }
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        if elapsed == 0 {
+            return Some(0.0);
+        }
+        let busy = self.busy_ns.load(Ordering::Relaxed);
+        Some((busy as f64 / (workers * elapsed) as f64).min(1.0))
     }
 
     /// Records `n` more processed pairs.
@@ -54,7 +94,7 @@ impl Progress {
         let done = self.done();
         let secs = self.start.elapsed().as_secs_f64();
         let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-        if self.total > 0 {
+        let mut line = if self.total > 0 {
             let pct = 100.0 * done as f64 / self.total as f64;
             format!(
                 "progress: {done}/{} pairs ({pct:.1}%), {rate:.0} pairs/sec",
@@ -62,7 +102,12 @@ impl Progress {
             )
         } else {
             format!("progress: {done} pairs, {rate:.0} pairs/sec")
+        };
+        if let Some(util) = self.utilization() {
+            let workers = self.workers.load(Ordering::Relaxed);
+            line.push_str(&format!(", {workers} workers {:.0}% busy", 100.0 * util));
         }
+        line
     }
 
     /// Heartbeat loop for a monitor thread: prints [`report_line`] to
@@ -153,6 +198,23 @@ mod tests {
         let line = p.report_line();
         assert!(line.contains("7 pairs"), "{line}");
         assert!(!line.contains('%'), "{line}");
+    }
+
+    #[test]
+    fn utilization_appears_once_workers_report_busy_time() {
+        let p = Progress::new(0);
+        assert!(p.utilization().is_none());
+        p.set_workers(2);
+        std::thread::sleep(Duration::from_millis(5));
+        let elapsed = Duration::from_millis(5).as_nanos() as u64;
+        // Both workers fully busy for the measured window (and then
+        // some, to absorb scheduling slop): clamps to 100%.
+        p.add_busy(4 * elapsed);
+        let util = p.utilization().expect("workers declared");
+        assert!(util > 0.5, "{util}");
+        let line = p.report_line();
+        assert!(line.contains("2 workers"), "{line}");
+        assert!(line.contains("% busy"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Prometheus text-exposition-format writer.
+//!
+//! Renders the `stj-obs` service primitives ([`crate::metrics`],
+//! [`crate::hist::Histogram`]) in the Prometheus text format
+//! (version 0.0.4): `# HELP`/`# TYPE` headers, one `name{labels} value`
+//! sample per line, histograms as cumulative `_bucket{le=...}` series
+//! plus `_sum` and `_count`. This backs `stj serve`'s `GET /metrics`.
+//!
+//! Like everything in this crate it is dependency-free; the writer is
+//! a thin push API over a `String` and the caller decides names,
+//! labels and help strings. Histogram `le` bounds are the upper edges
+//! of the log2 buckets that actually hold samples — Prometheus only
+//! requires that bounds be sorted and cumulative, not that every
+//! series use the same set.
+
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+
+/// Content-Type for HTTP responses carrying this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// An append-only builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    /// Metric families already given HELP/TYPE headers (a family may
+    /// emit several label permutations).
+    announced: Vec<String>,
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn announce(&mut self, name: &str, help: &str, kind: &str) {
+        if self.announced.iter().any(|n| n == name) {
+            return;
+        }
+        self.announced.push(name.to_string());
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels));
+    }
+
+    /// A monotonic counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.announce(name, help, "counter");
+        self.sample(name, labels, value as f64);
+    }
+
+    /// A gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.announce(name, help, "gauge");
+        self.sample(name, labels, value);
+    }
+
+    /// A full histogram family: cumulative `_bucket` series over the
+    /// non-empty log2 buckets, a `+Inf` bucket, `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.announce(name, help, "histogram");
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (lo, n) in h.nonzero_buckets() {
+            cumulative += n;
+            let (_, hi) = Histogram::bucket_bounds(Histogram::bucket_of(lo));
+            let le = format!("{hi}");
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("le", &le));
+            self.sample(&bucket_name, &ls, cumulative as f64);
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", "+Inf"));
+        self.sample(&bucket_name, &ls, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum() as f64);
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers_and_labels() {
+        let mut w = PromWriter::new();
+        w.counter("stj_requests_total", "Requests handled.", &[], 7);
+        w.gauge(
+            "stj_in_flight",
+            "Now processing.",
+            &[("proto", "http")],
+            2.0,
+        );
+        let text = w.finish();
+        assert!(text.contains("# HELP stj_requests_total Requests handled.\n"));
+        assert!(text.contains("# TYPE stj_requests_total counter\n"));
+        assert!(text.contains("\nstj_requests_total 7\n") || text.starts_with("# HELP"));
+        assert!(text.contains("stj_in_flight{proto=\"http\"} 2\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 2, 900, 1000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram("stj_lat_ns", "Latency.", &[("endpoint", "relate")], &h);
+        let text = w.finish();
+        assert!(text.contains("# TYPE stj_lat_ns histogram\n"), "{text}");
+        assert!(
+            text.contains("stj_lat_ns_bucket{endpoint=\"relate\",le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stj_lat_ns_bucket{endpoint=\"relate\",le=\"3\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stj_lat_ns_bucket{endpoint=\"relate\",le=\"+Inf\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stj_lat_ns_sum{endpoint=\"relate\"} 1905\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stj_lat_ns_count{endpoint=\"relate\"} 5\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn repeated_families_announce_once() {
+        let mut w = PromWriter::new();
+        w.counter("c_total", "C.", &[("k", "a")], 1);
+        w.counter("c_total", "C.", &[("k", "b")], 2);
+        let text = w.finish();
+        assert_eq!(text.matches("# HELP c_total").count(), 1, "{text}");
+        assert!(text.contains("c_total{k=\"a\"} 1\n"));
+        assert!(text.contains("c_total{k=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.gauge("g", "G.", &[("path", "a\"b\\c\nd")], 1.0);
+        let text = w.finish();
+        assert!(text.contains("g{path=\"a\\\"b\\\\c\\nd\"} 1\n"), "{text}");
+    }
+}

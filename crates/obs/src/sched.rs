@@ -1,0 +1,160 @@
+//! Scheduler contention metrics for the streaming executor.
+//!
+//! The streaming join hands out tile tasks from a shared atomic
+//! counter; workers never block mid-run, so all lost time is either
+//! claim overhead or the idle tail a worker spends waiting for the
+//! slowest sibling to finish. These types record, per worker, how much
+//! of the parallel region was busy versus idle, how many tasks it
+//! claimed, and how many of those were skew-splits — enough to tell a
+//! skewed-tile problem ("one worker busy 4× longer than the mean")
+//! from an allocator or memory-bandwidth problem ("everyone equally
+//! busy, nobody faster with more threads").
+
+use crate::json::Json;
+
+/// One worker's tallies for a single join.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSched {
+    /// Worker index.
+    pub worker: usize,
+    /// Nanoseconds spent executing claimed tasks.
+    pub busy_ns: u64,
+    /// Tasks claimed and run.
+    pub tasks: u64,
+    /// ... of which were slices of a skew-split dense tile.
+    pub splits: u64,
+    /// Candidate pairs generated.
+    pub pairs: u64,
+    /// Links emitted.
+    pub links: u64,
+}
+
+impl WorkerSched {
+    /// A zeroed tally for `worker`.
+    pub fn new(worker: usize) -> WorkerSched {
+        WorkerSched {
+            worker,
+            ..WorkerSched::default()
+        }
+    }
+}
+
+/// The assembled per-join scheduler report.
+#[derive(Clone, Debug, Default)]
+pub struct SchedReport {
+    /// Wall time of the parallel region.
+    pub wall_ns: u64,
+    pub workers: Vec<WorkerSched>,
+}
+
+impl SchedReport {
+    /// A report over `workers` for a region that took `wall_ns`.
+    pub fn new(wall_ns: u64, workers: Vec<WorkerSched>) -> SchedReport {
+        SchedReport { wall_ns, workers }
+    }
+
+    /// A worker's idle time: region wall minus its busy time.
+    pub fn idle_ns(&self, w: &WorkerSched) -> u64 {
+        self.wall_ns.saturating_sub(w.busy_ns)
+    }
+
+    /// Mean busy fraction across workers (1.0 = perfectly packed).
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall_ns.saturating_mul(self.workers.len() as u64);
+        if denom == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        busy as f64 / denom as f64
+    }
+
+    /// Max worker busy time over the mean: 1.0 is perfect balance,
+    /// values near the worker count mean one worker did all the work.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let n = self.workers.len() as u64;
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        if n == 0 || busy == 0 {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+        max as f64 / (busy as f64 / n as f64)
+    }
+
+    /// Total skew-split tasks across workers.
+    pub fn splits(&self) -> u64 {
+        self.workers.iter().map(|w| w.splits).sum()
+    }
+
+    /// The `sched` block of `stj-join-report/v1`.
+    pub fn to_json(&self) -> Json {
+        let mut workers = Vec::new();
+        for w in &self.workers {
+            workers.push(Json::object([
+                ("worker", Json::U64(w.worker as u64)),
+                ("busy_ns", Json::U64(w.busy_ns)),
+                ("idle_ns", Json::U64(self.idle_ns(w))),
+                ("tasks", Json::U64(w.tasks)),
+                ("splits", Json::U64(w.splits)),
+                ("pairs", Json::U64(w.pairs)),
+                ("links", Json::U64(w.links)),
+            ]));
+        }
+        Json::object([
+            ("wall_ns", Json::U64(self.wall_ns)),
+            ("utilization", Json::F64(self.utilization())),
+            ("imbalance_ratio", Json::F64(self.imbalance_ratio())),
+            ("splits", Json::U64(self.splits())),
+            ("workers", Json::Arr(workers)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(i: usize, busy_ns: u64, tasks: u64) -> WorkerSched {
+        WorkerSched {
+            worker: i,
+            busy_ns,
+            tasks,
+            splits: 0,
+            pairs: tasks * 100,
+            links: tasks,
+        }
+    }
+
+    #[test]
+    fn balanced_workers_have_unit_imbalance() {
+        let r = SchedReport::new(1000, vec![worker(0, 900, 4), worker(1, 900, 4)]);
+        assert!((r.imbalance_ratio() - 1.0).abs() < 1e-9);
+        assert!((r.utilization() - 0.9).abs() < 1e-9);
+        assert_eq!(r.idle_ns(&r.workers[0]), 100);
+    }
+
+    #[test]
+    fn skew_shows_up_as_imbalance() {
+        let r = SchedReport::new(1000, vec![worker(0, 1000, 1), worker(1, 200, 9)]);
+        // max 1000 over mean 600.
+        assert!((r.imbalance_ratio() - 1000.0 / 600.0).abs() < 1e-9);
+        assert!(r.utilization() < 0.61);
+    }
+
+    #[test]
+    fn degenerate_reports_stay_finite() {
+        let empty = SchedReport::new(0, Vec::new());
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.imbalance_ratio(), 1.0);
+        let text = empty.to_json().render();
+        assert!(text.contains("imbalance_ratio"), "{text}");
+    }
+
+    #[test]
+    fn json_carries_per_worker_rows() {
+        let r = SchedReport::new(1000, vec![worker(0, 700, 3)]);
+        let doc = Json::parse(&r.to_json().render()).unwrap();
+        let rows = doc.get("workers").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("idle_ns").and_then(Json::as_u64), Some(300));
+        assert_eq!(rows[0].get("tasks").and_then(Json::as_u64), Some(3));
+    }
+}

@@ -1,0 +1,338 @@
+//! The flight recorder: per-worker span rings and Chrome trace export.
+//!
+//! The aggregate stage histograms in [`crate::profile`] say *how much*
+//! time each pipeline stage took; they cannot say *when*, or on which
+//! worker, or whether one skewed tile task serialized the whole join.
+//! The flight recorder answers those questions: each streaming worker
+//! owns a [`SpanRing`] — a fixed-capacity ring buffer of
+//! [`SpanRecord`]s, one per tile task — and the executor assembles the
+//! rings into a [`JoinTrace`] after the parallel region ends.
+//!
+//! Design constraints, in order:
+//!
+//! - **Zero cost when disabled.** No ring is allocated and no span is
+//!   recorded unless tracing was requested; the per-task overhead of an
+//!   untraced run is a branch on an `Option`.
+//! - **Lock-free.** Each ring is owned by exactly one worker thread for
+//!   the lifetime of the parallel region, so recording a span is a few
+//!   plain stores — no atomics, no locks, no sharing until the scoped
+//!   threads join.
+//! - **Bounded memory.** The ring overwrites its oldest span once full
+//!   (keeping the newest, which is what you want when a long join dies
+//!   near the end) and counts what it dropped.
+//!
+//! [`JoinTrace::to_chrome_json`] renders the Chrome trace-event format
+//! (`chrome://tracing`, <https://ui.perfetto.dev>): one `"X"` complete
+//! event per task span on a `tid` per worker, plus a synthesized
+//! trailing `idle` span from each worker's last task to the end of the
+//! parallel region so skew is directly visible as idle tails.
+
+use crate::json::Json;
+use crate::profile::Stage;
+
+/// Spans kept per worker before the ring starts overwriting. At 80
+/// bytes per span this bounds a worker's recorder at ~5 MiB.
+pub const DEFAULT_TRACE_SPANS: usize = 64 * 1024;
+
+/// One tile-task span, timestamped relative to the trace epoch (the
+/// start of the parallel region).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global task index (claim order, not execution order).
+    pub task: u32,
+    /// Tile the task draws from.
+    pub tile: u32,
+    /// Split depth: 0 for a whole-tile task, 1 for a slice of a dense
+    /// tile that skew-splitting divided (the scheme splits one level).
+    pub split_depth: u8,
+    /// Nanoseconds from the trace epoch to the task claim.
+    pub start_ns: u64,
+    /// Task duration: candidate generation plus pipeline processing.
+    pub dur_ns: u64,
+    /// Candidate pairs the task generated.
+    pub pairs: u64,
+    /// Links (qualifying pairs) the task emitted.
+    pub links: u64,
+    /// Per-stage nanos spent inside the task, indexed by
+    /// [`Stage`] (zeros when the profiler was disabled).
+    pub stage_ns: [u64; 3],
+}
+
+/// A fixed-capacity ring of spans, newest-wins on overflow. Owned by
+/// one worker; never shared while recording.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: Vec<SpanRecord>,
+    cap: usize,
+    /// Oldest slot once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// An empty ring holding at most `cap` spans (`cap` ≥ 1).
+    pub fn new(cap: usize) -> SpanRing {
+        SpanRing {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records a span, overwriting the oldest once full.
+    pub fn push(&mut self, span: SpanRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained spans in recording order (oldest first).
+    pub fn into_spans(mut self) -> Vec<SpanRecord> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+/// One worker's slice of the trace.
+#[derive(Clone, Debug)]
+pub struct WorkerTrace {
+    /// Worker index (the Chrome `tid`).
+    pub worker: usize,
+    /// Nanoseconds from the epoch to the worker entering its claim loop.
+    pub start_ns: u64,
+    /// Nanoseconds from the epoch to the worker leaving its claim loop.
+    pub end_ns: u64,
+    /// Spans overwritten in the ring (0 unless the join outran it).
+    pub dropped: u64,
+    /// Retained task spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// The assembled flight-recorder output for one join.
+#[derive(Clone, Debug)]
+pub struct JoinTrace {
+    /// Wall time of the parallel region, epoch to last worker joined.
+    pub wall_ns: u64,
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl JoinTrace {
+    /// Fraction of the region wall time each worker's spans account
+    /// for, counting task spans plus the spawn/idle spans the export
+    /// synthesizes. The uncovered remainder is claim overhead.
+    pub fn span_coverage(&self) -> Vec<f64> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let busy: u64 = w.spans.iter().map(|s| s.dur_ns).sum();
+                let idle = self.wall_ns.saturating_sub(w.end_ns) + w.start_ns;
+                if self.wall_ns == 0 {
+                    1.0
+                } else {
+                    (busy + idle) as f64 / self.wall_ns as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the Chrome trace-event JSON document (Perfetto-loadable):
+    /// `{"traceEvents": [...]}` with timestamps in microseconds. Spawn
+    /// latency and idle tails are synthesized as `sched`-category spans
+    /// so scheduling skew is directly visible per worker.
+    pub fn to_chrome_json(&self) -> Json {
+        let us = |ns: u64| Json::F64(ns as f64 / 1000.0);
+        let mut events = Vec::new();
+        for w in &self.workers {
+            let tid = Json::U64(w.worker as u64);
+            events.push(Json::object([
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::U64(1)),
+                ("tid", tid.clone()),
+                (
+                    "args",
+                    Json::object([("name", Json::str(format!("worker-{}", w.worker)))]),
+                ),
+            ]));
+            // Thread spawn latency: the gap between the epoch and this
+            // worker entering its claim loop.
+            if w.start_ns > 0 {
+                events.push(Json::object([
+                    ("name", Json::str("spawn")),
+                    ("cat", Json::str("sched")),
+                    ("ph", Json::str("X")),
+                    ("ts", us(0)),
+                    ("dur", us(w.start_ns)),
+                    ("pid", Json::U64(1)),
+                    ("tid", tid.clone()),
+                    ("args", Json::object([])),
+                ]));
+            }
+            for s in &w.spans {
+                let mut args = Json::object([
+                    ("task", Json::U64(s.task as u64)),
+                    ("tile", Json::U64(s.tile as u64)),
+                    ("split_depth", Json::U64(s.split_depth as u64)),
+                    ("pairs", Json::U64(s.pairs)),
+                    ("links", Json::U64(s.links)),
+                ]);
+                for stage in Stage::ALL {
+                    args.push(
+                        &format!("{}_ns", stage.name()),
+                        Json::U64(s.stage_ns[stage as usize]),
+                    );
+                }
+                events.push(Json::object([
+                    ("name", Json::str("tile-task")),
+                    ("cat", Json::str("join")),
+                    ("ph", Json::str("X")),
+                    ("ts", us(s.start_ns)),
+                    ("dur", us(s.dur_ns)),
+                    ("pid", Json::U64(1)),
+                    ("tid", tid.clone()),
+                    ("args", args),
+                ]));
+            }
+            // A worker that ran out of tasks before the region ended
+            // sat idle in the tail; make that visible.
+            if self.wall_ns > w.end_ns {
+                events.push(Json::object([
+                    ("name", Json::str("idle")),
+                    ("cat", Json::str("sched")),
+                    ("ph", Json::str("X")),
+                    ("ts", us(w.end_ns)),
+                    ("dur", us(self.wall_ns - w.end_ns)),
+                    ("pid", Json::U64(1)),
+                    ("tid", tid.clone()),
+                    (
+                        "args",
+                        Json::object([("dropped_spans", Json::U64(w.dropped))]),
+                    ),
+                ]));
+            }
+        }
+        Json::object([
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(task: u32) -> SpanRecord {
+        SpanRecord {
+            task,
+            tile: task / 4,
+            start_ns: task as u64 * 1000,
+            dur_ns: 900,
+            pairs: 10,
+            links: 1,
+            ..SpanRecord::default()
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let mut ring = SpanRing::new(8);
+        for t in 0..5 {
+            ring.push(span(t));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        let tasks: Vec<u32> = ring.into_spans().iter().map(|s| s.task).collect();
+        assert_eq!(tasks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_spans_in_order() {
+        let mut ring = SpanRing::new(4);
+        for t in 0..10 {
+            ring.push(span(t));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let tasks: Vec<u32> = ring.into_spans().iter().map(|s| s.task).collect();
+        assert_eq!(tasks, vec![6, 7, 8, 9], "newest spans survive, in order");
+    }
+
+    fn sample_trace() -> JoinTrace {
+        JoinTrace {
+            wall_ns: 10_000,
+            workers: vec![
+                WorkerTrace {
+                    worker: 0,
+                    start_ns: 0,
+                    end_ns: 10_000,
+                    dropped: 0,
+                    spans: (0..10).map(span).collect(),
+                },
+                WorkerTrace {
+                    worker: 1,
+                    start_ns: 0,
+                    end_ns: 5_000,
+                    dropped: 2,
+                    spans: (0..5).map(span).collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_required_keys() {
+        let doc = sample_trace().to_chrome_json();
+        let parsed = Json::parse(&doc.render()).expect("trace JSON parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 2 metadata + 15 task spans + 1 idle span (worker 1 only).
+        assert_eq!(events.len(), 18);
+        for e in events {
+            for key in ["name", "ph", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+            }
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(matches!(ph, "X" | "M"), "unexpected phase {ph}");
+            if ph == "X" {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            }
+        }
+        let idle = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("idle"))
+            .count();
+        assert_eq!(idle, 1, "only the early-finishing worker gets an idle span");
+    }
+
+    #[test]
+    fn span_coverage_counts_busy_plus_trailing_idle() {
+        let cov = sample_trace().span_coverage();
+        // Worker 0: 10 × 900 ns busy over 10 µs = 0.90.
+        assert!((cov[0] - 0.90).abs() < 1e-9, "{cov:?}");
+        // Worker 1: 5 × 900 ns busy + 5 µs idle tail = 0.95.
+        assert!((cov[1] - 0.95).abs() < 1e-9, "{cov:?}");
+    }
+}

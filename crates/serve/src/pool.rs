@@ -262,24 +262,42 @@ fn serve_connection(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream
     }
 }
 
-/// Runs `f` with in-flight/latency accounting around it.
+/// Requests at least this slow get a span line on stderr (and count
+/// toward `slow_requests`).
+const SLOW_REQUEST_LOG: Duration = Duration::from_millis(500);
+
+/// Runs `f` with in-flight/latency accounting around it. Every request
+/// draws a process-unique trace id (echoed to HTTP clients as an
+/// `x-stj-trace-id` header); requests slower than [`SLOW_REQUEST_LOG`]
+/// log a span line keyed by that id.
 fn timed_dispatch(
     ctx: &ServeCtx,
     endpoint: crate::Endpoint,
     f: impl FnOnce() -> Response,
-) -> Response {
+) -> (Response, u64) {
+    let trace_id = ctx.stats.trace_seq.next();
     ctx.stats.in_flight.inc();
     let start = Instant::now();
     let resp = f();
+    let elapsed = start.elapsed();
     ctx.stats
         .latency(endpoint)
-        .record(start.elapsed().as_nanos() as u64);
+        .record(elapsed.as_nanos() as u64);
     ctx.stats.in_flight.dec();
     ctx.stats.note_status(resp.status);
     if resp.truncated {
         ctx.stats.truncated_responses.inc();
     }
-    resp
+    if elapsed >= SLOW_REQUEST_LOG {
+        ctx.stats.slow_requests.inc();
+        eprintln!(
+            "stj-serve: slow request trace_id={trace_id} endpoint={} status={} dur_ms={:.1}",
+            endpoint.name(),
+            resp.status,
+            elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    (resp, trace_id)
 }
 
 fn serve_http(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
@@ -314,11 +332,11 @@ fn serve_http(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
             .add((req.body.len() + req.path.len() + 32) as u64);
 
         let endpoint = query::endpoint_of(&req.path);
-        let resp = timed_dispatch(ctx, endpoint, || {
+        let (resp, trace_id) = timed_dispatch(ctx, endpoint, || {
             query::dispatch(ctx, &req.method, &req.path, &req.query, &req.body)
         });
         let keep = req.keep_alive && !resp.close && !shutdown.requested();
-        if write_http(&mut conn, &resp, keep, &ctx.stats).is_err() || !keep {
+        if write_http_traced(&mut conn, &resp, keep, &ctx.stats, trace_id).is_err() || !keep {
             return;
         }
     }
@@ -330,16 +348,39 @@ fn write_http(
     keep_alive: bool,
     stats: &ServeStats,
 ) -> io::Result<()> {
-    let retry: &[(&str, &str)] = if resp.status == 429 {
-        &[("retry-after", "1")]
-    } else {
-        &[]
-    };
+    write_headers(conn, resp, keep_alive, stats, &[])
+}
+
+/// Like [`write_http`] but stamps the request's trace id on the
+/// response so a client can quote it when reporting a slow request.
+fn write_http_traced(
+    conn: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    stats: &ServeStats,
+    trace_id: u64,
+) -> io::Result<()> {
+    let id = trace_id.to_string();
+    write_headers(conn, resp, keep_alive, stats, &[("x-stj-trace-id", &id)])
+}
+
+fn write_headers(
+    conn: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+    stats: &ServeStats,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+    if resp.status == 429 {
+        headers.push(("retry-after", "1"));
+    }
+    headers.extend_from_slice(extra);
     let n = http::write_response(
         conn,
         resp.status,
         resp.content_type,
-        retry,
+        &headers,
         &resp.body,
         keep_alive,
     )?;
@@ -374,7 +415,9 @@ fn serve_framed(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
 
         let path = req.target.split('?').next().unwrap_or("");
         let endpoint = query::endpoint_of(path);
-        let resp = timed_dispatch(ctx, endpoint, || {
+        // The binary framing has no headers, so the trace id only shows
+        // up in slow-request logs for framed clients.
+        let (resp, _trace_id) = timed_dispatch(ctx, endpoint, || {
             query::dispatch_target(ctx, &req.method, &req.target, &req.body)
         });
         let closing = resp.close || shutdown.requested();

@@ -70,7 +70,7 @@ pub fn endpoint_of(path: &str) -> Endpoint {
         "/v1/relate" => Endpoint::Relate,
         "/v1/pair" => Endpoint::Pair,
         "/v1/join" => Endpoint::Join,
-        "/stats" => Endpoint::Stats,
+        "/stats" | "/metrics" => Endpoint::Stats,
         _ => Endpoint::Other,
     }
 }
@@ -86,17 +86,20 @@ pub fn dispatch(
     match (method, path) {
         ("GET", "/healthz") => Response::json(200, &Json::object([("ok", Json::Bool(true))])),
         ("GET", "/stats") => handle_stats(ctx),
+        ("GET", "/metrics") => handle_metrics(ctx),
         ("GET", "/v1/datasets") => handle_datasets(ctx),
         ("POST", "/v1/relate") => handle_relate(ctx, query, body),
         ("GET", "/v1/pair") => handle_pair(ctx, query),
         ("POST", "/v1/join") => handle_join(ctx, query),
-        (_, "/healthz" | "/stats" | "/v1/datasets" | "/v1/relate" | "/v1/pair" | "/v1/join") => {
-            Response::error(
-                405,
-                "method_not_allowed",
-                format!("{method} not allowed here"),
-            )
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/v1/datasets" | "/v1/relate" | "/v1/pair"
+            | "/v1/join",
+        ) => Response::error(
+            405,
+            "method_not_allowed",
+            format!("{method} not allowed here"),
+        ),
         _ => Response::error(404, "not_found", format!("no such endpoint: {path}")),
     }
 }
@@ -137,6 +140,135 @@ fn handle_stats(ctx: &ServeCtx) -> Response {
         ctx.config.to_json(),
     );
     Response::json(200, &doc)
+}
+
+/// `GET /metrics`: the same counters as `/stats`, rendered in the
+/// Prometheus text exposition format for scrapers.
+fn handle_metrics(ctx: &ServeCtx) -> Response {
+    let s = &ctx.stats;
+    let mut w = stj_obs::PromWriter::new();
+    w.gauge(
+        "stj_serve_uptime_seconds",
+        "Seconds since the server started.",
+        &[],
+        ctx.started.elapsed().as_secs_f64(),
+    );
+    w.counter(
+        "stj_serve_requests_total",
+        "Requests fully read and dispatched, by transport.",
+        &[("transport", "http")],
+        s.requests_http.get(),
+    );
+    w.counter(
+        "stj_serve_requests_total",
+        "Requests fully read and dispatched, by transport.",
+        &[("transport", "framed")],
+        s.requests_framed.get(),
+    );
+    for (class, counter) in [
+        ("2xx", &s.responses_ok),
+        ("4xx", &s.responses_client_error),
+        ("5xx", &s.responses_server_error),
+    ] {
+        w.counter(
+            "stj_serve_responses_total",
+            "Responses written, by status class.",
+            &[("class", class)],
+            counter.get(),
+        );
+    }
+    w.counter(
+        "stj_serve_rejected_total",
+        "Connections shed with 429 because the accept queue was full.",
+        &[],
+        s.rejected_429.get(),
+    );
+    w.counter(
+        "stj_serve_truncated_responses_total",
+        "Responses truncated by a deadline or result cap.",
+        &[],
+        s.truncated_responses.get(),
+    );
+    w.counter(
+        "stj_serve_slow_requests_total",
+        "Requests slower than the slow-request log threshold.",
+        &[],
+        s.slow_requests.get(),
+    );
+    for (direction, counter) in [("in", &s.bytes_in), ("out", &s.bytes_out)] {
+        w.counter(
+            "stj_serve_bytes_total",
+            "Bytes moved on the wire, by direction.",
+            &[("direction", direction)],
+            counter.get(),
+        );
+    }
+    w.counter(
+        "stj_serve_connections_total",
+        "Connections accepted.",
+        &[],
+        s.connections.get(),
+    );
+    w.gauge(
+        "stj_serve_queue_depth",
+        "Accept-queue depth.",
+        &[],
+        s.queue_depth.get() as f64,
+    );
+    w.gauge(
+        "stj_serve_queue_depth_peak",
+        "High-water mark of the accept-queue depth.",
+        &[],
+        s.queue_depth.peak() as f64,
+    );
+    w.gauge(
+        "stj_serve_in_flight",
+        "Requests currently being processed.",
+        &[],
+        s.in_flight.get() as f64,
+    );
+    w.gauge(
+        "stj_serve_in_flight_peak",
+        "High-water mark of in-flight requests.",
+        &[],
+        s.in_flight.peak() as f64,
+    );
+    for (event, counter) in [
+        ("hit", &ctx.cache.hits),
+        ("miss", &ctx.cache.misses),
+        ("insertion", &ctx.cache.insertions),
+        ("eviction", &ctx.cache.evictions),
+    ] {
+        w.counter(
+            "stj_serve_cache_events_total",
+            "Probe-cache events, by kind.",
+            &[("event", event)],
+            counter.get(),
+        );
+    }
+    for d in &ctx.datasets {
+        w.gauge(
+            "stj_serve_dataset_objects",
+            "Objects loaded, per dataset.",
+            &[("dataset", &d.name)],
+            d.arena.len() as f64,
+        );
+    }
+    for ep in Endpoint::ALL {
+        w.histogram(
+            "stj_serve_request_latency_ns",
+            "Request latency in nanoseconds, by endpoint family.",
+            &[("endpoint", ep.name())],
+            &s.latency(ep).snapshot(),
+        );
+    }
+    Response {
+        status: 200,
+        content_type: stj_obs::prom::CONTENT_TYPE,
+        body: w.finish().into_bytes(),
+        close: false,
+        truncated: false,
+    }
 }
 
 fn handle_datasets(ctx: &ServeCtx) -> Response {
@@ -505,6 +637,36 @@ mod tests {
         assert_eq!(dispatch(&ctx, "GET", "/healthz", &[], b"").status, 200);
         assert_eq!(dispatch(&ctx, "GET", "/nope", &[], b"").status, 404);
         assert_eq!(dispatch(&ctx, "DELETE", "/stats", &[], b"").status, 405);
+    }
+
+    #[test]
+    fn metrics_render_prometheus_text() {
+        let ctx = test_ctx();
+        ctx.stats.requests_http.add(3);
+        ctx.stats.note_status(200);
+        ctx.stats.latency(Endpoint::Relate).record(12_000);
+        let r = dispatch(&ctx, "GET", "/metrics", &[], b"");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, stj_obs::prom::CONTENT_TYPE);
+        let body = body_str(&r);
+        assert!(
+            body.contains("stj_serve_requests_total{transport=\"http\"} 3"),
+            "{body}"
+        );
+        assert!(
+            body.contains("stj_serve_responses_total{class=\"2xx\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("stj_serve_dataset_objects{dataset=\"boxes\"} 3"),
+            "{body}"
+        );
+        assert!(
+            body.contains("stj_serve_request_latency_ns_count{endpoint=\"relate\"} 1"),
+            "{body}"
+        );
+        // Only GET is allowed.
+        assert_eq!(dispatch(&ctx, "POST", "/metrics", &[], b"").status, 405);
     }
 
     #[test]

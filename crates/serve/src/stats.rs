@@ -29,6 +29,28 @@ pub enum Endpoint {
     Other,
 }
 
+impl Endpoint {
+    /// All families, for label enumeration.
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Relate,
+        Endpoint::Pair,
+        Endpoint::Join,
+        Endpoint::Stats,
+        Endpoint::Other,
+    ];
+
+    /// Stable label used in `/stats`, `/metrics` and slow-request logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Relate => "relate",
+            Endpoint::Pair => "pair",
+            Endpoint::Join => "join",
+            Endpoint::Stats => "stats",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
 /// All service metrics. One instance per server, shared by workers.
 #[derive(Default)]
 pub struct ServeStats {
@@ -48,6 +70,10 @@ pub struct ServeStats {
     pub rejected_429: Counter,
     /// Responses carrying a `truncated: true` flag (deadline or cap).
     pub truncated_responses: Counter,
+    /// Requests slower than the slow-request log threshold.
+    pub slow_requests: Counter,
+    /// Trace-id sequence; every dispatched request draws the next id.
+    pub trace_seq: Counter,
     /// Request bytes read (approximate: head + body as parsed).
     pub bytes_in: Counter,
     /// Response bytes written.
@@ -129,6 +155,7 @@ impl ServeStats {
                     ("server_error", self.responses_server_error.to_json()),
                     ("rejected_429", self.rejected_429.to_json()),
                     ("truncated", self.truncated_responses.to_json()),
+                    ("slow", self.slow_requests.to_json()),
                 ]),
             ),
             (

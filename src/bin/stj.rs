@@ -21,10 +21,17 @@
 //!                                 available_parallelism; default 0)
 //!     --ntriples OUT.nt           write GeoSPARQL links as N-Triples
 //!     --stats-json OUT.json       write a machine-readable join report
-//!                                 (per-stage latency histograms included;
-//!                                 enables profiling)
+//!                                 (per-stage latency histograms, scheduler
+//!                                 contention metrics, and per-site
+//!                                 allocation attribution; enables profiling)
+//!     --trace OUT.json            flight-recorder trace of the streaming
+//!                                 executor as Chrome trace-event JSON
+//!                                 (open in chrome://tracing or Perfetto)
 //!     --progress                  pairs/sec heartbeat on stderr
 //!     --quiet                     suppress the human-readable summary
+//! stj bench-diff <BASELINE.json> <CURRENT.json> [--threshold PCT]
+//!     compare two stj-bench/v1 documents run-by-run; exits non-zero
+//!     when any metric regresses beyond the threshold (default 10%)
 //! ```
 //!
 //! ```text
@@ -46,7 +53,7 @@
 //!     relate <DATASET> <WKT> [--limit N]
 //!     pair <LEFT> <I> <RIGHT> <J>
 //!     join <LEFT> <RIGHT> [--method M] [--predicate REL] [--max-links N]
-//!     stats | datasets | healthz
+//!     stats | metrics | datasets | healthz
 //! ```
 //!
 //! ```text
@@ -64,6 +71,7 @@
 //! Join statistics go to **stderr**; stdout stays clean/pipeable.
 //! Datasets for `generate`: TL TW TC TZ OBE OLE OPE OBN OLN OPN.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -78,6 +86,30 @@ use stjoin::store::{
     dataset_info, open_arena, read_wkt_polygons, write_arena_v2, write_dataset, write_wkt_polygons,
 };
 
+/// Passthrough to the system allocator that feeds the stage-tagged
+/// attribution counters in [`stjoin::obs::alloc`]. The hook is a single
+/// relaxed load unless a `--stats-json` join turned tracking on.
+struct SiteCountingAlloc;
+
+unsafe impl GlobalAlloc for SiteCountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        stjoin::obs::alloc::note_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        stjoin::obs::alloc::note_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: SiteCountingAlloc = SiteCountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -86,6 +118,7 @@ fn main() -> ExitCode {
         Some("preprocess") => cmd_preprocess(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
@@ -116,7 +149,8 @@ USAGE:
   stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
            [--predicate REL] [--exec streaming|materialized]
            [--threads N (0 = auto)] [--ntriples OUT.nt]
-           [--stats-json OUT.json] [--progress] [--quiet]
+           [--stats-json OUT.json] [--trace OUT.json] [--progress] [--quiet]
+  stj bench-diff <BASELINE.json> <CURRENT.json> [--threshold PCT]
   stj serve --data <FILE.stjd> [--data <FILE.stjd> ...] [--addr HOST:PORT]
             [--threads N (0 = auto)] [--queue-depth N] [--cache-mb N]
             [--deadline-ms N (0 = off)] [--max-links N]
@@ -125,7 +159,7 @@ USAGE:
             relate <DATASET> <WKT> [--limit N]
             pair <LEFT> <I> <RIGHT> <J>
             join <LEFT> <RIGHT> [--method M] [--predicate REL] [--max-links N]
-            stats | datasets | healthz
+            stats | metrics | datasets | healthz
   stj check [--seed S] [--pairs N] [--threads N] [--order N]
             [--json OUT.json] [--dump OUT.wkt]
 ";
@@ -271,6 +305,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let mut threads = 0usize;
     let mut ntriples: Option<String> = None;
     let mut stats_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut progress = false;
     let mut quiet = false;
     let mut it = args.iter();
@@ -306,6 +341,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             }
             "--ntriples" => ntriples = Some(next_arg(&mut it, "--ntriples")?),
             "--stats-json" => stats_json = Some(next_arg(&mut it, "--stats-json")?),
+            "--trace" => trace_out = Some(next_arg(&mut it, "--trace")?),
             "--progress" => progress = true,
             "--quiet" => quiet = true,
             other => pos.push(other.to_string()),
@@ -314,6 +350,11 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let [left_path, right_path] = pos.as_slice() else {
         return Err("join needs <LEFT.stjd> <RIGHT.stjd>".into());
     };
+    if trace_out.is_some() && strategy == ExecStrategy::Materialized {
+        return Err("--trace records per-task spans of the streaming executor; \
+             it cannot be combined with --exec materialized"
+            .into());
+    }
 
     let (left, lgrid) = load(left_path)?;
     let (right, rgrid) = load(right_path)?;
@@ -329,13 +370,28 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         .strategy(strategy)
         .threads(threads)
         .profiled(stats_json.is_some())
+        .traced(trace_out.is_some())
         .progress(progress);
     if let Some(p) = predicate {
         join = join.predicate(p);
     }
+    // Bracket the run with the site-attribution counters so the report
+    // can split the refine path's allocations by site.
+    let alloc_before = if stats_json.is_some() {
+        stjoin::obs::alloc::reset();
+        stjoin::obs::alloc::set_tracking(true);
+        Some(stjoin::obs::alloc::snapshot())
+    } else {
+        None
+    };
     let t = std::time::Instant::now();
     let out = join.run(&left, &right);
     let dt = t.elapsed();
+    let alloc = alloc_before.map(|before| {
+        let snap = stjoin::obs::alloc::snapshot().since(&before);
+        stjoin::obs::alloc::set_tracking(false);
+        snap
+    });
 
     let mut histogram = std::collections::BTreeMap::new();
     for l in &out.links {
@@ -376,10 +432,28 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             effective_threads,
             dt,
             &histogram,
+            alloc,
         );
         std::fs::write(&path, report.render()).map_err(|e| format!("write {path}: {e}"))?;
         if !quiet {
             eprintln!("wrote join report to {path}");
+        }
+    }
+
+    if let Some(path) = trace_out {
+        let trace = out
+            .trace
+            .as_ref()
+            .expect("traced streaming run returns a trace");
+        std::fs::write(&path, trace.to_chrome_json().render())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        if !quiet {
+            let spans: usize = trace.workers.iter().map(|w| w.spans.len()).sum();
+            eprintln!(
+                "wrote flight-recorder trace to {path} ({spans} spans on {} workers; \
+                 open in chrome://tracing or ui.perfetto.dev)",
+                trace.workers.len()
+            );
         }
     }
 
@@ -412,6 +486,7 @@ fn join_report(
     threads: usize,
     wall: std::time::Duration,
     histogram: &std::collections::BTreeMap<String, u64>,
+    alloc: Option<stjoin::obs::AllocSnapshot>,
 ) -> Json {
     let wall_ns = wall.as_nanos().min(u128::from(u64::MAX)) as u64;
     let mut report = Json::object([
@@ -458,7 +533,150 @@ fn join_report(
             profile.to_json(&stjoin::core::mbr_class_labels()),
         );
     }
+    if let Some(sched) = &out.sched {
+        report.push("sched", sched.to_json());
+    }
+    if let Some(alloc) = alloc {
+        report.push("alloc", alloc.to_json());
+    }
     report
+}
+
+/// How a `bench-diff` metric is judged.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricKind {
+    /// Regression when current exceeds baseline by the threshold
+    /// (wall times, allocation counts, byte footprints).
+    LowerBetter,
+    /// Regression when current falls below baseline by the threshold
+    /// (throughputs).
+    HigherBetter,
+    /// Any change at all is a regression (result counts — a join that
+    /// finds different links is broken, not slow).
+    Exact,
+    /// Reported but never judged (configuration echoes).
+    Info,
+}
+
+fn metric_kind(name: &str) -> MetricKind {
+    match name {
+        "candidates" | "links" => MetricKind::Exact,
+        "threads" | "stream_batch_pairs" | "objects" => MetricKind::Info,
+        _ if name.ends_with("_ns") || name.ends_with("_bytes") || name == "allocs" => {
+            MetricKind::LowerBetter
+        }
+        _ if name.contains("per_sec") || name.contains("throughput") => MetricKind::HigherBetter,
+        _ => MetricKind::Info,
+    }
+}
+
+/// The identity of one run within an `stj-bench/v1` document: every
+/// string-valued field plus `threads`, rendered `key=value` sorted.
+fn run_identity(run: &Json) -> String {
+    let Json::Obj(entries) = run else {
+        return String::new();
+    };
+    let mut parts: Vec<String> = entries
+        .iter()
+        .filter_map(|(k, v)| match v {
+            Json::Str(s) => Some(format!("{k}={s}")),
+            _ if k == "threads" => v.as_u64().map(|n| format!("threads={n}")),
+            _ => None,
+        })
+        .collect();
+    parts.sort();
+    parts.join(" ")
+}
+
+fn load_bench_doc(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("stj-bench/v1") => Ok(doc),
+        Some(other) => Err(format!("{path}: schema {other:?}, expected stj-bench/v1")),
+        None => Err(format!("{path}: missing schema field")),
+    }
+}
+
+/// `stj bench-diff`: compares two `stj-bench/v1` documents run-by-run
+/// and exits non-zero when any metric regresses beyond the threshold.
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    let mut threshold = 10.0f64;
+    let mut pos = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = next_arg(&mut it, "--threshold")?
+                    .parse()
+                    .map_err(|_| "bad --threshold value".to_string())?;
+            }
+            other => pos.push(other.to_string()),
+        }
+    }
+    let [base_path, cur_path] = pos.as_slice() else {
+        return Err("bench-diff needs <BASELINE.json> <CURRENT.json>".into());
+    };
+    let base = load_bench_doc(base_path)?;
+    let cur = load_bench_doc(cur_path)?;
+
+    let empty = Vec::new();
+    let base_runs = base.get("runs").and_then(Json::as_arr).unwrap_or(&empty);
+    let cur_runs = cur.get("runs").and_then(Json::as_arr).unwrap_or(&empty);
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for b in base_runs {
+        let id = run_identity(b);
+        let Some(c) = cur_runs.iter().find(|c| run_identity(c) == id) else {
+            println!("MISSING  [{id}] not present in {cur_path}");
+            regressions += 1;
+            continue;
+        };
+        let Json::Obj(fields) = b else { continue };
+        for (name, bval) in fields {
+            let kind = metric_kind(name);
+            let (Some(bv), Some(cv)) = (bval.as_f64(), c.get(name).and_then(Json::as_f64)) else {
+                continue;
+            };
+            let delta_pct = if bv == 0.0 {
+                if cv == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (cv - bv) / bv * 100.0
+            };
+            let regressed = match kind {
+                MetricKind::Exact => cv != bv,
+                MetricKind::LowerBetter => delta_pct > threshold,
+                MetricKind::HigherBetter => delta_pct < -threshold,
+                MetricKind::Info => false,
+            };
+            if kind == MetricKind::Info {
+                continue;
+            }
+            compared += 1;
+            let tag = if regressed { "REGRESS" } else { "ok" };
+            println!("{tag:<8} [{id}] {name}: {bv} -> {cv} ({delta_pct:+.1}%)");
+            if regressed {
+                regressions += 1;
+            }
+        }
+    }
+    println!(
+        "bench-diff: {compared} metric(s) compared across {} run(s), \
+         {regressions} regression(s) at ±{threshold}%",
+        base_runs.len()
+    );
+    if regressions > 0 {
+        Err(format!(
+            "{regressions} regression(s) beyond the {threshold}% threshold"
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -650,11 +868,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             ("POST", target, Vec::new())
         }
         Some("stats") => ("GET", "/stats".to_string(), Vec::new()),
+        Some("metrics") => ("GET", "/metrics".to_string(), Vec::new()),
         Some("datasets") => ("GET", "/v1/datasets".to_string(), Vec::new()),
         Some("healthz") => ("GET", "/healthz".to_string(), Vec::new()),
         _ => {
             return Err(
-                "query needs a subcommand: relate | pair | join | stats | datasets | healthz"
+                "query needs a subcommand: relate | pair | join | stats | metrics | datasets \
+                 | healthz"
                     .into(),
             )
         }

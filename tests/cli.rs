@@ -327,6 +327,221 @@ fn check_command() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `stj join --trace`: the flight recorder writes Perfetto-loadable
+/// Chrome trace JSON, the `--stats-json` report gains scheduler and
+/// allocation-attribution sections, and single-threaded re-runs record
+/// bit-identical span sequences (modulo timing).
+#[test]
+fn join_trace_and_attribution() {
+    use stjoin::obs::Json;
+
+    let dir = tempdir("trace");
+    let wkt = dir.join("obe.wkt");
+    let bin = dir.join("obe.stjd");
+
+    let out = stj()
+        .args(["generate", "OBE", "0.02"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&bin)
+        .args(["--order", "10"])
+        .output()
+        .expect("preprocess");
+    assert!(out.status.success());
+
+    // --trace requires the streaming executor.
+    let out = stj()
+        .arg("join")
+        .arg(&bin)
+        .arg(&bin)
+        .args(["--exec", "materialized", "--trace"])
+        .arg(dir.join("nope.json"))
+        .output()
+        .expect("materialized trace join");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("streaming"));
+
+    let trace_path = dir.join("trace.json");
+    let report_path = dir.join("report.json");
+    let out = stj()
+        .arg("join")
+        .arg(&bin)
+        .arg(&bin)
+        .args(["--threads", "2", "--trace"])
+        .arg(&trace_path)
+        .arg("--stats-json")
+        .arg(&report_path)
+        .output()
+        .expect("traced join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("flight-recorder"));
+
+    // The trace is schema-valid Chrome trace-event JSON.
+    let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).expect("trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let tasks: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("tile-task"))
+        .collect();
+    assert!(!tasks.is_empty(), "trace holds task spans");
+    for e in &tasks {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("ts").is_some() && e.get("dur").is_some());
+        let args = e.get("args").expect("span args");
+        for key in [
+            "task",
+            "tile",
+            "split_depth",
+            "pairs",
+            "links",
+            "refinement_ns",
+        ] {
+            assert!(args.get(key).is_some(), "span args missing {key}");
+        }
+    }
+
+    // The report gains scheduler and allocation sections; the refine
+    // path must attribute allocations to at least 4 distinct sites.
+    let report = Json::parse(&std::fs::read_to_string(&report_path).unwrap()).expect("report");
+    let sched = report.get("sched").expect("sched section");
+    assert!(sched.get("utilization").and_then(Json::as_f64).is_some());
+    assert!(sched
+        .get("imbalance_ratio")
+        .and_then(Json::as_f64)
+        .is_some());
+    let alloc = report.get("alloc").expect("alloc section");
+    assert!(alloc.get("total_calls").and_then(Json::as_u64).unwrap() > 0);
+    let sites = alloc.get("sites").expect("sites");
+    let Json::Obj(entries) = sites else {
+        panic!("sites is an object")
+    };
+    let live = entries
+        .iter()
+        .filter(|(_, v)| v.get("calls").and_then(Json::as_u64).unwrap_or(0) > 0)
+        .count();
+    assert!(
+        live >= 4,
+        "expected >=4 live alloc sites, got {live}: {sites:?}"
+    );
+
+    // Single-threaded traces are bit-stable across re-runs on the
+    // non-timing span fields.
+    let span_keys = |path: &std::path::Path| -> Vec<(u64, u64, u64, u64, u64)> {
+        let doc = Json::parse(&std::fs::read_to_string(path).unwrap()).expect("trace parses");
+        let mut keys: Vec<(u64, u64, u64, u64, u64)> = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("events")
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("tile-task"))
+            .map(|e| {
+                let a = e.get("args").expect("args");
+                let g = |k: &str| a.get(k).and_then(Json::as_u64).expect("span field");
+                (
+                    g("task"),
+                    g("tile"),
+                    g("split_depth"),
+                    g("pairs"),
+                    g("links"),
+                )
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    };
+    let t1 = dir.join("trace-run1.json");
+    let t2 = dir.join("trace-run2.json");
+    for t in [&t1, &t2] {
+        let out = stj()
+            .arg("join")
+            .arg(&bin)
+            .arg(&bin)
+            .args(["--threads", "1", "--quiet", "--trace"])
+            .arg(t)
+            .output()
+            .expect("single-thread traced join");
+        assert!(out.status.success());
+    }
+    let (k1, k2) = (span_keys(&t1), span_keys(&t2));
+    assert!(!k1.is_empty());
+    assert_eq!(k1, k2, "single-threaded span sequence must be bit-stable");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `stj bench-diff`: equal documents pass, regressions beyond the
+/// threshold (or any change to exact-match metrics) exit non-zero.
+#[test]
+fn bench_diff_command() {
+    let dir = tempdir("bench-diff");
+    let doc = |wall_ns: u64, links: u64| {
+        format!(
+            "{{\"schema\": \"stj-bench/v1\", \"benchmark\": \"join_executor\", \"runs\": [\
+             {{\"exec\": \"streaming\", \"threads\": 4, \"wall_ns\": {wall_ns}, \
+             \"pairs_per_sec\": {}, \"links\": {links}}}]}}",
+            1e15 / wall_ns as f64
+        )
+    };
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    let diverged = dir.join("diverged.json");
+    std::fs::write(&base, doc(1_000_000, 42)).unwrap();
+    std::fs::write(&same, doc(1_040_000, 42)).unwrap(); // +4%: inside threshold
+    std::fs::write(&slow, doc(1_500_000, 42)).unwrap(); // +50%: regression
+    std::fs::write(&diverged, doc(1_000_000, 41)).unwrap(); // exact-match miss
+
+    let diff = |a: &std::path::Path, b: &std::path::Path, extra: &[&str]| {
+        stj()
+            .arg("bench-diff")
+            .arg(a)
+            .arg(b)
+            .args(extra)
+            .output()
+            .expect("run bench-diff")
+    };
+
+    let out = diff(&base, &same, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 regression(s)"));
+
+    let out = diff(&base, &slow, &[]);
+    assert!(!out.status.success(), "a +50% wall_ns must regress");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESS"));
+
+    // A generous threshold lets the slow run pass.
+    let out = diff(&base, &slow, &["--threshold", "75"]);
+    assert!(out.status.success());
+
+    // Exact-match metrics regress on any change, whatever the threshold.
+    let out = diff(&base, &diverged, &["--threshold", "75"]);
+    assert!(!out.status.success(), "changed link count must regress");
+
+    let out = stj()
+        .args(["bench-diff", "only-one.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = stj().arg("frobnicate").output().expect("run stj");
@@ -432,6 +647,19 @@ fn serve_and_query_round_trip() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("stj-serve-report/v1"), "{text}");
+
+    // Prometheus scrape via the one-shot client.
+    let out = query(&["metrics"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("# TYPE stj_serve_requests_total counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("stj_serve_requests_total{transport=\"http\"}"),
+        "{text}"
+    );
 
     // Graceful drain: SIGTERM, then the server must exit 0 and write
     // the final stats report.

@@ -292,6 +292,82 @@ fn load_shedding_returns_429_when_queue_full() {
     stop();
 }
 
+/// `GET /metrics` over the real wire parses as Prometheus text
+/// exposition format 0.0.4 and reflects the requests that hit it.
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let (addr, stop) = start_server(free_port_config());
+    let mut client = Client::new(addr, false);
+
+    // Generate some traffic first so the counters are non-trivial.
+    let (status, _) = client
+        .request("GET", "/v1/pair?left=adv-a&i=0&right=adv-b&j=0", b"")
+        .expect("pair request");
+    assert_eq!(status, 200);
+    let (status, _) = client.request("GET", "/nope", b"").expect("404 request");
+    assert_eq!(status, 404);
+
+    let (status, body) = client
+        .request("GET", "/metrics", b"")
+        .expect("metrics request");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf8 metrics");
+
+    // Every line is a comment (`# HELP name ...` / `# TYPE name kind`)
+    // or a sample (`name{labels} value` with a float-parsable value).
+    let mut samples = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            let keyword = words.next().expect("comment keyword");
+            assert!(
+                matches!(keyword, "HELP" | "TYPE"),
+                "unexpected comment line: {line}"
+            );
+            assert!(words.next().is_some(), "comment missing metric: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = series.split('{').next().expect("metric name");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unclosed labels in: {line}");
+            assert!(series[open..].contains('='), "empty label set in: {line}");
+        }
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad sample value in: {line}"));
+        samples += 1;
+    }
+    assert!(
+        samples >= 20,
+        "expected a full exposition, got {samples} samples"
+    );
+
+    // The traffic above is visible in the scrape.
+    assert!(
+        text.contains("stj_serve_responses_total{class=\"2xx\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("stj_serve_responses_total{class=\"4xx\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("stj_serve_dataset_objects{dataset=\"adv-a\"}"),
+        "{text}"
+    );
+    let buckets = text.matches("stj_serve_request_latency_ns_bucket").count();
+    assert!(buckets > 0, "latency histograms expose buckets: {text}");
+    stop();
+}
+
 /// Writes both arenas to real STJD v2 files and serves them from disk
 /// (zero-copy on supporting platforms), checking results still match.
 #[test]
