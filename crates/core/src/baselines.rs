@@ -15,19 +15,28 @@
 
 use crate::arena::ObjectRef;
 use crate::pipeline::{Determination, FindOutcome};
-use stj_de9im::{relate, TopoRelation};
+use stj_de9im::{relate_with, RelateScratch, TopoRelation};
 use stj_index::MbrRelation;
 
 /// ST2 — standard 2-phase: MBR intersect test, then a full DE-9IM
 /// computation matched against all masks.
 pub fn find_relation_st2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    find_relation_st2_with(r, s, &mut RelateScratch::default())
+}
+
+/// [`find_relation_st2`] through caller-owned scratch memory.
+pub fn find_relation_st2_with(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    scratch: &mut RelateScratch,
+) -> FindOutcome {
     if !r.mbr.intersects(s.mbr) {
         return FindOutcome {
             relation: TopoRelation::Disjoint,
             determination: Determination::MbrFilter,
         };
     }
-    let m = relate(&r.geom, &s.geom);
+    let m = relate_with(&r.geom, &s.geom, scratch);
     FindOutcome {
         relation: TopoRelation::most_specific(&m),
         determination: Determination::Refinement,
@@ -38,6 +47,15 @@ pub fn find_relation_st2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
 /// candidate masks (and decides crossing-MBR pairs outright), but every
 /// other pair still pays for the DE-9IM matrix.
 pub fn find_relation_op2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    find_relation_op2_with(r, s, &mut RelateScratch::default())
+}
+
+/// [`find_relation_op2`] through caller-owned scratch memory.
+pub fn find_relation_op2_with(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    scratch: &mut RelateScratch,
+) -> FindOutcome {
     let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
     match mbr_rel {
         MbrRelation::Disjoint => FindOutcome {
@@ -49,7 +67,7 @@ pub fn find_relation_op2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
             determination: Determination::MbrFilter,
         },
         _ => {
-            let m = relate(&r.geom, &s.geom);
+            let m = relate_with(&r.geom, &s.geom, scratch);
             // Walk only the candidate masks, specific→general; the
             // narrowed sets are provably complete for each MBR class.
             let relation = mbr_rel
@@ -71,6 +89,15 @@ pub fn find_relation_op2(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
 /// beyond `intersects`, every non-disjoint pair still requires the DE-9IM
 /// matrix to find the *most specific* relation.
 pub fn find_relation_april(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
+    find_relation_april_with(r, s, &mut RelateScratch::default())
+}
+
+/// [`find_relation_april`] through caller-owned scratch memory.
+pub fn find_relation_april_with(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    scratch: &mut RelateScratch,
+) -> FindOutcome {
     if !r.mbr.intersects(s.mbr) {
         return FindOutcome {
             relation: TopoRelation::Disjoint,
@@ -86,7 +113,7 @@ pub fn find_relation_april(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
     // The APRIL filter can also prove intersection (C∩P contact), but for
     // find-relation that knowledge cannot skip refinement: a more
     // specific relation may hold. Only disjointness short-circuits.
-    let m = relate(&r.geom, &s.geom);
+    let m = relate_with(&r.geom, &s.geom, scratch);
     FindOutcome {
         relation: TopoRelation::most_specific(&m),
         determination: Determination::Refinement,

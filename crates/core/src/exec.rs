@@ -58,12 +58,14 @@
 //!   worker utilization.
 
 use crate::arena::{DatasetArena, ObjectRef};
-use crate::baselines::{find_relation_april, find_relation_op2, find_relation_st2};
-use crate::pipeline::{find_relation, find_relation_profiled, FindOutcome, PipelineStats};
-use crate::relate_pred::{relate_p_profiled, RelateDetermination};
+use crate::baselines::{find_relation_april_with, find_relation_op2_with, find_relation_st2_with};
+use crate::pipeline::{
+    find_relation_profiled_with, find_relation_with, FindOutcome, PipelineStats,
+};
+use crate::relate_pred::{relate_p_profiled_with, RelateDetermination};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use stj_de9im::TopoRelation;
+use stj_de9im::{RelateScratch, TopoRelation};
 use stj_index::{mbr_join_parallel, MbrRelation, TileTask, Tiling, DEFAULT_SPLIT_THRESHOLD};
 use stj_obs::{
     Disabled, JoinProfile, JoinTrace, Profiler, Progress, ProgressBatch, Recorder, SchedReport,
@@ -91,13 +93,14 @@ pub enum JoinMethod {
 }
 
 impl JoinMethod {
-    /// The per-pair entry point for this method.
-    pub fn runner(self) -> fn(ObjectRef<'_>, ObjectRef<'_>) -> FindOutcome {
+    /// The per-pair entry point for this method; every method runs
+    /// through the caller's (per-worker) relate scratch.
+    pub fn runner(self) -> fn(ObjectRef<'_>, ObjectRef<'_>, &mut RelateScratch) -> FindOutcome {
         match self {
-            JoinMethod::PC => find_relation,
-            JoinMethod::St2 => find_relation_st2,
-            JoinMethod::Op2 => find_relation_op2,
-            JoinMethod::April => find_relation_april,
+            JoinMethod::PC => find_relation_with,
+            JoinMethod::St2 => find_relation_st2_with,
+            JoinMethod::Op2 => find_relation_op2_with,
+            JoinMethod::April => find_relation_april_with,
         }
     }
 }
@@ -603,6 +606,9 @@ impl TopologyJoin {
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
         let mut buf: Vec<(u32, u32)> = Vec::with_capacity(STREAM_BATCH_PAIRS);
+        // The worker's relate arena: every refinement this worker runs
+        // reuses these buffers, so steady-state joins don't allocate.
+        let mut scratch = RelateScratch::default();
         // Links already reported to `limits` (bounded runs).
         let mut noted = 0usize;
         let mut sched = WorkerSched::new(worker);
@@ -630,7 +636,14 @@ impl TopologyJoin {
                 buf.push((i, j));
                 if buf.len() == STREAM_BATCH_PAIRS {
                     self.process_pairs::<P>(
-                        left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
+                        left,
+                        right,
+                        &buf,
+                        &mut prof,
+                        &mut links,
+                        &mut stats,
+                        &mut batch,
+                        &mut scratch,
                     );
                     buf.clear();
                     if let Some(l) = limits {
@@ -641,7 +654,14 @@ impl TopologyJoin {
             });
             if !buf.is_empty() {
                 self.process_pairs::<P>(
-                    left, right, &buf, &mut prof, &mut links, &mut stats, &mut batch,
+                    left,
+                    right,
+                    &buf,
+                    &mut prof,
+                    &mut links,
+                    &mut stats,
+                    &mut batch,
+                    &mut scratch,
                 );
                 buf.clear();
                 if let Some(l) = limits {
@@ -704,8 +724,16 @@ impl TopologyJoin {
         let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
+        let mut scratch = RelateScratch::default();
         self.process_pairs::<P>(
-            left, right, pairs, &mut prof, &mut links, &mut stats, &mut batch,
+            left,
+            right,
+            pairs,
+            &mut prof,
+            &mut links,
+            &mut stats,
+            &mut batch,
+            &mut scratch,
         );
         (links, stats, prof.finish())
     }
@@ -723,15 +751,17 @@ impl TopologyJoin {
         links: &mut Vec<Link>,
         stats: &mut PipelineStats,
         batch: &mut Option<ProgressBatch<'_>>,
+        scratch: &mut RelateScratch,
     ) {
         match self.predicate {
             None => match self.method {
                 JoinMethod::PC => {
                     for &(i, j) in pairs {
-                        let out = find_relation_profiled(
+                        let out = find_relation_profiled_with(
                             left.object(i as usize),
                             right.object(j as usize),
                             prof,
+                            scratch,
                         );
                         stats.record(&out);
                         if out.relation != TopoRelation::Disjoint {
@@ -754,7 +784,7 @@ impl TopologyJoin {
                     let run = method.runner();
                     for &(i, j) in pairs {
                         let t = prof.start();
-                        let out = run(left.object(i as usize), right.object(j as usize));
+                        let out = run(left.object(i as usize), right.object(j as usize), scratch);
                         if P::ENABLED {
                             let stage = out.determination.stage();
                             prof.stage(stage, t);
@@ -776,11 +806,12 @@ impl TopologyJoin {
             },
             Some(p) => {
                 for &(i, j) in pairs {
-                    let out = relate_p_profiled(
+                    let out = relate_p_profiled_with(
                         left.object(i as usize),
                         right.object(j as usize),
                         p,
                         prof,
+                        scratch,
                     );
                     stats.pairs += 1;
                     match out.determination {

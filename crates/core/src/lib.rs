@@ -54,7 +54,10 @@ pub mod relate_pred;
 pub use arena::{
     zero_copy_supported, ArenaColumns, ArenaError, ColumnSpans, DatasetArena, ObjectRef,
 };
-pub use baselines::{find_relation_april, find_relation_op2, find_relation_st2};
+pub use baselines::{
+    find_relation_april, find_relation_april_with, find_relation_op2, find_relation_op2_with,
+    find_relation_st2, find_relation_st2_with,
+};
 pub use exec::{
     mbr_class_labels, BoundedJoinResult, ExecStrategy, JoinBounds, JoinMethod, JoinResult, Link,
     TopologyJoin, STREAM_BATCH_PAIRS,
@@ -62,6 +65,10 @@ pub use exec::{
 pub use filters::{intermediate_filter, IfOutcome};
 pub use object::{Dataset, SpatialObject};
 pub use pipeline::{
-    find_relation, find_relation_profiled, refine, Determination, FindOutcome, PipelineStats,
+    find_relation, find_relation_profiled, find_relation_profiled_with, find_relation_with, refine,
+    refine_with, Determination, FindOutcome, PipelineStats,
 };
-pub use relate_pred::{relate_p, relate_p_profiled, RelateDetermination, RelateOutcome};
+pub use relate_pred::{
+    relate_p, relate_p_profiled, relate_p_profiled_with, RelateDetermination, RelateOutcome,
+};
+pub use stj_de9im::RelateScratch;

@@ -8,7 +8,7 @@
 
 use crate::arena::ObjectRef;
 use crate::filters::{intermediate_filter, IfOutcome};
-use stj_de9im::{relate, TopoRelation};
+use stj_de9im::{relate_with, RelateScratch, TopoRelation};
 use stj_index::MbrRelation;
 use stj_obs::{Disabled, Profiler, Stage};
 
@@ -56,7 +56,18 @@ pub struct FindOutcome {
 /// validating the filters' soundness argument (the true relation must be
 /// in the set); the returned relation is derived from the matrix alone.
 pub fn refine(r: ObjectRef<'_>, s: ObjectRef<'_>, candidates: &[TopoRelation]) -> TopoRelation {
-    let m = relate(&r.geom, &s.geom);
+    refine_with(r, s, candidates, &mut RelateScratch::default())
+}
+
+/// [`refine`] through caller-owned scratch memory — the hot-path variant
+/// the executors use, allocation-free once the scratch is warm.
+pub fn refine_with(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    candidates: &[TopoRelation],
+    scratch: &mut RelateScratch,
+) -> TopoRelation {
+    let m = relate_with(&r.geom, &s.geom, scratch);
     let best = TopoRelation::most_specific(&m);
     debug_assert!(
         candidates.contains(&best),
@@ -71,6 +82,15 @@ pub fn find_relation(r: ObjectRef<'_>, s: ObjectRef<'_>) -> FindOutcome {
     find_relation_profiled(r, s, &mut Disabled)
 }
 
+/// [`find_relation`] through caller-owned scratch memory.
+pub fn find_relation_with(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    scratch: &mut RelateScratch,
+) -> FindOutcome {
+    find_relation_profiled_with(r, s, &mut Disabled, scratch)
+}
+
 /// [`find_relation`] with per-stage observation: each stage's latency and
 /// decisions, plus the pair's MBR class, are reported to `prof`.
 ///
@@ -80,6 +100,17 @@ pub fn find_relation_profiled<P: Profiler>(
     r: ObjectRef<'_>,
     s: ObjectRef<'_>,
     prof: &mut P,
+) -> FindOutcome {
+    find_relation_profiled_with(r, s, prof, &mut RelateScratch::default())
+}
+
+/// [`find_relation_profiled`] through caller-owned scratch memory — what
+/// the join executors call with their per-worker scratch.
+pub fn find_relation_profiled_with<P: Profiler>(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    prof: &mut P,
+    scratch: &mut RelateScratch,
 ) -> FindOutcome {
     let t = prof.start();
     let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
@@ -113,7 +144,7 @@ pub fn find_relation_profiled<P: Profiler>(
                 }
                 IfOutcome::Refine(cands) => {
                     let t = prof.start();
-                    let relation = refine(r, s, cands);
+                    let relation = refine_with(r, s, cands, scratch);
                     prof.stage(Stage::Refinement, t);
                     prof.decided(Stage::Refinement);
                     FindOutcome {

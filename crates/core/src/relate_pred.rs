@@ -13,7 +13,7 @@
 //! 3. **Refinement** — DE-9IM as the fallback.
 
 use crate::arena::ObjectRef;
-use stj_de9im::{relate, TopoRelation};
+use stj_de9im::{relate_with, RelateScratch, TopoRelation};
 use stj_index::MbrRelation;
 use stj_obs::{Disabled, Profiler, Stage};
 
@@ -145,6 +145,18 @@ pub fn relate_p_profiled<P: Profiler>(
     p: TopoRelation,
     prof: &mut P,
 ) -> RelateOutcome {
+    relate_p_profiled_with(r, s, p, prof, &mut RelateScratch::default())
+}
+
+/// [`relate_p_profiled`] through caller-owned scratch memory — what the
+/// join executors call with their per-worker scratch.
+pub fn relate_p_profiled_with<P: Profiler>(
+    r: ObjectRef<'_>,
+    s: ObjectRef<'_>,
+    p: TopoRelation,
+    prof: &mut P,
+    scratch: &mut RelateScratch,
+) -> RelateOutcome {
     // Layer 1: MBR classification and its short-circuits.
     let t = prof.start();
     let mbr_rel = MbrRelation::classify(r.mbr, s.mbr);
@@ -168,7 +180,7 @@ pub fn relate_p_profiled<P: Profiler>(
 
     // Layer 3: refinement.
     let t = prof.start();
-    let m = relate(&r.geom, &s.geom);
+    let m = relate_with(&r.geom, &s.geom, scratch);
     let holds = p.holds(&m);
     prof.stage(Stage::Refinement, t);
     prof.decided(Stage::Refinement);
@@ -183,6 +195,7 @@ pub fn relate_p_profiled<P: Profiler>(
 mod tests {
     use super::*;
     use crate::object::SpatialObject;
+    use stj_de9im::relate;
     use stj_geom::{Polygon, Rect};
     use stj_raster::Grid;
     use TopoRelation::*;

@@ -23,5 +23,5 @@ pub mod relation;
 
 pub use mask::Mask;
 pub use matrix::{De9Im, Part};
-pub use relate_impl::{relate, relate_prepared, Prepared};
+pub use relate_impl::{relate, relate_prepared, relate_with, Prepared, RelateScratch};
 pub use relation::TopoRelation;

@@ -23,19 +23,34 @@
 //! touching allowed, crossing not). Validity matches the datasets the
 //! paper evaluates on; invalid inputs degrade gracefully to *some*
 //! matrix but without the guarantees tested here.
+//!
+//! ## Scratch arenas
+//!
+//! A single `relate` call needs roughly a dozen transient buffers —
+//! noding output, sweep event lists, the intersection hit list, sub-edge
+//! parameter vectors. Allocating them per call is what made the join's
+//! refine stage allocator-bound (~5.6M allocations on the OBE self-join;
+//! see DESIGN.md §10). [`RelateScratch`] owns all of them; callers on the
+//! hot path hold one scratch per worker and call [`relate_with`], which
+//! only *clears* the buffers between pairs, so steady-state refinement
+//! performs no allocations at all. [`relate`] stays as the allocating
+//! one-shot wrapper.
 
 use crate::matrix::{De9Im, Part};
 use stj_geom::locator::EdgeSetLocator;
 use stj_geom::multipolygon::Areal;
 use stj_geom::polygon::Location;
 use stj_geom::seg_intersect::SegSegIntersection;
-use stj_geom::sweep::{boundary_pairs, EdgePairHit};
-use stj_geom::{Point, Rect, Segment};
+use stj_geom::sweep::{boundary_pairs_into, EdgePairHit, SweepScratch};
+use stj_geom::{InteriorScratch, Point, Rect, Segment};
 
 /// A geometry preprocessed for repeated `relate` calls: boundary edges,
 /// strip-indexed point locator and representative interior points.
+///
+/// The edge list lives inside the locator; [`Prepared::prepare`] rebuilds
+/// everything in place so one `Prepared` can be recycled across
+/// geometries without allocating.
 pub struct Prepared {
-    edges: Vec<Segment>,
     locator: EdgeSetLocator,
     interior_points: Vec<Point>,
     mbr: Rect,
@@ -45,17 +60,37 @@ pub struct Prepared {
 impl Prepared {
     /// Preprocesses `g` (cost `O(n log n)` in the number of vertices).
     pub fn new<G: Areal>(g: &G) -> Prepared {
-        let _site = stj_obs::alloc::enter(stj_obs::AllocSite::Noding);
-        let mut edges = Vec::new();
-        g.collect_edges(&mut edges);
-        let locator = EdgeSetLocator::new(edges.clone());
+        let mut p = Prepared::empty();
+        p.prepare(g, &mut InteriorScratch::default());
+        p
+    }
+
+    /// An empty shell holding no geometry; pair with
+    /// [`prepare`](Self::prepare) to populate it in place.
+    pub fn empty() -> Prepared {
         Prepared {
-            edges,
-            locator,
-            interior_points: g.interior_points(),
-            mbr: g.mbr(),
-            num_vertices: g.num_vertices(),
+            locator: EdgeSetLocator::empty(),
+            interior_points: Vec::new(),
+            mbr: Rect::empty(),
+            num_vertices: 0,
         }
+    }
+
+    /// Re-targets this `Prepared` at `g`, rebuilding edges, locator index
+    /// and interior points inside the retained buffers.
+    pub fn prepare<G: Areal + ?Sized>(&mut self, g: &G, interior: &mut InteriorScratch) {
+        let _site = stj_obs::alloc::enter(stj_obs::AllocSite::Noding);
+        self.locator.rebuild(|out| g.collect_edges(out));
+        self.interior_points.clear();
+        g.collect_interior_points(interior, &mut self.interior_points);
+        self.mbr = g.mbr();
+        self.num_vertices = g.num_vertices();
+    }
+
+    /// The boundary edges, in collection order.
+    #[inline]
+    pub fn edges(&self) -> &[Segment] {
+        self.locator.edges()
     }
 
     /// The geometry's MBR.
@@ -77,22 +112,83 @@ impl Prepared {
     }
 }
 
+/// Reusable working memory for [`relate_with`]: two recyclable
+/// [`Prepared`] slots plus every transient buffer the sweep and sub-edge
+/// classification need. One per worker thread; buffers are cleared (never
+/// shrunk) between calls, so a warmed scratch relates without allocating.
+#[derive(Default)]
+pub struct RelateScratch {
+    pa: Prepared,
+    pb: Prepared,
+    sweep: SweepScratch,
+    hits: Vec<EdgePairHit>,
+    classify: ClassifyScratch,
+    interior: InteriorScratch,
+}
+
+impl Default for Prepared {
+    fn default() -> Prepared {
+        Prepared::empty()
+    }
+}
+
 /// Computes the boolean DE-9IM matrix of `(r, s)`.
 ///
-/// Convenience wrapper that prepares both geometries; use
-/// [`relate_prepared`] when a geometry participates in many pairs.
+/// Convenience wrapper that prepares both geometries with one-shot
+/// buffers; use [`relate_with`] on hot paths and [`relate_prepared`] when
+/// a geometry participates in many pairs.
 pub fn relate<A: Areal, B: Areal>(r: &A, s: &B) -> De9Im {
-    relate_prepared(&Prepared::new(r), &Prepared::new(s))
+    relate_with(r, s, &mut RelateScratch::default())
+}
+
+/// Computes the boolean DE-9IM matrix of `(r, s)` using caller-owned
+/// scratch memory. Steady-state allocation-free: after a few warm-up
+/// calls the scratch's buffers have grown to working size and are only
+/// cleared between pairs.
+pub fn relate_with<A: Areal, B: Areal>(r: &A, s: &B, scratch: &mut RelateScratch) -> De9Im {
+    let RelateScratch {
+        pa,
+        pb,
+        sweep,
+        hits,
+        classify,
+        interior,
+    } = scratch;
+    pa.prepare(r, interior);
+    pb.prepare(s, interior);
+    relate_prepared_into(pa, pb, sweep, hits, classify)
 }
 
 /// Computes the boolean DE-9IM matrix of `(r, s)` from prepared
 /// geometries. Rows index parts of `r`, columns parts of `s`.
 pub fn relate_prepared(r: &Prepared, s: &Prepared) -> De9Im {
+    relate_prepared_into(
+        r,
+        s,
+        &mut SweepScratch::default(),
+        &mut Vec::new(),
+        &mut ClassifyScratch::default(),
+    )
+}
+
+fn relate_prepared_into(
+    r: &Prepared,
+    s: &Prepared,
+    sweep: &mut SweepScratch,
+    hits: &mut Vec<EdgePairHit>,
+    classify: &mut ClassifyScratch,
+) -> De9Im {
     if !r.mbr.intersects(&s.mbr) {
         return De9Im::DISJOINT;
     }
 
-    let hits = boundary_pairs(&r.edges, &s.edges, /*stop_on_proper=*/ true);
+    boundary_pairs_into(
+        r.edges(),
+        s.edges(),
+        /*stop_on_proper=*/ true,
+        sweep,
+        hits,
+    );
     if matches!(
         hits.last(),
         Some(EdgePairHit {
@@ -105,8 +201,8 @@ pub fn relate_prepared(r: &Prepared, s: &Prepared) -> De9Im {
     }
 
     // Classify r's boundary sub-edges against s and vice versa.
-    let r_flags = classify_boundary(&r.edges, &hits, HitSide::First, s);
-    let s_flags = classify_boundary(&s.edges, &hits, HitSide::Second, r);
+    let r_flags = classify_boundary(r.edges(), hits, HitSide::First, s, classify);
+    let s_flags = classify_boundary(s.edges(), hits, HitSide::Second, r, classify);
 
     let boundaries_touch = !hits.is_empty();
     debug_assert!(
@@ -125,20 +221,33 @@ pub fn relate_prepared(r: &Prepared, s: &Prepared) -> De9Im {
     // II: a boundary sub-edge of either geometry inside the other implies
     // interior overlap (open neighborhoods); otherwise only whole-interior
     // coincidences remain, closed by the representative points.
-    let rep_r_in_s: Vec<Location> = r.interior_points.iter().map(|&p| s.locate(p)).collect();
-    let rep_s_in_r: Vec<Location> = s.interior_points.iter().map(|&p| r.locate(p)).collect();
-    let ii = r_flags.in_interior
-        || s_flags.in_interior
-        || rep_r_in_s.contains(&Location::Inside)
-        || rep_s_in_r.contains(&Location::Inside);
+    let mut rep_r_inside = false;
+    let mut rep_r_outside = false;
+    for &p in &r.interior_points {
+        match s.locate(p) {
+            Location::Inside => rep_r_inside = true,
+            Location::Outside => rep_r_outside = true,
+            Location::Boundary => {}
+        }
+    }
+    let mut rep_s_inside = false;
+    let mut rep_s_outside = false;
+    for &p in &s.interior_points {
+        match r.locate(p) {
+            Location::Inside => rep_s_inside = true,
+            Location::Outside => rep_s_outside = true,
+            Location::Boundary => {}
+        }
+    }
+    let ii = r_flags.in_interior || s_flags.in_interior || rep_r_inside || rep_s_inside;
     m.set(Part::Interior, Part::Interior, ii);
 
     // IE: r's interior reaches s's exterior.
-    let ie = r_flags.in_exterior || s_flags.in_interior || rep_r_in_s.contains(&Location::Outside);
+    let ie = r_flags.in_exterior || s_flags.in_interior || rep_r_outside;
     m.set(Part::Interior, Part::Exterior, ie);
 
     // EI: s's interior reaches r's exterior.
-    let ei = s_flags.in_exterior || r_flags.in_interior || rep_s_in_r.contains(&Location::Outside);
+    let ei = s_flags.in_exterior || r_flags.in_interior || rep_s_outside;
     m.set(Part::Exterior, Part::Interior, ei);
 
     m
@@ -161,6 +270,20 @@ struct BoundaryFlags {
     on_boundary: bool,
 }
 
+/// Reusable buffers for [`classify_boundary`]: a CSR per-edge grouping of
+/// the hit list plus the per-edge parameter vectors.
+#[derive(Debug, Default)]
+struct ClassifyScratch {
+    /// CSR offsets: edge `i`'s hits are `hit_idx[offs[i]..offs[i + 1]]`.
+    offs: Vec<u32>,
+    /// Indices into the hit list, grouped by our-side edge index.
+    hit_idx: Vec<u32>,
+    /// Split parameters of the edge under classification.
+    ts: Vec<f64>,
+    /// Collinear-overlap parameter ranges of that edge.
+    on_ranges: Vec<(f64, f64)>,
+}
+
 /// Splits every edge at its recorded intersection points and classifies
 /// each sub-edge midpoint against `other`. Sub-edges falling inside a
 /// collinear-overlap range are classified as on-boundary directly (their
@@ -170,23 +293,47 @@ fn classify_boundary(
     hits: &[EdgePairHit],
     side: HitSide,
     other: &Prepared,
+    scratch: &mut ClassifyScratch,
 ) -> BoundaryFlags {
     let _site = stj_obs::alloc::enter(stj_obs::AllocSite::SubEdge);
-    // Group hits by edge index on our side.
-    let mut per_edge: Vec<Vec<&EdgePairHit>> = vec![Vec::new(); edges.len()];
+    let our_edge = |h: &EdgePairHit| match side {
+        HitSide::First => h.ia,
+        HitSide::Second => h.ib,
+    };
+
+    // Group hits by edge index on our side, CSR-style in the retained
+    // buffers: count per edge, prefix-sum to start offsets, scatter with
+    // the offsets as cursors, shift the cursors back to starts.
+    let offs = &mut scratch.offs;
+    offs.clear();
+    offs.resize(edges.len() + 1, 0);
     for h in hits {
-        let idx = match side {
-            HitSide::First => h.ia,
-            HitSide::Second => h.ib,
-        };
-        per_edge[idx].push(h);
+        offs[our_edge(h) + 1] += 1;
+    }
+    for i in 0..edges.len() {
+        offs[i + 1] += offs[i];
+    }
+    scratch.hit_idx.clear();
+    scratch.hit_idx.resize(hits.len(), 0);
+    // Scattering in hit order keeps each edge's hits in hit-list order,
+    // matching the old per-edge push construction.
+    for (k, h) in hits.iter().enumerate() {
+        let e = our_edge(h);
+        scratch.hit_idx[offs[e] as usize] = k as u32;
+        offs[e] += 1;
+    }
+    for i in (1..=edges.len()).rev() {
+        offs[i] = offs[i - 1];
+    }
+    if !offs.is_empty() {
+        offs[0] = 0;
     }
 
     let mut flags = BoundaryFlags::default();
-    let mut ts: Vec<f64> = Vec::new();
-    let mut on_ranges: Vec<(f64, f64)> = Vec::new();
+    let ts = &mut scratch.ts;
+    let on_ranges = &mut scratch.on_ranges;
 
-    for (edge, edge_hits) in edges.iter().zip(&per_edge) {
+    for (i, edge) in edges.iter().enumerate() {
         if flags.in_interior && flags.in_exterior && flags.on_boundary {
             break; // all information gathered
         }
@@ -194,8 +341,9 @@ fn classify_boundary(
         on_ranges.clear();
         ts.push(0.0);
         ts.push(1.0);
-        for h in edge_hits {
-            match h.kind {
+        let (lo, hi) = (offs[i] as usize, offs[i + 1] as usize);
+        for &k in &scratch.hit_idx[lo..hi] {
+            match hits[k as usize].kind {
                 SegSegIntersection::Proper(p) | SegSegIntersection::Touch(p) => {
                     ts.push(param_on(edge, p));
                 }
@@ -209,7 +357,7 @@ fn classify_boundary(
                 SegSegIntersection::None => unreachable!("sweep only reports intersections"),
             }
         }
-        ts.sort_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
+        ts.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite parameter"));
         ts.dedup();
 
         for w in ts.windows(2) {
@@ -466,6 +614,29 @@ mod tests {
         assert_eq!(pa.num_vertices(), 4);
         assert!(pa.mbr().contains_point(Point::new(5.0, 5.0)));
         assert_eq!(pa.locate(Point::new(5.0, 5.0)), Location::Inside);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // One scratch cycled through pairs of very different shapes and
+        // sizes must reproduce the one-shot wrapper's matrix exactly.
+        let holed = Polygon::from_coords(
+            vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)],
+            vec![vec![(3.0, 3.0), (7.0, 3.0), (7.0, 7.0), (3.0, 7.0)]],
+        )
+        .unwrap();
+        let cases = [
+            (sq(0.0, 0.0, 10.0, 10.0), sq(5.0, 5.0, 15.0, 15.0)),
+            (sq(0.0, 0.0, 1.0, 1.0), sq(5.0, 5.0, 6.0, 6.0)),
+            (holed.clone(), sq(3.0, 3.0, 7.0, 7.0)),
+            (sq(2.0, 0.0, 4.0, 4.0), sq(0.0, 0.0, 10.0, 10.0)),
+            (holed, sq(2.0, 2.0, 8.0, 8.0)),
+        ];
+        let mut scratch = RelateScratch::default();
+        for (a, b) in &cases {
+            assert_eq!(relate_with(a, b, &mut scratch), relate(a, b));
+            assert_eq!(relate_with(b, a, &mut scratch), relate(b, a));
+        }
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod validate;
 pub mod view;
 pub mod wkt;
 
-pub use interior_point::{interior_point, try_interior_point};
+pub use interior_point::{
+    interior_point, try_interior_point, try_interior_point_with, InteriorScratch,
+};
 pub use locator::EdgeSetLocator;
 pub use multipolygon::{Areal, MultiPolygon};
 pub use point::Point;
@@ -47,5 +49,6 @@ pub use predicates::{orient2d, Orientation};
 pub use rect::Rect;
 pub use seg_intersect::{intersect_segments, SegSegIntersection};
 pub use segment::Segment;
+pub use sweep::{boundary_pairs, boundary_pairs_into, EdgePairHit, SweepScratch};
 pub use validate::{validate_polygon, validate_ring, ValidityError};
 pub use view::{GeomRef, PolyView};

@@ -9,6 +9,12 @@
 //! The even–odd rule over the *complete* boundary edge set gives correct
 //! interior/exterior classification for valid polygons with holes and
 //! multi-polygons alike, because every ring contributes its crossings.
+//!
+//! The strip index is stored CSR-style (one offsets array plus one flat
+//! edge-index array) rather than as a `Vec<Vec<u32>>`: two allocations
+//! instead of `n_strips + 1`, and a [`EdgeSetLocator::rebuild`] that
+//! re-indexes a new edge set entirely inside the retained buffers, which
+//! is what lets a relate scratch arena reuse one locator across calls.
 
 use crate::point::Point;
 use crate::polygon::Location;
@@ -19,8 +25,10 @@ use crate::segment::Segment;
 /// Strip-indexed even–odd point locator over a set of boundary edges.
 pub struct EdgeSetLocator {
     edges: Vec<Segment>,
-    /// Edge indices per horizontal strip.
-    strips: Vec<Vec<u32>>,
+    /// CSR offsets: strip `s` owns `strip_edges[strip_offs[s]..strip_offs[s + 1]]`.
+    strip_offs: Vec<u32>,
+    /// Edge indices, grouped by strip, in edge order within each strip.
+    strip_edges: Vec<u32>,
     y0: f64,
     inv_dy: f64,
     mbr: Rect,
@@ -28,36 +36,95 @@ pub struct EdgeSetLocator {
 
 impl EdgeSetLocator {
     /// Builds a locator over `edges` (the complete boundary of one areal
-    /// geometry). The strip count scales with the edge count.
+    /// geometry). The strip count scales with the edge count. An empty
+    /// edge set yields a locator that answers `Outside` everywhere.
     pub fn new(edges: Vec<Segment>) -> Self {
-        assert!(!edges.is_empty(), "locator requires at least one edge");
-        let mut mbr = Rect::empty();
-        for e in &edges {
-            mbr.grow_rect(&e.mbr());
+        let mut loc = EdgeSetLocator::empty();
+        loc.edges = edges;
+        loc.reindex();
+        loc
+    }
+
+    /// An indexless locator over no edges; answers `Outside` everywhere.
+    /// Pair with [`rebuild`](Self::rebuild) to populate it in place.
+    pub fn empty() -> Self {
+        EdgeSetLocator {
+            edges: Vec::new(),
+            strip_offs: Vec::new(),
+            strip_edges: Vec::new(),
+            y0: 0.0,
+            inv_dy: 0.0,
+            mbr: Rect::empty(),
         }
-        let n_strips = (edges.len() / 4).clamp(1, 4096);
-        let height = (mbr.max.y - mbr.min.y).max(f64::MIN_POSITIVE);
+    }
+
+    /// Replaces the edge set in place: clears the edge buffer, lets
+    /// `fill` repopulate it, then re-indexes — all inside the retained
+    /// allocations, so a warmed locator rebuilds without allocating.
+    pub fn rebuild(&mut self, fill: impl FnOnce(&mut Vec<Segment>)) {
+        self.edges.clear();
+        fill(&mut self.edges);
+        self.reindex();
+    }
+
+    /// Recomputes MBR, strip geometry, and the CSR strip index from
+    /// `self.edges`, reusing the offset and index buffers.
+    fn reindex(&mut self) {
+        self.mbr = Rect::empty();
+        for e in &self.edges {
+            self.mbr.grow_rect(&e.mbr());
+        }
+        let n_strips = (self.edges.len() / 4).clamp(1, 4096);
+        let height = (self.mbr.max.y - self.mbr.min.y).max(f64::MIN_POSITIVE);
         let dy = height / n_strips as f64;
-        let inv_dy = 1.0 / dy;
-        let y0 = mbr.min.y;
+        self.inv_dy = 1.0 / dy;
+        self.y0 = self.mbr.min.y;
+        let (y0, inv_dy) = (self.y0, self.inv_dy);
         let strip_of = |y: f64| -> usize {
             (((y - y0) * inv_dy) as isize).clamp(0, n_strips as isize - 1) as usize
         };
-        let mut strips = vec![Vec::new(); n_strips];
-        for (i, e) in edges.iter().enumerate() {
+
+        if self.edges.is_empty() {
+            self.strip_offs.clear();
+            self.strip_offs.resize(n_strips + 1, 0);
+            self.strip_edges.clear();
+            return;
+        }
+
+        // CSR build in three passes over the retained buffers: count
+        // entries per strip, prefix-sum into start offsets, scatter with
+        // the offsets as write cursors, then shift the cursors (now ends)
+        // back into start offsets.
+        let offs = &mut self.strip_offs;
+        offs.clear();
+        offs.resize(n_strips + 1, 0);
+        for e in &self.edges {
             let lo = strip_of(e.a.y.min(e.b.y));
             let hi = strip_of(e.a.y.max(e.b.y));
-            for s in &mut strips[lo..=hi] {
-                s.push(i as u32);
+            for s in lo..=hi {
+                offs[s + 1] += 1;
             }
         }
-        EdgeSetLocator {
-            edges,
-            strips,
-            y0,
-            inv_dy,
-            mbr,
+        for s in 0..n_strips {
+            offs[s + 1] += offs[s];
         }
+        let total = offs[n_strips] as usize;
+        self.strip_edges.clear();
+        self.strip_edges.resize(total, 0);
+        // Scattering in ascending edge order keeps each strip's indices
+        // in edge order, matching the old per-strip push construction.
+        for (i, e) in self.edges.iter().enumerate() {
+            let lo = strip_of(e.a.y.min(e.b.y));
+            let hi = strip_of(e.a.y.max(e.b.y));
+            for cursor in &mut offs[lo..=hi] {
+                self.strip_edges[*cursor as usize] = i as u32;
+                *cursor += 1;
+            }
+        }
+        for s in (1..=n_strips).rev() {
+            offs[s] = offs[s - 1];
+        }
+        offs[0] = 0;
     }
 
     /// The edge set's MBR.
@@ -78,10 +145,15 @@ impl EdgeSetLocator {
         if !self.mbr.contains_point(p) {
             return Location::Outside;
         }
-        let si = (((p.y - self.y0) * self.inv_dy) as isize).clamp(0, self.strips.len() as isize - 1)
-            as usize;
+        let n_strips = self.strip_offs.len() - 1;
+        let si =
+            (((p.y - self.y0) * self.inv_dy) as isize).clamp(0, n_strips as isize - 1) as usize;
         let mut inside = false;
-        for &ei in &self.strips[si] {
+        let (lo, hi) = (
+            self.strip_offs[si] as usize,
+            self.strip_offs[si + 1] as usize,
+        );
+        for &ei in &self.strip_edges[lo..hi] {
             let e = self.edges[ei as usize];
             if point_on_segment(p, e.a, e.b) {
                 return Location::Boundary;
@@ -149,6 +221,48 @@ mod tests {
         assert_eq!(loc.locate(Point::new(4.0, 4.0)), Location::Boundary);
         assert_eq!(loc.locate(Point::new(2.0, 2.0)), Location::Inside);
         assert_eq!(loc.locate(Point::new(5.0, 2.0)), Location::Outside);
+    }
+
+    #[test]
+    fn empty_locator_is_all_outside() {
+        let loc = EdgeSetLocator::empty();
+        assert_eq!(loc.locate(Point::new(0.0, 0.0)), Location::Outside);
+        let loc = EdgeSetLocator::new(Vec::new());
+        assert_eq!(loc.locate(Point::new(1.0, -2.0)), Location::Outside);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let small =
+            Polygon::from_coords(vec![(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)], vec![])
+                .unwrap();
+        let big = Polygon::from_coords(
+            vec![
+                (0.0, 0.0),
+                (10.0, 0.0),
+                (10.0, 3.0),
+                (3.0, 3.0),
+                (3.0, 7.0),
+                (10.0, 7.0),
+                (10.0, 10.0),
+                (0.0, 10.0),
+            ],
+            vec![vec![(1.0, 1.0), (2.0, 1.0), (2.0, 2.0), (1.0, 2.0)]],
+        )
+        .unwrap();
+        // Cycle one locator big → small → big; answers must match a fresh
+        // build at every step (shrinking must not leave stale index).
+        let mut loc = EdgeSetLocator::empty();
+        for poly in [&big, &small, &big] {
+            loc.rebuild(|out| out.extend(poly.edges()));
+            let fresh = locator_of(poly);
+            for i in -2..=22 {
+                for j in -2..=22 {
+                    let p = Point::new(i as f64 * 0.5, j as f64 * 0.5);
+                    assert_eq!(loc.locate(p), fresh.locate(p), "at {p:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Multi-polygons and the [`Areal`] abstraction shared by the DE-9IM
 //! engine.
 
-use crate::interior_point::interior_point;
+use crate::interior_point::{try_interior_point_with, InteriorScratch};
 use crate::point::Point;
 use crate::polygon::{Location, Polygon};
 use crate::rect::Rect;
@@ -21,8 +21,17 @@ pub trait Areal {
     fn collect_edges(&self, out: &mut Vec<Segment>);
     /// Exact location of `p` (interior / boundary / exterior).
     fn locate(&self, p: Point) -> Location;
+    /// Appends one strictly-interior point per connected interior
+    /// component to `out`, computing through the caller's scratch
+    /// buffers. The hot-path entry used by the relate scratch arena.
+    fn collect_interior_points(&self, scratch: &mut InteriorScratch, out: &mut Vec<Point>);
     /// One strictly-interior point per connected interior component.
-    fn interior_points(&self) -> Vec<Point>;
+    /// Allocating convenience over [`collect_interior_points`](Self::collect_interior_points).
+    fn interior_points(&self) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.collect_interior_points(&mut InteriorScratch::default(), &mut out);
+        out
+    }
     /// Total vertex count (the paper's complexity measure).
     fn num_vertices(&self) -> usize;
 }
@@ -40,8 +49,11 @@ impl Areal for Polygon {
         Polygon::locate(self, p)
     }
 
-    fn interior_points(&self) -> Vec<Point> {
-        vec![interior_point(self)]
+    fn collect_interior_points(&self, scratch: &mut InteriorScratch, out: &mut Vec<Point>) {
+        out.push(
+            try_interior_point_with(self, scratch)
+                .expect("interior_point: polygon has no detectable interior"),
+        );
     }
 
     fn num_vertices(&self) -> usize {
@@ -117,8 +129,10 @@ impl Areal for MultiPolygon {
         loc
     }
 
-    fn interior_points(&self) -> Vec<Point> {
-        self.members.iter().map(interior_point).collect()
+    fn collect_interior_points(&self, scratch: &mut InteriorScratch, out: &mut Vec<Point>) {
+        for m in &self.members {
+            m.collect_interior_points(scratch, out);
+        }
     }
 
     fn num_vertices(&self) -> usize {

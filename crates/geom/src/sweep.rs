@@ -8,6 +8,12 @@
 //! the exact segment test only on box-overlapping pairs. For polygon
 //! boundaries with `n` total edges and `k` box-overlapping pairs this is
 //! `O(n log n + k)` in practice.
+//!
+//! The sweep needs two sorted event lists plus the output hit list. On
+//! the relate hot path these live in a caller-owned [`SweepScratch`] and
+//! output vector handed to [`boundary_pairs_into`], so a warmed scratch
+//! runs the sweep without allocating; [`boundary_pairs`] remains as the
+//! allocating convenience wrapper.
 
 use crate::seg_intersect::{intersect_segments, SegSegIntersection};
 use crate::segment::Segment;
@@ -24,6 +30,14 @@ pub struct EdgePairHit {
     pub kind: SegSegIntersection,
 }
 
+/// Reusable event lists for [`boundary_pairs_into`]. `clear()`-and-reuse:
+/// each sweep empties the lists but keeps their capacity.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    a_sorted: Vec<(usize, Segment)>,
+    b_sorted: Vec<(usize, Segment)>,
+}
+
 /// Reports every intersecting pair of edges between the two edge lists,
 /// with its classification.
 ///
@@ -36,17 +50,53 @@ pub fn boundary_pairs(
     stop_on_proper: bool,
 ) -> Vec<EdgePairHit> {
     let mut hits = Vec::new();
+    boundary_pairs_into(
+        a_edges,
+        b_edges,
+        stop_on_proper,
+        &mut SweepScratch::default(),
+        &mut hits,
+    );
+    hits
+}
+
+/// [`boundary_pairs`] into caller-owned buffers: `hits` is cleared and
+/// filled, `scratch` holds the sweep's sorted event lists. The hot-path
+/// entry used by the relate scratch arena.
+pub fn boundary_pairs_into(
+    a_edges: &[Segment],
+    b_edges: &[Segment],
+    stop_on_proper: bool,
+    scratch: &mut SweepScratch,
+    hits: &mut Vec<EdgePairHit>,
+) {
+    hits.clear();
+    let a_sorted = &mut scratch.a_sorted;
+    let b_sorted = &mut scratch.b_sorted;
 
     // Index + sort both lists by MBR xmin.
-    let (mut a_sorted, mut b_sorted) = {
+    {
         let _site = stj_obs::alloc::enter(stj_obs::AllocSite::SweepEvents);
-        let a: Vec<(usize, Segment)> = a_edges.iter().copied().enumerate().collect();
-        let b: Vec<(usize, Segment)> = b_edges.iter().copied().enumerate().collect();
-        (a, b)
-    };
+        a_sorted.clear();
+        a_sorted.extend(a_edges.iter().copied().enumerate());
+        b_sorted.clear();
+        b_sorted.extend(b_edges.iter().copied().enumerate());
+    }
     let xmin = |s: &Segment| s.a.x.min(s.b.x);
-    a_sorted.sort_by(|l, r| xmin(&l.1).partial_cmp(&xmin(&r.1)).expect("finite"));
-    b_sorted.sort_by(|l, r| xmin(&l.1).partial_cmp(&xmin(&r.1)).expect("finite"));
+    // Unstable sort with the original index as tie-break: reproduces the
+    // stable order exactly without a stable sort's temp-buffer allocation.
+    a_sorted.sort_unstable_by(|l, r| {
+        xmin(&l.1)
+            .partial_cmp(&xmin(&r.1))
+            .expect("finite")
+            .then(l.0.cmp(&r.0))
+    });
+    b_sorted.sort_unstable_by(|l, r| {
+        xmin(&l.1)
+            .partial_cmp(&xmin(&r.1))
+            .expect("finite")
+            .then(l.0.cmp(&r.0))
+    });
 
     // Growth of `hits` during the scan is the intersection-list site.
     let _site = stj_obs::alloc::enter(stj_obs::AllocSite::IntersectionList);
@@ -69,7 +119,7 @@ pub fn boundary_pairs(
                         let proper = matches!(kind, SegSegIntersection::Proper(_));
                         hits.push(EdgePairHit { ia, ib, kind });
                         if proper && stop_on_proper {
-                            return hits;
+                            return;
                         }
                     }
                 }
@@ -89,7 +139,7 @@ pub fn boundary_pairs(
                         let proper = matches!(kind, SegSegIntersection::Proper(_));
                         hits.push(EdgePairHit { ia, ib, kind });
                         if proper && stop_on_proper {
-                            return hits;
+                            return;
                         }
                     }
                 }
@@ -97,7 +147,6 @@ pub fn boundary_pairs(
             j += 1;
         }
     }
-    hits
 }
 
 #[cfg(test)]
@@ -173,6 +222,27 @@ mod tests {
             let a = mk(&mut rnd, 30);
             let b = mk(&mut rnd, 30);
             assert_eq!(sweep_pairs(&a, &b), brute(&a, &b), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // The same scratch driven over different-size inputs (grid, tiny,
+        // empty) must reproduce the one-shot wrapper's hits exactly,
+        // including order.
+        let a: Vec<_> = (0..4).map(|i| seg(0.0, i as f64, 10.0, i as f64)).collect();
+        let b: Vec<_> = (0..4)
+            .map(|i| seg(i as f64 + 0.5, -1.0, i as f64 + 0.5, 11.0))
+            .collect();
+        let tiny = vec![seg(0.0, 0.0, 10.0, 0.0)];
+        let none: Vec<Segment> = Vec::new();
+        let mut scratch = SweepScratch::default();
+        let mut hits = Vec::new();
+        for (l, r) in [(&a, &b), (&tiny, &b), (&a, &none), (&a, &b)] {
+            for stop in [false, true] {
+                boundary_pairs_into(l, r, stop, &mut scratch, &mut hits);
+                assert_eq!(hits, boundary_pairs(l, r, stop));
+            }
         }
     }
 

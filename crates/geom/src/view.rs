@@ -7,7 +7,7 @@
 //! behind one `Copy` type implementing [`Areal`], letting the DE-9IM
 //! refinement run unchanged on owned and pooled geometry.
 
-use crate::interior_point::interior_point;
+use crate::interior_point::InteriorScratch;
 use crate::multipolygon::Areal;
 use crate::point::Point;
 use crate::polygon::{locate_in_ring, Location, Polygon};
@@ -132,11 +132,10 @@ impl Areal for PolyView<'_> {
         PolyView::locate(self, p)
     }
 
-    fn interior_points(&self) -> Vec<Point> {
+    fn collect_interior_points(&self, _scratch: &mut InteriorScratch, out: &mut Vec<Point>) {
+        // Precomputed at arena build time; NaN sentinel means "none".
         if self.interior.is_finite() {
-            vec![self.interior]
-        } else {
-            Vec::new()
+            out.push(self.interior);
         }
     }
 
@@ -181,10 +180,10 @@ impl Areal for GeomRef<'_> {
         }
     }
 
-    fn interior_points(&self) -> Vec<Point> {
+    fn collect_interior_points(&self, scratch: &mut InteriorScratch, out: &mut Vec<Point>) {
         match self {
-            GeomRef::Poly(p) => vec![interior_point(p)],
-            GeomRef::View(v) => Areal::interior_points(v),
+            GeomRef::Poly(p) => p.collect_interior_points(scratch, out),
+            GeomRef::View(v) => v.collect_interior_points(scratch, out),
         }
     }
 
@@ -199,6 +198,7 @@ impl Areal for GeomRef<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interior_point::interior_point;
 
     /// Flattens a polygon into pool columns and returns a view over them.
     fn columns(p: &Polygon) -> (Vec<Point>, Vec<u64>, Rect, Point) {

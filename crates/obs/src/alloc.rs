@@ -18,10 +18,12 @@
 //! 3. [`note_alloc`] charges each allocation to the thread's current
 //!    site in a global atomic table, read back with [`snapshot`].
 //!
-//! Everything is gated on a process-global `TRACKING` flag:
-//! when off (the default) both [`enter`] and [`note_alloc`] are a
-//! single relaxed atomic load, so the hooks cost nothing measurable on
-//! untraced runs.
+//! Recording is gated on a process-global `TRACKING` flag: when off
+//! (the default) [`note_alloc`] is a single relaxed atomic load, so
+//! the hooks cost nothing measurable on untraced runs. [`enter`]
+//! always maintains the thread's tag stack regardless of the flag —
+//! that keeps nested guards correct across mid-scope toggles — but a
+//! tag set while tracking is off is never read.
 
 use crate::json::Json;
 use std::cell::Cell;
@@ -101,16 +103,17 @@ pub fn reset() {
 }
 
 /// Tags the current thread with `site` until the guard drops, then
-/// restores the previous tag (guards nest). Near-free when tracking is
-/// off.
+/// restores the previous tag (guards nest).
+///
+/// The tag is set unconditionally — `TRACKING` gates only
+/// [`note_alloc`]. A guard that consulted the flag at construction
+/// time would mis-attribute when tracking toggles while it lives: an
+/// inner guard built during an off window would leave the outer site
+/// in place, silently charging its allocations to the wrong row once
+/// tracking comes back on. Two TLS `Cell` accesses are cheap enough
+/// that unconditional tagging costs nothing measurable.
 #[inline]
 pub fn enter(site: AllocSite) -> SiteGuard {
-    if !TRACKING.load(Relaxed) {
-        return SiteGuard {
-            prev: 0,
-            active: false,
-        };
-    }
     let prev = CURRENT_SITE
         .try_with(|c| {
             let prev = c.get();
@@ -118,20 +121,17 @@ pub fn enter(site: AllocSite) -> SiteGuard {
             prev
         })
         .unwrap_or(0);
-    SiteGuard { prev, active: true }
+    SiteGuard { prev }
 }
 
 /// RAII tag restorer returned by [`enter`].
 pub struct SiteGuard {
     prev: u8,
-    active: bool,
 }
 
 impl Drop for SiteGuard {
     fn drop(&mut self) {
-        if self.active {
-            let _ = CURRENT_SITE.try_with(|c| c.set(self.prev));
-        }
+        let _ = CURRENT_SITE.try_with(|c| c.set(self.prev));
     }
 }
 
@@ -261,6 +261,36 @@ mod tests {
         assert_eq!(d.bytes[AllocSite::SubEdge as usize], 20);
         assert_eq!(d.calls[AllocSite::Other as usize], 1);
         assert!(d.live_sites() >= 3);
+    }
+
+    #[test]
+    fn nested_guards_survive_tracking_toggle() {
+        let _l = LOCK.lock().unwrap();
+        reset();
+        // Outer guard built while tracking is OFF: it must still tag
+        // the thread, so that sites observed after tracking turns on
+        // are attributed to the innermost live guard, and drops
+        // restore correctly.
+        set_tracking(false);
+        let before = snapshot();
+        {
+            let _outer = enter(AllocSite::Noding);
+            set_tracking(true);
+            note_alloc(100); // charged to Noding, not Other
+            {
+                let _inner = enter(AllocSite::SweepEvents);
+                note_alloc(10); // inner shadows outer
+            }
+            note_alloc(100); // inner dropped: back to Noding
+        }
+        note_alloc(1); // outer dropped: back to Other
+        set_tracking(false);
+        let d = snapshot().since(&before);
+        assert_eq!(d.calls[AllocSite::Noding as usize], 2);
+        assert_eq!(d.bytes[AllocSite::Noding as usize], 200);
+        assert_eq!(d.calls[AllocSite::SweepEvents as usize], 1);
+        assert_eq!(d.bytes[AllocSite::SweepEvents as usize], 10);
+        assert_eq!(d.calls[AllocSite::Other as usize], 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use stj_core::RelateScratch;
 
 /// Idle keep-alive timeout: a connection with no new request for this
 /// long is closed (also bounds how long a drain can wait on idle
@@ -179,9 +180,15 @@ impl Server {
                     std::thread::Builder::new()
                         .name(format!("stj-serve-{w}"))
                         .spawn_scoped(scope, move || {
+                            // The worker's relate arena: every request this
+                            // worker serves reuses the same scratch buffers,
+                            // so steady-state refinement stays allocation-free.
+                            let mut scratch = RelateScratch::default();
                             loop {
                                 match queue.pop(Duration::from_millis(50), &ctx.stats) {
-                                    Some(conn) => serve_connection(&ctx, &shutdown, conn),
+                                    Some(conn) => {
+                                        serve_connection(&ctx, &shutdown, conn, &mut scratch)
+                                    }
                                     // Exit only once draining is done:
                                     // shutdown requested and the queue
                                     // observed empty.
@@ -248,7 +255,12 @@ fn shed(conn: &mut TcpStream, stats: &ServeStats) {
 
 /// Serves one connection to completion: sniffs the protocol, then runs
 /// the per-request loop until close, error, idle timeout, or drain.
-fn serve_connection(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+fn serve_connection(
+    ctx: &ServeCtx,
+    shutdown: &ShutdownFlag,
+    mut conn: TcpStream,
+    scratch: &mut RelateScratch,
+) {
     let mut magic = [0u8; 4];
     let framed = matches!(conn.peek(&mut magic), Ok(4) if magic == framing::MAGIC);
     if framed {
@@ -256,9 +268,9 @@ fn serve_connection(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream
         if io::Read::read_exact(&mut conn, &mut sink).is_err() {
             return;
         }
-        serve_framed(ctx, shutdown, conn);
+        serve_framed(ctx, shutdown, conn, scratch);
     } else {
-        serve_http(ctx, shutdown, conn);
+        serve_http(ctx, shutdown, conn, scratch);
     }
 }
 
@@ -300,7 +312,12 @@ fn timed_dispatch(
     (resp, trace_id)
 }
 
-fn serve_http(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+fn serve_http(
+    ctx: &ServeCtx,
+    shutdown: &ShutdownFlag,
+    mut conn: TcpStream,
+    scratch: &mut RelateScratch,
+) {
     loop {
         let req = match http::read_request(&mut conn) {
             Ok(r) => r,
@@ -333,7 +350,7 @@ fn serve_http(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
 
         let endpoint = query::endpoint_of(&req.path);
         let (resp, trace_id) = timed_dispatch(ctx, endpoint, || {
-            query::dispatch(ctx, &req.method, &req.path, &req.query, &req.body)
+            query::dispatch_with(ctx, &req.method, &req.path, &req.query, &req.body, scratch)
         });
         let keep = req.keep_alive && !resp.close && !shutdown.requested();
         if write_http_traced(&mut conn, &resp, keep, &ctx.stats, trace_id).is_err() || !keep {
@@ -388,7 +405,12 @@ fn write_headers(
     Ok(())
 }
 
-fn serve_framed(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
+fn serve_framed(
+    ctx: &ServeCtx,
+    shutdown: &ShutdownFlag,
+    mut conn: TcpStream,
+    scratch: &mut RelateScratch,
+) {
     loop {
         let req = match framing::read_request_frame(&mut conn) {
             Ok(r) => r,
@@ -418,7 +440,7 @@ fn serve_framed(ctx: &ServeCtx, shutdown: &ShutdownFlag, mut conn: TcpStream) {
         // The binary framing has no headers, so the trace id only shows
         // up in slow-request logs for framed clients.
         let (resp, _trace_id) = timed_dispatch(ctx, endpoint, || {
-            query::dispatch_target(ctx, &req.method, &req.target, &req.body)
+            query::dispatch_target_with(ctx, &req.method, &req.target, &req.body, scratch)
         });
         let closing = resp.close || shutdown.requested();
         if write_framed(&mut conn, &resp, &ctx.stats).is_err() || closing {

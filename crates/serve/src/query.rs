@@ -11,7 +11,10 @@ use crate::http::percent_decode;
 use crate::{Endpoint, ProbeKey, ServeCtx};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-use stj_core::{find_relation, Determination, JoinBounds, JoinMethod, SpatialObject, TopologyJoin};
+use stj_core::{
+    find_relation_with, Determination, JoinBounds, JoinMethod, RelateScratch, SpatialObject,
+    TopologyJoin,
+};
 use stj_de9im::TopoRelation;
 use stj_obs::Json;
 use stj_store::read_wkt_polygons;
@@ -75,7 +78,9 @@ pub fn endpoint_of(path: &str) -> Endpoint {
     }
 }
 
-/// Dispatches one request to its handler.
+/// Dispatches one request to its handler with one-shot scratch memory.
+/// The pool's workers use [`dispatch_with`] with their per-worker
+/// scratch instead.
 pub fn dispatch(
     ctx: &ServeCtx,
     method: &str,
@@ -83,13 +88,34 @@ pub fn dispatch(
     query: &[(String, String)],
     body: &[u8],
 ) -> Response {
+    dispatch_with(
+        ctx,
+        method,
+        path,
+        query,
+        body,
+        &mut RelateScratch::default(),
+    )
+}
+
+/// Dispatches one request to its handler, threading the caller's relate
+/// scratch into the geometry-touching endpoints (`/v1/relate`,
+/// `/v1/pair`).
+pub fn dispatch_with(
+    ctx: &ServeCtx,
+    method: &str,
+    path: &str,
+    query: &[(String, String)],
+    body: &[u8],
+    scratch: &mut RelateScratch,
+) -> Response {
     match (method, path) {
         ("GET", "/healthz") => Response::json(200, &Json::object([("ok", Json::Bool(true))])),
         ("GET", "/stats") => handle_stats(ctx),
         ("GET", "/metrics") => handle_metrics(ctx),
         ("GET", "/v1/datasets") => handle_datasets(ctx),
-        ("POST", "/v1/relate") => handle_relate(ctx, query, body),
-        ("GET", "/v1/pair") => handle_pair(ctx, query),
+        ("POST", "/v1/relate") => handle_relate(ctx, query, body, scratch),
+        ("GET", "/v1/pair") => handle_pair(ctx, query, scratch),
         ("POST", "/v1/join") => handle_join(ctx, query),
         (
             _,
@@ -105,8 +131,20 @@ pub fn dispatch(
 }
 
 /// Parses a framed request target (`/path?query`, still
-/// percent-encoded) into dispatch inputs and runs it.
+/// percent-encoded) into dispatch inputs and runs it with one-shot
+/// scratch memory.
 pub fn dispatch_target(ctx: &ServeCtx, method: &str, target: &str, body: &[u8]) -> Response {
+    dispatch_target_with(ctx, method, target, body, &mut RelateScratch::default())
+}
+
+/// [`dispatch_target`] threading the caller's relate scratch.
+pub fn dispatch_target_with(
+    ctx: &ServeCtx,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    scratch: &mut RelateScratch,
+) -> Response {
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
@@ -124,7 +162,7 @@ pub fn dispatch_target(ctx: &ServeCtx, method: &str, target: &str, body: &[u8]) 
             }
         }
     }
-    dispatch(ctx, method, &path, &query, body)
+    dispatch_with(ctx, method, &path, &query, body, scratch)
 }
 
 fn handle_stats(ctx: &ServeCtx) -> Response {
@@ -310,7 +348,12 @@ fn qp<'a>(query: &'a [(String, String)], key: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-fn handle_relate(ctx: &ServeCtx, query: &[(String, String)], body: &[u8]) -> Response {
+fn handle_relate(
+    ctx: &ServeCtx,
+    query: &[(String, String)],
+    body: &[u8],
+    scratch: &mut RelateScratch,
+) -> Response {
     let q = |key: &str| qp(query, key);
     let Some(ds_key) = q("dataset") else {
         return Response::error(
@@ -383,7 +426,7 @@ fn handle_relate(ctx: &ServeCtx, query: &[(String, String)], body: &[u8]) -> Res
             truncated = true;
             break;
         }
-        let out = find_relation(probe.view(), ds.arena.object(id as usize));
+        let out = find_relation_with(probe.view(), ds.arena.object(id as usize), scratch);
         if out.relation == TopoRelation::Disjoint {
             continue;
         }
@@ -476,7 +519,11 @@ fn resolve_object<'c>(
     Ok((ds, idx))
 }
 
-fn handle_pair(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
+fn handle_pair(
+    ctx: &ServeCtx,
+    query: &[(String, String)],
+    scratch: &mut RelateScratch,
+) -> Response {
     let (left, i) = match resolve_object(ctx, query, "left", "i") {
         Ok(v) => v,
         Err(r) => return r,
@@ -492,7 +539,7 @@ fn handle_pair(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
             "datasets were preprocessed on different grids; relations cannot be compared",
         );
     }
-    let out = find_relation(left.arena.object(i), right.arena.object(j));
+    let out = find_relation_with(left.arena.object(i), right.arena.object(j), scratch);
     Response::json(
         200,
         &Json::object([
@@ -603,7 +650,7 @@ fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
 mod tests {
     use super::*;
     use crate::{LoadedDataset, ServeConfig, ServeCtx};
-    use stj_core::Dataset;
+    use stj_core::{find_relation, Dataset};
     use stj_geom::{Polygon, Rect};
     use stj_index::Tiling;
     use stj_raster::Grid;

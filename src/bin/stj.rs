@@ -546,7 +546,7 @@ fn join_report(
 #[derive(Clone, Copy, PartialEq)]
 enum MetricKind {
     /// Regression when current exceeds baseline by the threshold
-    /// (wall times, allocation counts, byte footprints).
+    /// (wall times, byte footprints).
     LowerBetter,
     /// Regression when current falls below baseline by the threshold
     /// (throughputs).
@@ -554,6 +554,13 @@ enum MetricKind {
     /// Any change at all is a regression (result counts — a join that
     /// finds different links is broken, not slow).
     Exact,
+    /// Regression on *any* increase; decreases pass (and should be
+    /// promoted into the baseline). Used for allocation counts: the
+    /// scratch arenas make steady-state refinement allocation-free,
+    /// so alloc totals are deterministic setup costs — a single
+    /// reintroduced per-pair allocation multiplies by the candidate
+    /// count, and no percentage threshold should forgive that.
+    ExactOrLower,
     /// Reported but never judged (configuration echoes).
     Info,
 }
@@ -562,9 +569,8 @@ fn metric_kind(name: &str) -> MetricKind {
     match name {
         "candidates" | "links" => MetricKind::Exact,
         "threads" | "stream_batch_pairs" | "objects" => MetricKind::Info,
-        _ if name.ends_with("_ns") || name.ends_with("_bytes") || name == "allocs" => {
-            MetricKind::LowerBetter
-        }
+        "allocs" => MetricKind::ExactOrLower,
+        _ if name.ends_with("_ns") || name.ends_with("_bytes") => MetricKind::LowerBetter,
         _ if name.contains("per_sec") || name.contains("throughput") => MetricKind::HigherBetter,
         _ => MetricKind::Info,
     }
@@ -650,6 +656,7 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
             };
             let regressed = match kind {
                 MetricKind::Exact => cv != bv,
+                MetricKind::ExactOrLower => cv > bv,
                 MetricKind::LowerBetter => delta_pct > threshold,
                 MetricKind::HigherBetter => delta_pct < -threshold,
                 MetricKind::Info => false,

@@ -1,0 +1,145 @@
+//! Allocation-regression guard for the refine path (PR 7).
+//!
+//! The flat thread-scaling bug was caused by per-call heap churn in
+//! DE-9IM refinement: every `relate()` allocated (and freed) its
+//! noding buffers, sweep event lists, sub-edge vectors and
+//! intersection lists, serializing all workers on the allocator. The
+//! fix threads a reusable [`RelateScratch`] arena through the whole
+//! path. This test pins the property that makes the fix stick: after
+//! a warm-up pass has grown every scratch buffer to its high-water
+//! mark, re-running the full adversarial corpus through
+//! `relate_with` performs **zero** allocations — on one thread and on
+//! four concurrent threads (each with its own arena).
+//!
+//! The corpus is `stj_datagen::adversarial` — the same constructions
+//! the differential check harness uses — so the guard covers shared
+//! edges, vertex contact, hole boundaries, collinear slivers and the
+//! degenerate MBR ties, not just friendly rectangles.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Barrier;
+
+use stjoin::datagen::adversarial::adversarial_pair;
+use stjoin::de9im::{relate_with, RelateScratch};
+use stjoin::Polygon;
+
+/// Counts every allocator entry point process-wide. `realloc` and
+/// `alloc_zeroed` count too: a growing `Vec` re-entering the
+/// allocator is exactly the churn this test exists to catch.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Pairs per corpus: several full rotations of the 11 adversarial
+/// categories.
+const CORPUS: u64 = 66;
+
+fn corpus(seed: u64) -> Vec<(Polygon, Polygon)> {
+    (0..CORPUS)
+        .map(|i| {
+            let p = adversarial_pair(seed, i);
+            (p.a, p.b)
+        })
+        .collect()
+}
+
+/// Runs every pair through refinement, both orientations.
+fn run_corpus(pairs: &[(Polygon, Polygon)], scratch: &mut RelateScratch) -> u64 {
+    let mut checksum = 0u64;
+    for (a, b) in pairs {
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(relate_with(a, b, scratch).bits() as u64);
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(relate_with(b, a, scratch).bits() as u64);
+    }
+    checksum
+}
+
+#[test]
+fn steady_state_relate_is_allocation_free_single_thread() {
+    let pairs = corpus(0xA110C);
+    let mut scratch = RelateScratch::default();
+
+    // Warm-up: grow every scratch buffer to the corpus high-water mark.
+    let expect = run_corpus(&pairs, &mut scratch);
+
+    let before = ALLOC_CALLS.load(Relaxed);
+    let got = run_corpus(&pairs, &mut scratch);
+    let after = ALLOC_CALLS.load(Relaxed);
+
+    assert_eq!(got, expect, "scratch reuse changed relate results");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state refinement allocated {} times over {} pairs",
+        after - before,
+        pairs.len()
+    );
+}
+
+#[test]
+fn steady_state_relate_is_allocation_free_four_threads() {
+    const THREADS: usize = 4;
+    let pairs = corpus(0xA110C4);
+
+    // Three rendezvous points bracket the measured window: after all
+    // warm-ups, around the steady phase. Only `run_corpus` executes
+    // between `start` and `done`, so any count observed there is real
+    // refine-path churn. (Barrier waits are futex-based and do not
+    // allocate.)
+    let warmed = Barrier::new(THREADS + 1);
+    let start = Barrier::new(THREADS + 1);
+    let done = Barrier::new(THREADS + 1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                // Per-worker arena, exactly like the streaming executor
+                // and the serve pool.
+                let mut scratch = RelateScratch::default();
+                let expect = run_corpus(&pairs, &mut scratch);
+                warmed.wait();
+                start.wait();
+                let got = run_corpus(&pairs, &mut scratch);
+                done.wait();
+                assert_eq!(got, expect, "scratch reuse changed relate results");
+            });
+        }
+
+        warmed.wait();
+        let before = ALLOC_CALLS.load(Relaxed);
+        start.wait();
+        done.wait();
+        let after = ALLOC_CALLS.load(Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state refinement allocated {} times across {THREADS} threads",
+            after - before
+        );
+    });
+}

@@ -486,11 +486,11 @@ fn join_trace_and_attribution() {
 #[test]
 fn bench_diff_command() {
     let dir = tempdir("bench-diff");
-    let doc = |wall_ns: u64, links: u64| {
+    let doc = |wall_ns: u64, links: u64, allocs: u64| {
         format!(
             "{{\"schema\": \"stj-bench/v1\", \"benchmark\": \"join_executor\", \"runs\": [\
              {{\"exec\": \"streaming\", \"threads\": 4, \"wall_ns\": {wall_ns}, \
-             \"pairs_per_sec\": {}, \"links\": {links}}}]}}",
+             \"pairs_per_sec\": {}, \"links\": {links}, \"allocs\": {allocs}}}]}}",
             1e15 / wall_ns as f64
         )
     };
@@ -498,10 +498,12 @@ fn bench_diff_command() {
     let same = dir.join("same.json");
     let slow = dir.join("slow.json");
     let diverged = dir.join("diverged.json");
-    std::fs::write(&base, doc(1_000_000, 42)).unwrap();
-    std::fs::write(&same, doc(1_040_000, 42)).unwrap(); // +4%: inside threshold
-    std::fs::write(&slow, doc(1_500_000, 42)).unwrap(); // +50%: regression
-    std::fs::write(&diverged, doc(1_000_000, 41)).unwrap(); // exact-match miss
+    let churn = dir.join("churn.json");
+    std::fs::write(&base, doc(1_000_000, 42, 5_000)).unwrap();
+    std::fs::write(&same, doc(1_040_000, 42, 4_000)).unwrap(); // +4% wall, fewer allocs: ok
+    std::fs::write(&slow, doc(1_500_000, 42, 5_000)).unwrap(); // +50%: regression
+    std::fs::write(&diverged, doc(1_000_000, 41, 5_000)).unwrap(); // exact-match miss
+    std::fs::write(&churn, doc(1_000_000, 42, 5_001)).unwrap(); // one extra alloc
 
     let diff = |a: &std::path::Path, b: &std::path::Path, extra: &[&str]| {
         stj()
@@ -532,6 +534,13 @@ fn bench_diff_command() {
     // Exact-match metrics regress on any change, whatever the threshold.
     let out = diff(&base, &diverged, &["--threshold", "75"]);
     assert!(!out.status.success(), "changed link count must regress");
+
+    // Alloc counts gate exact-or-lower: even one extra allocation
+    // regresses regardless of the threshold (decreases pass — `same`
+    // above already proved 4000 < 5000 is ok).
+    let out = diff(&base, &churn, &["--threshold", "75"]);
+    assert!(!out.status.success(), "any alloc increase must regress");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("allocs: 5000 -> 5001"));
 
     let out = stj()
         .args(["bench-diff", "only-one.json"])
