@@ -34,17 +34,23 @@ pub enum InvariantKind {
     /// assembled from the adversarial corpus (checked once per run by
     /// the runner, not per pair).
     ExecEquivalence,
+    /// (g) The out-of-core driver over Hilbert-sharded files disagrees
+    /// with the single-arena join on links, stats, or candidate counts
+    /// — at one thread or at the run's thread count (checked once per
+    /// run by the runner, over real shard files in a temp directory).
+    ShardEquivalence,
 }
 
 impl InvariantKind {
     /// Every kind, in report order.
-    pub const ALL: [InvariantKind; 6] = [
+    pub const ALL: [InvariantKind; 7] = [
         InvariantKind::MethodAgreement,
         InvariantKind::ConverseSymmetry,
         InvariantKind::MbrAdmissibility,
         InvariantKind::AprilSoundness,
         InvariantKind::StorageFidelity,
         InvariantKind::ExecEquivalence,
+        InvariantKind::ShardEquivalence,
     ];
 
     /// Stable snake_case name, used as a key in the JSON report.
@@ -56,6 +62,7 @@ impl InvariantKind {
             InvariantKind::AprilSoundness => "april_soundness",
             InvariantKind::StorageFidelity => "storage_fidelity",
             InvariantKind::ExecEquivalence => "exec_equivalence",
+            InvariantKind::ShardEquivalence => "shard_equivalence",
         }
     }
 }
@@ -273,7 +280,8 @@ mod tests {
                 "mbr_admissibility",
                 "april_soundness",
                 "storage_fidelity",
-                "exec_equivalence"
+                "exec_equivalence",
+                "shard_equivalence"
             ]
         );
     }

@@ -5,11 +5,12 @@
 use crate::invariants::{check_pair, InvariantKind};
 use crate::shrink::shrink_pair;
 use std::time::Instant;
-use stj_core::{Dataset, ExecStrategy, Link, PipelineStats, TopologyJoin};
+use stj_core::{Dataset, DatasetArena, ExecStrategy, Link, PipelineStats, TopologyJoin};
 use stj_datagen::adversarial::{adversarial_pair, adversarial_space, CATEGORIES};
 use stj_geom::wkt::polygon_to_wkt;
 use stj_obs::Json;
 use stj_raster::Grid;
+use stj_store::{external_join_files, write_sharded, ShardedDataset};
 
 /// Cap on the dataset assembled for the executor-equivalence invariant
 /// (f): the first `min(pairs, cap)` adversarial pairs contribute their
@@ -19,6 +20,12 @@ use stj_raster::Grid;
 /// the dataset join a bounded fraction of the run while still exercising
 /// skew-split tiles, replication dedup, and every adversarial category.
 const EXEC_SAMPLE_CAP: u64 = 2048;
+
+/// Shard count for the out-of-core equivalence invariant (g). Three
+/// shards per side keeps the check cheap while exercising every driver
+/// path: multi-shard overlap scheduling, id remapping, and the
+/// cross-shard merge.
+const SHARD_COUNT: usize = 3;
 
 /// Configuration of a check run.
 #[derive(Clone, Copy, Debug)]
@@ -76,7 +83,7 @@ pub struct CheckReport {
     pub pairs: u64,
     /// Violation count per invariant kind (indexed by `InvariantKind::ALL`
     /// order); counts all violations, not just the retained ones.
-    pub violation_counts: [u64; 6],
+    pub violation_counts: [u64; 7],
     /// Retained (shrunk) violations, at most `config.max_violations`.
     pub violations: Vec<Violation>,
     /// Pairs checked per adversarial category.
@@ -152,7 +159,7 @@ impl CheckReport {
 /// Per-worker accumulator, merged after the scoped threads join.
 #[derive(Default)]
 struct WorkerState {
-    violation_counts: [u64; 6],
+    violation_counts: [u64; 7],
     violations: Vec<Violation>,
     category_counts: [u64; CATEGORIES.len()],
     pipeline: PipelineStats,
@@ -211,16 +218,8 @@ fn check_exec_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Viola
     if sample == 0 {
         return Ok(());
     }
-    let mut lefts = Vec::with_capacity(sample as usize);
-    let mut rights = Vec::with_capacity(sample as usize);
-    for index in 0..sample {
-        let pair = adversarial_pair(config.seed, index);
-        lefts.push(pair.a);
-        rights.push(pair.b);
-    }
+    let (left, right) = sample_arenas(config, grid, sample);
     let threads = config.threads.max(1);
-    let left = Dataset::build_parallel("check-exec-a", lefts, grid, threads).to_arena();
-    let right = Dataset::build_parallel("check-exec-b", rights, grid, threads).to_arena();
 
     let baseline = TopologyJoin::new()
         .strategy(ExecStrategy::Materialized)
@@ -267,6 +266,113 @@ fn check_exec_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Viola
         }
     }
     Ok(())
+}
+
+/// Assembles the invariant (f)/(g) sample datasets: adversarial pair
+/// `i`'s `a` polygon becomes left object `i`, its `b` polygon right
+/// object `i`.
+fn sample_arenas(config: &CheckConfig, grid: &Grid, sample: u64) -> (DatasetArena, DatasetArena) {
+    let mut lefts = Vec::with_capacity(sample as usize);
+    let mut rights = Vec::with_capacity(sample as usize);
+    for index in 0..sample {
+        let pair = adversarial_pair(config.seed, index);
+        lefts.push(pair.a);
+        rights.push(pair.b);
+    }
+    let threads = config.threads.max(1);
+    (
+        Dataset::build_parallel("check-exec-a", lefts, grid, threads).to_arena(),
+        Dataset::build_parallel("check-exec-b", rights, grid, threads).to_arena(),
+    )
+}
+
+/// Invariant (g): the out-of-core driver over [`SHARD_COUNT`] Hilbert
+/// shards per side — real STJD/STJM files written to a temp directory
+/// and reopened (mapped where supported) — must reproduce the
+/// single-arena streaming join's links, stats, and candidate count
+/// exactly, sequentially and at the run's thread count.
+fn check_shard_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Violation> {
+    let sample = config.pairs.min(EXEC_SAMPLE_CAP);
+    if sample == 0 {
+        return Ok(());
+    }
+    let pair0 = adversarial_pair(config.seed, 0);
+    let io_violation = |detail: String| Violation {
+        index: 0,
+        category: "shard_dataset",
+        kind: InvariantKind::ShardEquivalence,
+        detail,
+        a_wkt: polygon_to_wkt(&pair0.a),
+        b_wkt: polygon_to_wkt(&pair0.b),
+    };
+
+    let (left, right) = sample_arenas(config, grid, sample);
+    let threads = config.threads.max(1);
+    let baseline = TopologyJoin::new().threads(1).run(&left, &right);
+    let mut base_links = baseline.links.clone();
+    base_links.sort_by_key(|l| (l.r, l.s));
+
+    let dir = std::env::temp_dir().join(format!(
+        "stj-check-shards-{}-{:x}",
+        std::process::id(),
+        config.seed
+    ));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return Err(io_violation(format!("create {}: {e}", dir.display())));
+    }
+    let result = (|| {
+        for (name, arena) in [("left", &left), ("right", &right)] {
+            let path = dir.join(format!("{name}.stjm"));
+            write_sharded(&path, arena, grid, SHARD_COUNT)
+                .map_err(|e| io_violation(format!("shard {}: {e}", path.display())))?;
+        }
+        let open = |name: &str| {
+            ShardedDataset::open(&dir.join(format!("{name}.stjm")))
+                .map_err(|e| io_violation(format!("open sharded {name}: {e}")))
+        };
+        let (sleft, sright) = (open("left")?, open("right")?);
+        for t in [1, threads] {
+            let join = TopologyJoin::new().threads(t);
+            let got = external_join_files(&join, &sleft, &sright)
+                .map_err(|e| io_violation(format!("external join ({t} thread(s)): {e}")))?;
+            // External links come back already sorted by `(r, s)`.
+            let detail = if got.candidates != baseline.candidates {
+                Some(format!(
+                    "sharded({t} thread(s)) examined {} candidates, single-arena {}",
+                    got.candidates, baseline.candidates
+                ))
+            } else if got.stats != baseline.stats {
+                Some(format!(
+                    "sharded({t} thread(s)) stats {:?} != single-arena {:?}",
+                    got.stats, baseline.stats
+                ))
+            } else if got.links != base_links {
+                let at = first_link_diff(&base_links, &got.links);
+                Some(format!(
+                    "sharded({t} thread(s)) produced {} links, single-arena {}; \
+                     first divergence at {at:?}",
+                    got.links.len(),
+                    base_links.len()
+                ))
+            } else {
+                None
+            };
+            if let Some(detail) = detail {
+                let (i, j) = first_link_diff(&base_links, &got.links).unwrap_or((0, 0));
+                return Err(Violation {
+                    index: u64::from(i),
+                    category: "shard_dataset",
+                    kind: InvariantKind::ShardEquivalence,
+                    detail,
+                    a_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(i)).a),
+                    b_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(j)).b),
+                });
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 /// The first `(r, s)` where the sorted link lists diverge.
@@ -323,10 +429,13 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
         }
     }
 
-    // Invariant (f): dataset-level executor equivalence.
-    if let Err(v) = check_exec_equivalence(config, &grid) {
-        state.violation_counts[kind_slot(v.kind)] += 1;
-        state.violations.push(v);
+    // Invariants (f) and (g): dataset-level executor equivalence and
+    // out-of-core shard equivalence.
+    for check in [check_exec_equivalence, check_shard_equivalence] {
+        if let Err(v) = check(config, &grid) {
+            state.violation_counts[kind_slot(v.kind)] += 1;
+            state.violations.push(v);
+        }
     }
 
     // Deterministic report order regardless of worker interleaving.
@@ -394,6 +503,7 @@ mod tests {
         assert!(rendered.contains("\"april_soundness\""));
         assert!(rendered.contains("\"storage_fidelity\""));
         assert!(rendered.contains("\"exec_equivalence\""));
+        assert!(rendered.contains("\"shard_equivalence\""));
         assert!(rendered.contains("\"shared_edge\""));
     }
 }

@@ -116,6 +116,55 @@ pub fn zero_copy_supported() -> bool {
     words == [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210]
 }
 
+/// A read-only region of `u64` words that an arena's view columns may
+/// borrow from. Heap buffers implement it here; the store layer
+/// implements it for file mappings, which is how a mapped arena keeps
+/// its mapping alive without this crate knowing about files.
+pub trait WordRegion: Send + Sync {
+    /// The words of the region.
+    fn words(&self) -> &[u64];
+}
+
+impl WordRegion for Box<[u64]> {
+    fn words(&self) -> &[u64] {
+        self
+    }
+}
+
+/// The buffer a zero-copy arena's view columns borrow from.
+pub enum ArenaBacking {
+    /// A heap-owned word buffer (the copying open path, and the only
+    /// option when the platform lacks memory mapping).
+    Owned(Box<[u64]>),
+    /// An externally managed region — typically a read-only file mapping
+    /// whose pages the OS loads on demand. Dropped (unmapped) with the
+    /// arena.
+    Mapped(Box<dyn WordRegion>),
+}
+
+impl ArenaBacking {
+    fn words(&self) -> &[u64] {
+        match self {
+            ArenaBacking::Owned(b) => b,
+            ArenaBacking::Mapped(m) => m.words(),
+        }
+    }
+
+    /// `"owned"` or `"mapped"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ArenaBacking::Owned(_) => "owned",
+            ArenaBacking::Mapped(_) => "mapped",
+        }
+    }
+}
+
+impl From<Box<[u64]>> for ArenaBacking {
+    fn from(b: Box<[u64]>) -> Self {
+        ArenaBacking::Owned(b)
+    }
+}
+
 /// One arena column: owned, or a span of the shared backing buffer
 /// (`off`/`len` in words/elements, resolved by [`DatasetArena::col`]).
 #[derive(Clone)]
@@ -200,7 +249,7 @@ pub struct DatasetArena {
     obj_ring_offs: Col<u64>,
     ring_vert_offs: Col<u64>,
     verts: Col<Point>,
-    backing: Option<Box<[u64]>>,
+    backing: Option<ArenaBacking>,
 }
 
 impl DatasetArena {
@@ -274,13 +323,14 @@ impl DatasetArena {
     /// instead.
     pub fn from_backing(
         name: String,
-        backing: Box<[u64]>,
+        backing: impl Into<ArenaBacking>,
         spans: ColumnSpans,
     ) -> Result<DatasetArena, ArenaError> {
         if !zero_copy_supported() {
             return Err(err("zero-copy views unsupported on this target"));
         }
-        let words = backing.len();
+        let backing = backing.into();
+        let words = backing.words().len();
         let span = |off: usize, len: usize, w: usize, what: &str| -> Result<(), ArenaError> {
             let need = len
                 .checked_mul(w)
@@ -363,7 +413,7 @@ impl DatasetArena {
             Col::Owned(v) => v,
             Col::View { off, len } => {
                 let backing = self.backing.as_ref().expect("view column without backing");
-                let words = &backing[*off..*off + *len * T::WORDS];
+                let words = &backing.words()[*off..*off + *len * T::WORDS];
                 // SAFETY: the span was bounds-checked at construction,
                 // `words` is 8-aligned (it borrows a `[u64]`), `T: Pod`
                 // guarantees size/alignment, and `from_backing` refused
@@ -399,6 +449,17 @@ impl DatasetArena {
     #[inline]
     pub fn is_zero_copy(&self) -> bool {
         self.backing.is_some()
+    }
+
+    /// How the arena's memory is held: `"columns"` for owned column
+    /// vectors, `"owned"` for a zero-copy arena over a heap buffer,
+    /// `"mapped"` for one borrowing a file mapping.
+    #[inline]
+    pub fn backing_kind(&self) -> &'static str {
+        match &self.backing {
+            None => "columns",
+            Some(b) => b.kind(),
+        }
     }
 
     /// The MBR column — the MBR join sweeps this directly.
@@ -493,6 +554,50 @@ impl DatasetArena {
         self.col(&self.verts)
     }
 
+    /// Gathers the objects at `ids` (in that order) into a new arena
+    /// with owned columns — the shard-extraction step of out-of-core
+    /// preprocessing. APRIL intervals, rings and vertices are copied
+    /// verbatim, so a gathered object is bit-identical to its source
+    /// slot and joins involving it produce identical outcomes.
+    ///
+    /// # Panics
+    /// Panics if any id is `>= self.len()`.
+    pub fn select(&self, name: &str, ids: &[u32]) -> DatasetArena {
+        let mut cols = ArenaColumns {
+            name: name.to_string(),
+            ..ArenaColumns::default()
+        };
+        cols.p_offs.push(0);
+        cols.c_offs.push(0);
+        cols.obj_ring_offs.push(0);
+        cols.ring_vert_offs.push(0);
+        let (p_offs, c_offs) = (self.p_offs(), self.c_offs());
+        let ring_offs = self.obj_ring_offs();
+        let rv_offs = self.ring_vert_offs();
+        for &id in ids {
+            let i = id as usize;
+            cols.mbrs.push(self.mbrs()[i]);
+            cols.interior.push(self.interior_points()[i]);
+            cols.p_pool
+                .extend_from_slice(&self.p_pool()[p_offs[i] as usize..p_offs[i + 1] as usize]);
+            cols.c_pool
+                .extend_from_slice(&self.c_pool()[c_offs[i] as usize..c_offs[i + 1] as usize]);
+            cols.p_offs.push(cols.p_pool.len() as u64);
+            cols.c_offs.push(cols.c_pool.len() as u64);
+            for r in ring_offs[i]..ring_offs[i + 1] {
+                let (lo, hi) = (
+                    rv_offs[r as usize] as usize,
+                    rv_offs[r as usize + 1] as usize,
+                );
+                cols.verts.extend_from_slice(&self.verts()[lo..hi]);
+                cols.ring_vert_offs.push(cols.verts.len() as u64);
+            }
+            cols.obj_ring_offs
+                .push((cols.ring_vert_offs.len() - 1) as u64);
+        }
+        DatasetArena::from_columns(cols).expect("gather from a valid arena stays valid")
+    }
+
     /// Clones the arena's contents back into owned columns (test/tool
     /// helper; also how an arena migrates between formats).
     pub fn to_columns(&self) -> ArenaColumns {
@@ -564,7 +669,7 @@ impl std::fmt::Debug for DatasetArena {
             .field("vertices", &self.col(&self.verts).len())
             .field("p_intervals", &self.col(&self.p_pool).len())
             .field("c_intervals", &self.col(&self.c_pool).len())
-            .field("zero_copy", &self.is_zero_copy())
+            .field("backing", &self.backing_kind())
             .finish()
     }
 }
@@ -765,6 +870,30 @@ mod tests {
         assert!(arena.is_empty());
         assert_eq!(arena.mbrs(), &[] as &[Rect]);
         assert_eq!(arena.objects().count(), 0);
+    }
+
+    #[test]
+    fn select_gathers_bit_identical_objects() {
+        let arena = dataset().to_arena();
+        // Reversed subset: order must follow `ids`, not the source.
+        let sub = arena.select("sub", &[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.name(), "sub");
+        assert_eq!(sub.backing_kind(), "columns");
+        for (k, &src) in [2u32, 0].iter().enumerate() {
+            let a = sub.object(k);
+            let b = arena.object(src as usize);
+            assert_eq!(a.mbr, b.mbr);
+            assert_eq!(a.april.p.intervals(), b.april.p.intervals());
+            assert_eq!(a.april.c.intervals(), b.april.c.intervals());
+            assert_eq!(a.num_vertices(), b.num_vertices());
+        }
+        // Selecting everything in order reproduces the arena.
+        let all: Vec<u32> = (0..arena.len() as u32).collect();
+        let full = arena.select(arena.name(), &all);
+        assert_eq!(full, arena);
+        // Empty selection is a valid empty arena.
+        assert!(arena.select("none", &[]).is_empty());
     }
 
     #[test]

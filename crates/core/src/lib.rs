@@ -50,9 +50,11 @@ pub mod linking;
 pub mod object;
 pub mod pipeline;
 pub mod relate_pred;
+pub mod sharded;
 
 pub use arena::{
-    zero_copy_supported, ArenaColumns, ArenaError, ColumnSpans, DatasetArena, ObjectRef,
+    zero_copy_supported, ArenaBacking, ArenaColumns, ArenaError, ColumnSpans, DatasetArena,
+    ObjectRef, WordRegion,
 };
 pub use baselines::{
     find_relation_april, find_relation_april_with, find_relation_op2, find_relation_op2_with,
@@ -71,4 +73,5 @@ pub use pipeline::{
 pub use relate_pred::{
     relate_p, relate_p_profiled, relate_p_profiled_with, RelateDetermination, RelateOutcome,
 };
+pub use sharded::{external_join, hilbert_partition, ShardPlan, ShardSet, Side};
 pub use stj_de9im::RelateScratch;

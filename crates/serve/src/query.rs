@@ -166,10 +166,17 @@ pub fn dispatch_target_with(
 }
 
 fn handle_stats(ctx: &ServeCtx) -> Response {
-    let datasets: Vec<(String, usize, bool)> = ctx
+    let datasets: Vec<(String, usize, bool, &'static str)> = ctx
         .datasets
         .iter()
-        .map(|d| (d.name.clone(), d.arena.len(), d.arena.is_zero_copy()))
+        .map(|d| {
+            (
+                d.name.clone(),
+                d.arena.len(),
+                d.arena.is_zero_copy(),
+                d.arena.backing_kind(),
+            )
+        })
         .collect();
     let doc = ctx.stats.render(
         ctx.started,
@@ -320,6 +327,7 @@ fn handle_datasets(ctx: &ServeCtx) -> Response {
                 ("name", Json::str(d.name.clone())),
                 ("objects", Json::U64(d.arena.len() as u64)),
                 ("grid_order", Json::U64(u64::from(d.grid.order()))),
+                ("backing", Json::str(d.arena.backing_kind())),
             ])
         })
         .collect();

@@ -120,22 +120,24 @@ impl ServeStats {
 
     /// Renders the `stj-serve-report/v1` document.
     ///
-    /// `datasets` is `(name, objects, zero_copy)` per loaded dataset;
-    /// `cache` is the cache's own JSON block.
+    /// `datasets` is `(name, objects, zero_copy, backing)` per loaded
+    /// dataset — `backing` is the arena's storage kind (`"columns"`,
+    /// `"owned"`, or `"mapped"`); `cache` is the cache's own JSON block.
     pub fn render(
         &self,
         started: Instant,
-        datasets: &[(String, usize, bool)],
+        datasets: &[(String, usize, bool, &'static str)],
         cache: Json,
         config: Json,
     ) -> Json {
         let mut ds = Json::Arr(Vec::new());
         if let Json::Arr(items) = &mut ds {
-            for (name, objects, zero_copy) in datasets {
+            for (name, objects, zero_copy, backing) in datasets {
                 items.push(Json::object([
                     ("name", Json::str(name.clone())),
                     ("objects", Json::U64(*objects as u64)),
                     ("zero_copy", Json::Bool(*zero_copy)),
+                    ("backing", Json::str(*backing)),
                 ]));
             }
         }
@@ -205,7 +207,7 @@ mod tests {
         s.latency(Endpoint::Relate).record(1000);
         let doc = s.render(
             Instant::now(),
-            &[("lakes".into(), 42, true)],
+            &[("lakes".into(), 42, true, "mapped")],
             Json::object([("hits", Json::U64(0))]),
             Json::object([("threads", Json::U64(4))]),
         );

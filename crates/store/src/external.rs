@@ -1,0 +1,223 @@
+//! File-level out-of-core joins.
+//!
+//! [`ShardedDataset::open`] accepts either an STJM manifest (a Hilbert
+//! shard set written by `stj preprocess --shards N`) or a plain STJD
+//! dataset, which it treats as a single shard spanning the whole grid —
+//! so the external driver joins any combination of sharded and
+//! unsharded inputs. [`external_join_files`] then drives
+//! [`stj_core::external_join`] with loaders that `open_arena` each
+//! shard on demand: on capable targets every shard is memory-mapped, at
+//! most two are resident at a time, and resident here means "pages the
+//! executor actually touched", since the mapping is demand-paged.
+//!
+//! [`write_sharded`] is the preprocessing counterpart: partition an
+//! arena, write each shard as a v2 file next to the manifest, emit the
+//! manifest.
+
+use crate::binary::StoreError;
+use crate::manifest::{
+    is_manifest_file, read_manifest_file, write_manifest_file, ShardEntry, ShardManifest,
+};
+use crate::v2::{dataset_info, open_arena, write_arena_v2};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use stj_core::sharded::{external_join, ShardSet, Side};
+use stj_core::{hilbert_partition, DatasetArena, JoinResult, TopologyJoin};
+use stj_geom::Rect;
+use stj_raster::Grid;
+
+fn fmt_err(msg: impl Into<String>) -> StoreError {
+    StoreError::Format(msg.into())
+}
+
+/// One join input for the external driver: a set of shard files plus
+/// the metadata needed to schedule and remap without loading anything.
+pub struct ShardedDataset {
+    source: PathBuf,
+    name: String,
+    grid: Grid,
+    files: Vec<PathBuf>,
+    extents: Vec<Rect>,
+    ids: Vec<Vec<u32>>,
+    sharded: bool,
+}
+
+impl ShardedDataset {
+    /// Opens a manifest or a plain dataset file. Only headers are read:
+    /// no shard is loaded until the driver asks for it.
+    pub fn open(path: &Path) -> Result<ShardedDataset, StoreError> {
+        let source = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+        if is_manifest_file(path) {
+            let m = read_manifest_file(path)?;
+            let dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+            let mut files = Vec::with_capacity(m.shards.len());
+            let mut extents = Vec::with_capacity(m.shards.len());
+            let mut ids = Vec::with_capacity(m.shards.len());
+            for e in m.shards {
+                files.push(dir.join(&e.file));
+                extents.push(e.extent);
+                ids.push(e.ids);
+            }
+            Ok(ShardedDataset {
+                source,
+                name: m.name,
+                grid: m.grid,
+                files,
+                extents,
+                ids,
+                sharded: true,
+            })
+        } else {
+            let info = dataset_info(path)?;
+            if info.n_objects > u32::MAX as u64 {
+                return Err(fmt_err(format!(
+                    "{} objects exceed the u32 index space",
+                    info.n_objects
+                )));
+            }
+            let grid = Grid::new(info.extent, info.order);
+            Ok(ShardedDataset {
+                source,
+                name: info.name,
+                grid,
+                files: vec![path.to_path_buf()],
+                // The grid extent is a superset of every member MBR
+                // candidate region, so a single pseudo-shard always
+                // participates in the overlap walk.
+                extents: vec![info.extent],
+                ids: vec![(0..info.n_objects as u32).collect()],
+                sharded: false,
+            })
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared rasterization grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of shards (1 for a plain dataset).
+    pub fn n_shards(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the input was an STJM manifest.
+    pub fn is_sharded(&self) -> bool {
+        self.sharded
+    }
+
+    /// Total object count across all shards.
+    pub fn total_objects(&self) -> u64 {
+        self.ids.iter().map(|v| v.len() as u64).sum()
+    }
+
+    /// Loads shard `i` (mapped on capable targets) and cross-checks it
+    /// against the manifest: same grid, same name, expected count.
+    pub fn load_shard(&self, i: usize) -> Result<Arc<DatasetArena>, StoreError> {
+        let (arena, grid) = open_arena(&self.files[i])?;
+        let what = self.files[i].display();
+        if grid != self.grid {
+            return Err(fmt_err(format!("shard {what}: grid differs from manifest")));
+        }
+        if arena.len() != self.ids[i].len() {
+            return Err(fmt_err(format!(
+                "shard {what}: {} objects, manifest says {}",
+                arena.len(),
+                self.ids[i].len()
+            )));
+        }
+        if arena.name() != self.name {
+            return Err(fmt_err(format!(
+                "shard {what}: dataset name {:?} != manifest name {:?}",
+                arena.name(),
+                self.name
+            )));
+        }
+        Ok(Arc::new(arena))
+    }
+}
+
+/// Runs the out-of-core join over two shard sets. Links come back with
+/// original dataset indices, sorted by `(r, s)` — bit-identical to the
+/// single-arena join (invariant (g) of `stj-check`). See
+/// [`stj_core::external_join`] for the residency contract.
+pub fn external_join_files(
+    join: &TopologyJoin,
+    left: &ShardedDataset,
+    right: &ShardedDataset,
+) -> Result<JoinResult, StoreError> {
+    if left.grid != right.grid {
+        return Err(fmt_err(format!(
+            "grid mismatch between {:?} and {:?}: datasets must be preprocessed on the same grid",
+            left.name, right.name
+        )));
+    }
+    let same_source = left.source == right.source;
+    let lids: Vec<&[u32]> = left.ids.iter().map(Vec::as_slice).collect();
+    let rids: Vec<&[u32]> = right.ids.iter().map(Vec::as_slice).collect();
+    external_join(
+        join,
+        ShardSet {
+            extents: &left.extents,
+            ids: &lids,
+        },
+        ShardSet {
+            extents: &right.extents,
+            ids: &rids,
+        },
+        same_source,
+        &mut |side, i| {
+            let d = match side {
+                Side::Left => left,
+                Side::Right => right,
+            };
+            d.load_shard(i).map_err(|e| e.to_string())
+        },
+    )
+    .map_err(StoreError::Format)
+}
+
+/// Partitions `arena` into at most `n` Hilbert shards and writes them
+/// next to `manifest_path` as `<stem>.<k>.stjd` v2 files plus the STJM
+/// manifest. Returns the manifest that was written.
+pub fn write_sharded(
+    manifest_path: &Path,
+    arena: &DatasetArena,
+    grid: &Grid,
+    n: usize,
+) -> Result<ShardManifest, StoreError> {
+    let dir = manifest_path.parent().unwrap_or(Path::new("."));
+    let stem = manifest_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| fmt_err("manifest path has no usable file stem"))?;
+    let plans = hilbert_partition(arena.mbrs(), grid, n);
+    let mut shards = Vec::with_capacity(plans.len());
+    for (k, plan) in plans.into_iter().enumerate() {
+        let file = format!("{stem}.{k}.stjd");
+        let shard = arena.select(arena.name(), &plan.ids);
+        let mut w = BufWriter::new(std::fs::File::create(dir.join(&file))?);
+        write_arena_v2(&mut w, &shard, grid)?;
+        w.flush()?;
+        shards.push(ShardEntry {
+            file,
+            d_lo: plan.d_lo,
+            d_hi: plan.d_hi,
+            extent: plan.extent,
+            ids: plan.ids,
+        });
+    }
+    let manifest = ShardManifest {
+        name: arena.name().to_string(),
+        grid: grid.clone(),
+        shards,
+    };
+    write_manifest_file(manifest_path, &manifest)?;
+    Ok(manifest)
+}

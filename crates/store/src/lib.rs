@@ -15,10 +15,19 @@
 //!   interchange with PostGIS/GEOS tooling.
 
 pub mod binary;
+pub mod external;
+pub mod manifest;
+pub mod mmap;
 pub mod v2;
 pub mod wktio;
 
 pub use binary::{read_dataset, write_dataset, StoreError};
+pub use external::{external_join_files, write_sharded, ShardedDataset};
+pub use manifest::{
+    is_manifest_file, read_manifest, read_manifest_file, write_manifest, write_manifest_file,
+    ShardEntry, ShardManifest, MANIFEST_MAGIC,
+};
+pub use mmap::Mapping;
 pub use v2::{
     dataset_info, open_arena, open_arena_from_bytes, read_arena, write_arena_v2, DatasetInfo,
 };

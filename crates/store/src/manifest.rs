@@ -1,0 +1,470 @@
+//! STJM: the shard manifest of an out-of-core dataset.
+//!
+//! `stj preprocess --shards N` splits a dataset into Hilbert-range
+//! shards — each a plain STJD v2 file on the *same grid* (so APRIL
+//! intervals are identical to the unsharded build) — and writes one
+//! manifest describing the set:
+//!
+//! ```text
+//! magic    b"STJM"
+//! version  u32 (1)
+//! grid     extent: 4 × f64, order: u32     (same encoding as STJD v2)
+//! name     u32 length + UTF-8 bytes, zero-padded to an 8-byte boundary
+//! counts   2 × u64: n_shards, total_objects
+//! per shard (n_shards records):
+//!   file     u32 length + UTF-8 bytes, zero-padded (bare file name,
+//!            resolved relative to the manifest's directory)
+//!   n_objects, d_lo, d_hi   3 × u64 (inclusive Hilbert key range)
+//!   extent   4 × f64 (union of member MBRs)
+//!   ids      n_objects × u32, zero-padded to an 8-byte boundary
+//!            (shard-local index → original dataset index)
+//! ```
+//!
+//! The `ids` tables are what make sharded joins *bit-identical* to the
+//! single-arena join: shard-local link indices are remapped through them
+//! before merging. Reading validates that the tables form an exact
+//! permutation of `0..total_objects` — a manifest that drops or
+//! duplicates an object is rejected up front, never silently joined.
+//! Shard file names must be bare (no path separators, no `..`): a
+//! hostile manifest cannot reach outside its own directory.
+
+use crate::binary::StoreError;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use stj_geom::Rect;
+use stj_raster::Grid;
+
+/// Magic bytes of an STJM manifest.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"STJM";
+const MANIFEST_VERSION: u32 = 1;
+
+/// Ceiling on the shard count: far above any sane configuration, low
+/// enough that a hostile header cannot drive allocation.
+const MAX_SHARDS: u64 = 1 << 20;
+/// Ceiling on name/file-name lengths (shared with the v2 header guard).
+const MAX_NAME: usize = 1 << 20;
+
+fn fmt_err(msg: impl Into<String>) -> StoreError {
+    StoreError::Format(msg.into())
+}
+
+/// One shard of a sharded dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardEntry {
+    /// Bare file name of the shard's STJD v2 file, next to the manifest.
+    pub file: String,
+    /// Smallest member Hilbert key.
+    pub d_lo: u64,
+    /// Largest member Hilbert key (inclusive).
+    pub d_hi: u64,
+    /// Union of member MBRs — the driver's overlap test.
+    pub extent: Rect,
+    /// Shard-local index → original dataset index.
+    pub ids: Vec<u32>,
+}
+
+/// A parsed, validated shard manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Dataset name (matches every shard file's arena name).
+    pub name: String,
+    /// The shared grid all shards were rasterized on.
+    pub grid: Grid,
+    /// The shards, in Hilbert order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Total object count across all shards.
+    pub fn total_objects(&self) -> u64 {
+        self.shards.iter().map(|s| s.ids.len() as u64).sum()
+    }
+}
+
+/// Zero padding after a `len`-byte field to reach an 8-byte boundary.
+fn pad8(len: usize) -> usize {
+    (8 - len % 8) % 8
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), StoreError> {
+    let b = s.as_bytes();
+    w.write_all(&(b.len() as u32).to_le_bytes())?;
+    w.write_all(b)?;
+    w.write_all(&[0u8; 8][..pad8(b.len())])?;
+    Ok(())
+}
+
+fn read_str<R: Read>(r: &mut R, what: &str) -> Result<String, StoreError> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_NAME {
+        return Err(fmt_err(format!("unreasonable {what} length")));
+    }
+    let mut bytes = vec![0u8; len + pad8(len)];
+    r.read_exact(&mut bytes)?;
+    bytes.truncate(len);
+    String::from_utf8(bytes).map_err(|_| fmt_err(format!("{what} is not UTF-8")))
+}
+
+/// Writes a manifest. Callers are expected to pass shards whose `ids`
+/// partition `0..total`; [`read_manifest`] enforces it on the way back.
+pub fn write_manifest<W: Write>(w: &mut W, m: &ShardManifest) -> Result<(), StoreError> {
+    w.write_all(MANIFEST_MAGIC)?;
+    w.write_all(&MANIFEST_VERSION.to_le_bytes())?;
+    for v in [
+        m.grid.extent().min.x,
+        m.grid.extent().min.y,
+        m.grid.extent().max.x,
+        m.grid.extent().max.y,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.write_all(&m.grid.order().to_le_bytes())?;
+    write_str(w, &m.name)?;
+    w.write_all(&(m.shards.len() as u64).to_le_bytes())?;
+    w.write_all(&m.total_objects().to_le_bytes())?;
+    for s in &m.shards {
+        write_str(w, &s.file)?;
+        for v in [s.ids.len() as u64, s.d_lo, s.d_hi] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for v in [
+            s.extent.min.x,
+            s.extent.min.y,
+            s.extent.max.x,
+            s.extent.max.y,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        let mut buf = Vec::with_capacity(s.ids.len() * 4);
+        for id in &s.ids {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        buf.resize(buf.len() + pad8(buf.len()), 0);
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads and fully validates a manifest: header sanity, bare shard file
+/// names, finite per-shard extents, ordered Hilbert ranges, and `ids`
+/// tables forming an exact permutation of `0..total_objects`.
+pub fn read_manifest<R: Read>(r: &mut R) -> Result<ShardManifest, StoreError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MANIFEST_MAGIC {
+        return Err(fmt_err("bad magic (not an STJM manifest)"));
+    }
+    let version = read_u32(r)?;
+    if version != MANIFEST_VERSION {
+        return Err(fmt_err(format!("unsupported manifest version {version}")));
+    }
+    let (minx, miny, maxx, maxy) = (read_f64(r)?, read_f64(r)?, read_f64(r)?, read_f64(r)?);
+    if !(minx < maxx && miny < maxy) {
+        return Err(fmt_err("degenerate grid extent"));
+    }
+    let order = read_u32(r)?;
+    if !(1..=16).contains(&order) {
+        return Err(fmt_err(format!("grid order {order} out of range")));
+    }
+    let grid = Grid::new(Rect::from_coords(minx, miny, maxx, maxy), order);
+    let name = read_str(r, "dataset name")?;
+
+    let n_shards = read_u64(r)?;
+    if n_shards > MAX_SHARDS {
+        return Err(fmt_err(format!("shard count {n_shards} exceeds maximum")));
+    }
+    let total = read_u64(r)?;
+    if total > u32::MAX as u64 {
+        return Err(fmt_err(format!(
+            "total object count {total} exceeds the u32 index space"
+        )));
+    }
+
+    let mut shards = Vec::new();
+    let mut seen = vec![false; total as usize];
+    let mut remaining = total;
+    for k in 0..n_shards {
+        let file = read_str(r, "shard file name")?;
+        if file.is_empty()
+            || file == ".."
+            || file.contains('/')
+            || file.contains('\\')
+            || file.contains('\0')
+        {
+            return Err(fmt_err(format!("shard {k}: unsafe file name {file:?}")));
+        }
+        let n_objects = read_u64(r)?;
+        if n_objects == 0 {
+            return Err(fmt_err(format!("shard {k}: empty shard")));
+        }
+        if n_objects > remaining {
+            return Err(fmt_err(format!(
+                "shard {k}: {n_objects} objects exceed the {remaining} unassigned"
+            )));
+        }
+        remaining -= n_objects;
+        let (d_lo, d_hi) = (read_u64(r)?, read_u64(r)?);
+        if d_lo > d_hi {
+            return Err(fmt_err(format!("shard {k}: inverted Hilbert range")));
+        }
+        let (exminx, exminy, exmaxx, exmaxy) =
+            (read_f64(r)?, read_f64(r)?, read_f64(r)?, read_f64(r)?);
+        if !(exminx <= exmaxx && exminy <= exmaxy) {
+            return Err(fmt_err(format!("shard {k}: inverted extent")));
+        }
+        let extent = Rect::from_coords(exminx, exminy, exmaxx, exmaxy);
+
+        // Bounded by the n_objects ≤ remaining check above, which is in
+        // turn bounded by the u32-checked total.
+        let mut buf = vec![0u8; n_objects as usize * 4];
+        r.read_exact(&mut buf)?;
+        let mut pad = [0u8; 8];
+        r.read_exact(&mut pad[..pad8(buf.len())])?;
+        let mut ids = Vec::with_capacity(n_objects as usize);
+        for c in buf.chunks_exact(4) {
+            let id = u32::from_le_bytes(c.try_into().unwrap());
+            match seen.get_mut(id as usize) {
+                Some(slot) if !*slot => *slot = true,
+                Some(_) => {
+                    return Err(fmt_err(format!("shard {k}: duplicate object id {id}")));
+                }
+                None => {
+                    return Err(fmt_err(format!(
+                        "shard {k}: object id {id} out of range (total {total})"
+                    )));
+                }
+            }
+            ids.push(id);
+        }
+        shards.push(ShardEntry {
+            file,
+            d_lo,
+            d_hi,
+            extent,
+            ids,
+        });
+    }
+    if remaining != 0 {
+        return Err(fmt_err(format!(
+            "{remaining} of {total} objects assigned to no shard"
+        )));
+    }
+    Ok(ShardManifest { name, grid, shards })
+}
+
+/// Writes a manifest to `path`.
+pub fn write_manifest_file(path: &Path, m: &ShardManifest) -> Result<(), StoreError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_manifest(&mut w, m)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads and validates the manifest at `path`.
+pub fn read_manifest_file(path: &Path) -> Result<ShardManifest, StoreError> {
+    read_manifest(&mut BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Whether the file at `path` starts with the STJM magic (a cheap
+/// 4-byte sniff — full validation happens on open).
+pub fn is_manifest_file(path: &Path) -> bool {
+    let mut magic = [0u8; 4];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut magic).is_ok() && &magic == MANIFEST_MAGIC,
+        Err(_) => false,
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    let v = f64::from_le_bytes(b);
+    if !v.is_finite() {
+        return Err(fmt_err("non-finite manifest coordinate"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            name: "OBE".to_string(),
+            grid: Grid::new(Rect::from_coords(0.0, 0.0, 1000.0, 1000.0), 12),
+            shards: vec![
+                ShardEntry {
+                    file: "obe.0.stjd".to_string(),
+                    d_lo: 0,
+                    d_hi: 901,
+                    extent: Rect::from_coords(0.0, 0.0, 510.0, 498.0),
+                    ids: vec![4, 0, 2],
+                },
+                ShardEntry {
+                    file: "obe.1.stjd".to_string(),
+                    d_lo: 902,
+                    d_hi: 16_383,
+                    extent: Rect::from_coords(480.0, 12.0, 1000.0, 1000.0),
+                    ids: vec![1, 3],
+                },
+            ],
+        }
+    }
+
+    fn encode(m: &ShardManifest) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_manifest(&mut buf, m).unwrap();
+        buf
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = sample();
+        let buf = encode(&m);
+        assert_eq!(buf.len() % 8, 0, "manifests are word-aligned");
+        let back = read_manifest(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_objects(), 5);
+    }
+
+    #[test]
+    fn empty_manifest_roundtrips() {
+        let m = ShardManifest {
+            name: "none".to_string(),
+            grid: Grid::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 4),
+            shards: Vec::new(),
+        };
+        let back = read_manifest(&mut encode(&m).as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_objects(), 0);
+    }
+
+    #[test]
+    fn manifest_rejects_truncation_at_every_byte() {
+        let buf = encode(&sample());
+        for cut in 0..buf.len() {
+            assert!(
+                read_manifest(&mut &buf[..cut]).is_err(),
+                "cut at {cut}/{} succeeded",
+                buf.len()
+            );
+        }
+        assert!(read_manifest(&mut buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn manifest_survives_byte_flips_without_panicking() {
+        let buf = encode(&sample());
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0xFF;
+            // Either a clean error or a (semantically different but)
+            // structurally valid parse — never a panic.
+            let _ = read_manifest(&mut corrupt.as_slice());
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_hostile_headers() {
+        let m = sample();
+        let buf = encode(&m);
+        // Field offsets: magic+version (8) + grid (36) + name (4 + 3
+        // bytes + 5 pad).
+        let shard_count_off = 8 + 36 + 12;
+        let total_off = shard_count_off + 8;
+
+        // Hostile shard count: rejected at the ceiling, no allocation.
+        let mut hostile = buf.clone();
+        hostile[shard_count_off..shard_count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_manifest(&mut hostile.as_slice()).is_err());
+
+        // Hostile total: beyond the u32 index space.
+        let mut hostile = buf.clone();
+        hostile[total_off..total_off + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(read_manifest(&mut hostile.as_slice()).is_err());
+
+        // Undersized total: ids fall out of range.
+        let mut hostile = buf.clone();
+        hostile[total_off..total_off + 8].copy_from_slice(&2u64.to_le_bytes());
+        assert!(read_manifest(&mut hostile.as_slice()).is_err());
+
+        // Oversized total: objects left unassigned.
+        let mut hostile = buf;
+        hostile[total_off..total_off + 8].copy_from_slice(&6u64.to_le_bytes());
+        assert!(read_manifest(&mut hostile.as_slice()).is_err());
+    }
+
+    #[test]
+    fn manifest_rejects_bad_shard_sets() {
+        // Duplicate id across shards.
+        let mut m = sample();
+        m.shards[1].ids = vec![1, 0];
+        assert!(read_manifest(&mut encode(&m).as_slice()).is_err());
+
+        // Inverted Hilbert range.
+        let mut m = sample();
+        (m.shards[0].d_lo, m.shards[0].d_hi) = (10, 3);
+        assert!(read_manifest(&mut encode(&m).as_slice()).is_err());
+
+        // Inverted extent.
+        let mut m = sample();
+        m.shards[0].extent.min.x = 1e9;
+        assert!(read_manifest(&mut encode(&m).as_slice()).is_err());
+
+        // Non-finite extent.
+        let mut m = sample();
+        m.shards[0].extent.max.y = f64::INFINITY;
+        assert!(read_manifest(&mut encode(&m).as_slice()).is_err());
+
+        // Empty shard.
+        let mut m = sample();
+        m.shards[0].ids = vec![4, 0, 2];
+        m.shards.push(ShardEntry {
+            file: "obe.2.stjd".to_string(),
+            d_lo: 0,
+            d_hi: 0,
+            extent: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            ids: Vec::new(),
+        });
+        assert!(read_manifest(&mut encode(&m).as_slice()).is_err());
+
+        // Path traversal in a shard file name.
+        for evil in ["../obe.0.stjd", "a/b.stjd", "a\\b.stjd", "", ".."] {
+            let mut m = sample();
+            m.shards[0].file = evil.to_string();
+            assert!(
+                read_manifest(&mut encode(&m).as_slice()).is_err(),
+                "{evil:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_file_roundtrip_and_sniff() {
+        let dir = std::env::temp_dir().join(format!("stj-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("set.stjm");
+        let m = sample();
+        write_manifest_file(&path, &m).unwrap();
+        assert!(is_manifest_file(&path));
+        assert_eq!(read_manifest_file(&path).unwrap(), m);
+        let other = dir.join("not-a-manifest");
+        std::fs::write(&other, b"STJD....").unwrap();
+        assert!(!is_manifest_file(&other));
+        assert!(!is_manifest_file(&dir.join("missing")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

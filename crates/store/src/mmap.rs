@@ -1,0 +1,217 @@
+//! Minimal read-only file memory mapping.
+//!
+//! The out-of-core open path wants `DatasetArena` columns to borrow
+//! straight from the page cache, but the workspace deliberately carries
+//! no FFI crates — so this module declares the two `mmap(2)` symbols it
+//! needs directly (every Rust binary on the supported targets already
+//! links the platform C library). The surface is intentionally tiny:
+//! map a whole file read-only and privately, expose it as bytes/words,
+//! unmap on drop.
+//!
+//! Gated to 64-bit Unix (`off_t` is assumed 64-bit); elsewhere
+//! [`Mapping::supported`] is `false`, [`Mapping::map`] reports
+//! `Unsupported`, and callers fall back to a buffered read.
+//!
+//! Caveat shared with every mmap consumer: if the file is truncated
+//! while mapped, touching the vanished pages raises `SIGBUS`. The store
+//! treats dataset files as immutable once written (the CLI always writes
+//! to a fresh path), so this is accepted rather than guarded.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // Shared by Linux and the BSDs for the subset used here.
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    pub(super) fn map(file: &File, len: usize) -> io::Result<*const u8> {
+        // SAFETY: a fresh read-only private mapping of an open fd; the
+        // kernel validates every argument and returns MAP_FAILED on any
+        // problem.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.is_null() || ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr)
+    }
+
+    pub(super) fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` are exactly what `map` returned, unmapped
+        // at most once (owned by a `Mapping`).
+        unsafe {
+            munmap(ptr as *mut u8, len);
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod sys {
+    use std::fs::File;
+    use std::io;
+
+    pub(super) fn map(_file: &File, _len: usize) -> io::Result<*const u8> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not available on this target",
+        ))
+    }
+
+    pub(super) fn unmap(_ptr: *const u8, _len: usize) {}
+}
+
+/// A read-only, page-aligned private mapping of an entire file. The
+/// mapping outlives the `File` it was created from (the kernel keeps the
+/// pages alive until unmap), so callers may drop the handle immediately.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ + MAP_PRIVATE) for its
+// whole lifetime, so shared access from any thread is sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Whether this target has a mapping path at all.
+    pub fn supported() -> bool {
+        cfg!(all(unix, target_pointer_width = "64"))
+    }
+
+    /// Maps the whole of `file` read-only.
+    ///
+    /// Fails with `Unsupported` on targets without the mmap path and
+    /// `InvalidInput` for empty files (zero-length mappings are an
+    /// `EINVAL` on Linux); callers fall back to a buffered read.
+    pub fn map(file: &File) -> io::Result<Mapping> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        let ptr = sys::map(file, len)?;
+        Ok(Mapping { ptr, len })
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a live mapping).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped file image.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes, valid until `Drop`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The mapped image as `u64` words.
+    ///
+    /// # Panics
+    /// Panics if the length is not a multiple of 8 — STJD v2 files
+    /// always are, and callers check before taking the mapped path.
+    pub fn words(&self) -> &[u64] {
+        assert!(
+            self.len.is_multiple_of(8),
+            "mapping length {} is not word-aligned",
+            self.len
+        );
+        // SAFETY: mappings are page-aligned (so ≥ 8-aligned) and the
+        // length is a whole number of words; any bit pattern is a valid
+        // u64.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u64>(), self.len / 8) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.len);
+    }
+}
+
+impl stj_core::WordRegion for Mapping {
+    fn words(&self) -> &[u64] {
+        Mapping::words(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("stj-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        if !Mapping::supported() {
+            return;
+        }
+        let words: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let path = tmp("roundtrip", &bytes);
+        let file = File::open(&path).unwrap();
+        let m = Mapping::map(&file).unwrap();
+        drop(file); // the mapping must outlive the handle
+        assert_eq!(m.len(), bytes.len());
+        assert_eq!(m.bytes(), &bytes[..]);
+        assert_eq!(m.words(), &words[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_empty_files() {
+        let path = tmp("empty", &[]);
+        let file = File::open(&path).unwrap();
+        assert!(Mapping::map(&file).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unaligned_length_panics_on_word_view() {
+        if !Mapping::supported() {
+            return;
+        }
+        let path = tmp("unaligned", &[1, 2, 3]);
+        let file = File::open(&path).unwrap();
+        let m = Mapping::map(&file).unwrap();
+        assert_eq!(m.bytes(), &[1, 2, 3]);
+        assert!(std::panic::catch_unwind(|| m.words().len()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

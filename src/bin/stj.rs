@@ -83,7 +83,9 @@ use stjoin::geom::wkt::polygon_from_wkt;
 use stjoin::obs::Json;
 use stjoin::prelude::*;
 use stjoin::store::{
-    dataset_info, open_arena, read_wkt_polygons, write_arena_v2, write_dataset, write_wkt_polygons,
+    dataset_info, external_join_files, is_manifest_file, open_arena, read_manifest_file,
+    read_wkt_polygons, write_arena_v2, write_dataset, write_sharded, write_wkt_polygons,
+    ShardedDataset,
 };
 
 /// Passthrough to the system allocator that feeds the stage-tagged
@@ -144,9 +146,12 @@ USAGE:
   stj relate <WKT> <WKT>
   stj generate <DATASET> <SCALE> <OUT.wkt>
   stj preprocess <IN.wkt> <OUT.stjd> [--order N] [--extent x0 y0 x1 y1] [--name NAME]
-                 [--format v1|v2]
-  stj info <DATASET.stjd>
-  stj join <LEFT.stjd> <RIGHT.stjd> [--method pc|st2|op2|april]
+                 [--format v1|v2] [--shards N (write OUT as an STJM manifest
+                 plus N Hilbert-range shard files for out-of-core joins)]
+  stj info <DATASET.stjd|MANIFEST.stjm>
+  stj join <LEFT> <RIGHT> [--method pc|st2|op2|april]
+           (either side may be a .stjd dataset or a .stjm shard manifest;
+            a manifest on either side selects the out-of-core driver)
            [--predicate REL] [--exec streaming|materialized]
            [--threads N (0 = auto)] [--ntriples OUT.nt]
            [--stats-json OUT.json] [--trace OUT.json] [--progress] [--quiet]
@@ -197,6 +202,7 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     let mut name: Option<String> = None;
     let mut extent: Option<Rect> = None;
     let mut format = "v2";
+    let mut shards = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -204,6 +210,14 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
                 order = next_arg(&mut it, "--order")?
                     .parse()
                     .map_err(|_| "bad --order value".to_string())?;
+            }
+            "--shards" => {
+                shards = next_arg(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards value".to_string())?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
             }
             "--name" => name = Some(next_arg(&mut it, "--name")?),
             "--format" => {
@@ -253,6 +267,20 @@ fn cmd_preprocess(args: &[String]) -> Result<(), String> {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let count = polys.len();
     let ds = Dataset::build_parallel(ds_name, polys, &grid, threads);
+    if shards > 0 {
+        if format == "v1" {
+            return Err(
+                "--shards writes STJD v2 shard files; it cannot combine with --format v1".into(),
+            );
+        }
+        let manifest = write_sharded(std::path::Path::new(output), &ds.to_arena(), &grid, shards)
+            .map_err(|e| format!("write {output}: {e}"))?;
+        println!(
+            "preprocessed {count} polygons into {} Hilbert shard(s) (grid order {order}) -> {output}",
+            manifest.shards.len()
+        );
+        return Ok(());
+    }
     let f = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
     let mut w = BufWriter::new(f);
     if format == "v2" {
@@ -269,6 +297,44 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("info needs exactly one <DATASET.stjd> argument".into());
     };
+    if is_manifest_file(std::path::Path::new(path)) {
+        let bytes = std::fs::metadata(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .len();
+        let m =
+            read_manifest_file(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        println!("file:     {path} ({bytes} bytes)");
+        println!("format:   STJM shard manifest");
+        println!("name:     {}", m.name);
+        let e = m.grid.extent();
+        println!(
+            "grid:     order {} over ({}, {})..({}, {})",
+            m.grid.order(),
+            e.min.x,
+            e.min.y,
+            e.max.x,
+            e.max.y
+        );
+        println!(
+            "objects:  {} across {} shard(s)",
+            m.total_objects(),
+            m.shards.len()
+        );
+        for (k, s) in m.shards.iter().enumerate() {
+            println!(
+                "  shard {k}: {} ({} objects, hilbert {}..={}, extent ({}, {})..({}, {}))",
+                s.file,
+                s.ids.len(),
+                s.d_lo,
+                s.d_hi,
+                s.extent.min.x,
+                s.extent.min.y,
+                s.extent.max.x,
+                s.extent.max.y
+            );
+        }
+        return Ok(());
+    }
     let info = dataset_info(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
     println!("file:     {path} ({} bytes)", info.file_bytes);
     println!("format:   STJD v{}", info.version);
@@ -355,14 +421,12 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
              it cannot be combined with --exec materialized"
             .into());
     }
-
-    let (left, lgrid) = load(left_path)?;
-    let (right, rgrid) = load(right_path)?;
-    if lgrid != rgrid {
-        return Err(format!(
-            "grid mismatch: {left_path} and {right_path} were preprocessed on \
-             different grids; re-run preprocess with a common --extent/--order"
-        ));
+    let external = is_manifest_file(std::path::Path::new(left_path))
+        || is_manifest_file(std::path::Path::new(right_path));
+    if external && trace_out.is_some() {
+        return Err("--trace records the per-task spans of a single in-memory \
+             run; it cannot be combined with sharded (out-of-core) inputs"
+            .into());
     }
 
     let mut join = TopologyJoin::new()
@@ -375,6 +439,21 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     if let Some(p) = predicate {
         join = join.predicate(p);
     }
+    // In-memory inputs load outside the timed region, as before; the
+    // external driver loads shards lazily, so its wall time includes IO.
+    let inputs = if external {
+        None
+    } else {
+        let (left, lgrid) = load(left_path)?;
+        let (right, rgrid) = load(right_path)?;
+        if lgrid != rgrid {
+            return Err(format!(
+                "grid mismatch: {left_path} and {right_path} were preprocessed on \
+                 different grids; re-run preprocess with a common --extent/--order"
+            ));
+        }
+        Some((left, right))
+    };
     // Bracket the run with the site-attribution counters so the report
     // can split the refine path's allocations by site.
     let alloc_before = if stats_json.is_some() {
@@ -385,7 +464,21 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         None
     };
     let t = std::time::Instant::now();
-    let out = join.run(&left, &right);
+    let (out, lname, rname) = match &inputs {
+        Some((left, right)) => (
+            join.run(left, right),
+            left.name().to_string(),
+            right.name().to_string(),
+        ),
+        None => {
+            let left = ShardedDataset::open(std::path::Path::new(left_path))
+                .map_err(|e| format!("{left_path}: {e}"))?;
+            let right = ShardedDataset::open(std::path::Path::new(right_path))
+                .map_err(|e| format!("{right_path}: {e}"))?;
+            let out = external_join_files(&join, &left, &right).map_err(|e| e.to_string())?;
+            (out, left.name().to_string(), right.name().to_string())
+        }
+    };
     let dt = t.elapsed();
     let alloc = alloc_before.map(|before| {
         let snap = stjoin::obs::alloc::snapshot().since(&before);
@@ -403,8 +496,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     if !quiet {
         eprintln!(
             "{} x {} -> {} candidates, {} links in {:.2?} ({:.0} pairs/s, {:.1}% refined)",
-            left.name(),
-            right.name(),
+            lname,
+            rname,
             out.candidates,
             out.links.len(),
             dt,
@@ -424,8 +517,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         };
         let report = join_report(
             &out,
-            left.name(),
-            right.name(),
+            &lname,
+            &rname,
             method_name,
             strategy_name,
             predicate,
@@ -458,8 +551,6 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = ntriples {
-        let lname = left.name().to_string();
-        let rname = right.name().to_string();
         let nt = links_to_ntriples(
             &out.links,
             |i| format!("urn:stj:{lname}:{i}"),
@@ -570,6 +661,9 @@ fn metric_kind(name: &str) -> MetricKind {
         "candidates" | "links" => MetricKind::Exact,
         "threads" | "stream_batch_pairs" | "objects" => MetricKind::Info,
         "allocs" => MetricKind::ExactOrLower,
+        // Peak resident set (VmHWM) is reported in bytes but doesn't
+        // carry the suffix; growth is a regression.
+        "peak_rss" => MetricKind::LowerBetter,
         _ if name.ends_with("_ns") || name.ends_with("_bytes") => MetricKind::LowerBetter,
         _ if name.contains("per_sec") || name.contains("throughput") => MetricKind::HigherBetter,
         _ => MetricKind::Info,

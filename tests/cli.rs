@@ -186,6 +186,106 @@ fn full_pipeline_via_cli() {
 }
 
 #[test]
+fn sharded_out_of_core_pipeline() {
+    let dir = tempdir("sharded");
+    let wkt = dir.join("obe.wkt");
+    let single = dir.join("obe.stjd");
+    let manifest = dir.join("obe.stjm");
+
+    let out = stj()
+        .args(["generate", "OBE", "0.01"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    for (path, extra) in [(&single, &[][..]), (&manifest, &["--shards", "3"][..])] {
+        let out = stj()
+            .arg("preprocess")
+            .arg(&wkt)
+            .arg(path)
+            .args(["--order", "10", "--name", "obe"])
+            .args(extra)
+            .output()
+            .expect("preprocess");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // info understands the manifest.
+    let out = stj().arg("info").arg(&manifest).output().expect("info");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("STJM shard manifest"), "{text}");
+    assert!(text.contains("3 shard(s)"), "{text}");
+    assert!(text.contains("hilbert"), "{text}");
+
+    // The out-of-core self-join produces the same link set as the
+    // single-arena self-join (orders differ: the external driver
+    // canonicalizes to (r, s), the parallel executor emits in
+    // completion order).
+    let mut link_sets = Vec::new();
+    for input in [&single, &manifest] {
+        let nt = dir.join(format!(
+            "{}.nt",
+            input.file_stem().unwrap().to_string_lossy()
+        ));
+        let out = stj()
+            .arg("join")
+            .arg(input)
+            .arg(input)
+            .arg("--ntriples")
+            .arg(&nt)
+            .output()
+            .expect("join");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut lines: Vec<String> = std::fs::read_to_string(&nt)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert!(!lines.is_empty());
+        lines.sort();
+        link_sets.push(lines);
+    }
+    assert_eq!(link_sets[0], link_sets[1], "sharded links diverged");
+
+    // A manifest on one side joins against a plain dataset on the other.
+    let out = stj()
+        .arg("join")
+        .arg(&manifest)
+        .arg(&single)
+        .arg("--quiet")
+        .output()
+        .expect("mixed join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --trace needs the single in-memory run and is refused.
+    let out = stj()
+        .arg("join")
+        .arg(&manifest)
+        .arg(&manifest)
+        .arg("--trace")
+        .arg(dir.join("t.json"))
+        .output()
+        .expect("trace join");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out-of-core"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn v2_default_v1_interop_and_info() {
     let dir = tempdir("formats");
     let wkt = dir.join("lakes.wkt");
