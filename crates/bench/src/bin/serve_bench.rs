@@ -28,7 +28,7 @@
 //! connection per run (default 400).
 
 use std::time::Instant;
-use stj_core::Dataset;
+use stj_core::{AdaptiveMode, Dataset};
 use stj_datagen::{generate, DatasetId};
 use stj_geom::wkt::polygon_to_wkt;
 use stj_geom::Rect;
@@ -141,6 +141,7 @@ fn main() {
         cache_mb: 64,
         deadline_ms: 0,
         max_links: 100_000,
+        adaptive: AdaptiveMode::On,
     };
     let server = Server::bind(ServeCtx::new(config, datasets)).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();

@@ -39,11 +39,18 @@ pub enum InvariantKind {
     /// — at one thread or at the run's thread count (checked once per
     /// run by the runner, over real shard files in a temp directory).
     ShardEquivalence,
+    /// (h) The adaptive pipeline (`--adaptive on` / `force-skip`)
+    /// disagrees with the static pipeline on links or per-relation
+    /// counts over the adversarial corpus — at one thread or at the
+    /// run's thread count (checked once per run by the runner).
+    /// Skipping the APRIL stage only ever re-routes a pair to exact
+    /// refinement, so any divergence is a bug.
+    AdaptiveEquivalence,
 }
 
 impl InvariantKind {
     /// Every kind, in report order.
-    pub const ALL: [InvariantKind; 7] = [
+    pub const ALL: [InvariantKind; 8] = [
         InvariantKind::MethodAgreement,
         InvariantKind::ConverseSymmetry,
         InvariantKind::MbrAdmissibility,
@@ -51,6 +58,7 @@ impl InvariantKind {
         InvariantKind::StorageFidelity,
         InvariantKind::ExecEquivalence,
         InvariantKind::ShardEquivalence,
+        InvariantKind::AdaptiveEquivalence,
     ];
 
     /// Stable snake_case name, used as a key in the JSON report.
@@ -63,6 +71,7 @@ impl InvariantKind {
             InvariantKind::StorageFidelity => "storage_fidelity",
             InvariantKind::ExecEquivalence => "exec_equivalence",
             InvariantKind::ShardEquivalence => "shard_equivalence",
+            InvariantKind::AdaptiveEquivalence => "adaptive_equivalence",
         }
     }
 }
@@ -281,7 +290,8 @@ mod tests {
                 "april_soundness",
                 "storage_fidelity",
                 "exec_equivalence",
-                "shard_equivalence"
+                "shard_equivalence",
+                "adaptive_equivalence"
             ]
         );
     }

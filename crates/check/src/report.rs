@@ -47,7 +47,7 @@ mod tests {
         let report = CheckReport {
             config: CheckConfig::default(),
             pairs: 10,
-            violation_counts: [1, 0, 0, 0, 0, 0, 0],
+            violation_counts: [1, 0, 0, 0, 0, 0, 0, 0],
             violations: vec![Violation {
                 index: 4,
                 category: "shared_edge",

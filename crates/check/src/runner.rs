@@ -5,7 +5,9 @@
 use crate::invariants::{check_pair, InvariantKind};
 use crate::shrink::shrink_pair;
 use std::time::Instant;
-use stj_core::{Dataset, DatasetArena, ExecStrategy, Link, PipelineStats, TopologyJoin};
+use stj_core::{
+    AdaptiveMode, Dataset, DatasetArena, ExecStrategy, Link, PipelineStats, TopologyJoin,
+};
 use stj_datagen::adversarial::{adversarial_pair, adversarial_space, CATEGORIES};
 use stj_geom::wkt::polygon_to_wkt;
 use stj_obs::Json;
@@ -83,7 +85,7 @@ pub struct CheckReport {
     pub pairs: u64,
     /// Violation count per invariant kind (indexed by `InvariantKind::ALL`
     /// order); counts all violations, not just the retained ones.
-    pub violation_counts: [u64; 7],
+    pub violation_counts: [u64; InvariantKind::ALL.len()],
     /// Retained (shrunk) violations, at most `config.max_violations`.
     pub violations: Vec<Violation>,
     /// Pairs checked per adversarial category.
@@ -159,7 +161,7 @@ impl CheckReport {
 /// Per-worker accumulator, merged after the scoped threads join.
 #[derive(Default)]
 struct WorkerState {
-    violation_counts: [u64; 7],
+    violation_counts: [u64; InvariantKind::ALL.len()],
     violations: Vec<Violation>,
     category_counts: [u64; CATEGORIES.len()],
     pipeline: PipelineStats,
@@ -375,6 +377,86 @@ fn check_shard_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Viol
     result
 }
 
+/// Invariant (h): the adaptive pipeline — warm-up (`on`) and immediate
+/// skip (`force-skip`) — must reproduce the static pipeline's links and
+/// per-relation counts exactly over the adversarial sample, at one
+/// thread and at the run's thread count. The pipeline's stage split
+/// (`by_intermediate` vs `refined`) legitimately moves when a cell skips
+/// the APRIL stage, so only order-independent outputs are compared:
+/// candidate count, pair count, MBR-stage decisions, sorted links, and
+/// the per-relation link histogram.
+fn check_adaptive_equivalence(config: &CheckConfig, grid: &Grid) -> Result<(), Violation> {
+    let sample = config.pairs.min(EXEC_SAMPLE_CAP);
+    if sample == 0 {
+        return Ok(());
+    }
+    let (left, right) = sample_arenas(config, grid, sample);
+    let threads = config.threads.max(1);
+
+    let baseline = TopologyJoin::new().threads(1).run(&left, &right);
+    let mut base_links = baseline.links.clone();
+    base_links.sort_by_key(|l| (l.r, l.s));
+    let relation_counts = |links: &[Link]| {
+        let mut counts = std::collections::BTreeMap::new();
+        for l in links {
+            *counts.entry(format!("{}", l.relation)).or_insert(0u64) += 1;
+        }
+        counts
+    };
+    let base_relations = relation_counts(&base_links);
+
+    for mode in [AdaptiveMode::On, AdaptiveMode::ForceSkip] {
+        for t in [1, threads] {
+            let got = TopologyJoin::new()
+                .adaptive(mode)
+                .threads(t)
+                .run(&left, &right);
+            let mut got_links = got.links.clone();
+            got_links.sort_by_key(|l| (l.r, l.s));
+            let label = format!("adaptive {} ({t} thread(s))", mode.label());
+            let detail = if got.candidates != baseline.candidates {
+                Some(format!(
+                    "{label} examined {} candidates, static {}",
+                    got.candidates, baseline.candidates
+                ))
+            } else if got.stats.pairs != baseline.stats.pairs
+                || got.stats.by_mbr != baseline.stats.by_mbr
+            {
+                Some(format!(
+                    "{label} pair/MBR counts ({}, {}) != static ({}, {})",
+                    got.stats.pairs, got.stats.by_mbr, baseline.stats.pairs, baseline.stats.by_mbr
+                ))
+            } else if relation_counts(&got_links) != base_relations {
+                Some(format!(
+                    "{label} relation histogram {:?} != static {base_relations:?}",
+                    relation_counts(&got_links)
+                ))
+            } else if got_links != base_links {
+                let at = first_link_diff(&base_links, &got_links);
+                Some(format!(
+                    "{label} produced {} links, static {}; first divergence at {at:?}",
+                    got_links.len(),
+                    base_links.len()
+                ))
+            } else {
+                None
+            };
+            if let Some(detail) = detail {
+                let (i, j) = first_link_diff(&base_links, &got_links).unwrap_or((0, 0));
+                return Err(Violation {
+                    index: u64::from(i),
+                    category: "adaptive_dataset",
+                    kind: InvariantKind::AdaptiveEquivalence,
+                    detail,
+                    a_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(i)).a),
+                    b_wkt: polygon_to_wkt(&adversarial_pair(config.seed, u64::from(j)).b),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The first `(r, s)` where the sorted link lists diverge.
 fn first_link_diff(base: &[Link], got: &[Link]) -> Option<(u32, u32)> {
     for (a, b) in base.iter().zip(got) {
@@ -429,9 +511,13 @@ pub fn run_check(config: &CheckConfig) -> CheckReport {
         }
     }
 
-    // Invariants (f) and (g): dataset-level executor equivalence and
-    // out-of-core shard equivalence.
-    for check in [check_exec_equivalence, check_shard_equivalence] {
+    // Invariants (f), (g), (h): dataset-level executor equivalence,
+    // out-of-core shard equivalence, and adaptive-pipeline equivalence.
+    for check in [
+        check_exec_equivalence,
+        check_shard_equivalence,
+        check_adaptive_equivalence,
+    ] {
         if let Err(v) = check(config, &grid) {
             state.violation_counts[kind_slot(v.kind)] += 1;
             state.violations.push(v);
@@ -504,6 +590,7 @@ mod tests {
         assert!(rendered.contains("\"storage_fidelity\""));
         assert!(rendered.contains("\"exec_equivalence\""));
         assert!(rendered.contains("\"shard_equivalence\""));
+        assert!(rendered.contains("\"adaptive_equivalence\""));
         assert!(rendered.contains("\"shared_edge\""));
     }
 }

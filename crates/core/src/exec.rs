@@ -57,6 +57,10 @@
 //!   also feed per-task busy time into the meter, so heartbeats carry
 //!   worker utilization.
 
+use crate::adaptive::{
+    find_relation_adaptive_with, relate_p_adaptive_with, AdaptiveMode, AdaptiveModel,
+    AdaptiveReport, AdaptiveWorker,
+};
 use crate::arena::{DatasetArena, ObjectRef};
 use crate::baselines::{find_relation_april_with, find_relation_op2_with, find_relation_st2_with};
 use crate::pipeline::{
@@ -151,6 +155,11 @@ pub struct JoinResult {
     /// The flight-recorder trace, when [`TopologyJoin::traced`] was
     /// requested on a streaming run.
     pub trace: Option<JoinTrace>,
+    /// The adaptive controller's decision trace, when
+    /// [`TopologyJoin::adaptive`] enabled it. `None` under
+    /// [`AdaptiveMode::Off`] (the default) and for external
+    /// (out-of-core) joins, which run each shard pair statically.
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 /// Resource limits for a bounded join run (see
@@ -262,6 +271,7 @@ pub struct TopologyJoin {
     profiled: bool,
     traced: bool,
     progress: bool,
+    adaptive: AdaptiveMode,
 }
 
 /// Per-worker accumulation: links, stats, and (when profiling) the
@@ -341,6 +351,19 @@ impl TopologyJoin {
         self
     }
 
+    /// Sets the adaptive filter-ordering mode (see
+    /// [`crate::adaptive`]). The library default is
+    /// [`AdaptiveMode::Off`] — bit-identical stats and profiles to the
+    /// static pipeline; under [`AdaptiveMode::On`] links and relations
+    /// are still identical, but per-(MBR class × mode) cells may skip
+    /// the APRIL stage once warmed, moving decisions from
+    /// `by_intermediate` to `refined`. Applies to the P+C method and
+    /// predicate mode; baseline methods ignore it.
+    pub fn adaptive(mut self, mode: AdaptiveMode) -> TopologyJoin {
+        self.adaptive = mode;
+        self
+    }
+
     /// The effective worker count: explicit, or auto-detected when the
     /// configured count is `0`.
     fn worker_threads(&self) -> usize {
@@ -403,6 +426,13 @@ impl TopologyJoin {
         }
     }
 
+    /// The adaptive model for one run, when the configured mode wants
+    /// one (baseline methods never consult it, so none is built).
+    fn run_model(&self) -> Option<AdaptiveModel> {
+        (self.adaptive.enabled() && (self.predicate.is_some() || self.method == JoinMethod::PC))
+            .then(|| AdaptiveModel::new(self.adaptive))
+    }
+
     /// The materialized path: full MBR join, then static chunking.
     fn run_materialized(&self, left: &DatasetArena, right: &DatasetArena) -> JoinResult {
         let threads = self.worker_threads();
@@ -410,15 +440,30 @@ impl TopologyJoin {
         let candidates = pairs.len() as u64;
 
         let progress = self.progress.then(|| Progress::new(candidates));
+        let model = self.run_model();
         let stop = AtomicBool::new(false);
         let (links, stats, profile) = std::thread::scope(|scope| {
             if let Some(p) = &progress {
                 scope.spawn(|| p.run_reporter(&stop, Duration::from_secs(1)));
             }
             let out = if self.profiled {
-                self.run_with::<Recorder>(left, right, &pairs, threads, progress.as_ref())
+                self.run_with::<Recorder>(
+                    left,
+                    right,
+                    &pairs,
+                    threads,
+                    progress.as_ref(),
+                    model.as_ref(),
+                )
             } else {
-                self.run_with::<Disabled>(left, right, &pairs, threads, progress.as_ref())
+                self.run_with::<Disabled>(
+                    left,
+                    right,
+                    &pairs,
+                    threads,
+                    progress.as_ref(),
+                    model.as_ref(),
+                )
             };
             stop.store(true, Ordering::Release);
             out
@@ -430,6 +475,7 @@ impl TopologyJoin {
             profile,
             sched: None,
             trace: None,
+            adaptive: model.map(|m| m.report()),
         }
     }
 
@@ -446,6 +492,7 @@ impl TopologyJoin {
         // Candidate totals are unknown until generation finishes, so the
         // heartbeat runs without a percentage.
         let progress = self.progress.then(|| Progress::new(0));
+        let model = self.run_model();
         let stop = AtomicBool::new(false);
         let ((links, stats, profile), sched, trace) = std::thread::scope(|scope| {
             if let Some(p) = &progress {
@@ -454,9 +501,23 @@ impl TopologyJoin {
             // Tracing needs the per-stage timings only a Recorder
             // collects, so it forces the profiled monomorphization.
             let out = if self.profiled || self.traced {
-                self.stream_with::<Recorder>(left, right, threads, progress.as_ref(), limits)
+                self.stream_with::<Recorder>(
+                    left,
+                    right,
+                    threads,
+                    progress.as_ref(),
+                    limits,
+                    model.as_ref(),
+                )
             } else {
-                self.stream_with::<Disabled>(left, right, threads, progress.as_ref(), limits)
+                self.stream_with::<Disabled>(
+                    left,
+                    right,
+                    threads,
+                    progress.as_ref(),
+                    limits,
+                    model.as_ref(),
+                )
             };
             stop.store(true, Ordering::Release);
             out
@@ -470,6 +531,7 @@ impl TopologyJoin {
             profile,
             sched: Some(sched),
             trace,
+            adaptive: model.map(|m| m.report()),
         }
     }
 
@@ -482,17 +544,20 @@ impl TopologyJoin {
         pairs: &[(u32, u32)],
         threads: usize,
         progress: Option<&Progress>,
+        model: Option<&AdaptiveModel>,
     ) -> WorkerPart {
         let chunk = pairs.len().div_ceil(threads).max(1);
         let mut parts: Vec<WorkerPart> = Vec::new();
         if threads == 1 || pairs.len() < 2 * chunk {
-            parts.push(self.run_chunk::<P>(left, right, pairs, progress));
+            parts.push(self.run_chunk::<P>(left, right, pairs, progress, model));
         } else {
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for slice in pairs.chunks(chunk) {
                     handles.push(
-                        scope.spawn(move || self.run_chunk::<P>(left, right, slice, progress)),
+                        scope.spawn(move || {
+                            self.run_chunk::<P>(left, right, slice, progress, model)
+                        }),
                     );
                 }
                 parts = handles
@@ -515,6 +580,7 @@ impl TopologyJoin {
         threads: usize,
         progress: Option<&Progress>,
         limits: Option<&LimitState>,
+        model: Option<&AdaptiveModel>,
     ) -> (WorkerPart, SchedReport, Option<JoinTrace>) {
         let tiling = Tiling::for_inputs(left.mbrs(), right.mbrs());
         let tasks = tiling.tasks(DEFAULT_SPLIT_THRESHOLD);
@@ -542,7 +608,7 @@ impl TopologyJoin {
         let mut stream_parts: Vec<StreamPart> = Vec::new();
         if workers == 1 {
             stream_parts.push(self.stream_worker::<P>(
-                left, right, &tiling, &tasks, &splits, 0, epoch, &next, progress, limits,
+                left, right, &tiling, &tasks, &splits, 0, epoch, &next, progress, limits, model,
             ));
         } else {
             std::thread::scope(|scope| {
@@ -552,6 +618,7 @@ impl TopologyJoin {
                     handles.push(scope.spawn(move || {
                         self.stream_worker::<P>(
                             left, right, tiling, tasks, splits, w, epoch, next, progress, limits,
+                            model,
                         )
                     }));
                 }
@@ -600,6 +667,7 @@ impl TopologyJoin {
         next: &AtomicUsize,
         progress: Option<&Progress>,
         limits: Option<&LimitState>,
+        model: Option<&AdaptiveModel>,
     ) -> StreamPart {
         let mut prof = P::default();
         let mut batch = progress.map(ProgressBatch::new);
@@ -609,6 +677,9 @@ impl TopologyJoin {
         // The worker's relate arena: every refinement this worker runs
         // reuses these buffers, so steady-state joins don't allocate.
         let mut scratch = RelateScratch::default();
+        // The worker's view of the shared adaptive model: local counter
+        // deltas, merged periodically and at worker exit.
+        let mut adaptive = model.map(AdaptiveWorker::new);
         // Links already reported to `limits` (bounded runs).
         let mut noted = 0usize;
         let mut sched = WorkerSched::new(worker);
@@ -644,6 +715,7 @@ impl TopologyJoin {
                         &mut stats,
                         &mut batch,
                         &mut scratch,
+                        &mut adaptive,
                     );
                     buf.clear();
                     if let Some(l) = limits {
@@ -662,6 +734,7 @@ impl TopologyJoin {
                     &mut stats,
                     &mut batch,
                     &mut scratch,
+                    &mut adaptive,
                 );
                 buf.clear();
                 if let Some(l) = limits {
@@ -697,6 +770,11 @@ impl TopologyJoin {
                 });
             }
         }
+        if let Some(w) = &mut adaptive {
+            // Final partial window: without this, short runs would lose
+            // up to MERGE_PERIOD−1 samples per worker.
+            w.flush();
+        }
         let end_ns = ns_since(epoch, Instant::now());
         let trace = ring.map(|ring| WorkerTrace {
             worker,
@@ -719,12 +797,14 @@ impl TopologyJoin {
         right: &DatasetArena,
         pairs: &[(u32, u32)],
         progress: Option<&Progress>,
+        model: Option<&AdaptiveModel>,
     ) -> WorkerPart {
         let mut prof = P::default();
         let mut batch = progress.map(ProgressBatch::new);
         let mut links = Vec::new();
         let mut stats = PipelineStats::default();
         let mut scratch = RelateScratch::default();
+        let mut adaptive = model.map(AdaptiveWorker::new);
         self.process_pairs::<P>(
             left,
             right,
@@ -734,7 +814,11 @@ impl TopologyJoin {
             &mut stats,
             &mut batch,
             &mut scratch,
+            &mut adaptive,
         );
+        if let Some(w) = &mut adaptive {
+            w.flush();
+        }
         (links, stats, prof.finish())
     }
 
@@ -752,17 +836,27 @@ impl TopologyJoin {
         stats: &mut PipelineStats,
         batch: &mut Option<ProgressBatch<'_>>,
         scratch: &mut RelateScratch,
+        adaptive: &mut Option<AdaptiveWorker<'_>>,
     ) {
         match self.predicate {
             None => match self.method {
                 JoinMethod::PC => {
                     for &(i, j) in pairs {
-                        let out = find_relation_profiled_with(
-                            left.object(i as usize),
-                            right.object(j as usize),
-                            prof,
-                            scratch,
-                        );
+                        let out = match adaptive.as_mut() {
+                            Some(w) => find_relation_adaptive_with(
+                                left.object(i as usize),
+                                right.object(j as usize),
+                                prof,
+                                scratch,
+                                w,
+                            ),
+                            None => find_relation_profiled_with(
+                                left.object(i as usize),
+                                right.object(j as usize),
+                                prof,
+                                scratch,
+                            ),
+                        };
                         stats.record(&out);
                         if out.relation != TopoRelation::Disjoint {
                             links.push(Link {
@@ -806,13 +900,23 @@ impl TopologyJoin {
             },
             Some(p) => {
                 for &(i, j) in pairs {
-                    let out = relate_p_profiled_with(
-                        left.object(i as usize),
-                        right.object(j as usize),
-                        p,
-                        prof,
-                        scratch,
-                    );
+                    let out = match adaptive.as_mut() {
+                        Some(w) => relate_p_adaptive_with(
+                            left.object(i as usize),
+                            right.object(j as usize),
+                            p,
+                            prof,
+                            scratch,
+                            w,
+                        ),
+                        None => relate_p_profiled_with(
+                            left.object(i as usize),
+                            right.object(j as usize),
+                            p,
+                            prof,
+                            scratch,
+                        ),
+                    };
                     stats.pairs += 1;
                     match out.determination {
                         RelateDetermination::MbrFilter => stats.by_mbr += 1,
@@ -1195,5 +1299,79 @@ mod tests {
         assert_eq!(labels[MbrRelation::Disjoint as usize], "disjoint");
         assert_eq!(labels[MbrRelation::Overlap as usize], "overlap");
         assert_eq!(labels.len(), MbrRelation::ALL.len());
+    }
+
+    #[test]
+    fn adaptive_modes_preserve_links_and_relations() {
+        let (l, r) = datasets();
+        let base = TopologyJoin::new().threads(1).run(&l, &r);
+        assert!(base.adaptive.is_none(), "off mode must not build a model");
+        for mode in [AdaptiveMode::On, AdaptiveMode::ForceSkip] {
+            for threads in [1, 4] {
+                for strategy in [ExecStrategy::Streaming, ExecStrategy::Materialized] {
+                    let out = TopologyJoin::new()
+                        .adaptive(mode)
+                        .threads(threads)
+                        .strategy(strategy)
+                        .run(&l, &r);
+                    assert_eq!(
+                        sorted_links(out.links),
+                        sorted_links(base.links.clone()),
+                        "{mode:?} × {threads} threads × {strategy:?}"
+                    );
+                    assert_eq!(out.candidates, base.candidates);
+                    assert_eq!(out.stats.pairs, base.stats.pairs);
+                    assert_eq!(
+                        out.stats.by_mbr, base.stats.by_mbr,
+                        "MBR stage is untouched"
+                    );
+                    let report = out.adaptive.expect("enabled mode reports a trace");
+                    assert_eq!(report.mode, mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_skip_moves_all_april_decisions_to_refinement() {
+        let (l, r) = datasets();
+        let out = TopologyJoin::new()
+            .adaptive(AdaptiveMode::ForceSkip)
+            .threads(1)
+            .run(&l, &r);
+        assert_eq!(out.stats.by_intermediate, 0);
+        assert_eq!(out.stats.refined, out.stats.pairs - out.stats.by_mbr);
+        let report = out.adaptive.expect("force-skip reports a trace");
+        assert_eq!(report.skipped_pairs(), out.stats.refined);
+    }
+
+    #[test]
+    fn adaptive_predicate_mode_matches_static_answers() {
+        let (l, r) = datasets();
+        for p in [TopoRelation::Contains, TopoRelation::Intersects] {
+            let base = TopologyJoin::new().predicate(p).threads(1).run(&l, &r);
+            for mode in [AdaptiveMode::On, AdaptiveMode::ForceSkip] {
+                let out = TopologyJoin::new()
+                    .predicate(p)
+                    .adaptive(mode)
+                    .threads(4)
+                    .run(&l, &r);
+                assert_eq!(
+                    sorted_links(out.links),
+                    sorted_links(base.links.clone()),
+                    "{p:?} under {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_methods_ignore_adaptive() {
+        let (l, r) = datasets();
+        let out = TopologyJoin::new()
+            .method(JoinMethod::St2)
+            .adaptive(AdaptiveMode::ForceSkip)
+            .run(&l, &r);
+        assert!(out.adaptive.is_none(), "baselines never consult the model");
     }
 }

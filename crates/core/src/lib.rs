@@ -42,6 +42,7 @@
 //! assert_eq!(out.relation, TopoRelation::Inside);
 //! ```
 
+pub mod adaptive;
 pub mod arena;
 pub mod baselines;
 pub mod exec;
@@ -52,6 +53,10 @@ pub mod pipeline;
 pub mod relate_pred;
 pub mod sharded;
 
+pub use adaptive::{
+    find_relation_adaptive_with, relate_p_adaptive_with, AdaptiveCellReport, AdaptiveMode,
+    AdaptiveModel, AdaptiveReport, AdaptiveWorker, SKIP_PROBE_INTERVALS, WARMUP_SAMPLES,
+};
 pub use arena::{
     zero_copy_supported, ArenaBacking, ArenaColumns, ArenaError, ColumnSpans, DatasetArena,
     ObjectRef, WordRegion,
@@ -65,7 +70,7 @@ pub use exec::{
     TopologyJoin, STREAM_BATCH_PAIRS,
 };
 pub use filters::{intermediate_filter, IfOutcome};
-pub use object::{Dataset, SpatialObject};
+pub use object::{Dataset, SpatialObject, DEFAULT_MAX_INTERVALS};
 pub use pipeline::{
     find_relation, find_relation_profiled, find_relation_profiled_with, find_relation_with, refine,
     refine_with, Determination, FindOutcome, PipelineStats,

@@ -58,7 +58,7 @@ impl RelateOutcome {
 /// Layer 1 verdict from the MBR classification alone: `Some(holds)` for
 /// impossible-relation short-circuits and the two self-confirming MBR
 /// cases, `None` if the rasters must be consulted.
-fn mbr_verdict(mbr_rel: MbrRelation, p: TopoRelation) -> Option<bool> {
+pub(crate) fn mbr_verdict(mbr_rel: MbrRelation, p: TopoRelation) -> Option<bool> {
     use TopoRelation::*;
     match mbr_rel {
         MbrRelation::Disjoint => Some(p == Disjoint),
@@ -73,7 +73,7 @@ fn mbr_verdict(mbr_rel: MbrRelation, p: TopoRelation) -> Option<bool> {
 /// Layer 2 verdict from the predicate-specific raster filters
 /// (Figure 6): `Some(holds)` when the `P`/`C` merge-joins confirm or
 /// refute `p`, `None` when the pair must be refined.
-fn raster_verdict(r: ObjectRef<'_>, s: ObjectRef<'_>, p: TopoRelation) -> Option<bool> {
+pub(crate) fn raster_verdict(r: ObjectRef<'_>, s: ObjectRef<'_>, p: TopoRelation) -> Option<bool> {
     use TopoRelation::*;
     let (ra, sa) = (r.april, s.april);
     match p {

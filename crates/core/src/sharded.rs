@@ -203,6 +203,9 @@ pub fn external_join(
         profile,
         sched: None,
         trace: None,
+        // Shard-pair joins run statically; no cross-shard model to
+        // aggregate.
+        adaptive: None,
     })
 }
 

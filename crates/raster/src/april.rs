@@ -209,6 +209,43 @@ mod tests {
     }
 
     #[test]
+    fn edge_budgets_stay_sound() {
+        // `build_capped` at the degenerate budgets: 0, 1, and a budget
+        // at or above the natural interval count. Whatever the budget,
+        // the capped lists must keep the APRIL contract — capped C
+        // covers the full C, capped P stays within the full P, and
+        // P ⊆ C — because an unsound probe approximation would flip
+        // filter verdicts against the offline pipeline.
+        let g = Grid::new(Rect::from_coords(0.0, 0.0, 64.0, 64.0), 10);
+        let poly = Polygon::rect(Rect::from_coords(1.3, 1.3, 62.7, 62.7));
+        let full = AprilApprox::build(&poly, &g);
+
+        // Budget 0 cannot be met — a non-empty object always needs at
+        // least one conservative interval — so coarsening bottoms out
+        // at the maximum alignment instead of returning an empty
+        // (unsound) C list.
+        let zero = AprilApprox::build_capped(&poly, &g, 0);
+        assert!(!zero.c.is_empty());
+        assert!(full.c.inside(&zero.c));
+        assert!(zero.p.inside(&full.p));
+        assert!(zero.p.inside(&zero.c));
+
+        // Budget 1: maximal coarsening that actually satisfies the cap.
+        let one = AprilApprox::build_capped(&poly, &g, 1);
+        assert!(one.c.len() <= 1);
+        assert!(one.p.len() <= 1);
+        assert!(full.c.inside(&one.c));
+        assert!(one.p.inside(&full.p));
+        assert!(one.p.inside(&one.c));
+
+        // A budget at the natural interval count leaves the lists
+        // untouched, as does anything larger.
+        let natural = full.c.len().max(full.p.len());
+        assert_eq!(AprilApprox::build_capped(&poly, &g, natural), full);
+        assert_eq!(AprilApprox::build_capped(&poly, &g, natural + 1), full);
+    }
+
+    #[test]
     fn coarsening_directions() {
         use crate::intervals::IntervalList;
         let l = IntervalList::from_ranges(vec![(3, 9), (17, 18), (33, 47)]);

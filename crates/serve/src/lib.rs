@@ -38,7 +38,7 @@ pub use stats::{Endpoint, ServeStats};
 
 use std::path::Path;
 use std::time::Instant;
-use stj_core::DatasetArena;
+use stj_core::{AdaptiveMode, AdaptiveModel, DatasetArena};
 use stj_index::Tiling;
 use stj_obs::Json;
 use stj_raster::Grid;
@@ -60,6 +60,11 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Server-side cap on links returned by `/v1/join`.
     pub max_links: u64,
+    /// Adaptive filter-ordering mode (see [`stj_core::adaptive`]). The
+    /// server keeps one resident model that warms across relate
+    /// requests; `/v1/join` runs apply the same mode per run. Default
+    /// on; `off` is bit-identical to the static pipeline.
+    pub adaptive: AdaptiveMode,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +76,7 @@ impl Default for ServeConfig {
             cache_mb: 64,
             deadline_ms: 2000,
             max_links: 100_000,
+            adaptive: AdaptiveMode::On,
         }
     }
 }
@@ -94,6 +100,7 @@ impl ServeConfig {
             ("cache_mb", Json::U64(self.cache_mb as u64)),
             ("deadline_ms", Json::U64(self.deadline_ms)),
             ("max_links", Json::U64(self.max_links)),
+            ("adaptive", Json::str(self.adaptive.label())),
         ])
     }
 }
@@ -153,6 +160,10 @@ pub struct ServeCtx {
     pub cache: ProbeCache,
     /// Service metrics backing `/stats`.
     pub stats: ServeStats,
+    /// The resident adaptive model: relate requests feed it, so the
+    /// APRIL-stage verdicts warm across the whole serving session
+    /// rather than per request.
+    pub adaptive: AdaptiveModel,
     /// Server start time (for `/stats` uptime).
     pub started: Instant,
 }
@@ -163,6 +174,7 @@ impl ServeCtx {
         ServeCtx {
             cache: ProbeCache::new(config.cache_mb),
             stats: ServeStats::new(),
+            adaptive: AdaptiveModel::new(config.adaptive),
             started: Instant::now(),
             config,
             datasets,

@@ -12,8 +12,8 @@ use crate::{Endpoint, ProbeKey, ServeCtx};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use stj_core::{
-    find_relation_with, Determination, JoinBounds, JoinMethod, RelateScratch, SpatialObject,
-    TopologyJoin,
+    find_relation_adaptive_with, find_relation_with, AdaptiveWorker, Determination, JoinBounds,
+    JoinMethod, RelateScratch, SpatialObject, TopologyJoin, DEFAULT_MAX_INTERVALS,
 };
 use stj_de9im::TopoRelation;
 use stj_obs::Json;
@@ -183,6 +183,7 @@ fn handle_stats(ctx: &ServeCtx) -> Response {
         &datasets,
         ctx.cache.to_json(),
         ctx.config.to_json(),
+        ctx.adaptive.report().to_json(),
     );
     Response::json(200, &doc)
 }
@@ -416,15 +417,30 @@ fn handle_relate(
     };
 
     // Rasterize the probe once, on the dataset's own grid, then probe
-    // the tile index and run the full pipeline per candidate.
+    // the tile index and run the full pipeline per candidate. Once the
+    // resident adaptive model has settled on skipping the APRIL stage,
+    // probe rasterization precision is wasted too — ad-hoc probes are
+    // built with a coarse interval budget (still sound: coarsening only
+    // widens the approximation).
     let deadline = request_deadline(ctx);
-    let probe = SpatialObject::build(polygon, &ds.grid);
+    let budget = ctx
+        .adaptive
+        .probe_interval_cap()
+        .unwrap_or(DEFAULT_MAX_INTERVALS);
+    let probe = SpatialObject::build_with_budget(polygon, &ds.grid, budget);
     let mut candidates: Vec<u32> = Vec::new();
     ds.tiling
         .probe(probe.view().mbr, ds.arena.mbrs(), &mut |id| {
             candidates.push(id)
         });
 
+    // Per-request view of the resident model: this request's pairs feed
+    // the shared warm-up, and settled skip verdicts apply immediately.
+    let mut adaptive = ctx
+        .config
+        .adaptive
+        .enabled()
+        .then(|| AdaptiveWorker::new(&ctx.adaptive));
     let mut matches = Json::Arr(Vec::new());
     let mut match_count: u64 = 0;
     let mut truncated = false;
@@ -434,7 +450,16 @@ fn handle_relate(
             truncated = true;
             break;
         }
-        let out = find_relation_with(probe.view(), ds.arena.object(id as usize), scratch);
+        let out = match adaptive.as_mut() {
+            Some(w) => find_relation_adaptive_with(
+                probe.view(),
+                ds.arena.object(id as usize),
+                &mut stj_obs::Disabled,
+                scratch,
+                w,
+            ),
+            None => find_relation_with(probe.view(), ds.arena.object(id as usize), scratch),
+        };
         if out.relation == TopoRelation::Disjoint {
             continue;
         }
@@ -453,6 +478,12 @@ fn handle_relate(
                 ),
             ]));
         }
+    }
+
+    if let Some(w) = &mut adaptive {
+        // Fold this request's partial window into the resident model so
+        // warm-up progresses across requests.
+        w.flush();
     }
 
     let doc = Json::object([
@@ -617,7 +648,12 @@ fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
         },
     };
 
-    let mut join = TopologyJoin::new().method(method);
+    // Server-side joins honor the configured adaptive mode with a
+    // per-run model (batch traffic would swamp the resident probe
+    // model's verdicts with unrelated statistics).
+    let mut join = TopologyJoin::new()
+        .method(method)
+        .adaptive(ctx.config.adaptive);
     if let Some(p) = predicate {
         join = join.predicate(p);
     }
@@ -742,6 +778,55 @@ mod tests {
         assert!(body.contains("\"truncated\": false"), "{body}");
         // Object 2 is far away: must not appear.
         assert!(!body.contains("\"id\": 2"), "{body}");
+    }
+
+    #[test]
+    fn adaptive_model_warms_across_relate_requests() {
+        use stj_core::AdaptiveMode;
+        // Cache off so every request actually runs the pipeline.
+        let grid = Grid::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0), 8);
+        let polys = vec![
+            Polygon::rect(Rect::from_coords(10.0, 10.0, 40.0, 40.0)),
+            Polygon::rect(Rect::from_coords(20.0, 20.0, 30.0, 30.0)),
+        ];
+        let ds = Dataset::build("boxes", polys, &grid);
+        let arena = ds.to_arena();
+        let tiling = Tiling::for_probes(arena.mbrs());
+        let loaded = LoadedDataset {
+            name: "boxes".to_string(),
+            arena,
+            grid,
+            tiling,
+        };
+        let config = ServeConfig {
+            cache_mb: 0,
+            adaptive: AdaptiveMode::ForceSkip,
+            ..ServeConfig::default()
+        };
+        let ctx = ServeCtx::new(config, vec![loaded]);
+        let q = vec![("dataset".to_string(), "boxes".to_string())];
+        for _ in 0..3 {
+            let r = dispatch(
+                &ctx,
+                "POST",
+                "/v1/relate",
+                &q,
+                b"POLYGON((22 22, 28 22, 28 28, 22 28, 22 22))",
+            );
+            assert_eq!(r.status, 200, "{}", body_str(&r));
+            // Relations are identical to the static pipeline; only the
+            // deciding stage moves under force-skip.
+            assert!(body_str(&r).contains("\"inside\""), "{}", body_str(&r));
+        }
+        let report = ctx.adaptive.report();
+        assert!(
+            report.skipped_pairs() > 0,
+            "requests must feed the resident model"
+        );
+        let stats = dispatch(&ctx, "GET", "/stats", &[], b"");
+        let body = body_str(&stats);
+        assert!(body.contains("\"adaptive\""), "{body}");
+        assert!(body.contains("\"force-skip\""), "{body}");
     }
 
     #[test]

@@ -122,13 +122,16 @@ impl ServeStats {
     ///
     /// `datasets` is `(name, objects, zero_copy, backing)` per loaded
     /// dataset — `backing` is the arena's storage kind (`"columns"`,
-    /// `"owned"`, or `"mapped"`); `cache` is the cache's own JSON block.
+    /// `"owned"`, or `"mapped"`); `cache` is the cache's own JSON
+    /// block; `adaptive` is the resident adaptive model's decision
+    /// trace.
     pub fn render(
         &self,
         started: Instant,
         datasets: &[(String, usize, bool, &'static str)],
         cache: Json,
         config: Json,
+        adaptive: Json,
     ) -> Json {
         let mut ds = Json::Arr(Vec::new());
         if let Json::Arr(items) = &mut ds {
@@ -171,6 +174,7 @@ impl ServeStats {
                 ]),
             ),
             ("cache", cache),
+            ("adaptive", adaptive),
             (
                 "latency_ns",
                 Json::object([
@@ -210,6 +214,7 @@ mod tests {
             &[("lakes".into(), 42, true, "mapped")],
             Json::object([("hits", Json::U64(0))]),
             Json::object([("threads", Json::U64(4))]),
+            Json::object([("mode", Json::str("on"))]),
         );
         let text = doc.render();
         assert!(
@@ -217,6 +222,7 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("\"lakes\""), "{text}");
+        assert!(text.contains("\"adaptive\""), "{text}");
         assert!(text.contains("\"client_error\": 1"), "{text}");
         assert!(text.contains("\"server_error\": 1"), "{text}");
     }

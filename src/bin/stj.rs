@@ -27,6 +27,14 @@
 //!     --trace OUT.json            flight-recorder trace of the streaming
 //!                                 executor as Chrome trace-event JSON
 //!                                 (open in chrome://tracing or Perfetto)
+//!     --adaptive on|off|force-skip  adaptive filter ordering (default on):
+//!                                 per-MBR-class counters decide after a
+//!                                 warm-up whether the APRIL stage pays for
+//!                                 itself; links are identical in every
+//!                                 mode, only wall time and the stage
+//!                                 split move. `off` restores the static
+//!                                 pipeline; `force-skip` bypasses APRIL
+//!                                 everywhere (debugging/benchmarks)
 //!     --progress                  pairs/sec heartbeat on stderr
 //!     --quiet                     suppress the human-readable summary
 //! stj bench-diff <BASELINE.json> <CURRENT.json> [--threshold PCT]
@@ -47,6 +55,9 @@
 //!     --deadline-ms N    per-request deadline; responses that hit it
 //!                        carry truncated:true (0 = off; default 2000)
 //!     --max-links N      server-side cap for /v1/join (default 100000)
+//!     --adaptive on|off|force-skip  adaptive filter ordering (default on);
+//!                        one resident model warms across relate requests
+//!                        and its decision trace is exported at /stats
 //!     --stats-json OUT   write the final stj-serve-report/v1 on drain
 //!     --quiet            suppress startup/drain chatter on stderr
 //! stj query --addr HOST:PORT [--framed] <SUB>   one-shot client
@@ -153,12 +164,14 @@ USAGE:
            (either side may be a .stjd dataset or a .stjm shard manifest;
             a manifest on either side selects the out-of-core driver)
            [--predicate REL] [--exec streaming|materialized]
-           [--threads N (0 = auto)] [--ntriples OUT.nt]
+           [--threads N (0 = auto)] [--adaptive on|off|force-skip]
+           [--ntriples OUT.nt]
            [--stats-json OUT.json] [--trace OUT.json] [--progress] [--quiet]
   stj bench-diff <BASELINE.json> <CURRENT.json> [--threshold PCT]
   stj serve --data <FILE.stjd> [--data <FILE.stjd> ...] [--addr HOST:PORT]
             [--threads N (0 = auto)] [--queue-depth N] [--cache-mb N]
             [--deadline-ms N (0 = off)] [--max-links N]
+            [--adaptive on|off|force-skip]
             [--stats-json OUT.json] [--quiet]
   stj query --addr HOST:PORT [--framed] <SUBCOMMAND>
             relate <DATASET> <WKT> [--limit N]
@@ -374,6 +387,10 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut progress = false;
     let mut quiet = false;
+    // The CLI defaults adaptive ordering on: skipping APRIL only ever
+    // re-routes a pair to exact refinement, so links are identical and
+    // `--adaptive off` exists for stage-attribution reproducibility.
+    let mut adaptive = AdaptiveMode::On;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -408,6 +425,12 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             "--ntriples" => ntriples = Some(next_arg(&mut it, "--ntriples")?),
             "--stats-json" => stats_json = Some(next_arg(&mut it, "--stats-json")?),
             "--trace" => trace_out = Some(next_arg(&mut it, "--trace")?),
+            "--adaptive" => {
+                let name = next_arg(&mut it, "--adaptive")?;
+                adaptive = AdaptiveMode::parse(&name).ok_or_else(|| {
+                    format!("unknown adaptive mode {name:?} (expected on, off, or force-skip)")
+                })?;
+            }
             "--progress" => progress = true,
             "--quiet" => quiet = true,
             other => pos.push(other.to_string()),
@@ -425,7 +448,10 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         || is_manifest_file(std::path::Path::new(right_path));
     if external && trace_out.is_some() {
         return Err("--trace records the per-task spans of a single in-memory \
-             run; it cannot be combined with sharded (out-of-core) inputs"
+             run; it cannot be combined with sharded (out-of-core) inputs \
+             (an STJM manifest was given). To trace this join, point it at \
+             single-arena .stjd files instead — e.g. re-run preprocess \
+             without --shards — or drop --trace to run the sharded join."
             .into());
     }
 
@@ -433,6 +459,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         .method(method)
         .strategy(strategy)
         .threads(threads)
+        .adaptive(adaptive)
         .profiled(stats_json.is_some())
         .traced(trace_out.is_some())
         .progress(progress);
@@ -526,6 +553,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             dt,
             &histogram,
             alloc,
+            adaptive,
         );
         std::fs::write(&path, report.render()).map_err(|e| format!("write {path}: {e}"))?;
         if !quiet {
@@ -578,6 +606,7 @@ fn join_report(
     wall: std::time::Duration,
     histogram: &std::collections::BTreeMap<String, u64>,
     alloc: Option<stjoin::obs::AllocSnapshot>,
+    adaptive: AdaptiveMode,
 ) -> Json {
     let wall_ns = wall.as_nanos().min(u128::from(u64::MAX)) as u64;
     let mut report = Json::object([
@@ -618,6 +647,16 @@ fn join_report(
             ),
         ),
     ]);
+    // The adaptive decision trace when a model ran; otherwise just the
+    // requested mode (off, or a baseline method that never runs one),
+    // so consumers always find the key.
+    report.push(
+        "adaptive",
+        out.adaptive.as_ref().map_or_else(
+            || Json::object([("mode", Json::str(adaptive.label()))]),
+            |r| r.to_json(),
+        ),
+    );
     if let Some(profile) = &out.profile {
         report.push(
             "profile",
@@ -688,6 +727,21 @@ fn run_identity(run: &Json) -> String {
     parts.join(" ")
 }
 
+/// One-sided identity match: every identity field of the *baseline* run
+/// must agree in `cur`; identity fields only the current run carries
+/// (e.g. a label added by a newer binary) are ignored, so extending a
+/// benchmark's schema doesn't orphan every baseline run.
+fn identity_covers(base: &Json, cur: &Json) -> bool {
+    let Json::Obj(entries) = base else {
+        return false;
+    };
+    entries.iter().all(|(k, v)| match v {
+        Json::Str(s) => cur.get(k).and_then(Json::as_str) == Some(s.as_str()),
+        _ if k == "threads" => cur.get(k).and_then(Json::as_u64) == v.as_u64(),
+        _ => true,
+    })
+}
+
 fn load_bench_doc(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -726,9 +780,10 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut new_metrics = 0usize;
     for b in base_runs {
         let id = run_identity(b);
-        let Some(c) = cur_runs.iter().find(|c| run_identity(c) == id) else {
+        let Some(c) = cur_runs.iter().find(|c| identity_covers(b, c)) else {
             println!("MISSING  [{id}] not present in {cur_path}");
             regressions += 1;
             continue;
@@ -765,10 +820,25 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
                 regressions += 1;
             }
         }
+        // Metrics the current run reports that the baseline never had:
+        // warn and continue — a freshly instrumented metric has nothing
+        // to regress against until the baseline is refreshed.
+        if let Json::Obj(cfields) = c {
+            for (name, cval) in cfields {
+                if b.get(name).is_some() || metric_kind(name) == MetricKind::Info {
+                    continue;
+                }
+                if let Some(cv) = cval.as_f64() {
+                    new_metrics += 1;
+                    println!("NEW      [{id}] {name}: {cv} (not in baseline; skipped)");
+                }
+            }
+        }
     }
     println!(
         "bench-diff: {compared} metric(s) compared across {} run(s), \
-         {regressions} regression(s) at ±{threshold}%",
+         {regressions} regression(s) at ±{threshold}%, \
+         {new_metrics} new metric(s) skipped",
         base_runs.len()
     );
     if regressions > 0 {
@@ -816,6 +886,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 cfg.max_links = next_arg(&mut it, "--max-links")?
                     .parse()
                     .map_err(|_| "bad --max-links value".to_string())?;
+            }
+            "--adaptive" => {
+                let name = next_arg(&mut it, "--adaptive")?;
+                cfg.adaptive = AdaptiveMode::parse(&name).ok_or_else(|| {
+                    format!("unknown adaptive mode {name:?} (expected on, off, or force-skip)")
+                })?;
             }
             "--stats-json" => stats_json = Some(next_arg(&mut it, "--stats-json")?),
             "--quiet" => quiet = true,

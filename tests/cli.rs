@@ -270,7 +270,9 @@ fn sharded_out_of_core_pipeline() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    // --trace needs the single in-memory run and is refused.
+    // --trace needs the single in-memory run and is refused — with an
+    // error that says why and how to get a traceable input instead of
+    // just naming the incompatibility.
     let out = stj()
         .arg("join")
         .arg(&manifest)
@@ -280,7 +282,12 @@ fn sharded_out_of_core_pipeline() {
         .output()
         .expect("trace join");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("out-of-core"));
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("out-of-core"), "{err}");
+    assert!(err.contains("STJM manifest"), "{err}");
+    assert!(err.contains("single-arena"), "{err}");
+    assert!(err.contains("without --shards"), "{err}");
+    assert!(err.contains("drop --trace"), "{err}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -642,11 +649,125 @@ fn bench_diff_command() {
     assert!(!out.status.success(), "any alloc increase must regress");
     assert!(String::from_utf8_lossy(&out.stdout).contains("allocs: 5000 -> 5001"));
 
+    // A metric the baseline never measured (freshly instrumented) warns
+    // and is skipped rather than failing the diff — old baselines stay
+    // usable until they are refreshed.
+    let fresh = dir.join("fresh.json");
+    std::fs::write(
+        &fresh,
+        "{\"schema\": \"stj-bench/v1\", \"benchmark\": \"join_executor\", \"runs\": [\
+         {\"exec\": \"streaming\", \"threads\": 4, \"wall_ns\": 1000000, \
+         \"pairs_per_sec\": 1000000000, \"links\": 42, \"allocs\": 5000, \
+         \"refine_p99_ns\": 1234}]}",
+    )
+    .unwrap();
+    let out = diff(&base, &fresh, &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains(
+            "NEW      [exec=streaming threads=4] refine_p99_ns: 1234 (not in baseline; skipped)"
+        ),
+        "{text}"
+    );
+    assert!(text.contains("1 new metric(s) skipped"), "{text}");
+    assert!(text.contains("0 regression(s)"), "{text}");
+
     let out = stj()
         .args(["bench-diff", "only-one.json"])
         .output()
         .unwrap();
     assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `stj join --adaptive`: all three modes produce identical sorted
+/// N-Triples, the `--stats-json` report carries the `adaptive` block,
+/// and an unknown mode name is rejected up front.
+#[test]
+fn adaptive_join_modes() {
+    let dir = tempdir("adaptive");
+    let wkt = dir.join("obe.wkt");
+    let bin = dir.join("obe.stjd");
+
+    let out = stj()
+        .args(["generate", "OBE", "0.02"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&bin)
+        .args(["--order", "10"])
+        .output()
+        .expect("preprocess");
+    assert!(out.status.success());
+
+    let mut link_sets = Vec::new();
+    for mode in ["off", "on", "force-skip"] {
+        let nt = dir.join(format!("{mode}.nt"));
+        let json = dir.join(format!("{mode}.json"));
+        let out = stj()
+            .arg("join")
+            .arg(&bin)
+            .arg(&bin)
+            .args(["--adaptive", mode, "--quiet"])
+            .arg("--ntriples")
+            .arg(&nt)
+            .arg("--stats-json")
+            .arg(&json)
+            .output()
+            .expect("adaptive join");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut lines: Vec<String> = std::fs::read_to_string(&nt)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        assert!(!lines.is_empty());
+        lines.sort();
+        link_sets.push(lines);
+
+        // Every report names its mode; the decision trace appears as
+        // soon as the adaptive model actually ran (on / force-skip).
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"adaptive\""), "{report}");
+        assert!(
+            report.contains(&format!("\"mode\": \"{mode}\"")),
+            "missing mode {mode} in {report}"
+        );
+        if mode != "off" {
+            assert!(report.contains("\"classes\""), "{report}");
+            assert!(report.contains("\"verdict\""), "{report}");
+        }
+    }
+    assert_eq!(link_sets[0], link_sets[1], "links diverged under on");
+    assert_eq!(
+        link_sets[0], link_sets[2],
+        "links diverged under force-skip"
+    );
+
+    // Unknown modes are rejected before any work happens.
+    let out = stj()
+        .arg("join")
+        .arg(&bin)
+        .arg(&bin)
+        .args(["--adaptive", "sometimes"])
+        .output()
+        .expect("bad adaptive join");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown adaptive mode"));
 
     let _ = std::fs::remove_dir_all(&dir);
 }
