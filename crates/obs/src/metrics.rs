@@ -93,9 +93,25 @@ impl Gauge {
     /// snapshot must never underflow to `u64::MAX`).
     #[inline]
     pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Adds `n` to the value, updating the peak — for gauges tracking a
+    /// quantity rather than a population count (e.g. queued bytes).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the value, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
         let _ = self
             .value
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
     }
 
     /// Sets an absolute value, updating the peak.
@@ -180,6 +196,12 @@ mod tests {
         assert_eq!(g.peak(), 10);
         g.set(0);
         g.dec(); // saturates, no underflow
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.peak(), 10);
+        g.add(7);
+        g.sub(3);
+        assert_eq!(g.get(), 4);
+        g.sub(100); // saturates, no underflow
         assert_eq!(g.get(), 0);
         assert_eq!(g.peak(), 10);
     }

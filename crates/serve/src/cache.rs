@@ -17,9 +17,17 @@ use stj_obs::{Counter, Json};
 
 const SHARDS: usize = 8;
 
-/// Cache key material: dataset index, result limit, probe WKT bytes.
+/// Cache key material: dataset generation and index, result limit,
+/// probe WKT bytes.
+///
+/// The generation id makes hot-swap safe against in-flight inserts: a
+/// request that started on the old generation and finishes after the
+/// swap inserts under the old id, which no new lookup ever asks for
+/// (the swap also calls [`ProbeCache::clear`], but that alone would
+/// lose the race).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProbeKey {
+    pub generation: u64,
     pub dataset: u32,
     pub limit: u64,
     pub wkt: Vec<u8>,
@@ -27,7 +35,8 @@ pub struct ProbeKey {
 
 impl ProbeKey {
     fn hash(&self) -> u64 {
-        let mut h = fnv1a(&self.dataset.to_le_bytes(), 0xcbf2_9ce4_8422_2325);
+        let mut h = fnv1a(&self.generation.to_le_bytes(), 0xcbf2_9ce4_8422_2325);
+        h = fnv1a(&self.dataset.to_le_bytes(), h);
         h = fnv1a(&self.limit.to_le_bytes(), h);
         fnv1a(&self.wkt, h)
     }
@@ -76,6 +85,8 @@ pub struct ProbeCache {
     pub insertions: Counter,
     /// Entries evicted to stay under budget.
     pub evictions: Counter,
+    /// Whole-cache invalidations (dataset hot-swaps).
+    pub invalidations: Counter,
 }
 
 impl ProbeCache {
@@ -90,7 +101,19 @@ impl ProbeCache {
             misses: Counter::new(),
             insertions: Counter::new(),
             evictions: Counter::new(),
+            invalidations: Counter::new(),
         }
+    }
+
+    /// Drops every entry (dataset hot-swap): stale bodies keyed to the
+    /// old generation would otherwise sit in the budget until evicted.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard lock");
+            s.map.clear();
+            s.bytes = 0;
+        }
+        self.invalidations.inc();
     }
 
     fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
@@ -165,6 +188,7 @@ impl ProbeCache {
             ("misses", self.misses.to_json()),
             ("insertions", self.insertions.to_json()),
             ("evictions", self.evictions.to_json()),
+            ("invalidations", self.invalidations.to_json()),
             ("entries", Json::U64(self.len() as u64)),
             ("bytes", Json::U64(self.bytes() as u64)),
         ])
@@ -177,6 +201,7 @@ mod tests {
 
     fn key(ds: u32, wkt: &str) -> ProbeKey {
         ProbeKey {
+            generation: 1,
             dataset: ds,
             limit: 100,
             wkt: wkt.as_bytes().to_vec(),
@@ -220,6 +245,35 @@ mod tests {
         }
         assert!(c.evictions.get() > 0, "evictions must have occurred");
         assert!(c.bytes() <= 1024 * 1024, "stays under total budget");
+    }
+
+    #[test]
+    fn distinct_generations_are_distinct_entries() {
+        let c = ProbeCache::new(1);
+        let mut a = key(0, "P");
+        a.generation = 1;
+        let mut b = key(0, "P");
+        b.generation = 2;
+        c.put(a.clone(), b"gen1".to_vec());
+        assert_eq!(c.get(&b), None, "new generation must not see old body");
+        c.put(b.clone(), b"gen2".to_vec());
+        assert_eq!(c.get(&a), Some(b"gen1".to_vec()));
+        assert_eq!(c.get(&b), Some(b"gen2".to_vec()));
+    }
+
+    #[test]
+    fn clear_empties_and_counts_invalidation() {
+        let c = ProbeCache::new(1);
+        c.put(key(0, "probe"), b"body".to_vec());
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.invalidations.get(), 1);
+        assert_eq!(c.get(&key(0, "probe")), None);
+        // The cache still accepts fresh entries after a clear.
+        c.put(key(0, "probe"), b"body2".to_vec());
+        assert_eq!(c.get(&key(0, "probe")), Some(b"body2".to_vec()));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct Client {
     addr: String,
     framed: bool,
     stream: Option<BufReader<TcpStream>>,
+    retry_after: Option<u64>,
 }
 
 impl Client {
@@ -25,7 +26,15 @@ impl Client {
             addr: addr.into(),
             framed,
             stream: None,
+            retry_after: None,
         }
+    }
+
+    /// The `Retry-After` seconds from the last response, if the server
+    /// sent one (429 sheds do). Framed 429s imply the protocol-fixed
+    /// 1-second hint.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after
     }
 
     fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
@@ -71,23 +80,27 @@ impl Client {
         body: &[u8],
     ) -> io::Result<(u16, Vec<u8>)> {
         let framed = self.framed;
+        self.retry_after = None;
         let stream = self.connect()?;
         if framed {
             let r = framing::write_request_frame(stream.get_mut(), method, target, body)
                 .and_then(|()| framing::read_response_frame(stream));
-            if r.is_err() {
-                self.stream = None;
+            match &r {
+                Ok((429, _)) => self.retry_after = Some(1),
+                Err(_) => self.stream = None,
+                _ => {}
             }
             r
         } else {
             match http_request(stream, method, target, body) {
-                Ok((status, body, close)) => {
+                Ok((status, body, close, retry_after)) => {
                     // Join responses and server drains close the
                     // connection; drop ours so the next request
                     // reconnects.
                     if close {
                         self.stream = None;
                     }
+                    self.retry_after = retry_after;
                     Ok((status, body))
                 }
                 Err(e) => {
@@ -105,13 +118,18 @@ impl Client {
 }
 
 /// One HTTP request/response on an established connection. The third
-/// element reports whether the server closed the connection.
+/// element reports whether the server closed the connection; the
+/// fourth carries a `Retry-After` seconds hint if the server sent one.
+///
+/// Responses without a `content-length` and with `connection: close`
+/// are read to EOF — that is how the server delimits streamed bodies
+/// (`/v1/discover`).
 fn http_request(
     stream: &mut BufReader<TcpStream>,
     method: &str,
     target: &str,
     body: &[u8],
-) -> io::Result<(u16, Vec<u8>, bool)> {
+) -> io::Result<(u16, Vec<u8>, bool, Option<u64>)> {
     let head = format!(
         "{method} {target} HTTP/1.1\r\nhost: stj\r\ncontent-length: {}\r\n\r\n",
         body.len()
@@ -128,8 +146,9 @@ fn http_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
 
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     let mut close = false;
+    let mut retry_after = None;
     loop {
         let mut line = String::new();
         stream.read_line(&mut line)?;
@@ -140,16 +159,31 @@ fn http_request(
         if let Some((name, value)) = line.split_once(':') {
             let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.parse().map_err(|_| {
+                content_length = Some(value.parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+                })?);
             } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
             {
                 close = true;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse().ok();
             }
         }
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-    Ok((status, body, close))
+    let body = match content_length {
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            stream.read_exact(&mut body)?;
+            body
+        }
+        // Streamed body: EOF-delimited (the server set connection:
+        // close and writes until the stream is done).
+        None if close => {
+            let mut body = Vec::new();
+            stream.read_to_end(&mut body)?;
+            body
+        }
+        None => Vec::new(),
+    };
+    Ok((status, body, close, retry_after))
 }

@@ -83,6 +83,32 @@ pub fn read_request_frame(r: &mut impl Read) -> Result<FramedRequest, FrameError
             other => other?,
         }
     }
+    decode_payload(&payload)
+}
+
+/// Incrementally parses one request frame from the front of `buf` (the
+/// connection magic must already have been consumed). Returns
+/// `Ok(None)` when more bytes are needed, or the decoded frame plus the
+/// byte count it consumed; leftover bytes belong to the next frame. The
+/// size cap is enforced as soon as the length prefix is readable, so a
+/// hostile length never allocates.
+pub fn parse_request_frame(buf: &[u8]) -> Result<Option<(FramedRequest, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge);
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let req = decode_payload(&buf[4..4 + len])?;
+    Ok(Some((req, 4 + len)))
+}
+
+/// Decodes a frame payload (`"<METHOD> <target>\n<body>"`).
+fn decode_payload(payload: &[u8]) -> Result<FramedRequest, FrameError> {
     let newline = payload
         .iter()
         .position(|&b| b == b'\n')
@@ -104,13 +130,21 @@ pub fn read_request_frame(r: &mut impl Read) -> Result<FramedRequest, FrameError
 
 /// Writes one response frame.
 pub fn write_response_frame(w: &mut impl Write, status: u16, body: &[u8]) -> io::Result<usize> {
-    let head = format!("{status}\n");
-    let len = (head.len() + body.len()) as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(head.as_bytes())?;
-    w.write_all(body)?;
+    let bytes = render_response_frame(status, body);
+    w.write_all(&bytes)?;
     w.flush()?;
-    Ok(4 + head.len() + body.len())
+    Ok(bytes.len())
+}
+
+/// Renders one response frame to bytes (for the reactor's queued
+/// write-out).
+pub fn render_response_frame(status: u16, body: &[u8]) -> Vec<u8> {
+    let head = format!("{status}\n");
+    let mut out = Vec::with_capacity(4 + head.len() + body.len());
+    out.extend_from_slice(&((head.len() + body.len()) as u32).to_le_bytes());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body);
+    out
 }
 
 /// Writes one request frame (client side).
@@ -197,6 +231,35 @@ mod tests {
         assert!(matches!(
             read_request_frame(&mut &b""[..]),
             Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn parse_request_frame_is_incremental() {
+        let mut full = Vec::new();
+        write_request_frame(&mut full, "POST", "/v1/relate?dataset=0", b"wkt").unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                parse_request_frame(&full[..cut]).expect("prefix").is_none(),
+                "cut at {cut} must want more bytes"
+            );
+        }
+        // Two frames back to back: consumed points at the second.
+        let mut two = full.clone();
+        write_request_frame(&mut two, "GET", "/stats", b"").unwrap();
+        let (first, consumed) = parse_request_frame(&two).expect("parse").expect("complete");
+        assert_eq!(first.target, "/v1/relate?dataset=0");
+        assert_eq!(consumed, full.len());
+        let (second, rest) = parse_request_frame(&two[consumed..])
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(second.target, "/stats");
+        assert_eq!(consumed + rest, two.len());
+        // Oversized length prefix errors before the payload arrives.
+        let huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes();
+        assert!(matches!(
+            parse_request_frame(&huge),
+            Err(FrameError::TooLarge)
         ));
     }
 

@@ -72,25 +72,51 @@ impl std::fmt::Display for RecvError {
 ///
 /// Tolerates arbitrary fragmentation: the head is accumulated until the
 /// blank line, and any body bytes that arrived in the same segments are
-/// carried over before the exact remainder is read.
+/// carried over before the exact remainder is read. Bytes glued past
+/// the declared body (a pipelined next request) are rejected — this
+/// blocking entry point serves one request at a time; the reactor's
+/// buffer-based [`parse_request`] keeps leftovers for the next parse
+/// instead.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, RecvError> {
     let mut buf: Vec<u8> = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(RecvError::HeadTooLarge);
+    loop {
+        if let Some((req, consumed)) = parse_request(&buf)? {
+            if buf.len() > consumed {
+                return Err(RecvError::Malformed(
+                    "body longer than content-length".into(),
+                ));
+            }
+            return Ok(req);
         }
         let n = stream.read(&mut chunk).map_err(RecvError::Io)?;
         if n == 0 {
-            if buf.is_empty() {
-                return Err(RecvError::Closed);
-            }
-            return Err(RecvError::Malformed("eof inside request head".into()));
+            return Err(if buf.is_empty() {
+                RecvError::Closed
+            } else if find_head_end(&buf).is_none() {
+                RecvError::Malformed("eof inside request head".into())
+            } else {
+                RecvError::Malformed("eof inside request body".into())
+            });
         }
         buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, or
+/// `Ok(Some((request, consumed)))` when a complete request occupies
+/// `buf[..consumed]` — the caller keeps any remaining bytes for the
+/// next parse, which is what makes the reactor tolerant of pipelined
+/// clients. Size caps are enforced before the body accumulates: an
+/// oversized head or declared body errors as soon as it is detectable.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, RecvError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RecvError::HeadTooLarge);
+        }
+        return Ok(None);
     };
     if head_end > MAX_HEAD_BYTES {
         return Err(RecvError::HeadTooLarge);
@@ -147,24 +173,12 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RecvError> {
         return Err(RecvError::BodyTooLarge);
     }
 
-    // Body bytes that arrived glued to the head.
     let body_start = head_end + 4;
-    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
-    if body.len() > content_length {
-        // Pipelined extra bytes are not supported; treat as malformed
-        // rather than silently desynchronising the stream.
-        return Err(RecvError::Malformed(
-            "body longer than content-length".into(),
-        ));
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(None);
     }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(RecvError::Io)?;
-        if n == 0 {
-            return Err(RecvError::Malformed("eof inside request body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
+    let body = buf[body_start..total].to_vec();
 
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -184,13 +198,16 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, RecvError> {
         }
     }
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-        keep_alive,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query,
+            body,
+            keep_alive,
+        },
+        total,
+    )))
 }
 
 /// Position of the `\r\n\r\n` separator, if present.
@@ -281,6 +298,25 @@ pub fn write_response(
     Ok(head.len() + body.len())
 }
 
+/// Renders the head of a streaming response: no `content-length`, the
+/// connection always closes, and the body is delimited by EOF. Used by
+/// `/v1/discover`, whose output is produced in chunks under
+/// write-readiness backpressure rather than buffered whole.
+pub fn streaming_head(status: u16, content_type: &str, extra_headers: &[(&str, &str)]) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\nconnection: close\r\n",
+        reason(status),
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +382,45 @@ mod tests {
             let r = read_request(&mut &full[..cut]);
             assert!(r.is_err(), "cut at {cut} should not yield a request");
         }
+    }
+
+    #[test]
+    fn parse_request_is_incremental() {
+        let raw = b"POST /v1/relate?dataset=0 HTTP/1.1\r\ncontent-length: 7\r\n\r\npayload";
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).expect("prefix parses").is_none(),
+                "cut at {cut} must want more bytes"
+            );
+        }
+        let (req, consumed) = parse_request(raw).expect("parse").expect("complete");
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"payload");
+    }
+
+    #[test]
+    fn parse_request_leaves_pipelined_bytes() {
+        let mut raw = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        raw.extend_from_slice(b"GET /stats HTTP/1.1\r\n\r\n");
+        let (first, consumed) = parse_request(&raw).expect("parse").expect("complete");
+        assert_eq!(first.path, "/healthz");
+        let (second, consumed2) = parse_request(&raw[consumed..])
+            .expect("parse")
+            .expect("complete");
+        assert_eq!(second.path, "/stats");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn streaming_head_has_no_content_length() {
+        let head = streaming_head(200, "application/x-ndjson", &[("x-a", "b")]);
+        let text = std::str::from_utf8(&head).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("x-a: b\r\n"), "{text}");
+        assert!(!text.contains("content-length"), "{text}");
+        assert!(text.ends_with("\r\n\r\n"), "{text}");
     }
 
     #[test]

@@ -24,19 +24,25 @@
 
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub mod discover;
 pub mod framing;
+pub mod generation;
 pub mod http;
 pub mod pool;
 pub mod query;
+pub mod reactor;
 pub mod stats;
 
 pub use cache::{ProbeCache, ProbeKey};
 pub use client::Client;
-pub use pool::{install_signal_handlers, Server, ShutdownFlag};
-pub use query::{dispatch, Response};
-pub use stats::{Endpoint, ServeStats};
+pub use generation::{Generation, GenerationCell};
+pub use pool::{install_signal_handlers, sighup_requested, Server, ShutdownFlag};
+pub use query::{dispatch, Reply, Response};
+pub use stats::{ConnState, Endpoint, ServeStats};
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 use stj_core::{AdaptiveMode, AdaptiveModel, DatasetArena};
 use stj_index::Tiling;
@@ -60,6 +66,15 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Server-side cap on links returned by `/v1/join`.
     pub max_links: u64,
+    /// Idle keep-alive deadline in milliseconds: a connection with no
+    /// traffic for this long is closed (0 falls back to the default).
+    pub idle_ms: u64,
+    /// Header-read deadline in milliseconds: a connection that has
+    /// started a request head must deliver the complete request within
+    /// this window or be closed — the slow-loris bound. Activity does
+    /// not reset it (that is exactly the attack), only request
+    /// completion does. 0 falls back to the default.
+    pub header_ms: u64,
     /// Adaptive filter-ordering mode (see [`stj_core::adaptive`]). The
     /// server keeps one resident model that warms across relate
     /// requests; `/v1/join` runs apply the same mode per run. Default
@@ -76,6 +91,8 @@ impl Default for ServeConfig {
             cache_mb: 64,
             deadline_ms: 2000,
             max_links: 100_000,
+            idle_ms: 5000,
+            header_ms: 2000,
             adaptive: AdaptiveMode::On,
         }
     }
@@ -91,6 +108,16 @@ impl ServeConfig {
         }
     }
 
+    /// The idle deadline after resolving `0` to the default.
+    pub fn idle_deadline(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(if self.idle_ms > 0 { self.idle_ms } else { 5000 })
+    }
+
+    /// The header-read deadline after resolving `0` to the default.
+    pub fn header_deadline(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(if self.header_ms > 0 { self.header_ms } else { 2000 })
+    }
+
     /// The config block embedded in `/stats`.
     pub fn to_json(&self) -> Json {
         Json::object([
@@ -100,6 +127,11 @@ impl ServeConfig {
             ("cache_mb", Json::U64(self.cache_mb as u64)),
             ("deadline_ms", Json::U64(self.deadline_ms)),
             ("max_links", Json::U64(self.max_links)),
+            ("idle_ms", Json::U64(self.idle_deadline().as_millis() as u64)),
+            (
+                "header_ms",
+                Json::U64(self.header_deadline().as_millis() as u64),
+            ),
             ("adaptive", Json::str(self.adaptive.label())),
         ])
     }
@@ -150,12 +182,14 @@ pub fn load_datasets(paths: &[impl AsRef<Path>]) -> Result<Vec<LoadedDataset>, S
     Ok(out)
 }
 
-/// Shared server state: config, datasets, cache, metrics.
+/// Shared server state: config, the swappable dataset generation,
+/// cache, metrics.
 pub struct ServeCtx {
     /// The resolved configuration.
     pub config: ServeConfig,
-    /// Loaded datasets, in `--data` order.
-    pub datasets: Vec<LoadedDataset>,
+    /// The live dataset generation (hot-swapped by reloads; requests
+    /// pin the generation they started on via [`ServeCtx::generation`]).
+    pub generations: GenerationCell,
     /// The probe-result cache.
     pub cache: ProbeCache,
     /// Service metrics backing `/stats`.
@@ -169,30 +203,44 @@ pub struct ServeCtx {
 }
 
 impl ServeCtx {
-    /// Builds the shared state.
+    /// Builds the shared state; `datasets` becomes generation 1.
     pub fn new(config: ServeConfig, datasets: Vec<LoadedDataset>) -> ServeCtx {
-        ServeCtx {
+        let ctx = ServeCtx {
             cache: ProbeCache::new(config.cache_mb),
             stats: ServeStats::new(),
             adaptive: AdaptiveModel::new(config.adaptive),
             started: Instant::now(),
+            generations: GenerationCell::new(datasets),
             config,
-            datasets,
-        }
+        };
+        ctx.stats.generation.set(1);
+        ctx
     }
 
-    /// Resolves a dataset by name, or by decimal index into the
-    /// `--data` order.
-    pub fn find_dataset(&self, key: &str) -> Option<(usize, &LoadedDataset)> {
-        if let Some((i, ds)) = self
-            .datasets
-            .iter()
-            .enumerate()
-            .find(|(_, d)| d.name == key)
-        {
-            return Some((i, ds));
+    /// The live generation, pinned for the caller's lifetime — a
+    /// request resolves this once and serves entirely from it, so a
+    /// concurrent hot-swap cannot mix generations within one response.
+    pub fn generation(&self) -> Arc<Generation> {
+        self.generations.current()
+    }
+
+    /// Hot-swaps in a freshly loaded generation (see
+    /// [`GenerationCell::reload`]) and invalidates the probe cache. On
+    /// error the old generation and cache stay untouched.
+    pub fn reload(&self, override_paths: Option<Vec<std::path::PathBuf>>) -> Result<Arc<Generation>, String> {
+        match self.generations.reload(override_paths) {
+            Ok(fresh) => {
+                // New lookups key on the new generation id already; the
+                // clear just releases the old entries' memory promptly.
+                self.cache.clear();
+                self.stats.reloads.inc();
+                self.stats.generation.set(fresh.id);
+                Ok(fresh)
+            }
+            Err(e) => {
+                self.stats.reload_errors.inc();
+                Err(e)
+            }
         }
-        let i: usize = key.parse().ok()?;
-        self.datasets.get(i).map(|d| (i, d))
     }
 }

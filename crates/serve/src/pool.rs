@@ -57,25 +57,41 @@ impl ShutdownFlag {
 /// Set by the signal handler; observed by every [`ShutdownFlag`].
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
 
-/// Installs SIGINT/SIGTERM handlers that request a graceful drain.
+/// Set by the SIGHUP handler; consumed by [`sighup_requested`].
+static SIGHUPPED: AtomicBool = AtomicBool::new(false);
+
+/// Consumes a pending SIGHUP hot-reload request: `true` exactly once
+/// per delivered signal.
+pub fn sighup_requested() -> bool {
+    SIGHUPPED.swap(false, Ordering::SeqCst)
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain, and
+/// a SIGHUP handler that requests a dataset hot-reload.
 ///
 /// Uses the raw `signal(2)` C ABI directly — the workspace builds
-/// offline with no libc crate — and the handler only stores to an
+/// offline with no libc crate — and the handlers only store to an
 /// `AtomicBool`, which is async-signal-safe.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" fn on_signal(_sig: i32) {
         SIGNALLED.store(true, Ordering::SeqCst);
     }
+    extern "C" fn on_sighup(_sig: i32) {
+        SIGHUPPED.store(true, Ordering::SeqCst);
+    }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let handler = on_signal as extern "C" fn(i32) as usize;
+    let hup = on_sighup as extern "C" fn(i32) as usize;
     unsafe {
         signal(SIGINT, handler);
         signal(SIGTERM, handler);
+        signal(SIGHUP, hup);
     }
 }
 
@@ -165,7 +181,26 @@ impl Server {
     }
 
     /// Serves until shutdown is requested, then drains and returns.
+    ///
+    /// On Linux this runs the readiness-based [`crate::reactor`] (set
+    /// `STJ_SERVE_REACTOR=0` to force the blocking pool); elsewhere it
+    /// falls back to the thread-per-connection pool below.
     pub fn run(&self) -> io::Result<()> {
+        let use_reactor = crate::reactor::supported()
+            && std::env::var("STJ_SERVE_REACTOR").map_or(true, |v| v != "0");
+        if use_reactor {
+            return crate::reactor::run(
+                self.listener.try_clone()?,
+                Arc::clone(&self.ctx),
+                self.shutdown.clone(),
+            );
+        }
+        self.run_blocking()
+    }
+
+    /// The portable blocking pool: accept thread + bounded connection
+    /// queue + worker-per-connection serving.
+    fn run_blocking(&self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let queue = Arc::new(ConnQueue::new(self.ctx.config.queue_depth));
         let threads = self.ctx.config.effective_threads();
@@ -203,6 +238,16 @@ impl Server {
 
             // Accept loop (runs on the caller's thread).
             while !self.shutdown.requested() {
+                if sighup_requested() {
+                    // Reload on a throwaway thread so slow dataset loads
+                    // never stall accepting.
+                    let ctx = Arc::clone(&self.ctx);
+                    std::thread::spawn(move || {
+                        if let Err(e) = ctx.reload(None) {
+                            eprintln!("stj-serve: SIGHUP reload failed: {e}");
+                        }
+                    });
+                }
                 match self.listener.accept() {
                     Ok((conn, _peer)) => {
                         self.ctx.stats.connections.inc();

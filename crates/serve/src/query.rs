@@ -2,14 +2,24 @@
 //! binary-framing transports.
 //!
 //! Every handler is a pure function of `(ServeCtx, request)` →
-//! [`Response`]; transports only differ in how bytes get on and off the
-//! wire. Errors are structured JSON
+//! [`Reply`]; transports only differ in how bytes get on and off the
+//! wire. Most endpoints produce a buffered [`Response`]; `/v1/discover`
+//! produces a [`Reply::Stream`] when the transport can stream (the
+//! reactor's HTTP path), and is drained into a buffered response
+//! everywhere else. Errors are structured JSON
 //! (`{"error": {"code", "kind", "message"}}`) so clients can branch on
 //! `kind` without parsing prose.
+//!
+//! Each dispatch pins the live dataset [`crate::Generation`] exactly
+//! once and resolves everything through it, so a concurrent hot-swap
+//! (`POST /v1/admin/reload`, SIGHUP) never mixes generations within one
+//! response.
 
+use crate::discover::{DiscoverFormat, DiscoverStream};
 use crate::http::percent_decode;
-use crate::{Endpoint, ProbeKey, ServeCtx};
+use crate::{Endpoint, Generation, ProbeKey, ServeCtx};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stj_core::{
     find_relation_adaptive_with, find_relation_with, AdaptiveWorker, Determination, JoinBounds,
@@ -67,12 +77,46 @@ impl Response {
     }
 }
 
+/// What a handler produced: a buffered response, or a streaming job the
+/// transport pulls chunks from (only `/v1/discover` streams today, and
+/// only over the reactor's HTTP path — chunked pull with
+/// write-readiness backpressure is what keeps its memory bounded).
+pub enum Reply {
+    /// A fully rendered response.
+    Full(Response),
+    /// A chunk-at-a-time body; the head is `200` with the stream's
+    /// content type, no `content-length`, and `connection: close`.
+    Stream(DiscoverStream),
+}
+
+impl Reply {
+    /// Collapses a stream into a buffered response (non-streaming
+    /// transports and the plain [`dispatch`] entry point).
+    pub fn into_response(self, ctx: &ServeCtx, scratch: &mut RelateScratch) -> Response {
+        match self {
+            Reply::Full(r) => r,
+            Reply::Stream(mut s) => {
+                let content_type = s.content_type();
+                Response {
+                    status: 200,
+                    content_type,
+                    body: s.drain_to_vec(ctx, scratch),
+                    close: true,
+                    truncated: false,
+                }
+            }
+        }
+    }
+}
+
 /// Which endpoint family a path belongs to (for per-endpoint latency).
 pub fn endpoint_of(path: &str) -> Endpoint {
     match path {
         "/v1/relate" => Endpoint::Relate,
         "/v1/pair" => Endpoint::Pair,
         "/v1/join" => Endpoint::Join,
+        "/v1/discover" => Endpoint::Discover,
+        "/v1/admin/reload" => Endpoint::Admin,
         "/stats" | "/metrics" => Endpoint::Stats,
         _ => Endpoint::Other,
     }
@@ -99,8 +143,8 @@ pub fn dispatch(
 }
 
 /// Dispatches one request to its handler, threading the caller's relate
-/// scratch into the geometry-touching endpoints (`/v1/relate`,
-/// `/v1/pair`).
+/// scratch into the geometry-touching endpoints. Streams are drained
+/// into a buffered response.
 pub fn dispatch_with(
     ctx: &ServeCtx,
     method: &str,
@@ -109,24 +153,47 @@ pub fn dispatch_with(
     body: &[u8],
     scratch: &mut RelateScratch,
 ) -> Response {
+    dispatch_reply(ctx, method, path, query, body, scratch).into_response(ctx, scratch)
+}
+
+/// The full dispatcher. `/v1/discover` returns [`Reply::Stream`];
+/// transports that can stream drive it chunk by chunk, everything else
+/// collapses it with [`Reply::into_response`].
+pub fn dispatch_reply(
+    ctx: &ServeCtx,
+    method: &str,
+    path: &str,
+    query: &[(String, String)],
+    body: &[u8],
+    scratch: &mut RelateScratch,
+) -> Reply {
+    // Pin the generation once; everything below resolves through it.
+    let gen = ctx.generation();
+    let full = |r: Response| Reply::Full(r);
     match (method, path) {
-        ("GET", "/healthz") => Response::json(200, &Json::object([("ok", Json::Bool(true))])),
-        ("GET", "/stats") => handle_stats(ctx),
-        ("GET", "/metrics") => handle_metrics(ctx),
-        ("GET", "/v1/datasets") => handle_datasets(ctx),
-        ("POST", "/v1/relate") => handle_relate(ctx, query, body, scratch),
-        ("GET", "/v1/pair") => handle_pair(ctx, query, scratch),
-        ("POST", "/v1/join") => handle_join(ctx, query),
+        ("GET", "/healthz") => full(Response::json(200, &Json::object([("ok", Json::Bool(true))]))),
+        ("GET", "/stats") => full(handle_stats(ctx, &gen)),
+        ("GET", "/metrics") => full(handle_metrics(ctx, &gen)),
+        ("GET", "/v1/datasets") => full(handle_datasets(&gen)),
+        ("POST", "/v1/relate") => full(handle_relate(ctx, &gen, query, body, scratch)),
+        ("GET", "/v1/pair") => full(handle_pair(&gen, query, scratch)),
+        ("POST", "/v1/join") => full(handle_join(ctx, &gen, query)),
+        ("POST", "/v1/discover") => handle_discover(gen, query, body),
+        ("POST", "/v1/admin/reload") => full(handle_reload(ctx, body)),
         (
             _,
             "/healthz" | "/stats" | "/metrics" | "/v1/datasets" | "/v1/relate" | "/v1/pair"
-            | "/v1/join",
-        ) => Response::error(
+            | "/v1/join" | "/v1/discover" | "/v1/admin/reload",
+        ) => full(Response::error(
             405,
             "method_not_allowed",
             format!("{method} not allowed here"),
-        ),
-        _ => Response::error(404, "not_found", format!("no such endpoint: {path}")),
+        )),
+        _ => full(Response::error(
+            404,
+            "not_found",
+            format!("no such endpoint: {path}"),
+        )),
     }
 }
 
@@ -137,7 +204,8 @@ pub fn dispatch_target(ctx: &ServeCtx, method: &str, target: &str, body: &[u8]) 
     dispatch_target_with(ctx, method, target, body, &mut RelateScratch::default())
 }
 
-/// [`dispatch_target`] threading the caller's relate scratch.
+/// [`dispatch_target`] threading the caller's relate scratch. Framed
+/// transports never stream, so discover replies are drained.
 pub fn dispatch_target_with(
     ctx: &ServeCtx,
     method: &str,
@@ -145,12 +213,24 @@ pub fn dispatch_target_with(
     body: &[u8],
     scratch: &mut RelateScratch,
 ) -> Response {
+    match parse_target(target) {
+        Ok((path, query)) => dispatch_with(ctx, method, &path, &query, body, scratch),
+        Err(r) => r,
+    }
+}
+
+/// Splits and percent-decodes a request target into `(path, query)`.
+pub fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), Response> {
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
     let Some(path) = percent_decode(path_raw) else {
-        return Response::error(400, "bad_target", "bad percent-encoding in path");
+        return Err(Response::error(
+            400,
+            "bad_target",
+            "bad percent-encoding in path",
+        ));
     };
     let mut query = Vec::new();
     if let Some(qs) = query_raw {
@@ -158,15 +238,21 @@ pub fn dispatch_target_with(
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             match (percent_decode(k), percent_decode(v)) {
                 (Some(k), Some(v)) => query.push((k, v)),
-                _ => return Response::error(400, "bad_target", "bad percent-encoding in query"),
+                _ => {
+                    return Err(Response::error(
+                        400,
+                        "bad_target",
+                        "bad percent-encoding in query",
+                    ))
+                }
             }
         }
     }
-    dispatch_with(ctx, method, &path, &query, body, scratch)
+    Ok((path, query))
 }
 
-fn handle_stats(ctx: &ServeCtx) -> Response {
-    let datasets: Vec<(String, usize, bool, &'static str)> = ctx
+fn handle_stats(ctx: &ServeCtx, gen: &Generation) -> Response {
+    let datasets: Vec<(String, usize, bool, &'static str)> = gen
         .datasets
         .iter()
         .map(|d| {
@@ -180,6 +266,7 @@ fn handle_stats(ctx: &ServeCtx) -> Response {
         .collect();
     let doc = ctx.stats.render(
         ctx.started,
+        gen.id,
         &datasets,
         ctx.cache.to_json(),
         ctx.config.to_json(),
@@ -190,7 +277,7 @@ fn handle_stats(ctx: &ServeCtx) -> Response {
 
 /// `GET /metrics`: the same counters as `/stats`, rendered in the
 /// Prometheus text exposition format for scrapers.
-fn handle_metrics(ctx: &ServeCtx) -> Response {
+fn handle_metrics(ctx: &ServeCtx, gen: &Generation) -> Response {
     let s = &ctx.stats;
     let mut w = stj_obs::PromWriter::new();
     w.gauge(
@@ -198,6 +285,24 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
         "Seconds since the server started.",
         &[],
         ctx.started.elapsed().as_secs_f64(),
+    );
+    w.gauge(
+        "stj_serve_generation",
+        "The live dataset generation id (bumped by each reload).",
+        &[],
+        gen.id as f64,
+    );
+    w.counter(
+        "stj_serve_reloads_total",
+        "Dataset reloads, by outcome.",
+        &[("outcome", "ok")],
+        s.reloads.get(),
+    );
+    w.counter(
+        "stj_serve_reloads_total",
+        "Dataset reloads, by outcome.",
+        &[("outcome", "error")],
+        s.reload_errors.get(),
     );
     w.counter(
         "stj_serve_requests_total",
@@ -225,7 +330,7 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
     }
     w.counter(
         "stj_serve_rejected_total",
-        "Connections shed with 429 because the accept queue was full.",
+        "Requests shed with 429 because the job queue was full.",
         &[],
         s.rejected_429.get(),
     );
@@ -256,14 +361,37 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
         s.connections.get(),
     );
     w.gauge(
+        "stj_serve_open_connections",
+        "Connections currently open (reactor transports).",
+        &[],
+        s.open_connections.get() as f64,
+    );
+    w.gauge(
+        "stj_serve_write_backlog_bytes",
+        "Bytes queued for write-out across open connections.",
+        &[],
+        s.write_backlog_bytes.get() as f64,
+    );
+    for (cause, counter) in [
+        ("idle", &s.idle_timeouts),
+        ("header", &s.header_timeouts),
+    ] {
+        w.counter(
+            "stj_serve_connection_timeouts_total",
+            "Connections closed by a deadline, by cause.",
+            &[("cause", cause)],
+            counter.get(),
+        );
+    }
+    w.gauge(
         "stj_serve_queue_depth",
-        "Accept-queue depth.",
+        "Job-queue depth between transports and the worker pool.",
         &[],
         s.queue_depth.get() as f64,
     );
     w.gauge(
         "stj_serve_queue_depth_peak",
-        "High-water mark of the accept-queue depth.",
+        "High-water mark of the job-queue depth.",
         &[],
         s.queue_depth.peak() as f64,
     );
@@ -284,6 +412,7 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
         ("miss", &ctx.cache.misses),
         ("insertion", &ctx.cache.insertions),
         ("eviction", &ctx.cache.evictions),
+        ("invalidation", &ctx.cache.invalidations),
     ] {
         w.counter(
             "stj_serve_cache_events_total",
@@ -292,7 +421,7 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
             counter.get(),
         );
     }
-    for d in &ctx.datasets {
+    for d in &gen.datasets {
         w.gauge(
             "stj_serve_dataset_objects",
             "Objects loaded, per dataset.",
@@ -308,6 +437,14 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
             &s.latency(ep).snapshot(),
         );
     }
+    for st in crate::ConnState::ALL {
+        w.histogram(
+            "stj_serve_state_latency_ns",
+            "Per-request lifecycle stage latency in nanoseconds.",
+            &[("state", st.name())],
+            &s.state_latency(st).snapshot(),
+        );
+    }
     Response {
         status: 200,
         content_type: stj_obs::prom::CONTENT_TYPE,
@@ -317,8 +454,8 @@ fn handle_metrics(ctx: &ServeCtx) -> Response {
     }
 }
 
-fn handle_datasets(ctx: &ServeCtx) -> Response {
-    let items: Vec<Json> = ctx
+fn handle_datasets(gen: &Generation) -> Response {
+    let items: Vec<Json> = gen
         .datasets
         .iter()
         .enumerate()
@@ -332,7 +469,13 @@ fn handle_datasets(ctx: &ServeCtx) -> Response {
             ])
         })
         .collect();
-    Response::json(200, &Json::object([("datasets", Json::Arr(items))]))
+    Response::json(
+        200,
+        &Json::object([
+            ("generation", Json::U64(gen.id)),
+            ("datasets", Json::Arr(items)),
+        ]),
+    )
 }
 
 /// The deadline for a request starting now (None when disabled).
@@ -359,6 +502,7 @@ fn qp<'a>(query: &'a [(String, String)], key: &str) -> Option<&'a str> {
 
 fn handle_relate(
     ctx: &ServeCtx,
+    gen: &Generation,
     query: &[(String, String)],
     body: &[u8],
     scratch: &mut RelateScratch,
@@ -371,7 +515,7 @@ fn handle_relate(
             "query parameter `dataset` is required",
         );
     };
-    let Some((ds_idx, ds)) = ctx.find_dataset(ds_key) else {
+    let Some((ds_idx, ds)) = gen.find_dataset(ds_key) else {
         return Response::error(404, "unknown_dataset", format!("no dataset {ds_key:?}"));
     };
     let limit = match q("limit") {
@@ -383,6 +527,7 @@ fn handle_relate(
     };
 
     let key = ProbeKey {
+        generation: gen.id,
         dataset: ds_idx as u32,
         limit,
         wkt: body.to_vec(),
@@ -509,12 +654,12 @@ fn handle_relate(
 }
 
 /// Resolves a dataset and an object index within it.
-fn resolve_object<'c>(
-    ctx: &'c ServeCtx,
+fn resolve_object<'g>(
+    gen: &'g Generation,
     query: &[(String, String)],
     ds_param: &str,
     idx_param: &str,
-) -> Result<(&'c crate::LoadedDataset, usize), Response> {
+) -> Result<(&'g crate::LoadedDataset, usize), Response> {
     let q = |key: &str| qp(query, key);
     let Some(ds_key) = q(ds_param) else {
         return Err(Response::error(
@@ -523,7 +668,7 @@ fn resolve_object<'c>(
             format!("query parameter `{ds_param}` is required"),
         ));
     };
-    let Some((_, ds)) = ctx.find_dataset(ds_key) else {
+    let Some((_, ds)) = gen.find_dataset(ds_key) else {
         return Err(Response::error(
             404,
             "unknown_dataset",
@@ -559,15 +704,15 @@ fn resolve_object<'c>(
 }
 
 fn handle_pair(
-    ctx: &ServeCtx,
+    gen: &Generation,
     query: &[(String, String)],
     scratch: &mut RelateScratch,
 ) -> Response {
-    let (left, i) = match resolve_object(ctx, query, "left", "i") {
+    let (left, i) = match resolve_object(gen, query, "left", "i") {
         Ok(v) => v,
         Err(r) => return r,
     };
-    let (right, j) = match resolve_object(ctx, query, "right", "j") {
+    let (right, j) = match resolve_object(gen, query, "right", "j") {
         Ok(v) => v,
         Err(r) => return r,
     };
@@ -595,7 +740,7 @@ fn handle_pair(
     )
 }
 
-fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
+fn handle_join(ctx: &ServeCtx, gen: &Generation, query: &[(String, String)]) -> Response {
     let q = |key: &str| qp(query, key);
     let resolve = |param: &str| -> Result<&crate::LoadedDataset, Response> {
         let Some(key) = q(param) else {
@@ -605,7 +750,7 @@ fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
                 format!("query parameter `{param}` is required"),
             ));
         };
-        ctx.find_dataset(key)
+        gen.find_dataset(key)
             .map(|(_, d)| d)
             .ok_or_else(|| Response::error(404, "unknown_dataset", format!("no dataset {key:?}")))
     };
@@ -690,6 +835,97 @@ fn handle_join(ctx: &ServeCtx, query: &[(String, String)]) -> Response {
     }
 }
 
+/// `POST /v1/discover`: bulk link discovery of the WKT set in the body
+/// against one dataset. Query parameters: `dataset` (required),
+/// `format` (`ndjson` default, `nt` for GeoSPARQL N-Triples), `name`
+/// (probe naming for N-Triples subjects, default `probes`).
+fn handle_discover(gen: Arc<Generation>, query: &[(String, String)], body: &[u8]) -> Reply {
+    let q = |key: &str| qp(query, key);
+    let Some(ds_key) = q("dataset") else {
+        return Reply::Full(Response::error(
+            400,
+            "missing_param",
+            "query parameter `dataset` is required",
+        ));
+    };
+    let Some((ds_idx, _)) = gen.find_dataset(ds_key) else {
+        return Reply::Full(Response::error(
+            404,
+            "unknown_dataset",
+            format!("no dataset {ds_key:?}"),
+        ));
+    };
+    let format = match q("format") {
+        None => DiscoverFormat::Ndjson,
+        Some(f) => match DiscoverFormat::parse(f) {
+            Some(f) => f,
+            None => {
+                return Reply::Full(Response::error(
+                    400,
+                    "bad_param",
+                    format!("unknown format {f:?} (expected ndjson or nt)"),
+                ))
+            }
+        },
+    };
+    let name = q("name").unwrap_or("probes").to_string();
+    let probes = match read_wkt_polygons(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::Full(Response::error(400, "bad_wkt", e.to_string())),
+    };
+    if probes.is_empty() {
+        return Reply::Full(Response::error(
+            400,
+            "bad_wkt",
+            "request body contains no polygons",
+        ));
+    }
+    Reply::Stream(DiscoverStream::new(gen, ds_idx, probes, format, name))
+}
+
+/// `POST /v1/admin/reload`: hot-swap in a freshly loaded dataset
+/// generation. An empty body re-reads the `--data` paths from startup;
+/// a non-empty body is a newline-separated list of STJD paths that
+/// replaces the configured set. Responds 200 with the new generation,
+/// 409 when no paths are available (in-memory server), 500 when
+/// loading failed (old generation stays live).
+fn handle_reload(ctx: &ServeCtx, body: &[u8]) -> Response {
+    let override_paths: Option<Vec<std::path::PathBuf>> = match std::str::from_utf8(body) {
+        Ok(text) => {
+            let paths: Vec<std::path::PathBuf> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(std::path::PathBuf::from)
+                .collect();
+            (!paths.is_empty()).then_some(paths)
+        }
+        Err(_) => {
+            return Response::error(400, "bad_body", "reload body must be UTF-8 paths");
+        }
+    };
+    match ctx.reload(override_paths) {
+        Ok(fresh) => {
+            let names: Vec<Json> = fresh
+                .datasets
+                .iter()
+                .map(|d| Json::str(d.name.clone()))
+                .collect();
+            Response::json(
+                200,
+                &Json::object([
+                    ("generation", Json::U64(fresh.id)),
+                    ("datasets", Json::Arr(names)),
+                ]),
+            )
+        }
+        Err(e) if e.contains("no dataset paths") => {
+            Response::error(409, "reload_unavailable", e)
+        }
+        Err(e) => Response::error(500, "reload_failed", e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +964,19 @@ mod tests {
         assert_eq!(dispatch(&ctx, "GET", "/healthz", &[], b"").status, 200);
         assert_eq!(dispatch(&ctx, "GET", "/nope", &[], b"").status, 404);
         assert_eq!(dispatch(&ctx, "DELETE", "/stats", &[], b"").status, 405);
+        assert_eq!(dispatch(&ctx, "GET", "/v1/discover", &[], b"").status, 405);
+        assert_eq!(
+            dispatch(&ctx, "GET", "/v1/admin/reload", &[], b"").status,
+            405
+        );
+    }
+
+    #[test]
+    fn endpoint_families_cover_new_paths() {
+        assert_eq!(endpoint_of("/v1/discover"), Endpoint::Discover);
+        assert_eq!(endpoint_of("/v1/admin/reload"), Endpoint::Admin);
+        assert_eq!(endpoint_of("/v1/relate"), Endpoint::Relate);
+        assert_eq!(endpoint_of("/elsewhere"), Endpoint::Other);
     }
 
     #[test]
@@ -754,6 +1003,11 @@ mod tests {
         );
         assert!(
             body.contains("stj_serve_request_latency_ns_count{endpoint=\"relate\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("stj_serve_generation 1"), "{body}");
+        assert!(
+            body.contains("stj_serve_state_latency_ns_count{state=\"queue\"}"),
             "{body}"
         );
         // Only GET is allowed.
@@ -881,10 +1135,8 @@ mod tests {
         .collect();
         let r = dispatch(&ctx, "GET", "/v1/pair", &q, b"");
         assert_eq!(r.status, 200);
-        let expect = find_relation(
-            ctx.datasets[0].arena.object(1),
-            ctx.datasets[0].arena.object(0),
-        );
+        let gen = ctx.generation();
+        let expect = find_relation(gen.datasets[0].arena.object(1), gen.datasets[0].arena.object(0));
         assert!(
             body_str(&r).contains(&format!("\"relation\": \"{}\"", expect.relation)),
             "{}",
@@ -949,5 +1201,81 @@ mod tests {
         let r = dispatch_target(&ctx, "GET", "/v1/pair?left=boxes&i=0&right=boxes&j=0", b"");
         assert_eq!(r.status, 200);
         assert!(body_str(&r).contains("\"equals\""));
+    }
+
+    #[test]
+    fn discover_buffers_when_not_streaming() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "boxes".to_string())];
+        let body = b"POLYGON((22 22, 28 22, 28 28, 22 28, 22 22))\nPOLYGON((0 90, 5 90, 5 95, 0 95, 0 90))";
+        let r = dispatch(&ctx, "POST", "/v1/discover", &q, body);
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        assert_eq!(r.content_type, "application/x-ndjson");
+        assert!(r.close, "discover responses close the connection");
+        let text = body_str(&r);
+        assert!(
+            text.lines().last().unwrap().starts_with("{\"summary\":"),
+            "{text}"
+        );
+        assert!(text.contains("\"relation\":\"inside\""), "{text}");
+    }
+
+    #[test]
+    fn discover_nt_uses_geosparql_properties() {
+        let ctx = test_ctx();
+        let q = vec![
+            ("dataset".to_string(), "boxes".to_string()),
+            ("format".to_string(), "nt".to_string()),
+            ("name".to_string(), "mine".to_string()),
+        ];
+        let r = dispatch(
+            &ctx,
+            "POST",
+            "/v1/discover",
+            &q,
+            b"POLYGON((22 22, 28 22, 28 28, 22 28, 22 22))",
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        assert_eq!(r.content_type, "application/n-triples");
+        let text = body_str(&r);
+        assert!(text.contains("<urn:stj:mine:0>"), "{text}");
+        assert!(text.contains("geosparql#sfWithin"), "{text}");
+        assert!(!text.contains("summary"), "{text}");
+    }
+
+    #[test]
+    fn discover_requires_probes_and_known_dataset() {
+        let ctx = test_ctx();
+        let q = vec![("dataset".to_string(), "boxes".to_string())];
+        assert_eq!(dispatch(&ctx, "POST", "/v1/discover", &q, b"").status, 400);
+        let q = vec![("dataset".to_string(), "nope".to_string())];
+        let r = dispatch(&ctx, "POST", "/v1/discover", &q, b"POLYGON((0 0,1 0,1 1,0 0))");
+        assert_eq!(r.status, 404);
+        let q = vec![
+            ("dataset".to_string(), "boxes".to_string()),
+            ("format".to_string(), "xml".to_string()),
+        ];
+        let r = dispatch(&ctx, "POST", "/v1/discover", &q, b"POLYGON((0 0,1 0,1 1,0 0))");
+        assert_eq!(r.status, 400);
+        assert!(body_str(&r).contains("unknown format"), "{}", body_str(&r));
+    }
+
+    #[test]
+    fn reload_without_paths_is_409_and_counted() {
+        let ctx = test_ctx();
+        let r = dispatch(&ctx, "POST", "/v1/admin/reload", &[], b"");
+        assert_eq!(r.status, 409, "{}", body_str(&r));
+        assert!(body_str(&r).contains("reload_unavailable"));
+        assert_eq!(ctx.stats.reload_errors.get(), 1);
+        // A bogus override path is a load failure, not unavailability.
+        let r = dispatch(
+            &ctx,
+            "POST",
+            "/v1/admin/reload",
+            &[],
+            b"/definitely/not/here.stjd\n",
+        );
+        assert_eq!(r.status, 500, "{}", body_str(&r));
+        assert!(body_str(&r).contains("reload_failed"));
     }
 }

@@ -25,16 +25,20 @@ pub enum Endpoint {
     Relate,
     Pair,
     Join,
+    Discover,
+    Admin,
     Stats,
     Other,
 }
 
 impl Endpoint {
     /// All families, for label enumeration.
-    pub const ALL: [Endpoint; 5] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Relate,
         Endpoint::Pair,
         Endpoint::Join,
+        Endpoint::Discover,
+        Endpoint::Admin,
         Endpoint::Stats,
         Endpoint::Other,
     ];
@@ -45,8 +49,43 @@ impl Endpoint {
             Endpoint::Relate => "relate",
             Endpoint::Pair => "pair",
             Endpoint::Join => "join",
+            Endpoint::Discover => "discover",
+            Endpoint::Admin => "admin",
             Endpoint::Stats => "stats",
             Endpoint::Other => "other",
+        }
+    }
+}
+
+/// The lifecycle stage a per-state latency sample measures: time from
+/// first request byte to a parsed request (`Read`), parsed to picked up
+/// by a worker (`Queue`), handler execution (`Exec`), and completion to
+/// the last byte flushed (`Write`). Summed, the four stages are the
+/// full in-server latency a client observes on one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    Read,
+    Queue,
+    Exec,
+    Write,
+}
+
+impl ConnState {
+    /// All stages, for label enumeration.
+    pub const ALL: [ConnState; 4] = [
+        ConnState::Read,
+        ConnState::Queue,
+        ConnState::Exec,
+        ConnState::Write,
+    ];
+
+    /// Stable label used in `/stats` and `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnState::Read => "read",
+            ConnState::Queue => "queue",
+            ConnState::Exec => "exec",
+            ConnState::Write => "write",
         }
     }
 }
@@ -80,16 +119,40 @@ pub struct ServeStats {
     pub bytes_out: Counter,
     /// Connections accepted.
     pub connections: Counter,
-    /// Accept-queue depth (with high-water mark).
+    /// Job-queue depth between the reactor and the worker pool (the
+    /// accept queue, pre-reactor) — with high-water mark.
     pub queue_depth: Gauge,
     /// Requests currently being processed.
     pub in_flight: Gauge,
+    /// Connections currently open (reactor only).
+    pub open_connections: Gauge,
+    /// Bytes queued for write-out across all connections (reactor
+    /// only): the write-readiness backlog.
+    pub write_backlog_bytes: Gauge,
+    /// Connections closed for exceeding the idle deadline.
+    pub idle_timeouts: Counter,
+    /// Connections closed for dribbling a request head past the
+    /// header-read deadline (slow-loris).
+    pub header_timeouts: Counter,
+    /// Successful dataset reloads (generation swaps).
+    pub reloads: Counter,
+    /// Failed reload attempts (old generation kept).
+    pub reload_errors: Counter,
+    /// The live dataset generation id.
+    pub generation: Gauge,
     /// Per-endpoint request latency, nanoseconds.
     pub lat_relate: SharedHistogram,
     pub lat_pair: SharedHistogram,
     pub lat_join: SharedHistogram,
+    pub lat_discover: SharedHistogram,
+    pub lat_admin: SharedHistogram,
     pub lat_stats: SharedHistogram,
     pub lat_other: SharedHistogram,
+    /// Per-state latency (reactor lifecycle stages), nanoseconds.
+    pub lat_state_read: SharedHistogram,
+    pub lat_state_queue: SharedHistogram,
+    pub lat_state_exec: SharedHistogram,
+    pub lat_state_write: SharedHistogram,
 }
 
 impl ServeStats {
@@ -104,8 +167,20 @@ impl ServeStats {
             Endpoint::Relate => &self.lat_relate,
             Endpoint::Pair => &self.lat_pair,
             Endpoint::Join => &self.lat_join,
+            Endpoint::Discover => &self.lat_discover,
+            Endpoint::Admin => &self.lat_admin,
             Endpoint::Stats => &self.lat_stats,
             Endpoint::Other => &self.lat_other,
+        }
+    }
+
+    /// The latency histogram for a lifecycle `state`.
+    pub fn state_latency(&self, state: ConnState) -> &SharedHistogram {
+        match state {
+            ConnState::Read => &self.lat_state_read,
+            ConnState::Queue => &self.lat_state_queue,
+            ConnState::Exec => &self.lat_state_exec,
+            ConnState::Write => &self.lat_state_write,
         }
     }
 
@@ -128,6 +203,7 @@ impl ServeStats {
     pub fn render(
         &self,
         started: Instant,
+        generation: u64,
         datasets: &[(String, usize, bool, &'static str)],
         cache: Json,
         config: Json,
@@ -148,6 +224,14 @@ impl ServeStats {
             ("schema", Json::str("stj-serve-report/v1")),
             ("uptime_ms", Json::U64(started.elapsed().as_millis() as u64)),
             ("config", config),
+            (
+                "generation",
+                Json::object([
+                    ("id", Json::U64(generation)),
+                    ("reloads", self.reloads.to_json()),
+                    ("reload_errors", self.reload_errors.to_json()),
+                ]),
+            ),
             ("datasets", ds),
             (
                 "requests",
@@ -173,6 +257,15 @@ impl ServeStats {
                     ("in_flight", self.in_flight.to_json()),
                 ]),
             ),
+            (
+                "reactor",
+                Json::object([
+                    ("open_connections", self.open_connections.to_json()),
+                    ("write_backlog_bytes", self.write_backlog_bytes.to_json()),
+                    ("idle_timeouts", self.idle_timeouts.to_json()),
+                    ("header_timeouts", self.header_timeouts.to_json()),
+                ]),
+            ),
             ("cache", cache),
             ("adaptive", adaptive),
             (
@@ -181,8 +274,19 @@ impl ServeStats {
                     ("relate", self.lat_relate.to_json()),
                     ("pair", self.lat_pair.to_json()),
                     ("join", self.lat_join.to_json()),
+                    ("discover", self.lat_discover.to_json()),
+                    ("admin", self.lat_admin.to_json()),
                     ("stats", self.lat_stats.to_json()),
                     ("other", self.lat_other.to_json()),
+                ]),
+            ),
+            (
+                "state_latency_ns",
+                Json::object([
+                    ("read", self.lat_state_read.to_json()),
+                    ("queue", self.lat_state_queue.to_json()),
+                    ("exec", self.lat_state_exec.to_json()),
+                    ("write", self.lat_state_write.to_json()),
                 ]),
             ),
         ])
@@ -209,8 +313,12 @@ mod tests {
         s.note_status(404);
         s.note_status(500);
         s.latency(Endpoint::Relate).record(1000);
+        s.state_latency(ConnState::Queue).record(500);
+        s.generation.set(3);
+        s.reloads.add(2);
         let doc = s.render(
             Instant::now(),
+            3,
             &[("lakes".into(), 42, true, "mapped")],
             Json::object([("hits", Json::U64(0))]),
             Json::object([("threads", Json::U64(4))]),
@@ -225,5 +333,9 @@ mod tests {
         assert!(text.contains("\"adaptive\""), "{text}");
         assert!(text.contains("\"client_error\": 1"), "{text}");
         assert!(text.contains("\"server_error\": 1"), "{text}");
+        assert!(text.contains("\"generation\""), "{text}");
+        assert!(text.contains("\"reloads\": 2"), "{text}");
+        assert!(text.contains("\"reactor\""), "{text}");
+        assert!(text.contains("\"state_latency_ns\""), "{text}");
     }
 }

@@ -134,6 +134,7 @@ fn main() -> ExitCode {
         Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("discover") => cmd_discover(&args[1..]),
         Some("check") => return cmd_check(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -171,13 +172,23 @@ USAGE:
   stj serve --data <FILE.stjd> [--data <FILE.stjd> ...] [--addr HOST:PORT]
             [--threads N (0 = auto)] [--queue-depth N] [--cache-mb N]
             [--deadline-ms N (0 = off)] [--max-links N]
+            [--idle-ms N] [--header-ms N (slow-loris bound)]
             [--adaptive on|off|force-skip]
             [--stats-json OUT.json] [--quiet]
-  stj query --addr HOST:PORT [--framed] <SUBCOMMAND>
+            (SIGHUP or POST /v1/admin/reload hot-swaps the datasets)
+  stj query --addr HOST:PORT [--framed] [--no-retry] <SUBCOMMAND>
             relate <DATASET> <WKT> [--limit N]
             pair <LEFT> <I> <RIGHT> <J>
             join <LEFT> <RIGHT> [--method M] [--predicate REL] [--max-links N]
+            discover <DATASET> [--format ndjson|nt] [--name NAME]
+                     (WKT probes on stdin, streamed links on stdout)
+            reload [PATH ...]
             stats | metrics | datasets | healthz
+            (429 sheds honor Retry-After with bounded retries unless
+             --no-retry)
+  stj discover --data <FILE.stjd> [--format ndjson|nt] [--name NAME]
+            (offline twin of /v1/discover: WKT probes on stdin,
+             links on stdout)
   stj check [--seed S] [--pairs N] [--threads N] [--order N]
             [--json OUT.json] [--dump OUT.wkt]
 ";
@@ -698,8 +709,13 @@ enum MetricKind {
 fn metric_kind(name: &str) -> MetricKind {
     match name {
         "candidates" | "links" => MetricKind::Exact,
-        "threads" | "stream_batch_pairs" | "objects" => MetricKind::Info,
+        "threads" | "stream_batch_pairs" | "objects" | "connections" | "requests" => {
+            MetricKind::Info
+        }
         "allocs" => MetricKind::ExactOrLower,
+        // Load-shedding under the benchmark's open-loop arrival rate:
+        // any growth means the server keeps up less well.
+        "sheds" | "shed_rate" => MetricKind::LowerBetter,
         // Peak resident set (VmHWM) is reported in bytes but doesn't
         // carry the suffix; growth is a regression.
         "peak_rss" => MetricKind::LowerBetter,
@@ -709,8 +725,15 @@ fn metric_kind(name: &str) -> MetricKind {
     }
 }
 
+/// Numeric fields that are part of a run's *identity* (configuration)
+/// rather than its results.
+fn is_identity_number(key: &str) -> bool {
+    matches!(key, "threads" | "connections")
+}
+
 /// The identity of one run within an `stj-bench/v1` document: every
-/// string-valued field plus `threads`, rendered `key=value` sorted.
+/// string-valued field plus the numeric configuration fields
+/// (`threads`, `connections`), rendered `key=value` sorted.
 fn run_identity(run: &Json) -> String {
     let Json::Obj(entries) = run else {
         return String::new();
@@ -719,7 +742,7 @@ fn run_identity(run: &Json) -> String {
         .iter()
         .filter_map(|(k, v)| match v {
             Json::Str(s) => Some(format!("{k}={s}")),
-            _ if k == "threads" => v.as_u64().map(|n| format!("threads={n}")),
+            _ if is_identity_number(k) => v.as_u64().map(|n| format!("{k}={n}")),
             _ => None,
         })
         .collect();
@@ -737,7 +760,7 @@ fn identity_covers(base: &Json, cur: &Json) -> bool {
     };
     entries.iter().all(|(k, v)| match v {
         Json::Str(s) => cur.get(k).and_then(Json::as_str) == Some(s.as_str()),
-        _ if k == "threads" => cur.get(k).and_then(Json::as_u64) == v.as_u64(),
+        _ if is_identity_number(k) => cur.get(k).and_then(Json::as_u64) == v.as_u64(),
         _ => true,
     })
 }
@@ -887,6 +910,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad --max-links value".to_string())?;
             }
+            "--idle-ms" => {
+                cfg.idle_ms = next_arg(&mut it, "--idle-ms")?
+                    .parse()
+                    .map_err(|_| "bad --idle-ms value".to_string())?;
+            }
+            "--header-ms" => {
+                cfg.header_ms = next_arg(&mut it, "--header-ms")?
+                    .parse()
+                    .map_err(|_| "bad --header-ms value".to_string())?;
+            }
             "--adaptive" => {
                 let name = next_arg(&mut it, "--adaptive")?;
                 cfg.adaptive = AdaptiveMode::parse(&name).ok_or_else(|| {
@@ -919,6 +952,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     let server = Server::bind(ServeCtx::new(cfg, datasets)).map_err(|e| format!("bind: {e}"))?;
+    // Remember where the datasets came from so SIGHUP and
+    // /v1/admin/reload can hot-swap in fresh generations.
+    server
+        .ctx()
+        .generations
+        .set_paths(data.iter().map(std::path::PathBuf::from).collect());
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     install_signal_handlers();
 
@@ -968,16 +1007,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let mut addr: Option<String> = None;
     let mut framed = false;
+    let mut no_retry = false;
     let mut limit: Option<u64> = None;
     let mut method: Option<String> = None;
     let mut predicate: Option<String> = None;
     let mut max_links: Option<u64> = None;
+    let mut format: Option<String> = None;
+    let mut name: Option<String> = None;
     let mut pos: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = Some(next_arg(&mut it, "--addr")?),
             "--framed" => framed = true,
+            "--no-retry" => no_retry = true,
+            "--format" => format = Some(next_arg(&mut it, "--format")?),
+            "--name" => name = Some(next_arg(&mut it, "--name")?),
             "--limit" => {
                 limit = Some(
                     next_arg(&mut it, "--limit")?
@@ -1044,23 +1089,65 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             }
             ("POST", target, Vec::new())
         }
+        Some("discover") => {
+            let [_, dataset] = pos.as_slice() else {
+                return Err("query discover needs <DATASET> (WKT probes on stdin)".into());
+            };
+            let mut target = format!("/v1/discover?dataset={}", encode_query_value(dataset));
+            if let Some(f) = &format {
+                target.push_str(&format!("&format={}", encode_query_value(f)));
+            }
+            if let Some(n) = &name {
+                target.push_str(&format!("&name={}", encode_query_value(n)));
+            }
+            let mut body = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut body)
+                .map_err(|e| format!("stdin: {e}"))?;
+            ("POST", target, body)
+        }
+        Some("reload") => {
+            // Optional positional paths become the new dataset set;
+            // with none the server reloads its configured paths.
+            let body = pos[1..].join("\n").into_bytes();
+            ("POST", "/v1/admin/reload".to_string(), body)
+        }
         Some("stats") => ("GET", "/stats".to_string(), Vec::new()),
         Some("metrics") => ("GET", "/metrics".to_string(), Vec::new()),
         Some("datasets") => ("GET", "/v1/datasets".to_string(), Vec::new()),
         Some("healthz") => ("GET", "/healthz".to_string(), Vec::new()),
         _ => {
             return Err(
-                "query needs a subcommand: relate | pair | join | stats | metrics | datasets \
-                 | healthz"
+                "query needs a subcommand: relate | pair | join | discover | reload | stats \
+                 | metrics | datasets | healthz"
                     .into(),
             )
         }
     };
 
+    // A shed (429) carries a Retry-After hint; honor it with bounded
+    // retries so transient overload doesn't fail scripted clients.
+    const MAX_RETRIES: u32 = 3;
+    const MAX_RETRY_AFTER_SECS: u64 = 5;
     let mut client = Client::new(addr, framed);
-    let (status, resp_body) = client
-        .request(http_method, &target, &body)
-        .map_err(|e| format!("request failed: {e}"))?;
+    let mut attempts = 0u32;
+    let (status, resp_body) = loop {
+        let (status, resp_body) = client
+            .request(http_method, &target, &body)
+            .map_err(|e| format!("request failed: {e}"))?;
+        if status == 429 && !no_retry && attempts < MAX_RETRIES {
+            attempts += 1;
+            let wait = client
+                .retry_after()
+                .unwrap_or(1)
+                .clamp(1, MAX_RETRY_AFTER_SECS);
+            eprintln!(
+                "server shed the request (429); retry {attempts}/{MAX_RETRIES} in {wait}s"
+            );
+            std::thread::sleep(std::time::Duration::from_secs(wait));
+            continue;
+        }
+        break (status, resp_body);
+    };
     // The response body goes to stdout verbatim (it is already JSON or
     // NDJSON); the status decides the exit code.
     let mut stdout = std::io::stdout();
@@ -1071,6 +1158,72 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("server returned {status}"))
     }
+}
+
+/// `stj discover`: bulk link discovery against a local dataset file —
+/// the offline twin of `POST /v1/discover`. WKT probe polygons arrive
+/// one per line on stdin; links stream to stdout as they are found, so
+/// memory stays bounded by one probe at a time.
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    use stjoin::core::RelateScratch;
+    use stjoin::serve::discover::{discover_probe, DiscoverFormat};
+    use stjoin::serve::LoadedDataset;
+
+    let mut data: Option<String> = None;
+    let mut format = DiscoverFormat::Ndjson;
+    let mut name = "probes".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--data" => data = Some(next_arg(&mut it, "--data")?),
+            "--format" => {
+                let f = next_arg(&mut it, "--format")?;
+                format = DiscoverFormat::parse(&f)
+                    .ok_or_else(|| format!("unknown format {f:?} (expected ndjson or nt)"))?;
+            }
+            "--name" => name = next_arg(&mut it, "--name")?,
+            other => return Err(format!("unknown discover option {other:?}")),
+        }
+    }
+    let data = data.ok_or("discover needs --data <FILE.stjd>")?;
+    let ds = LoadedDataset::open(std::path::Path::new(&data))?;
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut w = BufWriter::new(stdout.lock());
+    let mut scratch = RelateScratch::default();
+    // The CLI runs the static pipeline: no resident model to warm, and
+    // deterministic output for the discover-vs-join equality check.
+    let mut adaptive = None;
+    let mut out = String::new();
+    let (mut probes, mut candidates, mut links) = (0u64, 0u64, 0u64);
+    for (lineno, line) in std::io::BufRead::lines(stdin.lock()).enumerate() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let wkt = line.trim();
+        if wkt.is_empty() {
+            continue;
+        }
+        let poly =
+            polygon_from_wkt(wkt).map_err(|e| format!("probe line {}: {e}", lineno + 1))?;
+        out.clear();
+        let (c, l) = discover_probe(
+            &ds,
+            probes,
+            poly,
+            &name,
+            format,
+            &mut scratch,
+            &mut adaptive,
+            &mut out,
+        );
+        probes += 1;
+        candidates += c;
+        links += l;
+        w.write_all(out.as_bytes()).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    eprintln!("discover: {probes} probe(s), {candidates} candidate(s), {links} link(s)");
+    Ok(())
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {

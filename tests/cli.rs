@@ -911,3 +911,293 @@ fn serve_and_query_round_trip() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `stj query` honors `Retry-After` on a 429 shed: bounded retries
+/// against a fake server that sheds once and then serves.
+#[test]
+fn query_retries_on_429_with_retry_after() {
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        let responses = [
+            "HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\n\
+             retry-after: 1\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+             content-length: 15\r\nconnection: close\r\n\r\n{\"status\":\"ok\"}",
+        ];
+        for resp in responses {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut head = Vec::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = conn.read(&mut buf).expect("read request");
+                head.extend_from_slice(&buf[..n]);
+                if n == 0 || head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            conn.write_all(resp.as_bytes()).expect("write response");
+        }
+    });
+
+    let out = stj()
+        .args(["query", "--addr", &addr, "healthz"])
+        .output()
+        .expect("run stj query");
+    server.join().expect("fake server");
+    assert!(
+        out.status.success(),
+        "query must succeed after the retry: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("retry 1/3"),
+        "retry not announced: {stderr}"
+    );
+}
+
+/// `--no-retry` turns a 429 into an immediate failure.
+#[test]
+fn query_no_retry_fails_fast_on_429() {
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut head = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = conn.read(&mut buf).expect("read request");
+            head.extend_from_slice(&buf[..n]);
+            if n == 0 || head.windows(4).any(|w| w == b"\r\n\r\n") {
+                break;
+            }
+        }
+        conn.write_all(
+            b"HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\n\
+              retry-after: 1\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+        )
+        .expect("write response");
+    });
+
+    let t0 = std::time::Instant::now();
+    let out = stj()
+        .args(["query", "--addr", &addr, "--no-retry", "healthz"])
+        .output()
+        .expect("run stj query");
+    server.join().expect("fake server");
+    assert!(!out.status.success(), "--no-retry must fail on 429");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("server returned 429"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(3),
+        "--no-retry must not sleep"
+    );
+}
+
+/// Bulk link discovery three ways — offline `stj join --ntriples`,
+/// offline `stj discover`, and the served `/v1/discover` stream — all
+/// produce the same link set, byte-identical after sorting.
+#[cfg(unix)]
+#[test]
+fn discover_matches_offline_join_ntriples() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tempdir("discover");
+    let lakes_wkt = dir.join("lakes.wkt");
+    let parks_wkt = dir.join("parks.wkt");
+    let lakes_bin = dir.join("lakes.stjd");
+    let parks_bin = dir.join("parks.stjd");
+    let links_nt = dir.join("links.nt");
+
+    for (ds, path) in [("OLE", &lakes_wkt), ("OPE", &parks_wkt)] {
+        let out = stj()
+            .args(["generate", ds, "0.003"])
+            .arg(path)
+            .output()
+            .expect("generate");
+        assert!(out.status.success());
+    }
+    // A common extent so the offline join accepts the pair (the served
+    // discover path rasterizes probes on the dataset's own grid).
+    for (wkt, bin, name) in [(&lakes_wkt, &lakes_bin, "lakes"), (&parks_wkt, &parks_bin, "parks")] {
+        let out = stj()
+            .arg("preprocess")
+            .arg(wkt)
+            .arg(bin)
+            .args(["--order", "8", "--extent", "0", "0", "1000", "1000", "--name", name])
+            .output()
+            .expect("preprocess");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+
+    let sorted = |text: &str| -> Vec<String> {
+        let mut lines: Vec<String> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect();
+        lines.sort();
+        lines
+    };
+
+    // Ground truth: the offline join's N-Triples.
+    let out = stj()
+        .arg("join")
+        .arg(&lakes_bin)
+        .arg(&parks_bin)
+        .args(["--quiet", "--ntriples"])
+        .arg(&links_nt)
+        .output()
+        .expect("join");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let join_lines = sorted(&std::fs::read_to_string(&links_nt).expect("links.nt"));
+    assert!(!join_lines.is_empty(), "join found no links — test is vacuous");
+
+    // Offline discover: lakes WKT on stdin against the parks dataset.
+    let out = stj()
+        .args(["discover", "--format", "nt", "--name", "lakes", "--data"])
+        .arg(&parks_bin)
+        .stdin(std::fs::File::open(&lakes_wkt).expect("open lakes.wkt"))
+        .output()
+        .expect("discover");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let discover_lines = sorted(&String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        discover_lines, join_lines,
+        "offline discover disagrees with the offline join"
+    );
+
+    // Served discover: the same probes through `/v1/discover`.
+    let mut server = stj()
+        .arg("serve")
+        .arg("--data")
+        .arg(&parks_bin)
+        .args(["--addr", "127.0.0.1:0", "--threads", "2", "--quiet"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+
+    let out = stj()
+        .args([
+            "query", "--addr", &addr, "--format", "nt", "--name", "lakes", "discover", "parks",
+        ])
+        .stdin(std::fs::File::open(&lakes_wkt).expect("open lakes.wkt"))
+        .output()
+        .expect("query discover");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let served_lines = sorted(&String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        served_lines, join_lines,
+        "served discover disagrees with the offline join"
+    );
+
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    assert!(server.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGHUP hot-reloads the dataset generation in a running server.
+#[cfg(unix)]
+#[test]
+fn sighup_reloads_datasets() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tempdir("sighup");
+    let wkt = dir.join("boxes.wkt");
+    let bin = dir.join("boxes.stjd");
+    let out = stj()
+        .args(["generate", "TL", "0.02"])
+        .arg(&wkt)
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let out = stj()
+        .arg("preprocess")
+        .arg(&wkt)
+        .arg(&bin)
+        .args(["--order", "8", "--name", "boxes"])
+        .output()
+        .expect("preprocess");
+    assert!(out.status.success());
+
+    let mut server = stj()
+        .arg("serve")
+        .arg("--data")
+        .arg(&bin)
+        .args(["--addr", "127.0.0.1:0", "--threads", "2", "--quiet"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+
+    let hup = Command::new("kill")
+        .args(["-HUP", &server.id().to_string()])
+        .status()
+        .expect("send SIGHUP");
+    assert!(hup.success());
+
+    // The reload happens on a background thread; poll /stats for the
+    // new generation.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let out = stj()
+            .args(["query", "--addr", &addr, "stats"])
+            .output()
+            .expect("stats");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        if text.contains("\"id\": 2") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "SIGHUP reload never landed: {text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    // Requests still serve after the swap.
+    let out = stj()
+        .args(["query", "--addr", &addr, "pair", "boxes", "0", "boxes", "0"])
+        .output()
+        .expect("pair");
+    assert!(out.status.success());
+
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    assert!(server.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
